@@ -1,0 +1,34 @@
+"""Shared fixtures for the benchmark harness.
+
+Each bench regenerates one table or figure from the paper's evaluation
+section (see DESIGN.md's per-experiment index and EXPERIMENTS.md).  The
+expensive inputs — the offline navigation models and the Table 3 end-to-end
+runs — are produced once per session and shared by every bench.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.runner import BenchmarkConfig, BenchmarkRunner
+
+#: The paper's protocol: every task runs three times and results are averaged.
+TRIALS = 3
+SEED = 11
+
+
+@pytest.fixture(scope="session")
+def runner() -> BenchmarkRunner:
+    return BenchmarkRunner(BenchmarkConfig(trials=TRIALS, seed=SEED))
+
+
+@pytest.fixture(scope="session")
+def offline_artifacts(runner):
+    """Offline navigation models for Word, Excel and PowerPoint (§5.2)."""
+    return runner.all_offline_artifacts()
+
+
+@pytest.fixture(scope="session")
+def table3_outcomes(runner, offline_artifacts):
+    """The eight Table 3 configurations, 27 tasks x 3 trials each."""
+    return runner.run_table3()

@@ -1,0 +1,25 @@
+"""Figure 5a — success rate per interface x model (bar chart, text form)."""
+
+from __future__ import annotations
+
+from repro.bench.metrics import aggregate
+from repro.bench.reporting import render_figure5a
+
+
+def test_figure5a_success_rate(benchmark, table3_outcomes):
+    figure = benchmark.pedantic(render_figure5a, args=(table3_outcomes,),
+                                rounds=1, iterations=1)
+    print("\n" + figure)
+
+    summaries = {key: aggregate(outcome.results) for key, outcome in table3_outcomes.items()}
+    # Bars ordered the way the paper groups them: within every model group
+    # the GUI+DMI bar is the tallest.
+    assert summaries["dmi-gpt5-medium"].success_rate == max(
+        summaries[k].success_rate for k in
+        ("gui-gpt5-medium", "forest-gpt5-medium", "dmi-gpt5-medium"))
+    assert summaries["dmi-gpt5-mini"].success_rate == max(
+        summaries[k].success_rate for k in
+        ("gui-gpt5-mini", "forest-gpt5-mini", "dmi-gpt5-mini"))
+    assert summaries["dmi-gpt5-minimal"].success_rate > summaries["gui-gpt5-minimal"].success_rate
+    # Reasoning still matters with DMI: GPT-5 medium > GPT-5 minimal.
+    assert summaries["dmi-gpt5-medium"].success_rate > summaries["dmi-gpt5-minimal"].success_rate

@@ -1,0 +1,36 @@
+"""Figure 6 — failure-cause distribution (policy vs mechanism).
+
+The paper's finding: with GUI+DMI the overwhelming majority of remaining
+failures are policy-level (semantic planning), while the GUI-only baseline's
+failures are dominated by mechanism-level causes (control localization /
+navigation, composite interaction).
+"""
+
+from __future__ import annotations
+
+from repro.bench.failures import failure_breakdown, failure_distribution
+from repro.bench.reporting import render_figure6
+
+
+def test_figure6_failure_distribution(benchmark, table3_outcomes):
+    dmi_results = table3_outcomes["dmi-gpt5-medium"].results
+    gui_results = table3_outcomes["gui-gpt5-medium"].results
+
+    figure = benchmark.pedantic(render_figure6, args=(dmi_results, gui_results),
+                                rounds=1, iterations=1)
+    print("\n" + figure)
+
+    dmi = failure_distribution(dmi_results)
+    gui = failure_distribution(gui_results)
+
+    # DMI failures concentrate at the policy level (paper: 81% / 19%).
+    assert dmi["failures"] > 0
+    assert dmi["policy_share"] >= 0.6
+    # The baseline's failures are mechanism-heavy (paper: 53.3% mechanism).
+    assert gui["mechanism_share"] >= 0.4
+    # And DMI is strictly more policy-centric than the baseline.
+    assert dmi["policy_share"] > gui["policy_share"]
+
+    # Mechanism-level causes present in the baseline but largely absent with DMI.
+    gui_causes = failure_breakdown(gui_results)
+    assert any("localization" in cause or "composite" in cause for cause in gui_causes)

@@ -1,0 +1,55 @@
+"""§5.2 — offline phase: UI navigation modeling cost.
+
+Regenerates the offline-modeling statistics the paper reports: raw UNG size
+per application, merge nodes and cycles, the forest produced by cost-based
+externalization, the size of the depth-limited core topology, and the
+automated modeling time.  The ripping itself is the benchmarked operation.
+"""
+
+from __future__ import annotations
+
+from repro.apps import APP_FACTORIES, WordApp
+from repro.bench.reporting import render_offline_modeling
+from repro.dmi.interface import build_offline_artifacts
+
+
+def test_sec52_offline_modeling_statistics(benchmark, offline_artifacts):
+    # Benchmark one full offline build (rip -> decycle -> externalize ->
+    # forest -> core) on the Word-like application.
+    artifacts = benchmark.pedantic(build_offline_artifacts, args=(WordApp(),),
+                                   rounds=1, iterations=1)
+    assert artifacts.ung.node_count() > 400
+
+    report = render_offline_modeling(offline_artifacts)
+    print("\n" + report)
+
+    for app_name, art in offline_artifacts.items():
+        summary = art.summary()
+        # Feature-rich applications: hundreds of controls each (the real
+        # Office suite exceeds 4K; the simulated apps are smaller but keep
+        # the same structural properties).
+        assert summary["ung_nodes"] > 400, app_name
+        assert summary["merge_nodes"] > 5, app_name
+        # The forest stays linear in the UNG size (no clone blow-up).
+        assert summary["forest_nodes"] < 3 * summary["ung_nodes"], app_name
+        # The core topology is a strict subset of the forest.
+        assert summary["core_nodes"] <= summary["forest_nodes"], app_name
+        # Automated modeling is fast on the simulator (paper: < 3 hours per
+        # real application).
+        assert summary["modeling_seconds"] < 120, app_name
+
+    # Word's Find-and-Replace More/Less pair produces a cycle in the raw UNG.
+    assert offline_artifacts["word"].rip_report.cycles
+
+
+def test_sec52_modeling_is_reusable_across_instances(benchmark, offline_artifacts, runner):
+    """The model is version-specific but reusable: running a task on a fresh
+    application instance with the cached artifacts requires no re-modeling."""
+    from repro.bench.runner import setting_by_key
+    from repro.bench.tasks import task_by_id
+
+    task = task_by_id("word-02-landscape")
+    setting = setting_by_key("dmi-gpt5-medium")
+    result = benchmark.pedantic(runner.run_trial, args=(task, setting, 0),
+                                rounds=3, iterations=1)
+    assert result.steps <= 30

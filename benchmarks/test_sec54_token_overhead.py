@@ -1,0 +1,49 @@
+"""§5.4 — token overhead of the DMI context.
+
+Reproduces the paper's accounting: most of DMI's extra context comes from
+the navigation forest; each control costs a bounded number of tokens; the
+core topologies stay well within modern context windows; and because DMI
+cuts the number of interaction rounds, total token usage per task ends up
+lower than the GUI baseline in the core setting.
+"""
+
+from __future__ import annotations
+
+from repro.apps import APP_FACTORIES
+from repro.bench.metrics import aggregate
+from repro.bench.reporting import render_token_overhead
+from repro.dmi.interface import DMI
+
+
+def test_sec54_token_overhead(benchmark, offline_artifacts, table3_outcomes):
+    def breakdowns():
+        per_app = {}
+        per_control = {}
+        for app_name, artifacts in offline_artifacts.items():
+            dmi = DMI(APP_FACTORIES[app_name](), artifacts)
+            breakdown = dmi.context_token_breakdown()
+            per_app[app_name] = breakdown
+            per_control[app_name] = (breakdown["navigation_topology"]
+                                     / max(1, artifacts.core.visible_node_count()))
+        return per_app, per_control
+
+    per_app, per_control = benchmark.pedantic(breakdowns, rounds=1, iterations=1)
+
+    per_task = {}
+    for key in ("gui-gpt5-medium", "dmi-gpt5-medium"):
+        summary = aggregate(table3_outcomes[key].results)
+        per_task[key] = {"prompt": summary.avg_prompt_tokens,
+                         "total": summary.avg_total_tokens}
+
+    print("\n" + render_token_overhead(per_app, per_control, per_task))
+
+    for app_name, breakdown in per_app.items():
+        # The navigation forest dominates DMI's context overhead (paper: >80%).
+        assert breakdown["navigation_topology"] / breakdown["total"] > 0.6, app_name
+        # Each control costs a bounded number of tokens (paper: ~15).
+        assert per_control[app_name] < 40, app_name
+        # Core topologies fit comfortably in modern context windows.
+        assert breakdown["total"] < 60_000, app_name
+
+    # Fewer rounds => total tokens per successful task are lower with DMI.
+    assert per_task["dmi-gpt5-medium"]["total"] < per_task["gui-gpt5-medium"]["total"]

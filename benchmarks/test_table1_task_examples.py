@@ -1,0 +1,104 @@
+"""Table 1 — task examples: imperative GUI vs declarative DMI.
+
+Task 1: make the background blue on all slides (navigation-heavy).
+Task 2: show the area close to the end (composite interaction).
+
+The bench executes both tasks through the real DMI instance and through the
+imperative GUI path, records the command traces, and prints them side by
+side the way Table 1 presents them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+
+from repro.agent.app_agent import GuiAppAgent
+from repro.agent.session import InterfaceSetting, SessionResult
+from repro.apps import PowerPointApp
+from repro.bench.reporting import render_table1
+from repro.bench.tasks import task_by_id
+from repro.dmi.interface import DMI
+from repro.llm.planner import SemanticPlanner
+from repro.llm.profiles import GPT5_MEDIUM
+
+PERFECT = dataclasses.replace(
+    GPT5_MEDIUM, grounding_error_rate=0.0, nav_plan_error_rate=0.0,
+    composite_error_rate=0.0, visual_parse_error_rate=0.0, semantic_error_rate=0.0,
+    instruction_following_error=0.0, recovery_competence=1.0)
+
+
+def dmi_trace_for(task, dmi) -> list:
+    planner = SemanticPlanner(PERFECT, random.Random(0))
+    plan = planner.plan_declarative(task, dmi.forest, dmi.core)
+    trace = []
+    for call in plan.calls:
+        if call.kind == "visit":
+            names = [dmi.forest.node(c["id"]).name for c in call.payload["commands"] if "id" in c]
+            trace.append(f"visit({names})")
+        elif call.kind == "set_scrollbar_pos":
+            trace.append(f"set_scrollbar_pos({call.payload['percent']:.0f}%)")
+        else:
+            trace.append(call.kind)
+    return trace
+
+
+def gui_trace_for(task, forest) -> list:
+    planner = SemanticPlanner(PERFECT, random.Random(0))
+    plan = planner.plan_imperative(task, forest)
+    trace = []
+    for step in plan.steps:
+        if step.kind == "click":
+            trace.append(f'click("{step.target}")')
+        elif step.kind == "drag_scroll":
+            trace.append("iterative drag-and-observe on the scrollbar")
+        elif step.kind == "type":
+            trace.append(f'type("{step.text}")')
+        else:
+            trace.append(step.kind)
+    return trace
+
+
+def run_table1(offline_artifacts) -> str:
+    artifacts = offline_artifacts["powerpoint"]
+    task1 = task_by_id("ppt-01-blue-background")
+    task2 = task_by_id("ppt-02-scroll-to-end")
+
+    dmi = DMI(PowerPointApp(), artifacts)
+    gui_trace1 = gui_trace_for(task1, artifacts.forest)
+    dmi_trace1 = dmi_trace_for(task1, dmi)
+    gui_trace2 = gui_trace_for(task2, artifacts.forest)
+    dmi_trace2 = dmi_trace_for(task2, dmi)
+
+    # Execute the DMI plan for Task 1 end-to-end to confirm the trace works.
+    result = SessionResult(task_id=task1.task_id, app="powerpoint",
+                           interface=InterfaceSetting.GUI_PLUS_DMI,
+                           model="gpt-5", reasoning="medium")
+    agent_app = PowerPointApp()
+    executing_dmi = DMI(agent_app, artifacts)
+    planner = SemanticPlanner(PERFECT, random.Random(0))
+    plan = planner.plan_declarative(task1, executing_dmi.forest, executing_dmi.core)
+    for call in plan.calls:
+        if call.kind == "visit":
+            executing_dmi.visit(call.payload["commands"])
+    assert task1.checker(agent_app), "the declarative trace must actually complete Task 1"
+
+    # And the imperative trace through the baseline executor.
+    gui_app = PowerPointApp()
+    gui_agent = GuiAppAgent(gui_app, artifacts.forest, PERFECT, InterfaceSetting.GUI_ONLY,
+                            rng=random.Random(0), core=artifacts.core)
+    gui_result = SessionResult(task_id=task1.task_id, app="powerpoint",
+                               interface=InterfaceSetting.GUI_ONLY,
+                               model="gpt-5", reasoning="medium")
+    gui_agent.execute_task(task1, gui_result)
+    assert gui_result.success
+
+    return render_table1(gui_trace1, dmi_trace1, gui_trace2, dmi_trace2)
+
+
+def test_table1_task_examples(benchmark, offline_artifacts):
+    report = benchmark.pedantic(run_table1, args=(offline_artifacts,), rounds=1, iterations=1)
+    print("\n" + report)
+    assert "visit(" in report
+    assert "set_scrollbar_pos(80%)" in report
+    assert 'click("Design")' in report

@@ -1,0 +1,81 @@
+"""Scenario: GUI-only agent vs GUI+DMI agent on the same task.
+
+Runs the paper's flagship task ("make the background blue on all slides")
+through the full agent stack — HostAgent framework overhead, AppAgent
+execution, simulated LLM policy with the GPT-5 (medium reasoning) profile —
+once with the imperative GUI-only baseline and once with DMI, and prints the
+step-by-step comparison: LLM calls, delivered actions, tokens, simulated
+time, and whether the task succeeded.
+
+Run with:  python examples/agent_comparison.py [seed]
+"""
+
+from __future__ import annotations
+
+import random
+import sys
+
+from repro.agent.host_agent import HostAgent
+from repro.agent.session import InterfaceSetting, SessionResult
+from repro.apps import PowerPointApp
+from repro.bench.tasks import task_by_id
+from repro.dmi import build_dmi_for_app
+from repro.dmi.interface import build_offline_artifacts
+from repro.llm.profiles import GPT5_MEDIUM
+
+
+def describe(result: SessionResult) -> None:
+    print(f"  success:        {result.success}")
+    print(f"  LLM calls:      {result.steps}  (core {result.core_steps} + 3 framework)")
+    print(f"  one-shot:       {result.one_shot}")
+    print(f"  GUI actions:    {result.actions}")
+    print(f"  prompt tokens:  {result.prompt_tokens}")
+    print(f"  simulated time: {result.wall_time_s:.0f}s")
+    if result.failure is not None:
+        print(f"  failure:        {result.failure.category.value} "
+              f"({result.failure.cause.value})")
+    for call in result.calls:
+        detail = f" [{call.detail}]" if call.detail else ""
+        print(f"    - {call.role}/{call.purpose}{detail}: "
+              f"{call.prompt_tokens} prompt tokens, {call.latency_s:.0f}s")
+
+
+def main() -> None:
+    seed = int(sys.argv[1]) if len(sys.argv) > 1 else 7
+    task = task_by_id("ppt-01-blue-background")
+    print(f"Task: {task.instruction}\n")
+
+    print("== Offline phase (shared by both agents) ==")
+    artifacts = build_offline_artifacts(PowerPointApp())
+    print(f"modeled {artifacts.ung.node_count()} controls into a forest of "
+          f"{artifacts.forest.node_count()} nodes\n")
+
+    # ------------------------------------------------------------------
+    print("== GUI-only baseline (imperative clicks over visible controls) ==")
+    gui_app = PowerPointApp()
+    host = HostAgent(GPT5_MEDIUM, InterfaceSetting.GUI_ONLY, rng=random.Random(seed))
+    gui_result = host.run_task(task, gui_app, artifacts.forest, core=artifacts.core)
+    describe(gui_result)
+    print(f"  final backgrounds: {[s.background.color for s in gui_app.presentation.slides]}")
+
+    # ------------------------------------------------------------------
+    print("\n== GUI+DMI (declarative access/state/observation) ==")
+    dmi_app = PowerPointApp()
+    dmi = build_dmi_for_app(dmi_app, artifacts=artifacts)
+    host = HostAgent(GPT5_MEDIUM, InterfaceSetting.GUI_PLUS_DMI, rng=random.Random(seed))
+    dmi_result = host.run_task(task, dmi_app, artifacts.forest, core=artifacts.core, dmi=dmi)
+    describe(dmi_result)
+    print(f"  final backgrounds: {[s.background.color for s in dmi_app.presentation.slides]}")
+
+    # ------------------------------------------------------------------
+    print("\n== Comparison ==")
+    if dmi_result.steps and gui_result.steps:
+        print(f"  steps:  {gui_result.steps} (GUI) vs {dmi_result.steps} (DMI)")
+    print(f"  time:   {gui_result.wall_time_s:.0f}s (GUI) vs {dmi_result.wall_time_s:.0f}s (DMI)")
+    print("  note: single runs are stochastic (grounding/navigation errors are sampled);")
+    print("        run `pytest benchmarks/test_table3_end_to_end.py --benchmark-only`")
+    print("        for the full 27-task, 3-trial comparison.")
+
+
+if __name__ == "__main__":
+    main()

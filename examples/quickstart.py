@@ -1,0 +1,87 @@
+"""Quickstart: build DMI for an application and drive it declaratively.
+
+This walks the full pipeline on the simulated PowerPoint application:
+
+1. **Offline phase** — rip the live UI into a UI Navigation Graph, remove
+   cycles, externalize merge nodes into shared subtrees, and extract the
+   depth-limited core topology.
+2. **Online phase** — look at the textual topology an LLM would receive,
+   then complete the paper's two example tasks with single declarative
+   calls: Task 1 ("make the background blue on all slides") through the
+   ``visit`` access declaration, and Task 2 ("show the area close to the
+   end") through the ``set_scrollbar_pos`` state declaration.
+
+Run with:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro.apps import PowerPointApp
+from repro.dmi import build_dmi_for_app
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # Offline phase: model the application once (reusable across machines
+    # for the same application build).
+    # ------------------------------------------------------------------
+    print("== Offline phase: UI navigation modeling ==")
+    scratch_app = PowerPointApp()
+    dmi = build_dmi_for_app(scratch_app)
+    summary = dmi.artifacts.summary()
+    print(f"UNG: {summary['ung_nodes']} controls, {summary['ung_edges']} click edges, "
+          f"{summary['merge_nodes']} merge nodes")
+    print(f"Forest: {summary['forest_nodes']} nodes, "
+          f"{summary['shared_subtrees']} shared subtrees")
+    print(f"Core topology: {summary['core_nodes']} nodes, ~{summary['core_tokens']} tokens, "
+          f"modeled in {summary['modeling_seconds']:.1f}s")
+
+    # The topology the LLM reads (truncated here for display).
+    print("\nFirst lines of the serialized core topology:")
+    for line in dmi.initial_context().splitlines()[:12]:
+        print("  " + line[:110])
+
+    # ------------------------------------------------------------------
+    # Online phase: bind the offline model to a *fresh* application
+    # instance and complete the paper's example tasks.
+    # ------------------------------------------------------------------
+    print("\n== Online phase: declarative task completion ==")
+    app = PowerPointApp()
+    dmi = build_dmi_for_app(app, artifacts=dmi.artifacts)
+
+    # Task 1 (paper Table 1): make the background blue on all slides.
+    forest = dmi.forest
+    solid_fill = forest.find_by_name("Solid fill", leaves_only=True)[0]
+    blue = [n for n in forest.find_by_name("Blue", leaves_only=True)
+            if "Fill Color" in " > ".join(p.name for p in n.path_from_root())][0]
+    apply_all = [n for n in forest.find_by_name("Apply to All", leaves_only=True)
+                 if "Format Background" in " > ".join(p.name for p in n.path_from_root())][0]
+
+    print("\nTask 1: make the background blue on all slides")
+    print(f"  declarative call: visit([{{'id': {solid_fill.node_id}}}, "
+          f"{{'id': {blue.node_id}}}, {{'id': {apply_all.node_id}}}])")
+    result = dmi.visit([
+        {"id": solid_fill.node_id},
+        {"id": blue.node_id},
+        {"id": apply_all.node_id},
+    ])
+    print(f"  executed {result.executed} commands with "
+          f"{result.actions_delivered} low-level actions")
+    print(f"  slide backgrounds now: {[s.background.color for s in app.presentation.slides]}")
+
+    # Task 2 (paper Table 1): show the area close to the end.
+    print("\nTask 2: show the area close to the end")
+    feedback = dmi.set_scrollbar_pos("Vertical Scroll Bar", None, 80.0)
+    print(f"  set_scrollbar_pos('Vertical Scroll Bar', 80%) -> {feedback.status.value}, "
+          f"structured state: {feedback.detail}")
+    print(f"  presentation scrolled to {app.presentation.scroll_percent:.0f}%, "
+          f"active slide is now #{app.presentation.active_index + 1}")
+
+    # Observation declaration: structured retrieval instead of pixels.
+    print("\nObservation: get_texts on the Notes pane")
+    dmi.set_value("Notes", "Draft agenda for the launch review")
+    print("  " + dmi.get_texts("Notes").detail.get("text", ""))
+
+
+if __name__ == "__main__":
+    main()

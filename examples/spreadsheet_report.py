@@ -1,0 +1,102 @@
+"""Scenario: preparing a sales report in the spreadsheet application.
+
+A realistic multi-step spreadsheet workflow driven entirely through DMI's
+declarative primitives — the same interface an LLM agent would call:
+
+* select ranges by typing into the Name Box (access-and-input-text plus the
+  auxiliary ENTER shortcut the paper's "Lessons Learned" highlights),
+* total a column with AutoSum, bold the header row, format prices as
+  currency, add a conditional-formatting rule, sort by region and insert a
+  chart — each expressed as target controls, never as navigation sequences,
+* read results back with the observation declaration (structured
+  ``get_texts``) instead of visual parsing.
+
+Run with:  python examples/spreadsheet_report.py
+"""
+
+from __future__ import annotations
+
+from repro.apps import ExcelApp
+from repro.dmi import build_dmi_for_app
+
+
+def leaf(dmi, name, scope=""):
+    """Resolve a functional control id by name (and optional path scope)."""
+    candidates = dmi.forest.find_by_name(name, leaves_only=True)
+    if scope:
+        candidates = [n for n in candidates
+                      if scope.lower() in " > ".join(p.name for p in n.path_from_root()).lower()]
+    if not candidates:
+        raise LookupError(f"no functional control named {name!r} (scope {scope!r})")
+    return candidates[0].node_id
+
+
+def select_range(dmi, reference: str) -> None:
+    """Select a cell range the way an agent would: Name Box + ENTER."""
+    dmi.visit([
+        {"id": leaf(dmi, "Name Box"), "text": reference},
+        {"shortcut_key": "enter"},
+    ])
+
+
+def main() -> None:
+    app = ExcelApp()
+    print("== Offline phase ==")
+    dmi = build_dmi_for_app(app)
+    print(f"modeled {dmi.artifacts.ung.node_count()} controls; "
+          f"core topology ~{dmi.core.token_estimate()} tokens\n")
+
+    sheet = app.workbook.active_sheet
+
+    print("== Building the sales report declaratively ==")
+
+    # 1. Total the Units column.
+    select_range(dmi, "C2:C9")
+    dmi.visit([{"id": leaf(dmi, "Sum", scope="AutoSum")}])
+    print(f"1. AutoSum over C2:C9       -> C10 = {sheet.get_value('C10'):.0f}")
+
+    # 2. Bold the header row.
+    select_range(dmi, "A1:E1")
+    dmi.visit([{"id": leaf(dmi, "Bold", scope="Home")}])
+    print(f"2. Header row bold          -> A1 bold = {sheet.cell('A1').format.bold}")
+
+    # 3. Format the Unit Price column as currency.
+    select_range(dmi, "D2:D9")
+    dmi.visit([{"id": leaf(dmi, "Currency", scope="Number Format")}])
+    print(f"3. Prices as currency       -> D2 shows {sheet.cell('D2').display_value()}")
+
+    # 4. Highlight revenues above 50,000 (navigates into the dialog for us).
+    select_range(dmi, "E2:E9")
+    dmi.visit([
+        {"id": leaf(dmi, "Format cells that are", scope="Greater Than"), "text": "50000"},
+        {"id": leaf(dmi, "OK", scope="Greater Than")},
+    ])
+    print(f"4. Conditional formatting   -> E2 fill = {sheet.conditional_fill_for('E2')}, "
+          f"E5 fill = {sheet.conditional_fill_for('E5')}")
+
+    # 5. Sort the data rows by region.
+    select_range(dmi, "A2:E9")
+    dmi.visit([{"id": leaf(dmi, "Sort A to Z", scope="Sort & Filter")}])
+    regions = [sheet.get_value(f"A{r}") for r in range(2, 10)]
+    print(f"5. Sorted by region         -> {regions}")
+
+    # 6. Insert a chart over the whole table.
+    select_range(dmi, "A1:E9")
+    dmi.visit([{"id": leaf(dmi, "Clustered Column", scope="Insert Column Chart")}])
+    print(f"6. Chart inserted           -> {sheet.charts[0].chart_type} over "
+          f"{sheet.charts[0].data_range}")
+
+    # 7. Observation declaration: read the computed total back, structured.
+    digest = dmi.passive_digest()
+    print("\n== Observation (passive get_texts digest, excerpt) ==")
+    for name in ("A1", "E2", "C10"):
+        print(f"  {name}: {digest.entries.get(name, dmi.get_texts(name).detail.get('text'))}")
+
+    # 8. Freeze the header row and save.
+    dmi.visit([{"id": leaf(dmi, "Freeze Top Row", scope="Freeze Panes")}])
+    dmi.visit([{"id": leaf(dmi, "Save", scope="File")}])
+    print(f"\nFrozen rows: {sheet.frozen_rows}, workbook saved: {app.workbook.saved}")
+
+
+if __name__ == "__main__":
+    main()

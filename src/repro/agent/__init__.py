@@ -1,0 +1,44 @@
+"""A computer-use-agent framework in the mould of UFO-2.
+
+The framework mirrors the baseline the paper evaluates against:
+
+* a :class:`repro.agent.host_agent.HostAgent` decomposes the user task,
+  activates the target application and verifies overall completion (a fixed
+  3-LLM-call framework overhead);
+* an *AppAgent* executes the delegated subtask against one application —
+  either the GUI-only baseline (:mod:`repro.agent.app_agent`, action
+  sequences over currently visible, alphabetically labelled controls) or the
+  DMI-augmented agent (:mod:`repro.agent.dmi_agent`, declarative DMI calls
+  with GUI primitives as the slow-path fallback);
+* a session records every LLM call, delivered action, token count and the
+  failure classification used by the benchmark's analysis.
+"""
+
+from repro.agent.actions import ActionOutcome, GuiAction
+from repro.agent.labeling import alphabetic_labels, label_visible_controls
+from repro.agent.session import (
+    FailureRecord,
+    InterfaceSetting,
+    LLMCallRecord,
+    SessionResult,
+)
+from repro.agent.app_agent import GuiAppAgent, GuiAgentConfig
+from repro.agent.dmi_agent import DmiAppAgent, DmiAgentConfig
+from repro.agent.host_agent import HostAgent, HostAgentConfig
+
+__all__ = [
+    "ActionOutcome",
+    "DmiAgentConfig",
+    "DmiAppAgent",
+    "FailureRecord",
+    "GuiAction",
+    "GuiAgentConfig",
+    "GuiAppAgent",
+    "HostAgent",
+    "HostAgentConfig",
+    "InterfaceSetting",
+    "LLMCallRecord",
+    "SessionResult",
+    "alphabetic_labels",
+    "label_visible_controls",
+]

@@ -1,0 +1,93 @@
+"""The imperative GUI action space (the baseline's vocabulary).
+
+These are the fine-grained primitives a GUI-only agent emits — the analogue
+of UFO-2's ``click``, ``set_edit_text``, ``keyboard_input``,
+``drag_on_coordinates`` and ``wheel_mouse_input``.  The DMI-augmented agent
+uses the same primitives only on its slow-path fallback.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.apps.base import Application
+from repro.gui.widgets import ScrollBarControl
+from repro.uia.element import UIElement
+
+
+@dataclass
+class GuiAction:
+    """One imperative GUI action referencing a labelled on-screen control."""
+
+    kind: str                     # click | type | shortcut | drag_scroll | select_text | wheel
+    target_label: str = ""
+    target_name: str = ""
+    text: str = ""
+    value: float = 0.0
+    wheel_dist: int = 0
+
+
+@dataclass
+class ActionOutcome:
+    """What happened when an action was delivered."""
+
+    delivered: bool
+    target: Optional[UIElement] = None
+    error: str = ""
+    detail: dict = field(default_factory=dict)
+
+
+def deliver_click(app: Application, element: UIElement) -> ActionOutcome:
+    try:
+        app.input.click(element)
+    except Exception as exc:
+        return ActionOutcome(delivered=False, target=element, error=str(exc))
+    return ActionOutcome(delivered=True, target=element)
+
+
+def deliver_text(app: Application, element: UIElement, text: str) -> ActionOutcome:
+    try:
+        app.input.type_text(element, text)
+    except Exception as exc:
+        return ActionOutcome(delivered=False, target=element, error=str(exc))
+    return ActionOutcome(delivered=True, target=element)
+
+
+def deliver_shortcut(app: Application, combination: str) -> ActionOutcome:
+    try:
+        app.input.keyboard_input(combination)
+    except Exception as exc:
+        return ActionOutcome(delivered=False, error=str(exc))
+    return ActionOutcome(delivered=True)
+
+
+def deliver_scrollbar_drag(app: Application, scrollbar: UIElement,
+                           target_percent: float, achieved_percent: float) -> ActionOutcome:
+    """Drag a scrollbar thumb toward ``target_percent``.
+
+    The caller decides (via its composite-interaction error model) how close
+    the drag lands; this helper converts the achieved percentage into the
+    coordinate drag the input layer expects and returns the realised
+    position.
+    """
+    if not isinstance(scrollbar, ScrollBarControl):
+        return ActionOutcome(delivered=False, target=scrollbar,
+                             error=f"{scrollbar.name!r} is not a scrollbar")
+    rect = scrollbar.rect
+    current = scrollbar.position
+    if scrollbar.orientation == "vertical":
+        span = max(rect.height, 1.0)
+        x = rect.left + rect.width / 2.0
+        y1 = rect.top + span * (current / 100.0)
+        y2 = rect.top + span * (achieved_percent / 100.0)
+        app.input.drag_on_coordinates(x, y1, x, y2)
+    else:
+        span = max(rect.width, 1.0)
+        y = rect.top + rect.height / 2.0
+        x1 = rect.left + span * (current / 100.0)
+        x2 = rect.left + span * (achieved_percent / 100.0)
+        app.input.drag_on_coordinates(x1, y, x2, y)
+    return ActionOutcome(delivered=True, target=scrollbar,
+                         detail={"target_percent": target_percent,
+                                 "achieved_percent": scrollbar.position})

@@ -1,0 +1,237 @@
+"""The DMI-augmented AppAgent (GUI+DMI).
+
+The agent is the same AppAgent as the baseline but is instructed to prefer
+DMI's declarative primitives; raw GUI actions remain available as the
+slow-path fallback (paper §5.1 and §6).  One LLM round emits either a batch
+of ``visit`` commands, one interaction-related declaration, a
+``further_query``, or a GUI fallback action — DMI's design forbids mixing
+``visit`` with interaction-related interfaces in the same turn.
+
+Because navigation and interaction are executed deterministically by DMI,
+the mechanism-level error models (grounding, navigation planning, composite
+interaction) do not apply on the fast path.  What remains are policy-level
+errors from the planner plus a small probability that the offline topology
+does not cover a control the task needs (``topology_gap_rate``), in which
+case the agent falls back to imperative GUI execution for that intent and
+re-inherits the baseline's fragility.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.agent.app_agent import GuiAgentConfig, GuiAppAgent
+from repro.agent.session import FailureRecord, InterfaceSetting, LLMCallRecord, SessionResult
+from repro.apps.base import Application
+from repro.dmi.interface import DMI
+from repro.llm.grounding import GroundingModel
+from repro.llm.planner import PlannedCall, SemanticPlanner
+from repro.llm.profiles import ModelProfile
+from repro.spec import FailureCause, Intent, IntentKind, TaskSpec
+
+
+@dataclass
+class DmiAgentConfig:
+    """Budgets and prompt-size constants for the DMI-augmented agent."""
+
+    max_total_steps: int = 30
+    base_prompt_tokens: int = 1500
+    completion_tokens: int = 220
+    seconds_per_action: float = 0.4
+    #: Probability that the offline topology misses/misdescribes a control
+    #: the task needs (paper §5.6 reports 4.8% of DMI failures from
+    #: topology/modeling inaccuracies; §6 discusses the causes).
+    topology_gap_rate: float = 0.05
+    #: How many times the agent re-plans after structured error feedback
+    #: before giving up on a call.
+    max_replans: int = 2
+
+
+class DmiAppAgent:
+    """Executes one task trial through DMI, with GUI primitives as fallback."""
+
+    def __init__(self, app: Application, dmi: DMI, profile: ModelProfile,
+                 rng: Optional[random.Random] = None,
+                 config: Optional[DmiAgentConfig] = None) -> None:
+        self.app = app
+        self.dmi = dmi
+        self.profile = profile
+        self.rng = rng or random.Random(0)
+        self.config = config or DmiAgentConfig()
+        self.planner = SemanticPlanner(profile, self.rng)
+        self.grounding = GroundingModel(profile, self.rng)
+        self._extra_context_tokens = 0
+
+    # ------------------------------------------------------------------
+    def execute_task(self, task: TaskSpec, result: SessionResult) -> None:
+        plan = self.planner.plan_declarative(task, self.dmi.forest, self.dmi.core)
+        failure: Optional[FailureRecord] = None
+        mechanism_issue = False
+        core_budget = self.config.max_total_steps - 3
+
+        calls = list(plan.calls)
+        call_index = 0
+        while call_index < len(calls):
+            if result.core_steps >= core_budget:
+                failure = FailureRecord(FailureCause.STEP_BUDGET_EXHAUSTED,
+                                        detail="30-step cap reached")
+                break
+            call = calls[call_index]
+            self._record_round(result, call)
+
+            if call.kind == "visit":
+                ok, needs_fallback = self._execute_visit(call, task, result)
+                if needs_fallback:
+                    mechanism_issue = True
+                    fallback_failure = self._gui_fallback(call, task, result)
+                    if fallback_failure is not None:
+                        failure = fallback_failure
+                        break
+                elif not ok:
+                    mechanism_issue = True
+            elif call.kind == "further_query":
+                query = self.dmi.further_query(call.payload.get("node_ids", []))
+                self._extra_context_tokens += query.tokens
+            elif call.kind == "set_scrollbar_pos":
+                feedback = self.dmi.set_scrollbar_pos(call.payload["control"],
+                                                      None, call.payload["percent"])
+                result.record_actions(1, self.config.seconds_per_action)
+                if not feedback.ok:
+                    mechanism_issue = True
+            elif call.kind == "select_lines":
+                feedback = self.dmi.select_lines(call.payload["control"],
+                                                 call.payload["start"], call.payload["end"])
+                result.record_actions(1, self.config.seconds_per_action)
+                if not feedback.ok:
+                    mechanism_issue = True
+            elif call.kind == "select_paragraphs":
+                feedback = self.dmi.select_paragraphs(call.payload["control"],
+                                                      call.payload["start"], call.payload["end"])
+                result.record_actions(1, self.config.seconds_per_action)
+                if not feedback.ok:
+                    mechanism_issue = True
+            elif call.kind == "select_controls":
+                feedback = self.dmi.select_controls(call.payload["controls"])
+                result.record_actions(1, self.config.seconds_per_action)
+                if not feedback.ok:
+                    mechanism_issue = True
+            elif call.kind == "get_texts":
+                self.dmi.get_texts(call.payload.get("control"))
+            elif call.kind == "gui_fallback":
+                mechanism_issue = True
+                fallback_failure = self._gui_fallback(call, task, result)
+                if fallback_failure is not None:
+                    failure = fallback_failure
+                    break
+            call_index += 1
+
+        result.success = bool(task.checker(self.app)) and failure is None
+        result.one_shot = result.success and result.core_steps <= 1
+        if result.success:
+            return
+        if failure is None:
+            if plan.corruption is not None:
+                failure = FailureRecord(plan.corruption, detail="semantic planning error")
+            elif mechanism_issue:
+                failure = FailureRecord(FailureCause.TOPOLOGY_INACCURACY,
+                                        detail="declarative execution hit a topology gap")
+            else:
+                failure = FailureRecord(task.policy_failure_cause,
+                                        detail="final state did not satisfy the checker")
+        result.failure = failure
+
+    # ------------------------------------------------------------------
+    # rounds
+    # ------------------------------------------------------------------
+    def _record_round(self, result: SessionResult, call: PlannedCall) -> None:
+        context = self.dmi.context_token_breakdown()["total"]
+        prompt = self.config.base_prompt_tokens + context + self._extra_context_tokens
+        latency = (self.profile.base_latency_s
+                   + prompt / 1000.0 * self.profile.latency_per_1k_prompt_tokens_s
+                   + self.rng.uniform(-2.0, 2.0))
+        result.record_call(LLMCallRecord(role="app", purpose="execute",
+                                         prompt_tokens=prompt,
+                                         completion_tokens=self.config.completion_tokens,
+                                         latency_s=max(1.0, latency),
+                                         detail=call.kind))
+
+    # ------------------------------------------------------------------
+    # visit execution with structured-feedback replanning
+    # ------------------------------------------------------------------
+    def _execute_visit(self, call: PlannedCall, task: TaskSpec, result: SessionResult):
+        """Returns (ok, needs_gui_fallback)."""
+        commands = list(call.payload.get("commands", []))
+        # Simulated topology gap: the offline model is stale for one of the
+        # controls this call touches.
+        if self.rng.random() < self.config.topology_gap_rate and commands:
+            return False, True
+        visit_result = self.dmi.visit(commands)
+        result.record_actions(visit_result.actions_delivered, self.config.seconds_per_action)
+        if visit_result.ok:
+            return True, False
+        # Structured error feedback: re-plan and retry the failing commands.
+        for _ in range(self.config.max_replans):
+            failing = [f for f in visit_result.errors()]
+            if not failing:
+                break
+            retry = self.dmi.visit(commands)
+            result.record_actions(retry.actions_delivered, self.config.seconds_per_action)
+            if retry.ok:
+                return True, False
+            visit_result = retry
+        return False, True
+
+    # ------------------------------------------------------------------
+    # GUI slow-path fallback
+    # ------------------------------------------------------------------
+    def _gui_fallback(self, call: PlannedCall, task: TaskSpec,
+                      result: SessionResult) -> Optional[FailureRecord]:
+        """Execute the intents behind a failed call imperatively.
+
+        The fallback re-uses the baseline agent's executor on a task that is
+        narrowed to the affected intents, so it inherits the baseline's
+        error model and step accounting (minus the framework overhead, which
+        was already charged).
+        """
+        intents = self._intents_for_call(call, task)
+        if not intents:
+            return None
+        fallback_task = TaskSpec(
+            task_id=f"{task.task_id}#fallback",
+            app=task.app,
+            instruction=task.instruction,
+            intents=tuple(intents),
+            checker=lambda _app: True,
+            semantic_difficulty=0.0,
+            uses_composite_interaction=task.uses_composite_interaction,
+        )
+        baseline = GuiAppAgent(self.app, self.dmi.forest, self.profile,
+                               InterfaceSetting.GUI_PLUS_DMI, rng=self.rng,
+                               config=GuiAgentConfig(max_total_steps=result.core_steps + 9 + 3))
+        sub_result = SessionResult(task_id=fallback_task.task_id, app=task.app,
+                                   interface=InterfaceSetting.GUI_PLUS_DMI,
+                                   model=self.profile.name, reasoning=self.profile.reasoning)
+        baseline.execute_task(fallback_task, sub_result)
+        # Merge accounting into the parent session.
+        for record in sub_result.calls:
+            result.record_call(record)
+        result.record_actions(sub_result.actions, 0.0)
+        result.notes.append(f"gui fallback for {call.kind} ({len(intents)} intent(s))")
+        if sub_result.failure is not None and \
+                sub_result.failure.cause != FailureCause.STEP_BUDGET_EXHAUSTED:
+            return sub_result.failure
+        return None
+
+    def _intents_for_call(self, call: PlannedCall, task: TaskSpec) -> List[Intent]:
+        if call.kind == "gui_fallback":
+            intent = call.payload.get("intent")
+            return [intent] if isinstance(intent, Intent) else []
+        if call.intent_index >= 0 and call.intent_index < len(task.intents):
+            return [task.intents[call.intent_index]]
+        # A visit bundle: recover the access intents it covered, together
+        # with the auxiliary shortcuts interleaved with them (e.g. the ENTER
+        # that commits a Name Box edit).
+        return [i for i in task.intents
+                if i.kind in (IntentKind.ACCESS, IntentKind.ACCESS_INPUT, IntentKind.SHORTCUT)]

@@ -1,0 +1,102 @@
+"""The HostAgent: multi-agent orchestration and the fixed framework overhead.
+
+UFO-2's architecture routes every task through a HostAgent that decomposes
+the request, opens/activates the target application and finally verifies
+completion, while a per-application AppAgent executes the delegated subtask.
+For single-application tasks this contributes a fixed 3-LLM-call overhead:
+
+1. HostAgent decomposes the task and activates the application;
+2. (AppAgent executes — one or more calls, counted as *core steps*);
+3. AppAgent verifies its result and decides on hand-off;
+4. HostAgent verifies overall completion.
+
+``HostAgent.run_task`` wraps either AppAgent (GUI-only baseline or GUI+DMI)
+with that overhead and produces the :class:`SessionResult` the benchmark
+aggregates (paper §5.3, "One-shot task completion").
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.agent.app_agent import GuiAgentConfig, GuiAppAgent
+from repro.agent.dmi_agent import DmiAgentConfig, DmiAppAgent
+from repro.agent.session import InterfaceSetting, LLMCallRecord, SessionResult
+from repro.apps.base import Application
+from repro.dmi.interface import DMI
+from repro.llm.profiles import ModelProfile
+from repro.spec import TaskSpec
+from repro.topology.core import CoreTopology
+from repro.topology.forest import NavigationForest
+
+#: The framework's fixed number of non-execution LLM calls per task.
+FRAMEWORK_OVERHEAD_STEPS = 3
+
+
+@dataclass
+class HostAgentConfig:
+    """Prompt sizes for the orchestration calls."""
+
+    host_prompt_tokens: int = 900
+    verify_prompt_tokens: int = 1100
+    completion_tokens: int = 120
+
+
+class HostAgent:
+    """Runs one task trial end to end under a given interface setting."""
+
+    def __init__(self, profile: ModelProfile, setting: InterfaceSetting,
+                 rng: Optional[random.Random] = None,
+                 config: Optional[HostAgentConfig] = None) -> None:
+        self.profile = profile
+        self.setting = setting
+        self.rng = rng or random.Random(0)
+        self.config = config or HostAgentConfig()
+
+    # ------------------------------------------------------------------
+    def run_task(self, task: TaskSpec, app: Application,
+                 forest: NavigationForest,
+                 core: Optional[CoreTopology] = None,
+                 dmi: Optional[DMI] = None,
+                 gui_config: Optional[GuiAgentConfig] = None,
+                 dmi_config: Optional[DmiAgentConfig] = None) -> SessionResult:
+        """Execute ``task`` against ``app`` and return the session result."""
+        result = SessionResult(task_id=task.task_id, app=task.app, interface=self.setting,
+                               model=self.profile.name, reasoning=self.profile.reasoning)
+
+        # 1. HostAgent decomposes the task and activates the application.
+        self._overhead_call(result, role="host", purpose="decompose",
+                            prompt_tokens=self.config.host_prompt_tokens)
+
+        # 2..n. AppAgent executes the delegated subtask.
+        if self.setting.uses_dmi:
+            if dmi is None:
+                raise ValueError("GUI+DMI setting requires a DMI instance")
+            app_agent = DmiAppAgent(app, dmi, self.profile, rng=self.rng, config=dmi_config)
+        else:
+            app_agent = GuiAppAgent(app, forest, self.profile, self.setting, rng=self.rng,
+                                    config=gui_config, core=core)
+        app_agent.execute_task(task, result)
+
+        # n+1. AppAgent verifies the result and decides on hand-off.
+        self._overhead_call(result, role="app", purpose="verify",
+                            prompt_tokens=self.config.verify_prompt_tokens)
+        # n+2. HostAgent verifies overall task completion.
+        self._overhead_call(result, role="host", purpose="verify",
+                            prompt_tokens=self.config.host_prompt_tokens)
+
+        result.one_shot = result.success and result.core_steps <= 1
+        return result
+
+    # ------------------------------------------------------------------
+    def _overhead_call(self, result: SessionResult, role: str, purpose: str,
+                       prompt_tokens: int) -> None:
+        latency = (self.profile.base_latency_s * 0.6
+                   + prompt_tokens / 1000.0 * self.profile.latency_per_1k_prompt_tokens_s
+                   + self.rng.uniform(-1.5, 1.5))
+        result.record_call(LLMCallRecord(role=role, purpose=purpose,
+                                         prompt_tokens=prompt_tokens,
+                                         completion_tokens=self.config.completion_tokens,
+                                         latency_s=max(1.0, latency)))

@@ -1,0 +1,58 @@
+"""Alphabetic labelling of visible controls.
+
+The UFO-2-style baseline labels every control of the visible accessibility
+tree before calling the LLM and passes the labels in the prompt.  Labels are
+alphabetic (``A``, ``B``, ..., ``Z``, ``AA``, ``AB``, ...) to keep them
+distinct from the numeric ids DMI's navigation topology uses (paper §5.1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.llm.tokens import estimate_tokens
+from repro.uia.element import UIElement
+from repro.uia.tree import visible_elements
+
+
+def alphabetic_labels(count: int) -> List[str]:
+    """Generate ``count`` labels: A..Z, AA..AZ, BA.. and so on."""
+    labels = []
+    for index in range(count):
+        label = ""
+        value = index
+        while True:
+            label = chr(ord("A") + value % 26) + label
+            value = value // 26 - 1
+            if value < 0:
+                break
+        labels.append(label)
+    return labels
+
+
+def label_visible_controls(roots: Sequence[UIElement]) -> Dict[str, UIElement]:
+    """Label every visible, named control under ``roots``.
+
+    Returns an ordered mapping label -> element (document order, windows
+    bottom-up so the topmost window's controls get the last labels, matching
+    how an agent would re-label after a dialog opens).
+    """
+    elements: List[UIElement] = []
+    for root in roots:
+        for element in visible_elements(root):
+            if element.name:
+                elements.append(element)
+    labels = alphabetic_labels(len(elements))
+    return dict(zip(labels, elements))
+
+
+def labelled_prompt_text(labelling: Dict[str, UIElement]) -> str:
+    """Render the labelled control list the way it enters the prompt."""
+    lines = ["## Visible controls"]
+    for label, element in labelling.items():
+        lines.append(f"{label}: {element.name} ({element.control_type.value})")
+    return "\n".join(lines)
+
+
+def labelled_prompt_tokens(labelling: Dict[str, UIElement]) -> int:
+    return estimate_tokens(labelled_prompt_text(labelling))

@@ -1,0 +1,121 @@
+"""Session records: LLM calls, actions, failures, and per-task results.
+
+Everything the benchmark's metrics and failure analysis need is captured
+here: the number of LLM calls (steps), the simulated wall-clock time, token
+usage, whether the core user intent completed in a single LLM call
+(one-shot), and — when the task fails — a classified failure record
+(policy vs mechanism, with the fine-grained cause).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.spec import FailureCategory, FailureCause
+
+
+class InterfaceSetting(str, enum.Enum):
+    """The three evaluated interface settings (paper Table 3)."""
+
+    GUI_ONLY = "gui-only"
+    GUI_PLUS_FOREST = "gui-only+nav.forest"     # ablation: static knowledge only
+    GUI_PLUS_DMI = "gui+dmi"
+
+    @property
+    def uses_dmi(self) -> bool:
+        return self is InterfaceSetting.GUI_PLUS_DMI
+
+    @property
+    def has_forest_knowledge(self) -> bool:
+        return self in (InterfaceSetting.GUI_PLUS_FOREST, InterfaceSetting.GUI_PLUS_DMI)
+
+
+@dataclass
+class LLMCallRecord:
+    """One simulated LLM round trip."""
+
+    role: str                       # "host" | "app"
+    purpose: str                    # "decompose" | "execute" | "verify"
+    prompt_tokens: int = 0
+    completion_tokens: int = 0
+    latency_s: float = 0.0
+    detail: str = ""
+
+
+@dataclass
+class FailureRecord:
+    """Why a task trial failed."""
+
+    cause: FailureCause
+    detail: str = ""
+
+    @property
+    def category(self) -> FailureCategory:
+        return self.cause.category
+
+
+@dataclass
+class SessionResult:
+    """The outcome of one task trial under one interface setting."""
+
+    task_id: str
+    app: str
+    interface: InterfaceSetting
+    model: str
+    reasoning: str
+    success: bool = False
+    #: Total LLM calls, including the fixed framework overhead.
+    steps: int = 0
+    #: LLM calls made by the AppAgent's execution phase (steps minus the
+    #: fixed 3-call framework overhead).
+    core_steps: int = 0
+    #: Simulated wall-clock seconds.
+    wall_time_s: float = 0.0
+    #: Low-level input actions delivered to the application.
+    actions: int = 0
+    prompt_tokens: int = 0
+    completion_tokens: int = 0
+    #: True when the core user intent completed within a single AppAgent
+    #: execution call (paper §5.3, "one-shot task completion").
+    one_shot: bool = False
+    failure: Optional[FailureRecord] = None
+    calls: List[LLMCallRecord] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    def record_call(self, call: LLMCallRecord) -> None:
+        self.calls.append(call)
+        self.steps += 1
+        if call.role == "app" and call.purpose == "execute":
+            self.core_steps += 1
+        self.prompt_tokens += call.prompt_tokens
+        self.completion_tokens += call.completion_tokens
+        self.wall_time_s += call.latency_s
+
+    def record_actions(self, count: int, seconds_per_action: float = 0.4) -> None:
+        self.actions += count
+        self.wall_time_s += count * seconds_per_action
+
+    def total_tokens(self) -> int:
+        return self.prompt_tokens + self.completion_tokens
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "task_id": self.task_id,
+            "app": self.app,
+            "interface": self.interface.value,
+            "model": self.model,
+            "reasoning": self.reasoning,
+            "success": self.success,
+            "steps": self.steps,
+            "core_steps": self.core_steps,
+            "time_s": round(self.wall_time_s, 1),
+            "actions": self.actions,
+            "prompt_tokens": self.prompt_tokens,
+            "completion_tokens": self.completion_tokens,
+            "one_shot": self.one_shot,
+            "failure_cause": self.failure.cause.value if self.failure else None,
+            "failure_category": self.failure.category.value if self.failure else None,
+        }

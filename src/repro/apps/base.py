@@ -1,0 +1,112 @@
+"""The application base class.
+
+An :class:`Application` owns a desktop session, a main window, an input
+simulator, a keyboard-shortcut table and (in subclasses) the document-like
+state model.  Subclasses build their UI in :meth:`build_ui` and register any
+exploration contexts (paper §4.1, "Context-aware exploration") via
+:meth:`register_context`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.gui.desktop import Desktop
+from repro.gui.input import InputSimulator, Shortcut
+from repro.gui.widgets import Dialog, Window
+
+
+class Application:
+    """Base class for the simulated Office-like applications."""
+
+    #: Human-readable application name (used in window titles and ids).
+    APP_NAME = "Application"
+
+    def __init__(self, desktop: Optional[Desktop] = None) -> None:
+        self.desktop = desktop or Desktop()
+        self.process_id = self.desktop.register_process(self.APP_NAME)
+        self.window = Window(f"{self.APP_NAME} - {self.document_title()}",
+                             automation_id=f"{self.APP_NAME}.MainWindow")
+        self.window.application = self
+        self.window.properties["app_name"] = self.APP_NAME
+        self.input = InputSimulator(self.desktop)
+        self._shortcuts: Dict[str, Callable[[], None]] = {}
+        self._contexts: Dict[str, Callable[[], None]] = {}
+        self.desktop.open_window(self.window, process_id=self.process_id)
+        self.build_ui()
+        self.desktop.relayout()
+
+    # ------------------------------------------------------------------
+    # to be provided by subclasses
+    # ------------------------------------------------------------------
+    def build_ui(self) -> None:
+        """Construct the application's widget tree (subclass hook)."""
+        raise NotImplementedError
+
+    def document_title(self) -> str:
+        """Title shown in the window caption (subclass hook)."""
+        return "Untitled"
+
+    @property
+    def state(self):
+        """The checkable application state model (subclass hook)."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # dialogs
+    # ------------------------------------------------------------------
+    def open_dialog(self, dialog: Dialog) -> Dialog:
+        """Open a modal dialog owned by this application."""
+        dialog.application = self
+        dialog.properties["app_name"] = self.APP_NAME
+        self.desktop.open_window(dialog, process_id=self.process_id)
+        return dialog
+
+    def open_dialogs(self) -> List[Dialog]:
+        return [w for w in self.desktop.open_windows(self.process_id)
+                if isinstance(w, Dialog) and w.is_open]
+
+    def close_all_dialogs(self) -> None:
+        for dialog in self.open_dialogs():
+            dialog.close()
+
+    def top_window(self) -> Optional[Window]:
+        return self.desktop.top_window(self.process_id)
+
+    # ------------------------------------------------------------------
+    # shortcuts
+    # ------------------------------------------------------------------
+    def register_shortcut(self, combination: str, callback: Callable[[], None]) -> None:
+        self._shortcuts[str(Shortcut.parse(combination))] = callback
+
+    def handle_shortcut(self, shortcut: Shortcut) -> bool:
+        """Dispatch a keyboard shortcut; returns True if it was handled."""
+        callback = self._shortcuts.get(str(shortcut))
+        if callback is None:
+            return False
+        callback()
+        return True
+
+    # ------------------------------------------------------------------
+    # exploration contexts (for the GUI ripper)
+    # ------------------------------------------------------------------
+    def register_context(self, name: str, setup: Callable[[], None]) -> None:
+        """Register a ripping context, e.g. 'image selected' for PowerPoint."""
+        self._contexts[name] = setup
+
+    def exploration_contexts(self) -> Dict[str, Callable[[], None]]:
+        """Contexts the ripper should explore in addition to the default one."""
+        return dict(self._contexts)
+
+    def enter_context(self, name: str) -> None:
+        self._contexts[name]()
+
+    # ------------------------------------------------------------------
+    def describe(self) -> Dict[str, object]:
+        """Diagnostic summary used in logs and the offline-modeling bench."""
+        control_count = sum(1 for _ in self.window.iter_subtree())
+        return {
+            "app": self.APP_NAME,
+            "controls_in_main_window": control_count,
+            "open_dialogs": len(self.open_dialogs()),
+        }

@@ -1,0 +1,620 @@
+"""The PowerPoint-like application.
+
+``PowerPointApp`` provides a slide-thumbnail pane, a slide editing surface
+with selectable shapes, contextual ribbon tabs (Picture Format / Shape
+Format, only visible while a matching shape is selected — the paper's
+"context-aware exploration" case), a Format Background pane (the paper's
+Task 1), slide transitions, and the usual File/Home/Insert/Design/View tabs,
+wired to the :class:`repro.apps.presentation.Presentation` model.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.apps.base import Application
+from repro.apps.presentation import Presentation, Shape, sample_presentation
+from repro.gui.ribbon import (
+    DialogBuilder,
+    RibbonBuilder,
+    build_color_dropdown,
+    build_font_controls,
+    build_gallery_button,
+    build_menu_button,
+)
+from repro.gui.widgets import (
+    Button,
+    CheckBox,
+    Dialog,
+    Edit,
+    Group,
+    ListBox,
+    ListItemControl,
+    Pane,
+    RadioButton,
+    ScrollBarControl,
+    Spinner,
+    StatusBar,
+    TextLabel,
+)
+
+SLIDE_LAYOUTS = ("Title Slide", "Title and Content", "Section Header", "Two Content",
+                 "Comparison", "Title Only", "Blank", "Content with Caption",
+                 "Picture with Caption")
+
+TRANSITIONS = ("None", "Morph", "Fade", "Push", "Wipe", "Split", "Reveal", "Cut",
+               "Random Bars", "Shape", "Uncover", "Cover", "Flash")
+
+THEMES = ("Office Theme", "Facet", "Gallery", "Integral", "Ion", "Ion Boardroom",
+          "Organic", "Retrospect", "Slice", "Wisp")
+
+
+class PowerPointApp(Application):
+    """The simulated presentation application."""
+
+    APP_NAME = "PowerPoint"
+
+    def __init__(self, desktop=None, presentation: Optional[Presentation] = None) -> None:
+        self.presentation = presentation if presentation is not None else sample_presentation()
+        super().__init__(desktop=desktop)
+
+    # ------------------------------------------------------------------
+    def document_title(self) -> str:
+        return self.presentation.name
+
+    @property
+    def state(self) -> Presentation:
+        return self.presentation
+
+    # ------------------------------------------------------------------
+    def build_ui(self) -> None:
+        self.ribbon = RibbonBuilder(self.window, self.APP_NAME)
+        self._build_file_menu()
+        self._build_home_tab()
+        self._build_insert_tab()
+        self._build_design_tab()
+        self._build_transitions_tab()
+        self._build_slideshow_tab()
+        self._build_view_tab()
+        self._build_contextual_tabs()
+        self._build_slide_area()
+        self._build_status_bar()
+        self._register_shortcuts()
+        self.ribbon.select_tab("Home")
+        self.register_context("image_selected", self._context_select_picture)
+        self.register_context("text_box_selected", self._context_select_text_box)
+
+    # ------------------------------------------------------------------
+    # File menu
+    # ------------------------------------------------------------------
+    def _build_file_menu(self) -> None:
+        self.ribbon.add_tab("File", description="File operations (Backstage view)")
+        group = self.ribbon.add_group("File", "Backstage")
+        group.add_child(Button("Save", automation_id="PowerPoint.File.Save",
+                               description="Save the presentation",
+                               on_click=lambda: self.presentation.save()))
+        group.add_child(Button("Save As", automation_id="PowerPoint.File.SaveAs",
+                               on_click=self._open_save_as_dialog))
+        group.add_child(Button("Export as PDF", automation_id="PowerPoint.File.ExportPDF",
+                               on_click=lambda: self.presentation.save(file_format="pdf")))
+        group.add_child(Button("Print", automation_id="PowerPoint.File.Print"))
+
+    # ------------------------------------------------------------------
+    # Home tab
+    # ------------------------------------------------------------------
+    def _build_home_tab(self) -> None:
+        self.ribbon.add_tab("Home", description="Slides, fonts and paragraph commands")
+
+        clipboard = self.ribbon.add_group("Home", "Clipboard")
+        clipboard.add_child(Button("Paste", automation_id="PowerPoint.Home.Paste"))
+        clipboard.add_child(Button("Cut", automation_id="PowerPoint.Home.Cut"))
+        clipboard.add_child(Button("Copy", automation_id="PowerPoint.Home.Copy"))
+
+        slides = self.ribbon.add_group("Home", "Slides")
+        slides.add_child(build_gallery_button(
+            "New Slide", SLIDE_LAYOUTS,
+            automation_id="PowerPoint.Home.NewSlide",
+            description="Add a slide with the chosen layout",
+            on_choice=self._new_slide,
+        ))
+        slides.add_child(build_gallery_button(
+            "Layout", SLIDE_LAYOUTS,
+            automation_id="PowerPoint.Home.Layout",
+            description="Change the layout of the current slide",
+            on_choice=lambda layout: setattr(self.presentation.active_slide, "layout", layout),
+        ))
+        slides.add_child(Button("Duplicate Slide", automation_id="PowerPoint.Home.DuplicateSlide",
+                                on_click=lambda: self._duplicate_active_slide()))
+        slides.add_child(Button("Delete Slide", automation_id="PowerPoint.Home.DeleteSlide",
+                                description="Delete the current slide",
+                                on_click=self._delete_active_slide))
+
+        font_group = self.ribbon.add_group("Home", "Font")
+        for combo in build_font_controls(
+            "PowerPoint.Home",
+            on_font=lambda value: self.presentation.apply_format_to_selection(font=value),
+            on_size=lambda value: self.presentation.apply_format_to_selection(font_size=float(value)),
+        ):
+            font_group.add_child(combo)
+        font_group.add_child(Button("Bold", automation_id="PowerPoint.Home.Bold",
+                                    on_click=lambda: self.presentation.apply_format_to_selection(bold=True)))
+        font_group.add_child(Button("Italic", automation_id="PowerPoint.Home.Italic",
+                                    on_click=lambda: self.presentation.apply_format_to_selection(italic=True)))
+        font_group.add_child(build_color_dropdown(
+            "Font Color",
+            automation_id="PowerPoint.Home.FontColor",
+            description="Change the color of the selected text",
+            on_choice=lambda color: self.presentation.apply_format_to_selection(font_color=color),
+        ))
+
+        paragraph = self.ribbon.add_group("Home", "Paragraph")
+        for name, value in (("Align Left", "left"), ("Center", "center"), ("Align Right", "right")):
+            paragraph.add_child(Button(
+                name, automation_id=f"PowerPoint.Home.{name.replace(' ', '')}",
+                on_click=lambda v=value: self.presentation.apply_format_to_selection(alignment=v)))
+        paragraph.add_child(Button("Bullets", automation_id="PowerPoint.Home.Bullets"))
+        paragraph.add_child(Button("Numbering", automation_id="PowerPoint.Home.Numbering"))
+
+        drawing = self.ribbon.add_group("Home", "Drawing")
+        drawing.add_child(build_gallery_button(
+            "Shapes", ("Rectangle", "Oval", "Arrow", "Line", "Star", "Callout"),
+            automation_id="PowerPoint.Home.Shapes",
+            on_choice=self._insert_shape,
+        ))
+        drawing.add_child(build_color_dropdown(
+            "Shape Fill",
+            automation_id="PowerPoint.Home.ShapeFill",
+            description="Fill the selected shape with a color",
+            on_choice=lambda color: self.presentation.apply_format_to_selection(fill_color=color),
+        ))
+        drawing.add_child(build_color_dropdown(
+            "Shape Outline",
+            automation_id="PowerPoint.Home.ShapeOutline",
+            description="Color the outline of the selected shape",
+            on_choice=lambda color: self.presentation.apply_format_to_selection(outline_color=color),
+        ))
+        drawing.add_child(build_menu_button(
+            "Arrange", {
+                "Bring to Front": lambda: None,
+                "Send to Back": lambda: None,
+                "Align Center": lambda: None,
+            },
+            automation_id="PowerPoint.Home.Arrange",
+        ))
+
+        editing = self.ribbon.add_group("Home", "Editing")
+        editing.add_child(Button("Find", automation_id="PowerPoint.Home.Find"))
+        editing.add_child(Button("Replace", automation_id="PowerPoint.Home.Replace"))
+        editing.add_child(build_menu_button(
+            "Select", {
+                "Select All": lambda: None,
+                "Selection Pane": lambda: None,
+            },
+            automation_id="PowerPoint.Home.Select",
+        ))
+
+    # ------------------------------------------------------------------
+    # Insert tab
+    # ------------------------------------------------------------------
+    def _build_insert_tab(self) -> None:
+        self.ribbon.add_tab("Insert", description="Insert slides, pictures, text and media")
+        slides = self.ribbon.add_group("Insert", "Slides")
+        slides.add_child(build_gallery_button(
+            "New Slide (Insert)", SLIDE_LAYOUTS,
+            automation_id="PowerPoint.Insert.NewSlide",
+            on_choice=self._new_slide,
+        ))
+        images = self.ribbon.add_group("Insert", "Images")
+        images.add_child(Button("Pictures", automation_id="PowerPoint.Insert.Pictures",
+                                description="Insert a picture onto the current slide",
+                                on_click=self._insert_picture))
+        images.add_child(Button("Screenshot", automation_id="PowerPoint.Insert.Screenshot"))
+        images.add_child(Button("Photo Album", automation_id="PowerPoint.Insert.PhotoAlbum"))
+        illustrations = self.ribbon.add_group("Insert", "Illustrations")
+        illustrations.add_child(build_gallery_button(
+            "Shapes (Insert)", ("Rectangle", "Oval", "Arrow", "Line", "Star"),
+            automation_id="PowerPoint.Insert.Shapes",
+            on_choice=self._insert_shape,
+        ))
+        illustrations.add_child(Button("Icons", automation_id="PowerPoint.Insert.Icons"))
+        illustrations.add_child(Button("Chart", automation_id="PowerPoint.Insert.Chart",
+                                       on_click=lambda: self._insert_shape("chart")))
+        text_group = self.ribbon.add_group("Insert", "Text")
+        text_group.add_child(Button("Text Box", automation_id="PowerPoint.Insert.TextBox",
+                                    description="Insert a text box onto the current slide",
+                                    on_click=self._insert_text_box))
+        text_group.add_child(Button("Header & Footer", automation_id="PowerPoint.Insert.HeaderFooter",
+                                    on_click=self._open_header_footer_dialog))
+        text_group.add_child(build_gallery_button(
+            "WordArt", tuple(f"WordArt Style {i}" for i in range(1, 9)),
+            automation_id="PowerPoint.Insert.WordArt",
+            on_choice=lambda _s: self._insert_text_box(),
+        ))
+        media = self.ribbon.add_group("Insert", "Media")
+        media.add_child(Button("Video", automation_id="PowerPoint.Insert.Video"))
+        media.add_child(Button("Audio", automation_id="PowerPoint.Insert.Audio"))
+
+    # ------------------------------------------------------------------
+    # Design tab (Format Background lives here — paper Task 1)
+    # ------------------------------------------------------------------
+    def _build_design_tab(self) -> None:
+        self.ribbon.add_tab("Design", description="Themes, variants and slide background")
+        themes = self.ribbon.add_group("Design", "Themes")
+        themes.add_child(build_gallery_button(
+            "Themes", THEMES,
+            automation_id="PowerPoint.Design.Themes",
+            description="Apply a presentation theme",
+            on_choice=lambda _t: None,
+        ))
+        variants = self.ribbon.add_group("Design", "Variants")
+        variants.add_child(build_gallery_button(
+            "Variants", ("Variant 1", "Variant 2", "Variant 3", "Variant 4"),
+            automation_id="PowerPoint.Design.Variants",
+            on_choice=lambda _v: None,
+        ))
+        customize = self.ribbon.add_group("Design", "Customize")
+        customize.add_child(build_menu_button(
+            "Slide Size", {
+                "Standard (4:3)": lambda: setattr(self.presentation, "slide_size", "4:3"),
+                "Widescreen (16:9)": lambda: setattr(self.presentation, "slide_size", "16:9"),
+            },
+            automation_id="PowerPoint.Design.SlideSize",
+            description="Change the slide size",
+        ))
+        customize.add_child(Button("Format Background",
+                                   automation_id="PowerPoint.Design.FormatBackground",
+                                   description="Open the Format Background pane",
+                                   on_click=self._open_format_background))
+
+    # ------------------------------------------------------------------
+    # Transitions tab
+    # ------------------------------------------------------------------
+    def _build_transitions_tab(self) -> None:
+        self.ribbon.add_tab("Transitions", description="Slide transition effects")
+        transition_group = self.ribbon.add_group("Transitions", "Transition to This Slide")
+        transition_group.add_child(build_gallery_button(
+            "Transition Effects", TRANSITIONS,
+            automation_id="PowerPoint.Transitions.Effects",
+            description="Choose the transition for the current slide",
+            on_choice=lambda effect: self.presentation.set_transition(effect),
+        ))
+        timing = self.ribbon.add_group("Transitions", "Timing")
+        self._duration_spinner = Spinner(
+            "Duration", value=1.0, minimum=0.1, maximum=60.0,
+            automation_id="PowerPoint.Transitions.Duration",
+            on_change=lambda v: setattr(self.presentation.active_slide.transition,
+                                        "duration_seconds", v))
+        timing.add_child(self._duration_spinner)
+        timing.add_child(Button("Apply To All", automation_id="PowerPoint.Transitions.ApplyToAll",
+                                description="Apply the current transition to every slide",
+                                on_click=self._apply_transition_to_all))
+        timing.add_child(CheckBox("On Mouse Click", checked=True,
+                                  automation_id="PowerPoint.Transitions.OnClick"))
+
+    # ------------------------------------------------------------------
+    # Slide Show tab
+    # ------------------------------------------------------------------
+    def _build_slideshow_tab(self) -> None:
+        self.ribbon.add_tab("Slide Show", description="Start and configure the slide show")
+        start = self.ribbon.add_group("Slide Show", "Start Slide Show")
+        start.add_child(Button("From Beginning", automation_id="PowerPoint.SlideShow.FromBeginning",
+                               description="Start the slide show from the first slide",
+                               on_click=lambda: self.presentation.start_slideshow(True)))
+        start.add_child(Button("From Current Slide", automation_id="PowerPoint.SlideShow.FromCurrent",
+                               on_click=lambda: self.presentation.start_slideshow(False)))
+        setup = self.ribbon.add_group("Slide Show", "Set Up")
+        setup.add_child(Button("Set Up Slide Show", automation_id="PowerPoint.SlideShow.SetUp"))
+        setup.add_child(Button("Hide Slide", automation_id="PowerPoint.SlideShow.HideSlide",
+                               on_click=lambda: setattr(self.presentation.active_slide,
+                                                        "hidden", True)))
+        setup.add_child(Button("Rehearse Timings", automation_id="PowerPoint.SlideShow.Rehearse"))
+
+    # ------------------------------------------------------------------
+    # View tab
+    # ------------------------------------------------------------------
+    def _build_view_tab(self) -> None:
+        self.ribbon.add_tab("View", description="Presentation views and zoom")
+        views = self.ribbon.add_group("View", "Presentation Views")
+        for mode in ("Normal", "Outline View", "Slide Sorter", "Notes Page", "Reading View"):
+            views.add_child(Button(mode, automation_id=f"PowerPoint.View.{mode.replace(' ', '')}"))
+        show = self.ribbon.add_group("View", "Show")
+        show.add_child(CheckBox("Ruler", automation_id="PowerPoint.View.Ruler"))
+        show.add_child(CheckBox("Gridlines", automation_id="PowerPoint.View.Gridlines"))
+        show.add_child(CheckBox("Notes", automation_id="PowerPoint.View.Notes",
+                                on_change=lambda _v: None))
+        zoom = self.ribbon.add_group("View", "Zoom")
+        zoom.add_child(Button("Zoom", automation_id="PowerPoint.View.Zoom"))
+        zoom.add_child(Button("Fit to Window", automation_id="PowerPoint.View.FitToWindow"))
+
+    # ------------------------------------------------------------------
+    # contextual tabs (visible only when a matching shape is selected)
+    # ------------------------------------------------------------------
+    def _build_contextual_tabs(self) -> None:
+        self.ribbon.add_tab("Picture Format", visible=False,
+                            description="Tools for the selected picture")
+        adjust = self.ribbon.add_group("Picture Format", "Adjust")
+        adjust.add_child(Button("Corrections", automation_id="PowerPoint.PictureFormat.Corrections"))
+        adjust.add_child(Button("Color", automation_id="PowerPoint.PictureFormat.Color"))
+        adjust.add_child(Button("Compress Pictures",
+                                automation_id="PowerPoint.PictureFormat.Compress"))
+        styles = self.ribbon.add_group("Picture Format", "Picture Styles")
+        styles.add_child(build_gallery_button(
+            "Picture Styles", tuple(f"Picture Style {i}" for i in range(1, 9)),
+            automation_id="PowerPoint.PictureFormat.Styles",
+            on_choice=lambda _s: None,
+        ))
+        styles.add_child(build_color_dropdown(
+            "Picture Border",
+            automation_id="PowerPoint.PictureFormat.Border",
+            on_choice=lambda color: self.presentation.apply_format_to_selection(outline_color=color),
+        ))
+        size = self.ribbon.add_group("Picture Format", "Size")
+        size.add_child(Spinner("Picture Height", value=200.0, maximum=2000.0,
+                               automation_id="PowerPoint.PictureFormat.Height",
+                               on_change=lambda v: self._resize_selected(height=v)))
+        size.add_child(Spinner("Picture Width", value=300.0, maximum=2000.0,
+                               automation_id="PowerPoint.PictureFormat.Width",
+                               on_change=lambda v: self._resize_selected(width=v)))
+        size.add_child(Button("Crop", automation_id="PowerPoint.PictureFormat.Crop"))
+
+        self.ribbon.add_tab("Shape Format", visible=False,
+                            description="Tools for the selected shape or text box")
+        shape_styles = self.ribbon.add_group("Shape Format", "Shape Styles")
+        shape_styles.add_child(build_color_dropdown(
+            "Shape Fill (Format)",
+            automation_id="PowerPoint.ShapeFormat.Fill",
+            on_choice=lambda color: self.presentation.apply_format_to_selection(fill_color=color),
+        ))
+        shape_styles.add_child(build_color_dropdown(
+            "Shape Outline (Format)",
+            automation_id="PowerPoint.ShapeFormat.Outline",
+            on_choice=lambda color: self.presentation.apply_format_to_selection(outline_color=color),
+        ))
+        wordart = self.ribbon.add_group("Shape Format", "WordArt Styles")
+        wordart.add_child(build_color_dropdown(
+            "Text Fill",
+            automation_id="PowerPoint.ShapeFormat.TextFill",
+            on_choice=lambda color: self.presentation.apply_format_to_selection(font_color=color),
+        ))
+        shape_size = self.ribbon.add_group("Shape Format", "Size")
+        shape_size.add_child(Spinner("Shape Height", value=100.0, maximum=2000.0,
+                                     automation_id="PowerPoint.ShapeFormat.Height",
+                                     on_change=lambda v: self._resize_selected(height=v)))
+        shape_size.add_child(Spinner("Shape Width", value=200.0, maximum=2000.0,
+                                     automation_id="PowerPoint.ShapeFormat.Width",
+                                     on_change=lambda v: self._resize_selected(width=v)))
+
+    # ------------------------------------------------------------------
+    # slide area
+    # ------------------------------------------------------------------
+    def _build_slide_area(self) -> None:
+        area = Pane(name="Presentation Area", automation_id="PowerPoint.PresentationArea")
+        self.window.add_child(area)
+
+        self.thumbnail_list = ListBox(name="Slide Thumbnails",
+                                      automation_id="PowerPoint.Thumbnails")
+        area.add_child(self.thumbnail_list)
+
+        self.slide_pane = Pane(name="Slide", automation_id="PowerPoint.Slide",
+                               description="The slide editing surface")
+        area.add_child(self.slide_pane)
+
+        self.notes_edit = Edit("Notes", automation_id="PowerPoint.NotesPane",
+                               description="Speaker notes for the current slide",
+                               on_change=lambda text: self.presentation.set_notes(text))
+        area.add_child(self.notes_edit)
+
+        self.scrollbar = ScrollBarControl("Vertical Scroll Bar",
+                                          automation_id="PowerPoint.VScroll",
+                                          orientation="vertical",
+                                          on_scroll=self._scrolled)
+        area.add_child(self.scrollbar)
+
+        self._rebuild_slide_views()
+
+    def _rebuild_slide_views(self) -> None:
+        """Rebuild the thumbnail list and shape controls for the active slide."""
+        self.thumbnail_list.clear_children()
+        for index, slide in enumerate(self.presentation.slides):
+            label = f"Slide {index + 1}"
+            self.thumbnail_list.add_item(ListItemControl(
+                label,
+                automation_id=f"PowerPoint.Thumbnail.{index + 1}",
+                on_select=lambda i=index: self._activate_slide(i),
+            ))
+        self.slide_pane.clear_children()
+        for shape in self.presentation.active_slide.shapes:
+            shape_control = ListItemControl(
+                shape.name,
+                automation_id=f"PowerPoint.Shape.{shape.name.replace(' ', '')}",
+                description=f"{shape.shape_type} shape on the current slide",
+                on_select=lambda s=shape: self._select_shape(s),
+            )
+            shape_control.text = shape.text
+            shape_control.properties["shape_type"] = shape.shape_type
+            self.slide_pane.add_child(shape_control)
+        self.desktop.relayout()
+
+    def _build_status_bar(self) -> None:
+        status = StatusBar(name="Status Bar", automation_id="PowerPoint.StatusBar")
+        self.window.add_child(status)
+        status.add_child(TextLabel(
+            f"Slide {self.presentation.active_index + 1} of {self.presentation.slide_count()}",
+            automation_id="PowerPoint.Status.Slide"))
+
+    def _register_shortcuts(self) -> None:
+        self.register_shortcut("ctrl+s", self.presentation.save)
+        self.register_shortcut("ctrl+m", lambda: self._new_slide("Title and Content"))
+        self.register_shortcut("f5", lambda: self.presentation.start_slideshow(True))
+
+    # ------------------------------------------------------------------
+    # command handlers
+    # ------------------------------------------------------------------
+    def _new_slide(self, layout: str) -> None:
+        self.presentation.add_slide(layout=layout, title="")
+        self._rebuild_slide_views()
+
+    def _duplicate_active_slide(self) -> None:
+        self.presentation.duplicate_slide(self.presentation.active_index)
+        self._rebuild_slide_views()
+
+    def _delete_active_slide(self) -> None:
+        if self.presentation.slide_count() > 1:
+            self.presentation.delete_slide(self.presentation.active_index)
+            self._rebuild_slide_views()
+
+    def _activate_slide(self, index: int) -> None:
+        self.presentation.goto_slide(index)
+        self._rebuild_slide_views()
+
+    def _insert_text_box(self) -> None:
+        shape = self.presentation.active_slide.add_text_box("New text box")
+        self.presentation.select_shape(shape)
+        self._rebuild_slide_views()
+
+    def _insert_picture(self) -> None:
+        shape = self.presentation.active_slide.add_picture("inserted_image.png")
+        self.presentation.select_shape(shape)
+        self._rebuild_slide_views()
+        self._update_contextual_tabs()
+
+    def _insert_shape(self, kind: str) -> None:
+        shape = Shape(shape_type=kind.lower().replace(" ", "_"))
+        self.presentation.active_slide.add_shape(shape)
+        self.presentation.select_shape(shape)
+        self._rebuild_slide_views()
+
+    def _select_shape(self, shape: Shape) -> None:
+        self.presentation.select_shape(shape)
+        self._update_contextual_tabs()
+
+    def _update_contextual_tabs(self) -> None:
+        """Show/hide the contextual ribbon tabs based on the selected shape."""
+        shape = self.presentation.selected_shape
+        picture_tab = self.ribbon.tabs["Picture Format"]
+        shape_tab = self.ribbon.tabs["Shape Format"]
+        picture_tab.visible = shape is not None and shape.shape_type == "picture"
+        shape_tab.visible = shape is not None and shape.shape_type != "picture"
+        self.desktop.relayout()
+
+    def _resize_selected(self, width: Optional[float] = None, height: Optional[float] = None) -> None:
+        shape = self.presentation.selected_shape
+        if shape is None:
+            return
+        if width is not None:
+            shape.width = width
+        if height is not None:
+            shape.height = height
+
+    def _apply_transition_to_all(self) -> None:
+        effect = self.presentation.active_slide.transition.effect
+        duration = self.presentation.active_slide.transition.duration_seconds
+        self.presentation.set_transition(effect, apply_to_all=True, duration_seconds=duration)
+
+    def _scrolled(self, percent: float) -> None:
+        self.presentation.scroll_to(percent)
+        self._rebuild_slide_views()
+
+    # ------------------------------------------------------------------
+    # ripping contexts
+    # ------------------------------------------------------------------
+    def _context_select_picture(self) -> None:
+        """Exploration context: ensure a picture exists and is selected."""
+        slide = self.presentation.active_slide
+        picture = next((s for s in slide.shapes if s.shape_type == "picture"), None)
+        if picture is None:
+            picture = slide.add_picture("context_image.png", name="Context Picture")
+            self._rebuild_slide_views()
+        self._select_shape(picture)
+
+    def _context_select_text_box(self) -> None:
+        """Exploration context: ensure a text box exists and is selected."""
+        slide = self.presentation.active_slide
+        box = next((s for s in slide.shapes if s.shape_type == "text_box"), None)
+        if box is None:
+            box = slide.add_text_box("Context text box", name="Context Text Box")
+            self._rebuild_slide_views()
+        self._select_shape(box)
+
+    # ------------------------------------------------------------------
+    # dialogs and panes
+    # ------------------------------------------------------------------
+    def _open_format_background(self) -> None:
+        """The Format Background pane (paper Task 1's destination)."""
+        pending = {"fill_type": self.presentation.active_slide.background.fill_type,
+                   "color": self.presentation.active_slide.background.color}
+
+        def apply_current() -> None:
+            self.presentation.set_background(pending["color"], fill_type=pending["fill_type"],
+                                             apply_to_all=False)
+
+        def apply_to_all() -> None:
+            self.presentation.set_background(pending["color"], fill_type=pending["fill_type"],
+                                             apply_to_all=True)
+
+        def choose_color(color: str) -> None:
+            pending["color"] = color
+            apply_current()
+
+        dialog = Dialog("Format Background", with_buttons=True)
+        fill_group = Group(name="Fill", automation_id="FormatBackground.Fill")
+        dialog.add_child(fill_group)
+        fill_group.add_child(RadioButton(
+            "Solid fill", automation_id="FormatBackground.SolidFill",
+            description="Fill the background with a single color",
+            on_select=lambda sel: pending.update(fill_type="solid") if sel else None))
+        fill_group.add_child(RadioButton(
+            "Gradient fill", automation_id="FormatBackground.GradientFill",
+            on_select=lambda sel: pending.update(fill_type="gradient") if sel else None))
+        fill_group.add_child(RadioButton(
+            "Picture or texture fill", automation_id="FormatBackground.PictureFill",
+            on_select=lambda sel: pending.update(fill_type="picture") if sel else None))
+        fill_group.add_child(RadioButton(
+            "Pattern fill", automation_id="FormatBackground.PatternFill",
+            on_select=lambda sel: pending.update(fill_type="pattern") if sel else None))
+        fill_group.add_child(build_color_dropdown(
+            "Fill Color",
+            automation_id="FormatBackground.FillColor",
+            description="Choose the background fill color",
+            on_choice=choose_color,
+        ))
+        transparency = Spinner("Transparency", value=0.0, maximum=100.0,
+                               automation_id="FormatBackground.Transparency")
+        fill_group.add_child(transparency)
+        actions = Group(name="Background actions", automation_id="FormatBackground.Actions")
+        dialog.add_child(actions)
+        actions.add_child(Button("Apply to All", automation_id="FormatBackground.ApplyToAll",
+                                 description="Apply the background to every slide",
+                                 on_click=apply_to_all))
+        actions.add_child(Button("Reset Background", automation_id="FormatBackground.Reset",
+                                 on_click=lambda: self.presentation.set_background("White")))
+        self.open_dialog(dialog)
+
+    def _open_header_footer_dialog(self) -> None:
+        builder = DialogBuilder("Header and Footer")
+        dialog = builder.build()
+        slide_page = builder.add_tab("Slide")
+        builder.add_checkbox(slide_page, "Date and time")
+        builder.add_checkbox(slide_page, "Slide number")
+        builder.add_checkbox(slide_page, "Footer")
+        builder.add_edit(slide_page, "Footer text",
+                         on_commit=lambda text: None)
+        notes_page = builder.add_tab("Notes and Handouts")
+        builder.add_checkbox(notes_page, "Page number", checked=True)
+        self.open_dialog(dialog)
+
+    def _open_save_as_dialog(self) -> None:
+        chosen = {"name": self.presentation.name, "format": self.presentation.file_format}
+
+        def commit() -> None:
+            self.presentation.name = chosen["name"]
+            self.presentation.save(file_format=chosen["format"])
+
+        builder = DialogBuilder("Save As", on_ok=commit)
+        dialog = builder.build()
+        builder.add_edit(dialog, "File name", value=self.presentation.name,
+                         on_commit=lambda v: chosen.update(name=v))
+        builder.add_combo(dialog, "Save as type", choices=("pptx", "ppt", "pdf", "potx"),
+                          value=self.presentation.file_format,
+                          on_change=lambda v: chosen.update(format=v))
+        self.open_dialog(dialog)

@@ -1,0 +1,728 @@
+"""The Word-like application.
+
+``WordApp`` wires a ribbon UI (Home, Insert, Layout, Design, Review, View and
+a File menu), nested modal dialogs (Find and Replace, Font, Paragraph, Page
+Setup, Word Count, Colors, Save As) and a document surface to the
+:class:`repro.apps.document.Document` model.
+
+The UI deliberately reproduces the structural properties the paper leans on:
+
+* deep navigation (tab -> group -> split button -> gallery cell, depth > 6);
+* a *shared* Colors dialog reachable from Font Color, Page Color and Shading
+  (a merge node whose semantics depend on the path used to reach it);
+* the Find and Replace dialog's ``More >>`` / ``<< Less`` buttons, which form
+  a cycle in the UI Navigation Graph;
+* large enumerations (font families) that the core topology prunes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.apps.base import Application
+from repro.apps.document import Document, sample_document
+from repro.gui.ribbon import (
+    DialogBuilder,
+    RibbonBuilder,
+    build_color_dropdown,
+    build_font_controls,
+    build_gallery_button,
+    build_menu_button,
+)
+from repro.gui.widgets import (
+    Button,
+    CheckBox,
+    DocumentControl,
+    Edit,
+    Group,
+    Menu,
+    MenuItem,
+    Pane,
+    ScrollBarControl,
+    SplitButton,
+    StatusBar,
+    TextLabel,
+)
+
+#: Paragraph styles offered by the style gallery.
+PARAGRAPH_STYLES = (
+    "Normal", "No Spacing", "Heading 1", "Heading 2", "Heading 3", "Title",
+    "Subtitle", "Subtle Emphasis", "Emphasis", "Intense Emphasis", "Strong",
+    "Quote", "Intense Quote", "List Paragraph",
+)
+
+#: Margin presets exposed by Layout > Margins.
+MARGIN_PRESETS = {
+    "Normal": {"top": 2.54, "bottom": 2.54, "left": 3.18, "right": 3.18},
+    "Narrow": {"top": 1.27, "bottom": 1.27, "left": 1.27, "right": 1.27},
+    "Moderate": {"top": 2.54, "bottom": 2.54, "left": 1.91, "right": 1.91},
+    "Wide": {"top": 2.54, "bottom": 2.54, "left": 5.08, "right": 5.08},
+}
+
+LINE_SPACINGS = ("1.0", "1.15", "1.5", "2.0", "2.5", "3.0")
+
+THEMES = ("Office", "Facet", "Integral", "Ion", "Retrospect", "Slice", "Wisp", "Banded")
+
+
+class WordApp(Application):
+    """The simulated word processor."""
+
+    APP_NAME = "Word"
+
+    def __init__(self, desktop=None, document: Optional[Document] = None) -> None:
+        self.document = document if document is not None else sample_document()
+        super().__init__(desktop=desktop)
+
+    # ------------------------------------------------------------------
+    def document_title(self) -> str:
+        return self.document.title
+
+    @property
+    def state(self) -> Document:
+        return self.document
+
+    # ------------------------------------------------------------------
+    def build_ui(self) -> None:
+        self.ribbon = RibbonBuilder(self.window, self.APP_NAME)
+        self._build_file_menu()
+        self._build_home_tab()
+        self._build_insert_tab()
+        self._build_layout_tab()
+        self._build_design_tab()
+        self._build_review_tab()
+        self._build_view_tab()
+        self._build_document_area()
+        self._build_status_bar()
+        self._register_shortcuts()
+        self.ribbon.select_tab("Home")
+
+    # ------------------------------------------------------------------
+    # File menu
+    # ------------------------------------------------------------------
+    def _build_file_menu(self) -> None:
+        panel = self.ribbon.add_tab("File", description="File operations (Backstage view)")
+        group = self.ribbon.add_group("File", "Backstage")
+        group.add_child(Button("Save", automation_id="Word.File.Save",
+                               description="Save the document",
+                               on_click=lambda: self.document.save()))
+        group.add_child(Button("Save As", automation_id="Word.File.SaveAs",
+                               description="Save the document under a new name or format",
+                               on_click=self._open_save_as_dialog))
+        group.add_child(Button("Export as PDF", automation_id="Word.File.ExportPDF",
+                               description="Export the document as a PDF file",
+                               on_click=lambda: self.document.save(file_format="pdf")))
+        group.add_child(Button("Print", automation_id="Word.File.Print",
+                               description="Print the document",
+                               on_click=lambda: None))
+        group.add_child(Button("Close Document", automation_id="Word.File.Close",
+                               description="Close the current document",
+                               on_click=lambda: None))
+        info = Group(name="Info", automation_id="Word.File.Info",
+                     description="Document properties")
+        panel.add_child(info)
+        info.add_child(TextLabel("Document properties", automation_id="Word.File.Properties"))
+
+    # ------------------------------------------------------------------
+    # Home tab
+    # ------------------------------------------------------------------
+    def _build_home_tab(self) -> None:
+        self.ribbon.add_tab("Home", description="Common formatting commands")
+
+        clipboard = self.ribbon.add_group("Home", "Clipboard")
+        clipboard.add_child(Button("Paste", automation_id="Word.Home.Paste",
+                                   description="Paste the clipboard contents"))
+        clipboard.add_child(Button("Cut", automation_id="Word.Home.Cut"))
+        clipboard.add_child(Button("Copy", automation_id="Word.Home.Copy"))
+        clipboard.add_child(Button("Format Painter", automation_id="Word.Home.FormatPainter"))
+
+        font_group = self.ribbon.add_group("Home", "Font", description="Character formatting")
+        for combo in build_font_controls(
+            "Word.Home",
+            on_font=lambda value: self.document.apply_format(font=value),
+            on_size=lambda value: self.document.apply_format(size=float(value)),
+        ):
+            font_group.add_child(combo)
+        font_group.add_child(Button("Bold", automation_id="Word.Home.Bold",
+                                    description="Make the selected text bold",
+                                    on_click=lambda: self.document.toggle_format_flag("bold")))
+        font_group.add_child(Button("Italic", automation_id="Word.Home.Italic",
+                                    description="Italicize the selected text",
+                                    on_click=lambda: self.document.toggle_format_flag("italic")))
+        underline = SplitButton("Underline", automation_id="Word.Home.Underline",
+                                description="Underline the selected text",
+                                on_click=lambda: self.document.toggle_format_flag("underline"))
+        underline.add_child(build_color_dropdown(
+            "Underline Color",
+            automation_id="Word.Home.UnderlineColor",
+            description="Choose the underline color",
+            on_choice=lambda color: self.document.apply_format(underline=True, color=color),
+        ))
+        font_group.add_child(underline)
+        font_group.add_child(Button("Strikethrough", automation_id="Word.Home.Strikethrough",
+                                    on_click=lambda: self.document.toggle_format_flag("strikethrough")))
+        font_group.add_child(Button("Subscript", automation_id="Word.Home.Subscript",
+                                    description="Type very small letters below the text baseline",
+                                    on_click=lambda: self.document.toggle_format_flag("subscript")))
+        font_group.add_child(Button("Superscript", automation_id="Word.Home.Superscript",
+                                    on_click=lambda: self.document.toggle_format_flag("superscript")))
+        font_color = build_color_dropdown(
+            "Font Color",
+            automation_id="Word.Home.FontColor",
+            description="Change the color of the selected text",
+            on_choice=self._set_font_color,
+        )
+        font_group.add_child(font_color)
+        highlight = build_color_dropdown(
+            "Text Highlight Color",
+            automation_id="Word.Home.Highlight",
+            description="Highlight the selected text",
+            include_more_colors=False,
+            extra_items=("No Color",),
+            on_choice=lambda color: self.document.apply_format(
+                highlight=None if color == "No Color" else color),
+        )
+        font_group.add_child(highlight)
+        font_group.add_child(Button("Clear All Formatting", automation_id="Word.Home.ClearFormat",
+                                    on_click=self._clear_formatting))
+        font_group.add_child(Button("Font Dialog Launcher", automation_id="Word.Home.FontDialog",
+                                    description="Open the Font dialog",
+                                    on_click=self._open_font_dialog))
+
+        paragraph = self.ribbon.add_group("Home", "Paragraph", description="Paragraph layout")
+        paragraph.add_child(Button("Align Left", automation_id="Word.Home.AlignLeft",
+                                   on_click=lambda: self.document.apply_format(alignment="left")))
+        paragraph.add_child(Button("Center", automation_id="Word.Home.Center",
+                                   description="Center the selected text",
+                                   on_click=lambda: self.document.apply_format(alignment="center")))
+        paragraph.add_child(Button("Align Right", automation_id="Word.Home.AlignRight",
+                                   on_click=lambda: self.document.apply_format(alignment="right")))
+        paragraph.add_child(Button("Justify", automation_id="Word.Home.Justify",
+                                   on_click=lambda: self.document.apply_format(alignment="justify")))
+        paragraph.add_child(build_gallery_button(
+            "Line and Paragraph Spacing", LINE_SPACINGS,
+            automation_id="Word.Home.LineSpacing",
+            description="Set the spacing between lines of the selection",
+            on_choice=lambda value: self.document.apply_format(line_spacing=float(value)),
+        ))
+        paragraph.add_child(Button("Bullets", automation_id="Word.Home.Bullets"))
+        paragraph.add_child(Button("Numbering", automation_id="Word.Home.Numbering"))
+        paragraph.add_child(build_color_dropdown(
+            "Shading",
+            automation_id="Word.Home.Shading",
+            description="Shade the background behind the selected text",
+            on_choice=lambda color: self.document.apply_format(highlight=color),
+        ))
+        paragraph.add_child(Button("Paragraph Dialog Launcher",
+                                   automation_id="Word.Home.ParagraphDialog",
+                                   on_click=self._open_paragraph_dialog))
+
+        styles = self.ribbon.add_group("Home", "Styles", description="Paragraph styles")
+        styles.add_child(build_gallery_button(
+            "Styles", PARAGRAPH_STYLES,
+            automation_id="Word.Home.Styles",
+            description="Apply a paragraph style to the selection",
+            on_choice=lambda style: self.document.apply_format(style=style),
+        ))
+
+        editing = self.ribbon.add_group("Home", "Editing")
+        editing.add_child(Button("Find", automation_id="Word.Home.Find",
+                                 description="Find text in the document",
+                                 on_click=lambda: self._open_find_replace(tab="Find")))
+        editing.add_child(Button("Replace", automation_id="Word.Home.Replace",
+                                 description="Find and replace text in the document",
+                                 on_click=lambda: self._open_find_replace(tab="Replace")))
+        editing.add_child(build_menu_button(
+            "Select", {
+                "Select All": self.document.select_all,
+                "Selection Pane": lambda: None,
+            },
+            automation_id="Word.Home.Select",
+            description="Select text or objects",
+        ))
+
+    # ------------------------------------------------------------------
+    # Insert tab
+    # ------------------------------------------------------------------
+    def _build_insert_tab(self) -> None:
+        self.ribbon.add_tab("Insert", description="Insert pages, tables, pictures and text")
+        pages = self.ribbon.add_group("Insert", "Pages")
+        pages.add_child(Button("Cover Page", automation_id="Word.Insert.CoverPage",
+                               on_click=lambda: self.document.insert_paragraph(0, "Cover Page")))
+        pages.add_child(Button("Blank Page", automation_id="Word.Insert.BlankPage",
+                               on_click=lambda: self.document.add_paragraph("")))
+        pages.add_child(Button("Page Break", automation_id="Word.Insert.PageBreak",
+                               on_click=lambda: self.document.add_paragraph("[Page Break]")))
+
+        tables = self.ribbon.add_group("Insert", "Tables")
+        tables.add_child(build_gallery_button(
+            "Table", tuple(f"{r}x{c} Table" for r in range(1, 5) for c in range(1, 5)),
+            automation_id="Word.Insert.Table",
+            description="Insert a table",
+            on_choice=lambda size: self.document.add_paragraph(f"[Table {size}]"),
+        ))
+
+        illustrations = self.ribbon.add_group("Insert", "Illustrations")
+        illustrations.add_child(Button("Pictures", automation_id="Word.Insert.Pictures",
+                                       description="Insert a picture from this device",
+                                       on_click=lambda: self.document.add_paragraph("[Picture]")))
+        illustrations.add_child(build_gallery_button(
+            "Shapes", ("Rectangle", "Oval", "Arrow", "Line", "Star"),
+            automation_id="Word.Insert.Shapes",
+            on_choice=lambda shape: self.document.add_paragraph(f"[Shape {shape}]"),
+        ))
+        illustrations.add_child(Button("Chart", automation_id="Word.Insert.Chart",
+                                       on_click=lambda: self.document.add_paragraph("[Chart]")))
+
+        header_footer = self.ribbon.add_group("Insert", "Header & Footer")
+        header_footer.add_child(build_menu_button(
+            "Header", {
+                "Edit Header": lambda: self._open_header_footer_dialog("header"),
+                "Remove Header": lambda: self._set_header(""),
+            },
+            automation_id="Word.Insert.Header",
+            description="Edit the document header",
+        ))
+        header_footer.add_child(build_menu_button(
+            "Footer", {
+                "Edit Footer": lambda: self._open_header_footer_dialog("footer"),
+                "Remove Footer": lambda: self._set_footer(""),
+            },
+            automation_id="Word.Insert.Footer",
+            description="Edit the document footer",
+        ))
+        header_footer.add_child(build_gallery_button(
+            "Page Number", ("Top of Page", "Bottom of Page", "Page Margins", "Remove Page Numbers"),
+            automation_id="Word.Insert.PageNumber",
+            on_choice=lambda where: self._set_footer("Page [n]" if where != "Remove Page Numbers" else ""),
+        ))
+
+        text_group = self.ribbon.add_group("Insert", "Text")
+        text_group.add_child(Button("Text Box", automation_id="Word.Insert.TextBox",
+                                    on_click=lambda: self.document.add_paragraph("[Text Box]")))
+        text_group.add_child(build_gallery_button(
+            "WordArt", tuple(f"WordArt Style {i}" for i in range(1, 13)),
+            automation_id="Word.Insert.WordArt",
+            on_choice=lambda style: self.document.add_paragraph(f"[WordArt {style}]"),
+        ))
+        text_group.add_child(Button("Date & Time", automation_id="Word.Insert.DateTime",
+                                    on_click=lambda: self.document.add_paragraph("2026-06-16")))
+
+    # ------------------------------------------------------------------
+    # Layout tab
+    # ------------------------------------------------------------------
+    def _build_layout_tab(self) -> None:
+        self.ribbon.add_tab("Layout", description="Page setup and arrangement")
+        page_setup = self.ribbon.add_group("Layout", "Page Setup")
+        page_setup.add_child(build_menu_button(
+            "Margins", {
+                **{name: (lambda preset=preset: self.document.set_margins(**preset))
+                   for name, preset in MARGIN_PRESETS.items()},
+                "Custom Margins...": self._open_page_setup_dialog,
+            },
+            automation_id="Word.Layout.Margins",
+            description="Set the page margins",
+        ))
+        page_setup.add_child(build_menu_button(
+            "Orientation", {
+                "Portrait": lambda: self.document.set_orientation("portrait"),
+                "Landscape": lambda: self.document.set_orientation("landscape"),
+            },
+            automation_id="Word.Layout.Orientation",
+            description="Switch the page between portrait and landscape",
+        ))
+        page_setup.add_child(build_gallery_button(
+            "Size", ("Letter", "Legal", "A3", "A4", "A5", "B5"),
+            automation_id="Word.Layout.Size",
+            description="Choose the paper size",
+            on_choice=lambda size: setattr(self.document, "page_size", size),
+        ))
+        page_setup.add_child(build_gallery_button(
+            "Columns", ("One", "Two", "Three", "Left", "Right"),
+            automation_id="Word.Layout.Columns",
+            on_choice=lambda _c: None,
+        ))
+        page_setup.add_child(Button("Page Setup Dialog Launcher",
+                                    automation_id="Word.Layout.PageSetupDialog",
+                                    description="Open the Page Setup dialog",
+                                    on_click=self._open_page_setup_dialog))
+
+        paragraph_group = self.ribbon.add_group("Layout", "Paragraph")
+        paragraph_group.add_child(Button("Indent Left", automation_id="Word.Layout.IndentLeft"))
+        paragraph_group.add_child(Button("Indent Right", automation_id="Word.Layout.IndentRight"))
+        paragraph_group.add_child(Button("Spacing Before", automation_id="Word.Layout.SpacingBefore"))
+        paragraph_group.add_child(Button("Spacing After", automation_id="Word.Layout.SpacingAfter"))
+
+    # ------------------------------------------------------------------
+    # Design tab
+    # ------------------------------------------------------------------
+    def _build_design_tab(self) -> None:
+        self.ribbon.add_tab("Design", description="Document themes and page background")
+        formatting = self.ribbon.add_group("Design", "Document Formatting")
+        formatting.add_child(build_gallery_button(
+            "Themes", THEMES,
+            automation_id="Word.Design.Themes",
+            description="Apply a document theme",
+            on_choice=lambda _t: None,
+        ))
+        formatting.add_child(build_gallery_button(
+            "Style Set", ("Default", "Basic", "Casual", "Centered", "Lines", "Shaded"),
+            automation_id="Word.Design.StyleSet",
+            on_choice=lambda _s: None,
+        ))
+
+        background = self.ribbon.add_group("Design", "Page Background")
+        background.add_child(build_gallery_button(
+            "Watermark", ("CONFIDENTIAL", "DO NOT COPY", "DRAFT", "SAMPLE", "Remove Watermark"),
+            automation_id="Word.Design.Watermark",
+            on_choice=lambda text: setattr(self.document, "header_text",
+                                           "" if text == "Remove Watermark" else text),
+        ))
+        background.add_child(build_color_dropdown(
+            "Page Color",
+            automation_id="Word.Design.PageColor",
+            description="Change the color of the page background",
+            on_choice=self._set_page_color,
+        ))
+        background.add_child(Button("Page Borders", automation_id="Word.Design.PageBorders",
+                                    description="Add or change the page border",
+                                    on_click=self._open_page_borders_dialog))
+
+    # ------------------------------------------------------------------
+    # Review tab
+    # ------------------------------------------------------------------
+    def _build_review_tab(self) -> None:
+        self.ribbon.add_tab("Review", description="Proofing, comments and tracking")
+        proofing = self.ribbon.add_group("Review", "Proofing")
+        proofing.add_child(Button("Spelling & Grammar", automation_id="Word.Review.Spelling"))
+        proofing.add_child(Button("Word Count", automation_id="Word.Review.WordCount",
+                                  description="Show document statistics",
+                                  on_click=self._open_word_count_dialog))
+        proofing.add_child(Button("Thesaurus", automation_id="Word.Review.Thesaurus"))
+
+        tracking = self.ribbon.add_group("Review", "Tracking")
+        tracking.add_child(Button("Track Changes", automation_id="Word.Review.TrackChanges",
+                                  description="Keep track of changes made to the document",
+                                  on_click=self._toggle_track_changes))
+        tracking.add_child(Button("Accept All Changes", automation_id="Word.Review.AcceptAll"))
+
+        comments = self.ribbon.add_group("Review", "Comments")
+        comments.add_child(Button("New Comment", automation_id="Word.Review.NewComment"))
+        comments.add_child(Button("Delete Comment", automation_id="Word.Review.DeleteComment"))
+
+    # ------------------------------------------------------------------
+    # View tab
+    # ------------------------------------------------------------------
+    def _build_view_tab(self) -> None:
+        self.ribbon.add_tab("View", description="Document views and zoom")
+        views = self.ribbon.add_group("View", "Views")
+        for mode in ("Read Mode", "Print Layout", "Web Layout", "Outline", "Draft"):
+            views.add_child(Button(mode, automation_id=f"Word.View.{mode.replace(' ', '')}"))
+        show = self.ribbon.add_group("View", "Show")
+        show.add_child(CheckBox("Ruler", automation_id="Word.View.Ruler"))
+        show.add_child(CheckBox("Gridlines", automation_id="Word.View.Gridlines"))
+        show.add_child(CheckBox("Navigation Pane", automation_id="Word.View.NavPane"))
+        zoom = self.ribbon.add_group("View", "Zoom")
+        zoom.add_child(Button("Zoom", automation_id="Word.View.Zoom",
+                              description="Open the Zoom dialog",
+                              on_click=self._open_zoom_dialog))
+        zoom.add_child(Button("100%", automation_id="Word.View.Zoom100",
+                              on_click=lambda: self.document.set_zoom(100.0)))
+        zoom.add_child(Button("One Page", automation_id="Word.View.OnePage"))
+        zoom.add_child(Button("Multiple Pages", automation_id="Word.View.MultiplePages"))
+
+    # ------------------------------------------------------------------
+    # document area and status bar
+    # ------------------------------------------------------------------
+    def _build_document_area(self) -> None:
+        area = Pane(name="Document Area", automation_id="Word.DocumentArea")
+        self.window.add_child(area)
+        self.editor = DocumentControl("Document", automation_id="Word.Document",
+                                      provider=self.document,
+                                      description="The document editing surface")
+        area.add_child(self.editor)
+        self.scrollbar = ScrollBarControl("Vertical Scroll Bar",
+                                          automation_id="Word.VScroll",
+                                          orientation="vertical",
+                                          on_scroll=self.document.scroll_to)
+        area.add_child(self.scrollbar)
+
+    def _build_status_bar(self) -> None:
+        status = StatusBar(name="Status Bar", automation_id="Word.StatusBar")
+        self.window.add_child(status)
+        status.add_child(TextLabel(f"Words: {self.document.word_count()}",
+                                   automation_id="Word.Status.Words"))
+        status.add_child(TextLabel("Page 1 of 1", automation_id="Word.Status.Page"))
+
+    def _register_shortcuts(self) -> None:
+        self.register_shortcut("ctrl+s", self.document.save)
+        self.register_shortcut("ctrl+a", self.document.select_all)
+        self.register_shortcut("ctrl+b", lambda: self.document.toggle_format_flag("bold"))
+        self.register_shortcut("ctrl+i", lambda: self.document.toggle_format_flag("italic"))
+        self.register_shortcut("ctrl+u", lambda: self.document.toggle_format_flag("underline"))
+        self.register_shortcut("ctrl+e", lambda: self.document.apply_format(alignment="center"))
+        self.register_shortcut("ctrl+l", lambda: self.document.apply_format(alignment="left"))
+        self.register_shortcut("ctrl+r", lambda: self.document.apply_format(alignment="right"))
+
+    # ------------------------------------------------------------------
+    # command handlers
+    # ------------------------------------------------------------------
+    def _set_font_color(self, color: str) -> None:
+        if color == "Custom":
+            self._open_colors_dialog(lambda chosen: self.document.apply_format(color=chosen))
+        else:
+            self.document.apply_format(color=color)
+
+    def _set_page_color(self, color: str) -> None:
+        if color == "Custom":
+            self._open_colors_dialog(lambda chosen: setattr(self.document, "page_color", chosen))
+        else:
+            setattr(self.document, "page_color", color)
+
+    def _clear_formatting(self) -> None:
+        from repro.apps.document import TextFormat
+
+        for paragraph in self.document.selected_paragraphs():
+            paragraph.format = TextFormat()
+
+    def _set_header(self, text: str) -> None:
+        self.document.header_text = text
+
+    def _set_footer(self, text: str) -> None:
+        self.document.footer_text = text
+
+    def _toggle_track_changes(self) -> None:
+        self.document.tracked_changes = not self.document.tracked_changes
+
+    # ------------------------------------------------------------------
+    # dialogs
+    # ------------------------------------------------------------------
+    def _open_find_replace(self, tab: str = "Replace") -> None:
+        """The Find and Replace dialog, including the More/Less cycle."""
+        state = {"find": "", "replace": "", "match_case": False}
+
+        def do_replace_all() -> None:
+            self.document.replace_all(state["find"], state["replace"],
+                                      match_case=state["match_case"])
+
+        builder = DialogBuilder("Find and Replace")
+        dialog = builder.build()
+        find_page = builder.add_tab("Find")
+        replace_page = builder.add_tab("Replace")
+        goto_page = builder.add_tab("Go To")
+
+        builder.add_edit(find_page, "Find what",
+                         on_commit=lambda v: state.update(find=v))
+        builder.add_edit(replace_page, "Find what (Replace)",
+                         on_commit=lambda v: state.update(find=v))
+        builder.add_edit(replace_page, "Replace with",
+                         on_commit=lambda v: state.update(replace=v))
+        builder.add_button(replace_page, "Replace All", do_replace_all)
+        builder.add_button(replace_page, "Find Next", lambda: None)
+        builder.add_edit(goto_page, "Enter page number",
+                         on_commit=lambda v: None, requires_enter=True)
+
+        # The "More >>" / "<< Less" pair forms a navigation cycle.
+        advanced = Group(name="Search Options", automation_id="FindReplace.SearchOptions")
+        advanced.visible = False
+        dialog.add_child(advanced)
+        advanced.add_child(CheckBox("Match case", automation_id="FindReplace.MatchCase",
+                                    on_change=lambda v: state.update(match_case=v)))
+        advanced.add_child(CheckBox("Find whole words only",
+                                    automation_id="FindReplace.WholeWords"))
+        advanced.add_child(CheckBox("Use wildcards", automation_id="FindReplace.Wildcards"))
+        format_menu = build_menu_button(
+            "Format", {
+                "Font...": lambda: self._open_font_dialog(),
+                "Paragraph...": lambda: self._open_paragraph_dialog(),
+            },
+            automation_id="FindReplace.Format",
+            description="Restrict the search to specific formatting",
+        )
+        advanced.add_child(format_menu)
+
+        more_button = Button("More >>", automation_id="FindReplace.More",
+                             description="Show advanced search options")
+        less_button = Button("<< Less", automation_id="FindReplace.Less",
+                             description="Hide advanced search options")
+        less_button.visible = False
+        dialog.add_child(more_button)
+        dialog.add_child(less_button)
+
+        def show_more() -> None:
+            advanced.visible = True
+            less_button.visible = True
+            more_button.visible = False
+
+        def show_less() -> None:
+            advanced.visible = False
+            less_button.visible = False
+            more_button.visible = True
+
+        more_button.set_on_click(show_more)
+        less_button.set_on_click(show_less)
+
+        self.open_dialog(dialog)
+        tabs = {"Find": 0, "Replace": 1, "Go To": 2}
+        if tab in tabs:
+            tab_control = dialog.find(name=tab, control_type="TabItem")
+            if tab_control is not None:
+                tab_control.select()
+
+    def _open_font_dialog(self) -> None:
+        builder = DialogBuilder("Font")
+        dialog = builder.build()
+        page = builder.add_tab("Font")
+        advanced_page = builder.add_tab("Advanced")
+        builder.add_combo(page, "Font name", choices=("Calibri", "Arial", "Times New Roman",
+                                                      "Courier New", "Georgia", "Verdana"),
+                          value="Calibri",
+                          on_change=lambda v: self.document.apply_format(font=v))
+        builder.add_combo(page, "Font style", choices=("Regular", "Italic", "Bold", "Bold Italic"),
+                          value="Regular",
+                          on_change=self._apply_font_style)
+        builder.add_combo(page, "Size", choices=("8", "9", "10", "11", "12", "14", "16", "18"),
+                          value="11", on_change=lambda v: self.document.apply_format(size=float(v)))
+        builder.add_checkbox(page, "Strikethrough",
+                             on_change=lambda v: self.document.apply_format(strikethrough=v))
+        builder.add_checkbox(page, "Subscript",
+                             on_change=lambda v: self.document.apply_format(subscript=v))
+        builder.add_checkbox(page, "Superscript",
+                             on_change=lambda v: self.document.apply_format(superscript=v))
+        font_color = build_color_dropdown(
+            "Font color (dialog)",
+            automation_id="Font.FontColor",
+            on_choice=lambda color: self.document.apply_format(color=color),
+        )
+        page.add_child(font_color)
+        builder.add_combo(advanced_page, "Character spacing",
+                          choices=("Normal", "Expanded", "Condensed"), value="Normal")
+        builder.add_spinner(advanced_page, "Spacing by", value=0.0, minimum=0.0, maximum=100.0)
+        self.open_dialog(dialog)
+
+    def _apply_font_style(self, style: str) -> None:
+        self.document.apply_format(bold="Bold" in style, italic="Italic" in style)
+
+    def _open_paragraph_dialog(self) -> None:
+        builder = DialogBuilder("Paragraph")
+        dialog = builder.build()
+        page = builder.add_tab("Indents and Spacing")
+        builder.add_combo(page, "Alignment", choices=("Left", "Centered", "Right", "Justified"),
+                          value="Left",
+                          on_change=lambda v: self.document.apply_format(
+                              alignment={"Left": "left", "Centered": "center",
+                                         "Right": "right", "Justified": "justify"}[v]))
+        builder.add_combo(page, "Line spacing", choices=LINE_SPACINGS, value="1.0",
+                          on_change=lambda v: self.document.apply_format(line_spacing=float(v)))
+        builder.add_spinner(page, "Spacing before", value=0.0, maximum=72.0)
+        builder.add_spinner(page, "Spacing after", value=8.0, maximum=72.0)
+        breaks_page = builder.add_tab("Line and Page Breaks")
+        builder.add_checkbox(breaks_page, "Widow/Orphan control", checked=True)
+        builder.add_checkbox(breaks_page, "Keep with next")
+        self.open_dialog(dialog)
+
+    def _open_page_setup_dialog(self) -> None:
+        pending = dict(self.document.margins)
+
+        def commit() -> None:
+            self.document.set_margins(**pending)
+
+        builder = DialogBuilder("Page Setup", on_ok=commit)
+        dialog = builder.build()
+        margins_page = builder.add_tab("Margins")
+        for edge in ("top", "bottom", "left", "right"):
+            builder.add_spinner(
+                margins_page, f"{edge.title()} margin", value=self.document.margins[edge],
+                maximum=10.0,
+                on_change=lambda v, e=edge: pending.__setitem__(e, v),
+            )
+        builder.add_radio_group(margins_page, "Orientation (dialog)", ("Portrait", "Landscape"),
+                                on_select=lambda v: self.document.set_orientation(v.lower()))
+        paper_page = builder.add_tab("Paper")
+        builder.add_combo(paper_page, "Paper size", choices=("Letter", "Legal", "A3", "A4", "A5"),
+                          value=self.document.page_size,
+                          on_change=lambda v: setattr(self.document, "page_size", v))
+        layout_page = builder.add_tab("Layout (Page Setup)")
+        builder.add_combo(layout_page, "Vertical alignment", choices=("Top", "Center", "Bottom"),
+                          value="Top")
+        self.open_dialog(dialog)
+
+    def _open_page_borders_dialog(self) -> None:
+        builder = DialogBuilder("Borders and Shading")
+        dialog = builder.build()
+        page = builder.add_tab("Page Border")
+        builder.add_combo(page, "Border style", choices=("None", "Box", "Shadow", "3-D"),
+                          value="None")
+        page.add_child(build_color_dropdown(
+            "Border Color", automation_id="Borders.BorderColor",
+            on_choice=lambda _c: None,
+        ))
+        self.open_dialog(dialog)
+
+    def _open_word_count_dialog(self) -> None:
+        builder = DialogBuilder("Word Count")
+        dialog = builder.build()
+        body = Pane(name="Statistics", automation_id="WordCount.Statistics")
+        dialog.add_child(body)
+        body.add_child(TextLabel(f"Words: {self.document.word_count()}",
+                                 automation_id="WordCount.Words"))
+        body.add_child(TextLabel(f"Paragraphs: {self.document.paragraph_count()}",
+                                 automation_id="WordCount.Paragraphs"))
+        body.add_child(TextLabel(f"Characters: {len(self.document.full_text())}",
+                                 automation_id="WordCount.Characters"))
+        self.open_dialog(dialog)
+
+    def _open_zoom_dialog(self) -> None:
+        builder = DialogBuilder("Zoom")
+        dialog = builder.build()
+        page = Pane(name="Zoom options", automation_id="Zoom.Options")
+        dialog.add_child(page)
+        builder.add_radio_group(page, "Zoom to", ("200%", "100%", "75%", "Page width"),
+                                on_select=lambda v: self.document.set_zoom(
+                                    float(v.rstrip("%")) if v.endswith("%") else 100.0))
+        builder.add_spinner(page, "Percent", value=self.document.zoom_percent,
+                            minimum=10.0, maximum=500.0,
+                            on_change=self.document.set_zoom)
+        self.open_dialog(dialog)
+
+    def _open_header_footer_dialog(self, which: str) -> None:
+        setter = self._set_header if which == "header" else self._set_footer
+        builder = DialogBuilder(f"Edit {which.title()}")
+        dialog = builder.build()
+        builder.add_edit(dialog, f"{which.title()} text",
+                         value=getattr(self.document, f"{which}_text"),
+                         on_commit=setter)
+        self.open_dialog(dialog)
+
+    def _open_save_as_dialog(self) -> None:
+        chosen = {"name": self.document.title, "format": self.document.file_format}
+
+        def commit() -> None:
+            self.document.title = chosen["name"]
+            self.document.save(file_format=chosen["format"])
+
+        builder = DialogBuilder("Save As", on_ok=commit)
+        dialog = builder.build()
+        builder.add_edit(dialog, "File name", value=self.document.title,
+                         on_commit=lambda v: chosen.update(name=v))
+        builder.add_combo(dialog, "Save as type",
+                          choices=("docx", "doc", "pdf", "rtf", "txt"),
+                          value=self.document.file_format,
+                          on_change=lambda v: chosen.update(format=v))
+        self.open_dialog(dialog)
+
+    def _open_colors_dialog(self, on_choice: Callable[[str], None]) -> None:
+        """The shared Colors dialog (a merge node: same identifiers, many paths)."""
+        builder = DialogBuilder("Colors")
+        dialog = builder.build()
+        standard_page = builder.add_tab("Standard")
+        custom_page = builder.add_tab("Custom")
+        standard_page.add_child(build_gallery_button(
+            "Standard color hexagon", ("Crimson", "Coral", "Amber", "Lime", "Emerald",
+                                       "Turquoise", "Azure", "Indigo", "Magenta"),
+            automation_id="Colors.Hexagon",
+            on_choice=on_choice,
+        ))
+        builder.add_spinner(custom_page, "Red", value=0, maximum=255)
+        builder.add_spinner(custom_page, "Green", value=0, maximum=255)
+        builder.add_spinner(custom_page, "Blue", value=0, maximum=255)
+        self.open_dialog(dialog)

@@ -1,0 +1,37 @@
+"""An OSWorld-W-style benchmark and the evaluation harness.
+
+27 single-application tasks (9 each for the Word-, Excel- and PowerPoint-like
+applications), programmatic checkers over final application state, a runner
+that executes every (interface, model) configuration from the paper's
+Table 3 with three trials per task and a 30-step cap, plus the metric and
+report generators behind every table and figure in the evaluation section.
+"""
+
+from repro.bench.tasks import all_tasks, tasks_for_app
+from repro.bench.runner import BenchmarkConfig, BenchmarkRunner, EvaluationSetting, RunOutcome
+from repro.bench.metrics import (
+    MetricSummary,
+    aggregate,
+    normalized_core_steps,
+    one_shot_rate,
+    success_rate,
+)
+from repro.bench.failures import failure_distribution, failure_breakdown
+from repro.bench import reporting
+
+__all__ = [
+    "BenchmarkConfig",
+    "BenchmarkRunner",
+    "EvaluationSetting",
+    "MetricSummary",
+    "RunOutcome",
+    "aggregate",
+    "all_tasks",
+    "failure_breakdown",
+    "failure_distribution",
+    "normalized_core_steps",
+    "one_shot_rate",
+    "reporting",
+    "success_rate",
+    "tasks_for_app",
+]

@@ -1,0 +1,55 @@
+"""Failure analysis (paper §5.6, Figure 6).
+
+Every failed trial carries a :class:`repro.agent.session.FailureRecord`
+whose cause maps to the paper's two-level taxonomy: *policy*-level causes
+(ambiguous task description, misinterpreted control semantics, weak
+visual-semantic understanding, subtle task semantics) versus
+*mechanism*-level causes (control localization / navigation errors,
+composite-interaction errors, topology inaccuracies, step-budget
+exhaustion).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from repro.agent.session import SessionResult
+from repro.spec import FailureCategory, FailureCause
+
+
+def failures(results: Sequence[SessionResult]) -> Sequence[SessionResult]:
+    return [r for r in results if not r.success]
+
+
+def failure_distribution(results: Sequence[SessionResult]) -> Dict[str, object]:
+    """Policy/mechanism split plus totals (the Figure 6 pie)."""
+    failed = failures(results)
+    policy = sum(1 for r in failed
+                 if r.failure is not None and r.failure.category == FailureCategory.POLICY)
+    mechanism = sum(1 for r in failed
+                    if r.failure is not None and r.failure.category == FailureCategory.MECHANISM)
+    total = len(failed)
+    return {
+        "failures": total,
+        "policy": policy,
+        "mechanism": mechanism,
+        "policy_share": policy / total if total else 0.0,
+        "mechanism_share": mechanism / total if total else 0.0,
+    }
+
+
+def failure_breakdown(results: Sequence[SessionResult]) -> Dict[str, int]:
+    """Counts per fine-grained failure cause."""
+    counts: Dict[str, int] = {cause.value: 0 for cause in FailureCause}
+    for result in failures(results):
+        if result.failure is not None:
+            counts[result.failure.cause.value] += 1
+    return {cause: count for cause, count in counts.items() if count}
+
+
+def failure_share_by_cause(results: Sequence[SessionResult]) -> Dict[str, float]:
+    breakdown = failure_breakdown(results)
+    total = sum(breakdown.values())
+    if not total:
+        return {}
+    return {cause: count / total for cause, count in breakdown.items()}

@@ -1,0 +1,125 @@
+"""Benchmark metrics (paper §5.3 terminology).
+
+* **SR** — average success rate over all trials;
+* **Steps** — average number of LLM calls, successful trials only;
+* **Time** — average simulated completion time, successful trials only;
+* **Normalized core steps** — steps minus the fixed 3-call framework
+  overhead, averaged over the *intersection* of tasks every compared method
+  solves (Figure 5b);
+* **One-shot rate** — fraction of successful trials completed in 4 total
+  steps, i.e. a single core LLM call (§5.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Set
+
+from repro.agent.session import SessionResult
+
+
+@dataclass
+class MetricSummary:
+    """Aggregate metrics for one evaluation setting."""
+
+    runs: int = 0
+    successes: int = 0
+    success_rate: float = 0.0
+    avg_steps: float = 0.0
+    avg_core_steps: float = 0.0
+    avg_time_s: float = 0.0
+    avg_actions: float = 0.0
+    avg_prompt_tokens: float = 0.0
+    avg_total_tokens: float = 0.0
+    one_shot_rate: float = 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "runs": self.runs,
+            "successes": self.successes,
+            "SR": round(self.success_rate * 100.0, 1),
+            "steps": round(self.avg_steps, 2),
+            "core_steps": round(self.avg_core_steps, 2),
+            "time_s": round(self.avg_time_s, 1),
+            "actions": round(self.avg_actions, 1),
+            "prompt_tokens": round(self.avg_prompt_tokens, 0),
+            "total_tokens": round(self.avg_total_tokens, 0),
+            "one_shot": round(self.one_shot_rate * 100.0, 1),
+        }
+
+
+def success_rate(results: Sequence[SessionResult]) -> float:
+    results = list(results)
+    if not results:
+        return 0.0
+    return sum(1 for r in results if r.success) / len(results)
+
+
+def one_shot_rate(results: Sequence[SessionResult]) -> float:
+    """Share of *successful* trials completed with a single core LLM call."""
+    successes = [r for r in results if r.success]
+    if not successes:
+        return 0.0
+    return sum(1 for r in successes if r.core_steps <= 1) / len(successes)
+
+
+def _mean(values: Iterable[float]) -> float:
+    values = list(values)
+    return sum(values) / len(values) if values else 0.0
+
+
+def aggregate(results: Sequence[SessionResult]) -> MetricSummary:
+    """Aggregate a setting's trial results into the Table 3 metrics.
+
+    Following the paper, Steps/Time/actions/tokens are computed over
+    successful trials only.
+    """
+    results = list(results)
+    successes = [r for r in results if r.success]
+    return MetricSummary(
+        runs=len(results),
+        successes=len(successes),
+        success_rate=success_rate(results),
+        avg_steps=_mean(r.steps for r in successes),
+        avg_core_steps=_mean(r.core_steps for r in successes),
+        avg_time_s=_mean(r.wall_time_s for r in successes),
+        avg_actions=_mean(r.actions for r in successes),
+        avg_prompt_tokens=_mean(r.prompt_tokens for r in successes),
+        avg_total_tokens=_mean(r.total_tokens() for r in successes),
+        one_shot_rate=one_shot_rate(results),
+    )
+
+
+def solved_task_intersection(results_by_setting: Dict[str, Sequence[SessionResult]]) -> Set[str]:
+    """Tasks solved (at least one successful trial) by *every* setting."""
+    common: Set[str] = set()
+    first = True
+    for results in results_by_setting.values():
+        solved = {r.task_id for r in results if r.success}
+        common = solved if first else (common & solved)
+        first = False
+    return common
+
+
+def normalized_core_steps(results_by_setting: Dict[str, Sequence[SessionResult]]
+                          ) -> Dict[str, float]:
+    """Average core steps per setting over the common solved-task set.
+
+    This is Figure 5b's metric: the fixed 3-step framework overhead is
+    excluded and only tasks solved by every compared method contribute, so
+    the comparison is not skewed by easy-task survivorship.
+    """
+    common = solved_task_intersection(results_by_setting)
+    normalized: Dict[str, float] = {}
+    for key, results in results_by_setting.items():
+        relevant = [r for r in results if r.task_id in common and r.success]
+        normalized[key] = _mean(r.core_steps for r in relevant)
+    return normalized
+
+
+def per_app_success(results: Sequence[SessionResult]) -> Dict[str, float]:
+    """Success rate split by application."""
+    grouped: Dict[str, List[SessionResult]] = {}
+    for result in results:
+        grouped.setdefault(result.app, []).append(result)
+    return {app: success_rate(runs) for app, runs in grouped.items()}

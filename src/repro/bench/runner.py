@@ -1,0 +1,158 @@
+"""The benchmark runner.
+
+Executes the task suite under the (interface × model × knowledge)
+configurations of the paper's Table 3, with the paper's protocol: each task
+is capped at 30 steps and run three times, results are averaged, and the
+offline navigation model is built once per application and reused across
+trials (it is version-specific but machine-independent).
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.agent.host_agent import HostAgent
+from repro.agent.session import InterfaceSetting, SessionResult
+from repro.apps import APP_FACTORIES
+from repro.bench.tasks import all_tasks
+from repro.dmi.interface import DMI, DMIConfig, OfflineArtifacts, build_offline_artifacts
+from repro.llm.profiles import GPT5_MEDIUM, GPT5_MINI, GPT5_MINIMAL, ModelProfile
+from repro.spec import TaskSpec
+
+
+@dataclass(frozen=True)
+class EvaluationSetting:
+    """One row of the paper's Table 3."""
+
+    key: str
+    interface: InterfaceSetting
+    profile: ModelProfile
+    #: "/" (none) or "Nav.forest", mirroring the paper's Knowledge column.
+    knowledge: str = "/"
+
+    @property
+    def label(self) -> str:
+        return (f"{self.interface.value} | {self.knowledge} | "
+                f"{self.profile.name} ({self.profile.reasoning})")
+
+
+#: The eight configurations reported in Table 3.
+TABLE3_SETTINGS: List[EvaluationSetting] = [
+    EvaluationSetting("gui-gpt5-medium", InterfaceSetting.GUI_ONLY, GPT5_MEDIUM, "/"),
+    EvaluationSetting("forest-gpt5-medium", InterfaceSetting.GUI_PLUS_FOREST, GPT5_MEDIUM,
+                      "Nav.forest"),
+    EvaluationSetting("dmi-gpt5-medium", InterfaceSetting.GUI_PLUS_DMI, GPT5_MEDIUM,
+                      "Nav.forest"),
+    EvaluationSetting("gui-gpt5-minimal", InterfaceSetting.GUI_ONLY, GPT5_MINIMAL, "/"),
+    EvaluationSetting("dmi-gpt5-minimal", InterfaceSetting.GUI_PLUS_DMI, GPT5_MINIMAL,
+                      "Nav.forest"),
+    EvaluationSetting("gui-gpt5-mini", InterfaceSetting.GUI_ONLY, GPT5_MINI, "/"),
+    EvaluationSetting("forest-gpt5-mini", InterfaceSetting.GUI_PLUS_FOREST, GPT5_MINI,
+                      "Nav.forest"),
+    EvaluationSetting("dmi-gpt5-mini", InterfaceSetting.GUI_PLUS_DMI, GPT5_MINI, "Nav.forest"),
+]
+
+#: The three core-comparison settings used by Figures 5 and 6.
+CORE_SETTING_KEYS = ("gui-gpt5-medium", "forest-gpt5-medium", "dmi-gpt5-medium")
+
+
+@dataclass
+class BenchmarkConfig:
+    """Runner configuration (defaults follow the paper's protocol)."""
+
+    trials: int = 3
+    seed: int = 7
+    dmi: DMIConfig = field(default_factory=DMIConfig)
+    #: Restrict to a subset of tasks (None = the full 27-task suite).
+    tasks: Optional[Sequence[TaskSpec]] = None
+
+
+@dataclass
+class RunOutcome:
+    """All trial results for one evaluation setting."""
+
+    setting: EvaluationSetting
+    results: List[SessionResult] = field(default_factory=list)
+
+    def by_task(self) -> Dict[str, List[SessionResult]]:
+        grouped: Dict[str, List[SessionResult]] = {}
+        for result in self.results:
+            grouped.setdefault(result.task_id, []).append(result)
+        return grouped
+
+    def solved_task_ids(self) -> set:
+        """Tasks solved at least once under this setting."""
+        return {task_id for task_id, runs in self.by_task().items()
+                if any(r.success for r in runs)}
+
+
+class BenchmarkRunner:
+    """Runs tasks under evaluation settings, reusing offline artefacts."""
+
+    def __init__(self, config: Optional[BenchmarkConfig] = None) -> None:
+        self.config = config or BenchmarkConfig()
+        self._artifacts: Dict[str, OfflineArtifacts] = {}
+
+    # ------------------------------------------------------------------
+    # offline phase (shared across settings and trials)
+    # ------------------------------------------------------------------
+    def offline_artifacts(self, app_name: str) -> OfflineArtifacts:
+        """Build (once) and return the offline model for one application."""
+        if app_name not in self._artifacts:
+            scratch = APP_FACTORIES[app_name]()
+            self._artifacts[app_name] = build_offline_artifacts(scratch, self.config.dmi)
+        return self._artifacts[app_name]
+
+    def all_offline_artifacts(self) -> Dict[str, OfflineArtifacts]:
+        return {name: self.offline_artifacts(name) for name in APP_FACTORIES}
+
+    # ------------------------------------------------------------------
+    # online phase
+    # ------------------------------------------------------------------
+    def tasks(self) -> List[TaskSpec]:
+        return list(self.config.tasks) if self.config.tasks is not None else all_tasks()
+
+    def run_trial(self, task: TaskSpec, setting: EvaluationSetting, trial: int) -> SessionResult:
+        """Run one trial of one task under one setting."""
+        rng = random.Random(self._trial_seed(task, setting, trial))
+        app = APP_FACTORIES[task.app]()
+        artifacts = self.offline_artifacts(task.app)
+        profile = setting.profile
+        if setting.knowledge == "Nav.forest" and not setting.interface.uses_dmi:
+            # The ablation provides the forest as prose knowledge only.
+            profile = profile.with_knowledge(True)
+        host = HostAgent(profile, setting.interface, rng=rng)
+        dmi = DMI(app, artifacts, self.config.dmi) if setting.interface.uses_dmi else None
+        return host.run_task(task, app, artifacts.forest, core=artifacts.core, dmi=dmi)
+
+    def run_setting(self, setting: EvaluationSetting,
+                    tasks: Optional[Sequence[TaskSpec]] = None) -> RunOutcome:
+        """Run every task x trial combination for one setting."""
+        outcome = RunOutcome(setting=setting)
+        for task in (tasks if tasks is not None else self.tasks()):
+            for trial in range(self.config.trials):
+                outcome.results.append(self.run_trial(task, setting, trial))
+        return outcome
+
+    def run_settings(self, settings: Sequence[EvaluationSetting],
+                     tasks: Optional[Sequence[TaskSpec]] = None) -> Dict[str, RunOutcome]:
+        return {setting.key: self.run_setting(setting, tasks) for setting in settings}
+
+    def run_table3(self, tasks: Optional[Sequence[TaskSpec]] = None) -> Dict[str, RunOutcome]:
+        """Run all eight Table 3 configurations."""
+        return self.run_settings(TABLE3_SETTINGS, tasks)
+
+    # ------------------------------------------------------------------
+    def _trial_seed(self, task: TaskSpec, setting: EvaluationSetting, trial: int) -> int:
+        key = f"{self.config.seed}|{task.task_id}|{setting.key}|{trial}"
+        return zlib.crc32(key.encode("utf-8"))
+
+
+def setting_by_key(key: str) -> EvaluationSetting:
+    for setting in TABLE3_SETTINGS:
+        if setting.key == key:
+            return setting
+    raise KeyError(f"unknown evaluation setting {key!r}")

@@ -1,0 +1,607 @@
+"""The benchmark task suite.
+
+27 single-application scenarios modelled on the OSWorld-W (Windows) subset
+the paper evaluates: 9 tasks each for the Word-, Excel- and PowerPoint-like
+applications, spanning text editing, tabular manipulation and graphics.
+Every task carries
+
+* the natural-language instruction,
+* the oracle intent decomposition the policy simulator starts from,
+* a programmatic checker over the final application state,
+* difficulty metadata (semantic difficulty, ambiguity, the policy-failure
+  cause a misunderstanding is recorded under, whether the task needs
+  observation or composite interaction).
+
+Checkers receive the live :class:`repro.apps.base.Application` instance and
+must be pure reads — they never mutate state.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.apps.excel import ExcelApp
+from repro.apps.powerpoint import PowerPointApp
+from repro.apps.word import WordApp
+from repro.spec import FailureCause, Intent, IntentKind, TaskSpec
+
+# ----------------------------------------------------------------------
+# Word checkers
+# ----------------------------------------------------------------------
+def _word_doc(app: WordApp):
+    return app.document
+
+
+def check_word_italic_revenue(app: WordApp) -> bool:
+    doc = _word_doc(app)
+    return (doc.paragraphs[2].format.italic
+            and not doc.paragraphs[4].format.italic)
+
+
+def check_word_landscape(app: WordApp) -> bool:
+    return _word_doc(app).page_orientation == "landscape"
+
+
+def check_word_replace_risk(app: WordApp) -> bool:
+    text = _word_doc(app).full_text().lower()
+    return "risk" not in text and "threat" in text
+
+
+def check_word_font_arial(app: WordApp) -> bool:
+    return all(p.format.font == "Arial" for p in _word_doc(app).paragraphs)
+
+
+def check_word_quote_style(app: WordApp) -> bool:
+    doc = _word_doc(app)
+    return doc.paragraphs[5].format.style == "Quote" and \
+        doc.paragraphs[4].format.style != "Quote"
+
+
+def check_word_margins(app: WordApp) -> bool:
+    margins = _word_doc(app).margins
+    return abs(margins["top"] - 3.0) < 1e-6 and abs(margins["bottom"] - 3.0) < 1e-6
+
+
+def check_word_footer(app: WordApp) -> bool:
+    return _word_doc(app).footer_text == "Confidential"
+
+
+def check_word_track_changes(app: WordApp) -> bool:
+    return _word_doc(app).tracked_changes is True
+
+
+def check_word_red_heading(app: WordApp) -> bool:
+    doc = _word_doc(app)
+    return doc.paragraphs[6].format.color == "Red" and doc.paragraphs[0].format.color != "Red"
+
+
+# ----------------------------------------------------------------------
+# Excel checkers
+# ----------------------------------------------------------------------
+def _sheet(app: ExcelApp):
+    return app.workbook.active_sheet
+
+
+def check_excel_b10(app: ExcelApp) -> bool:
+    return _sheet(app).get_value("B10") == 500.0
+
+
+def check_excel_sum_units(app: ExcelApp) -> bool:
+    value = _sheet(app).get_value("C10")
+    return isinstance(value, float) and abs(value - 2095.0) < 1e-6
+
+
+def check_excel_bold_header(app: ExcelApp) -> bool:
+    sheet = _sheet(app)
+    return all(sheet.cell(f"{col}1").format.bold for col in "ABCDE")
+
+
+def check_excel_conditional_format(app: ExcelApp) -> bool:
+    sheet = _sheet(app)
+    for rule in sheet.conditional_formats:
+        if rule.operator == "greater_than" and abs(rule.threshold - 50000.0) < 1e-6:
+            return sheet.conditional_fill_for("E2") is not None
+    return False
+
+
+def check_excel_sorted_by_region(app: ExcelApp) -> bool:
+    sheet = _sheet(app)
+    regions = [sheet.get_value(f"A{row}") for row in range(2, 10)]
+    return regions == sorted(regions, key=lambda r: str(r).lower())
+
+
+def check_excel_freeze_top_row(app: ExcelApp) -> bool:
+    sheet = _sheet(app)
+    return sheet.frozen_rows == 1 and sheet.frozen_columns == 0
+
+
+def check_excel_column_chart(app: ExcelApp) -> bool:
+    return any("Column" in chart.chart_type for chart in _sheet(app).charts)
+
+
+def check_excel_currency_prices(app: ExcelApp) -> bool:
+    sheet = _sheet(app)
+    return all(sheet.cell(f"D{row}").format.number_format == "Currency"
+               for row in range(2, 10))
+
+
+def check_excel_bold_top_product(app: ExcelApp) -> bool:
+    sheet = _sheet(app)
+    return sheet.cell("B7").format.bold and not sheet.cell("B3").format.bold
+
+
+# ----------------------------------------------------------------------
+# PowerPoint checkers
+# ----------------------------------------------------------------------
+def _deck(app: PowerPointApp):
+    return app.presentation
+
+
+def check_ppt_blue_background(app: PowerPointApp) -> bool:
+    deck = _deck(app)
+    return all(slide.background.color == "Blue" and slide.background.fill_type == "solid"
+               for slide in deck.slides)
+
+
+def check_ppt_scrolled_to_end(app: PowerPointApp) -> bool:
+    return _deck(app).scroll_percent >= 70.0
+
+
+def check_ppt_two_content_slide(app: PowerPointApp) -> bool:
+    deck = _deck(app)
+    return deck.slide_count() >= 6 and any(s.layout == "Two Content" for s in deck.slides)
+
+
+def check_ppt_fade_everywhere(app: PowerPointApp) -> bool:
+    return all(s.transition.effect == "Fade" for s in _deck(app).slides)
+
+
+def check_ppt_text_box_added(app: PowerPointApp) -> bool:
+    return any(shape.text == "New text box" for slide in _deck(app).slides
+               for shape in slide.shapes)
+
+
+def check_ppt_slide_hidden(app: PowerPointApp) -> bool:
+    return any(slide.hidden for slide in _deck(app).slides)
+
+
+def check_ppt_notes(app: PowerPointApp) -> bool:
+    return any("thank the team" in slide.notes.lower() for slide in _deck(app).slides)
+
+
+def check_ppt_standard_size(app: PowerPointApp) -> bool:
+    return _deck(app).slide_size == "4:3"
+
+
+def check_ppt_subtitle_gold(app: PowerPointApp) -> bool:
+    shape = _deck(app).slides[0].shape_named("Subtitle")
+    return shape is not None and shape.format.fill_color == "Gold"
+
+
+# ----------------------------------------------------------------------
+# task definitions
+# ----------------------------------------------------------------------
+def _word_tasks() -> List[TaskSpec]:
+    return [
+        TaskSpec(
+            task_id="word-01-italic-revenue",
+            app="word",
+            instruction="Italicize the paragraph that describes revenue growth.",
+            intents=(
+                Intent(IntentKind.SELECT_PARAGRAPHS, target="Document", select_range=(2, 2)),
+                Intent(IntentKind.ACCESS, target="Italic", scope_hint="Font",
+                       distractors=("Bold", "Underline")),
+            ),
+            checker=check_word_italic_revenue,
+            semantic_difficulty=1.0,
+            policy_failure_cause=FailureCause.SUBTLE_SEMANTICS,
+            tags=("formatting", "selection"),
+        ),
+        TaskSpec(
+            task_id="word-02-landscape",
+            app="word",
+            instruction="Set the page orientation to landscape.",
+            intents=(
+                Intent(IntentKind.ACCESS, target="Landscape", scope_hint="Orientation",
+                       distractors=("Portrait",)),
+            ),
+            checker=check_word_landscape,
+            semantic_difficulty=0.5,
+            policy_failure_cause=FailureCause.SUBTLE_SEMANTICS,
+            tags=("page-setup",),
+        ),
+        TaskSpec(
+            task_id="word-03-replace-risk",
+            app="word",
+            instruction="Replace every occurrence of 'risk' with 'threat' in the document.",
+            intents=(
+                Intent(IntentKind.ACCESS_INPUT, target="Find what (Replace)",
+                       scope_hint="Find and Replace", text="risk"),
+                Intent(IntentKind.ACCESS_INPUT, target="Replace with",
+                       scope_hint="Find and Replace", text="threat"),
+                Intent(IntentKind.ACCESS, target="Replace All", scope_hint="Find and Replace",
+                       distractors=("Find Next",)),
+            ),
+            checker=check_word_replace_risk,
+            semantic_difficulty=1.1,
+            policy_failure_cause=FailureCause.CONTROL_SEMANTICS,
+            tags=("dialog", "editing"),
+        ),
+        TaskSpec(
+            task_id="word-04-font-arial",
+            app="word",
+            instruction="Change the font of the whole document to Arial.",
+            intents=(
+                Intent(IntentKind.SELECT_PARAGRAPHS, target="Document", select_range=(0, 7)),
+                Intent(IntentKind.ACCESS, target="Arial", scope_hint="Font",
+                       distractors=("Arial Black", "Arial Narrow")),
+            ),
+            checker=check_word_font_arial,
+            semantic_difficulty=1.0,
+            policy_failure_cause=FailureCause.SUBTLE_SEMANTICS,
+            tags=("formatting", "large-enumeration"),
+        ),
+        TaskSpec(
+            task_id="word-05-quote-style",
+            app="word",
+            instruction="Apply the Quote style to the paragraph about mitigation plans.",
+            intents=(
+                Intent(IntentKind.SELECT_PARAGRAPHS, target="Document", select_range=(5, 5)),
+                Intent(IntentKind.ACCESS, target="Quote", scope_hint="Styles",
+                       distractors=("Intense Quote", "Emphasis")),
+            ),
+            checker=check_word_quote_style,
+            semantic_difficulty=1.2,
+            ambiguous=True,
+            policy_failure_cause=FailureCause.AMBIGUOUS_TASK,
+            tags=("styles", "selection"),
+        ),
+        TaskSpec(
+            task_id="word-06-custom-margins",
+            app="word",
+            instruction="Set the top and bottom page margins to 3 centimetres.",
+            intents=(
+                Intent(IntentKind.ACCESS_INPUT, target="Top margin", scope_hint="Page Setup",
+                       text="3.0"),
+                Intent(IntentKind.ACCESS_INPUT, target="Bottom margin", scope_hint="Page Setup",
+                       text="3.0"),
+                Intent(IntentKind.ACCESS, target="OK", scope_hint="Page Setup",
+                       distractors=("Cancel",)),
+            ),
+            checker=check_word_margins,
+            semantic_difficulty=1.1,
+            policy_failure_cause=FailureCause.CONTROL_SEMANTICS,
+            tags=("dialog", "page-setup"),
+        ),
+        TaskSpec(
+            task_id="word-07-footer",
+            app="word",
+            instruction="Add a footer with the text 'Confidential'.",
+            intents=(
+                Intent(IntentKind.ACCESS_INPUT, target="Footer text", scope_hint="Footer",
+                       text="Confidential"),
+            ),
+            checker=check_word_footer,
+            semantic_difficulty=0.9,
+            policy_failure_cause=FailureCause.SUBTLE_SEMANTICS,
+            tags=("dialog",),
+        ),
+        TaskSpec(
+            task_id="word-08-track-changes",
+            app="word",
+            instruction="Turn on Track Changes for this document.",
+            intents=(
+                Intent(IntentKind.ACCESS, target="Track Changes", scope_hint="Review",
+                       distractors=("Accept All Changes",)),
+            ),
+            checker=check_word_track_changes,
+            semantic_difficulty=0.5,
+            policy_failure_cause=FailureCause.SUBTLE_SEMANTICS,
+            tags=("review",),
+        ),
+        TaskSpec(
+            task_id="word-09-red-heading",
+            app="word",
+            instruction="Color the Outlook heading text red.",
+            intents=(
+                Intent(IntentKind.SELECT_PARAGRAPHS, target="Document", select_range=(6, 6)),
+                Intent(IntentKind.ACCESS, target="Red", scope_hint="Font Color",
+                       distractors=("Dark Red", "Standard Red")),
+            ),
+            checker=check_word_red_heading,
+            semantic_difficulty=1.2,
+            policy_failure_cause=FailureCause.CONTROL_SEMANTICS,
+            tags=("formatting", "path-dependence"),
+        ),
+    ]
+
+
+def _excel_tasks() -> List[TaskSpec]:
+    return [
+        TaskSpec(
+            task_id="excel-01-enter-value",
+            app="excel",
+            instruction="Enter the value 500 in cell B10.",
+            intents=(
+                Intent(IntentKind.ACCESS_INPUT, target="Name Box", text="B10"),
+                Intent(IntentKind.SHORTCUT, text="enter"),
+                Intent(IntentKind.ACCESS_INPUT, target="Formula Bar", text="500"),
+                Intent(IntentKind.SHORTCUT, text="enter"),
+            ),
+            checker=check_excel_b10,
+            semantic_difficulty=0.6,
+            policy_failure_cause=FailureCause.SUBTLE_SEMANTICS,
+            tags=("data-entry", "commit-with-enter"),
+        ),
+        TaskSpec(
+            task_id="excel-02-sum-units",
+            app="excel",
+            instruction="Add a total below the Units column using AutoSum.",
+            intents=(
+                Intent(IntentKind.ACCESS_INPUT, target="Name Box", text="C2:C9"),
+                Intent(IntentKind.SHORTCUT, text="enter"),
+                Intent(IntentKind.ACCESS, target="Sum", scope_hint="AutoSum",
+                       distractors=("Average", "Count Numbers")),
+            ),
+            checker=check_excel_sum_units,
+            semantic_difficulty=1.0,
+            policy_failure_cause=FailureCause.SUBTLE_SEMANTICS,
+            tags=("formulas",),
+        ),
+        TaskSpec(
+            task_id="excel-03-bold-header",
+            app="excel",
+            instruction="Make the header row bold.",
+            intents=(
+                Intent(IntentKind.ACCESS_INPUT, target="Name Box", text="A1:E1"),
+                Intent(IntentKind.SHORTCUT, text="enter"),
+                Intent(IntentKind.ACCESS, target="Bold", scope_hint="Home",
+                       distractors=("Italic",)),
+            ),
+            checker=check_excel_bold_header,
+            semantic_difficulty=0.8,
+            policy_failure_cause=FailureCause.SUBTLE_SEMANTICS,
+            tags=("formatting",),
+        ),
+        TaskSpec(
+            task_id="excel-04-conditional-format",
+            app="excel",
+            instruction="Highlight revenue values greater than 50000 using conditional formatting.",
+            intents=(
+                Intent(IntentKind.ACCESS_INPUT, target="Name Box", text="E2:E9"),
+                Intent(IntentKind.SHORTCUT, text="enter"),
+                Intent(IntentKind.ACCESS_INPUT, target="Format cells that are",
+                       scope_hint="Greater Than", text="50000"),
+                Intent(IntentKind.ACCESS, target="OK", scope_hint="Greater Than",
+                       distractors=("Cancel",)),
+            ),
+            checker=check_excel_conditional_format,
+            semantic_difficulty=1.4,
+            policy_failure_cause=FailureCause.CONTROL_SEMANTICS,
+            tags=("dialog", "conditional-formatting"),
+        ),
+        TaskSpec(
+            task_id="excel-05-sort-region",
+            app="excel",
+            instruction="Sort the data rows by Region from A to Z.",
+            intents=(
+                Intent(IntentKind.ACCESS_INPUT, target="Name Box", text="A2:E9"),
+                Intent(IntentKind.SHORTCUT, text="enter"),
+                Intent(IntentKind.ACCESS, target="Sort A to Z", scope_hint="Sort & Filter",
+                       distractors=("Sort Z to A",)),
+            ),
+            checker=check_excel_sorted_by_region,
+            semantic_difficulty=1.1,
+            ambiguous=True,
+            policy_failure_cause=FailureCause.AMBIGUOUS_TASK,
+            tags=("data",),
+        ),
+        TaskSpec(
+            task_id="excel-06-freeze-top-row",
+            app="excel",
+            instruction="Freeze the top row so it stays visible while scrolling.",
+            intents=(
+                Intent(IntentKind.ACCESS, target="Freeze Top Row", scope_hint="Freeze Panes",
+                       distractors=("Freeze Panes", "Freeze First Column")),
+            ),
+            checker=check_excel_freeze_top_row,
+            semantic_difficulty=0.9,
+            policy_failure_cause=FailureCause.CONTROL_SEMANTICS,
+            tags=("view",),
+        ),
+        TaskSpec(
+            task_id="excel-07-column-chart",
+            app="excel",
+            instruction="Insert a clustered column chart from the sales data.",
+            intents=(
+                Intent(IntentKind.ACCESS_INPUT, target="Name Box", text="A1:E9"),
+                Intent(IntentKind.SHORTCUT, text="enter"),
+                Intent(IntentKind.ACCESS, target="Clustered Column",
+                       scope_hint="Insert Column Chart",
+                       distractors=("Stacked Column", "Line")),
+            ),
+            checker=check_excel_column_chart,
+            semantic_difficulty=1.0,
+            policy_failure_cause=FailureCause.SUBTLE_SEMANTICS,
+            tags=("charts",),
+        ),
+        TaskSpec(
+            task_id="excel-08-currency-format",
+            app="excel",
+            instruction="Format the Unit Price column as currency.",
+            intents=(
+                Intent(IntentKind.ACCESS_INPUT, target="Name Box", text="D2:D9"),
+                Intent(IntentKind.SHORTCUT, text="enter"),
+                Intent(IntentKind.ACCESS, target="Currency", scope_hint="Number Format",
+                       distractors=("Accounting", "Percentage")),
+            ),
+            checker=check_excel_currency_prices,
+            semantic_difficulty=1.0,
+            policy_failure_cause=FailureCause.CONTROL_SEMANTICS,
+            tags=("formatting",),
+        ),
+        TaskSpec(
+            task_id="excel-09-bold-top-product",
+            app="excel",
+            instruction="Find the product with the highest revenue and make its Product cell bold.",
+            intents=(
+                Intent(IntentKind.OBSERVE, target="Revenue"),
+                Intent(IntentKind.SELECT_CONTROLS, control_names=("B7",),
+                       distractors=("B3", "B6")),
+                Intent(IntentKind.ACCESS, target="Bold", scope_hint="Home",
+                       distractors=("Italic",)),
+            ),
+            checker=check_excel_bold_top_product,
+            semantic_difficulty=1.3,
+            requires_observation=True,
+            policy_failure_cause=FailureCause.VISUAL_SEMANTIC,
+            tags=("observation", "formatting"),
+        ),
+    ]
+
+
+def _powerpoint_tasks() -> List[TaskSpec]:
+    return [
+        TaskSpec(
+            task_id="ppt-01-blue-background",
+            app="powerpoint",
+            instruction="Make the background blue on all slides.",
+            intents=(
+                Intent(IntentKind.ACCESS, target="Solid fill", scope_hint="Format Background"),
+                Intent(IntentKind.ACCESS, target="Blue", scope_hint="Fill Color",
+                       distractors=("Light Blue", "Dark Blue")),
+                Intent(IntentKind.ACCESS, target="Apply to All", scope_hint="Format Background",
+                       distractors=("Reset Background",)),
+            ),
+            checker=check_ppt_blue_background,
+            semantic_difficulty=1.0,
+            policy_failure_cause=FailureCause.SUBTLE_SEMANTICS,
+            tags=("paper-task-1", "background"),
+        ),
+        TaskSpec(
+            task_id="ppt-02-scroll-to-end",
+            app="powerpoint",
+            instruction="Show the area of the deck close to the end.",
+            intents=(
+                Intent(IntentKind.SET_SCROLLBAR, target="Vertical Scroll Bar", value=80.0),
+            ),
+            checker=check_ppt_scrolled_to_end,
+            semantic_difficulty=0.8,
+            uses_composite_interaction=True,
+            policy_failure_cause=FailureCause.SUBTLE_SEMANTICS,
+            tags=("paper-task-2", "scroll"),
+        ),
+        TaskSpec(
+            task_id="ppt-03-two-content-slide",
+            app="powerpoint",
+            instruction="Add a new slide that uses the Two Content layout.",
+            intents=(
+                Intent(IntentKind.ACCESS, target="Two Content", scope_hint="New Slide",
+                       distractors=("Comparison", "Title and Content")),
+            ),
+            checker=check_ppt_two_content_slide,
+            semantic_difficulty=1.0,
+            policy_failure_cause=FailureCause.CONTROL_SEMANTICS,
+            tags=("slides",),
+        ),
+        TaskSpec(
+            task_id="ppt-04-fade-transition-all",
+            app="powerpoint",
+            instruction="Apply the Fade transition to every slide.",
+            intents=(
+                Intent(IntentKind.ACCESS, target="Fade", scope_hint="Transition Effects",
+                       distractors=("Push", "Wipe")),
+                Intent(IntentKind.ACCESS, target="Apply To All", scope_hint="Transitions",
+                       distractors=("On Mouse Click",)),
+            ),
+            checker=check_ppt_fade_everywhere,
+            semantic_difficulty=1.1,
+            policy_failure_cause=FailureCause.SUBTLE_SEMANTICS,
+            tags=("transitions",),
+        ),
+        TaskSpec(
+            task_id="ppt-05-insert-text-box",
+            app="powerpoint",
+            instruction="Insert a text box on the current slide.",
+            intents=(
+                Intent(IntentKind.ACCESS, target="Text Box", scope_hint="Insert",
+                       distractors=("WordArt",)),
+            ),
+            checker=check_ppt_text_box_added,
+            semantic_difficulty=0.7,
+            policy_failure_cause=FailureCause.SUBTLE_SEMANTICS,
+            tags=("shapes",),
+        ),
+        TaskSpec(
+            task_id="ppt-06-hide-slide",
+            app="powerpoint",
+            instruction="Hide the current slide so it is skipped during the slide show.",
+            intents=(
+                Intent(IntentKind.ACCESS, target="Hide Slide", scope_hint="Slide Show",
+                       distractors=("From Current Slide",)),
+            ),
+            checker=check_ppt_slide_hidden,
+            semantic_difficulty=0.9,
+            policy_failure_cause=FailureCause.CONTROL_SEMANTICS,
+            tags=("slideshow",),
+        ),
+        TaskSpec(
+            task_id="ppt-07-speaker-notes",
+            app="powerpoint",
+            instruction="Add the speaker note 'Remember to thank the team' to the current slide.",
+            intents=(
+                Intent(IntentKind.ACCESS_INPUT, target="Notes",
+                       text="Remember to thank the team"),
+            ),
+            checker=check_ppt_notes,
+            semantic_difficulty=0.9,
+            policy_failure_cause=FailureCause.SUBTLE_SEMANTICS,
+            tags=("notes",),
+        ),
+        TaskSpec(
+            task_id="ppt-08-standard-size",
+            app="powerpoint",
+            instruction="Change the slide size to Standard (4:3).",
+            intents=(
+                Intent(IntentKind.ACCESS, target="Standard (4:3)", scope_hint="Slide Size",
+                       distractors=("Widescreen (16:9)",)),
+            ),
+            checker=check_ppt_standard_size,
+            semantic_difficulty=0.8,
+            policy_failure_cause=FailureCause.SUBTLE_SEMANTICS,
+            tags=("design",),
+        ),
+        TaskSpec(
+            task_id="ppt-09-subtitle-gold-fill",
+            app="powerpoint",
+            instruction="Give the subtitle text box on the title slide a gold fill.",
+            intents=(
+                Intent(IntentKind.SELECT_CONTROLS, control_names=("Subtitle",),
+                       distractors=("Title",)),
+                Intent(IntentKind.ACCESS, target="Gold", scope_hint="Shape Fill",
+                       distractors=("Yellow", "Orange")),
+            ),
+            checker=check_ppt_subtitle_gold,
+            semantic_difficulty=1.3,
+            ambiguous=True,
+            policy_failure_cause=FailureCause.AMBIGUOUS_TASK,
+            tags=("shapes", "contextual"),
+        ),
+    ]
+
+
+def all_tasks() -> List[TaskSpec]:
+    """The complete 27-task suite (Word, Excel, PowerPoint)."""
+    return _word_tasks() + _excel_tasks() + _powerpoint_tasks()
+
+
+def tasks_for_app(app: str) -> List[TaskSpec]:
+    """All tasks targeting one application ("word" | "excel" | "powerpoint")."""
+    return [t for t in all_tasks() if t.app == app]
+
+
+def task_by_id(task_id: str) -> TaskSpec:
+    for task in all_tasks():
+        if task.task_id == task_id:
+            return task
+    raise KeyError(f"unknown task id {task_id!r}")

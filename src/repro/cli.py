@@ -1,0 +1,137 @@
+"""Command-line interface for the reproduction.
+
+Three subcommands cover the common workflows without writing any code:
+
+``model``
+    Run the offline phase for one application and print the modeling
+    statistics (UNG size, forest, core topology, token estimate).
+``run``
+    Execute the benchmark for one or more Table 3 configurations and print
+    the aggregate metrics (optionally restricted to a subset of tasks).
+``report``
+    Run the three core-setting configurations and print the paper's Table 3,
+    Figure 5a/5b, Figure 6 and one-shot sections in text form.
+
+Examples::
+
+    python -m repro model powerpoint
+    python -m repro run --settings dmi-gpt5-medium gui-gpt5-medium --trials 1
+    python -m repro report --trials 1 --tasks ppt-01-blue-background word-02-landscape
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List, Optional, Sequence
+
+from repro.apps import APP_FACTORIES
+from repro.bench import reporting
+from repro.bench.metrics import aggregate
+from repro.bench.runner import (
+    BenchmarkConfig,
+    BenchmarkRunner,
+    CORE_SETTING_KEYS,
+    TABLE3_SETTINGS,
+    setting_by_key,
+)
+from repro.bench.tasks import all_tasks, task_by_id
+from repro.dmi.interface import build_offline_artifacts
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of the DMI (Declarative Model Interface) system "
+                    "from 'From Imperative to Declarative' (EuroSys 2026).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    model = subparsers.add_parser("model", help="run the offline modeling phase for one app")
+    model.add_argument("app", choices=sorted(APP_FACTORIES), help="application to model")
+
+    run = subparsers.add_parser("run", help="run benchmark configurations")
+    run.add_argument("--settings", nargs="+", default=list(CORE_SETTING_KEYS),
+                     choices=[s.key for s in TABLE3_SETTINGS],
+                     help="Table 3 configuration keys to run")
+    run.add_argument("--tasks", nargs="*", default=None,
+                     help="task ids to run (default: the full 27-task suite)")
+    run.add_argument("--trials", type=int, default=3, help="trials per task (paper: 3)")
+    run.add_argument("--seed", type=int, default=11, help="benchmark seed")
+
+    report = subparsers.add_parser("report", help="print the core-setting tables and figures")
+    report.add_argument("--tasks", nargs="*", default=None)
+    report.add_argument("--trials", type=int, default=3)
+    report.add_argument("--seed", type=int, default=11)
+
+    tasks = subparsers.add_parser("tasks", help="list the benchmark tasks")
+    tasks.add_argument("--app", choices=sorted(APP_FACTORIES), default=None)
+    return parser
+
+
+def _resolve_tasks(task_ids: Optional[Sequence[str]]):
+    if not task_ids:
+        return None
+    return [task_by_id(task_id) for task_id in task_ids]
+
+
+def _runner(args) -> BenchmarkRunner:
+    return BenchmarkRunner(BenchmarkConfig(trials=args.trials, seed=args.seed,
+                                           tasks=_resolve_tasks(args.tasks)))
+
+
+def command_model(args) -> int:
+    app = APP_FACTORIES[args.app]()
+    artifacts = build_offline_artifacts(app)
+    print(reporting.render_offline_modeling({args.app: artifacts}))
+    return 0
+
+
+def command_run(args) -> int:
+    runner = _runner(args)
+    outcomes = runner.run_settings([setting_by_key(key) for key in args.settings])
+    print(reporting.render_table3(outcomes))
+    print()
+    for key, outcome in outcomes.items():
+        summary = aggregate(outcome.results)
+        print(f"{key}: one-shot {summary.one_shot_rate * 100:.0f}%, "
+              f"avg total tokens {summary.avg_total_tokens:.0f}")
+    return 0
+
+
+def command_report(args) -> int:
+    runner = _runner(args)
+    outcomes = runner.run_settings([setting_by_key(key) for key in CORE_SETTING_KEYS])
+    print(reporting.render_table3(outcomes))
+    print()
+    print(reporting.render_figure5a(outcomes))
+    print()
+    print(reporting.render_figure5b(outcomes, groups=[list(CORE_SETTING_KEYS)]))
+    print()
+    print(reporting.render_figure6(outcomes["dmi-gpt5-medium"].results,
+                                   outcomes["gui-gpt5-medium"].results))
+    print()
+    print(reporting.render_one_shot(outcomes, "dmi-gpt5-medium"))
+    return 0
+
+
+def command_tasks(args) -> int:
+    for task in all_tasks():
+        if args.app and task.app != args.app:
+            continue
+        print(f"{task.task_id:32s} [{task.app:10s}] {task.instruction}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "model": command_model,
+        "run": command_run,
+        "report": command_report,
+        "tasks": command_tasks,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -1,0 +1,52 @@
+"""The Declarative Model Interface (DMI) — the paper's primary contribution.
+
+DMI sits between an LLM-driven agent and a GUI application and exposes three
+declarative primitives:
+
+* **access** — :meth:`repro.dmi.interface.DMI.visit`: given functional
+  control ids (from the navigation forest), deterministically navigate to
+  each control and perform the primitive interaction;
+* **state** — ``set_scrollbar_pos``, ``select_lines``, ``select_paragraphs``,
+  ``select_controls``, ``set_toggle_state``, ``set_expanded`` /
+  ``set_collapsed``: transition a control to a desired end state regardless
+  of its current state;
+* **observation** — ``get_texts`` (passive + active): structured data
+  retrieval instead of pixel-level perception.
+
+Robustness machinery (fuzzy matching, structured error feedback, retries,
+filtering of navigation nodes emitted by imperfectly instruction-following
+LLMs) lives in the executor modules.
+"""
+
+from repro.dmi.errors import (
+    CommandFiltered,
+    ControlDisabledFeedback,
+    ControlNotFoundFeedback,
+    DMIError,
+    ExecutionStatus,
+    StructuredFeedback,
+)
+from repro.dmi.matching import FuzzyControlMatcher, MatchResult
+from repro.dmi.visit import VisitCommand, VisitExecutor, VisitResult
+from repro.dmi.state import StateInterfaces
+from repro.dmi.observation import ObservationInterface
+from repro.dmi.interface import DMI, DMIConfig, build_dmi_for_app
+
+__all__ = [
+    "CommandFiltered",
+    "ControlDisabledFeedback",
+    "ControlNotFoundFeedback",
+    "DMI",
+    "DMIConfig",
+    "DMIError",
+    "ExecutionStatus",
+    "FuzzyControlMatcher",
+    "MatchResult",
+    "ObservationInterface",
+    "StateInterfaces",
+    "StructuredFeedback",
+    "VisitCommand",
+    "VisitExecutor",
+    "VisitResult",
+    "build_dmi_for_app",
+]

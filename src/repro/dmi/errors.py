@@ -1,0 +1,115 @@
+"""Structured error feedback (paper §3.4, "Handling unstable UI interaction").
+
+When a declarative command cannot be completed, DMI does not just fail — it
+returns a structured description of what was found (or not found), the
+control's state and suggestions, so the calling LLM can re-plan from facts
+rather than from a stack trace.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+class DMIError(RuntimeError):
+    """Base class for DMI-level errors."""
+
+
+class CommandFiltered(DMIError):
+    """A visit command was filtered out (navigation-node target)."""
+
+
+class ExecutionStatus(str, enum.Enum):
+    OK = "ok"
+    ERROR = "error"
+    FILTERED = "filtered"
+    SKIPPED = "skipped"
+
+
+@dataclass
+class StructuredFeedback:
+    """A structured result for one declarative command."""
+
+    status: ExecutionStatus
+    command_kind: str = ""
+    target: str = ""
+    message: str = ""
+    #: Machine-readable detail: control state, scroll positions, candidates...
+    detail: Dict[str, object] = field(default_factory=dict)
+    suggestions: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.status == ExecutionStatus.OK
+
+    def to_prompt_text(self) -> str:
+        """Render the feedback the way it would be inserted into the prompt."""
+        lines = [f"[{self.status.value}] {self.command_kind} {self.target}".rstrip()]
+        if self.message:
+            lines.append(f"  message: {self.message}")
+        for key, value in self.detail.items():
+            lines.append(f"  {key}: {value}")
+        for suggestion in self.suggestions:
+            lines.append(f"  suggestion: {suggestion}")
+        return "\n".join(lines)
+
+
+def ok_feedback(command_kind: str, target: str = "", **detail) -> StructuredFeedback:
+    return StructuredFeedback(status=ExecutionStatus.OK, command_kind=command_kind,
+                              target=target, detail=dict(detail))
+
+
+def ControlNotFoundFeedback(command_kind: str, target: str, window: str,
+                            candidates: Optional[List[str]] = None) -> StructuredFeedback:
+    """Feedback for a control that could not be located on any path."""
+    return StructuredFeedback(
+        status=ExecutionStatus.ERROR,
+        command_kind=command_kind,
+        target=target,
+        message=f"control {target!r} could not be located in window {window!r}",
+        detail={"window": window, "nearest_matches": candidates or []},
+        suggestions=["verify the control id against the navigation topology",
+                     "use further_query to refresh the relevant branch",
+                     "fall back to GUI primitives if the control is outside the topology"],
+    )
+
+
+def ControlDisabledFeedback(command_kind: str, target: str,
+                            state: Optional[Dict[str, object]] = None) -> StructuredFeedback:
+    """Feedback for a control that was found but cannot be interacted with."""
+    return StructuredFeedback(
+        status=ExecutionStatus.ERROR,
+        command_kind=command_kind,
+        target=target,
+        message=f"control {target!r} was located but is disabled in the current state",
+        detail=dict(state or {}),
+        suggestions=["satisfy the control's precondition first (e.g. select an object)",
+                     "re-plan using the structured state above"],
+    )
+
+
+def PatternUnsupportedFeedback(command_kind: str, target: str,
+                               pattern: str) -> StructuredFeedback:
+    """Feedback for a state/observation declaration on an unsupporting control."""
+    return StructuredFeedback(
+        status=ExecutionStatus.ERROR,
+        command_kind=command_kind,
+        target=target,
+        message=f"control {target!r} does not support the {pattern} pattern; "
+                f"nothing was executed",
+        detail={"required_pattern": pattern},
+        suggestions=["choose a control that exposes the required pattern",
+                     "fall back to GUI primitives"],
+    )
+
+
+def FilteredFeedback(command_kind: str, target: str) -> StructuredFeedback:
+    """Feedback for a command dropped by non-leaf filtering."""
+    return StructuredFeedback(
+        status=ExecutionStatus.FILTERED,
+        command_kind=command_kind,
+        target=target,
+        message=f"{target!r} is a navigation node; DMI handles navigation itself",
+    )

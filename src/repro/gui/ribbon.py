@@ -1,0 +1,322 @@
+"""Ribbon/menu/dialog construction helpers.
+
+The Office-like applications in :mod:`repro.apps` share a common UI
+vocabulary: a ribbon of tabs, each containing groups of controls, drop-down
+galleries (colours, styles, fonts), and modal dialogs with nested tabs.  The
+builders here produce those structures out of the widget toolkit, keeping the
+application modules focused on wiring UI to application state.
+
+Structurally, the ribbons produced here exhibit the properties the paper
+leans on: deep navigation (tab -> group -> split button -> menu -> gallery ->
+cell), *merge nodes* (the same colour gallery reachable from several parents,
+with path-dependent semantics), and *cycles* (dialogs returning to the main
+window), which is exactly what the UNG-to-forest transformation has to cope
+with.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.gui.widgets import (
+    Button,
+    CheckBox,
+    ComboBox,
+    Dialog,
+    Edit,
+    Gallery,
+    Group,
+    Menu,
+    MenuItem,
+    Pane,
+    RadioButton,
+    Spinner,
+    SplitButton,
+    TabControl,
+    TabItem,
+    Window,
+)
+
+#: The "theme" colour names used by colour pickers across the simulated apps.
+THEME_COLORS: Sequence[str] = (
+    "White", "Black", "Dark Gray", "Gray", "Light Gray",
+    "Dark Blue", "Blue", "Light Blue", "Dark Red", "Red",
+    "Orange", "Gold", "Yellow", "Light Green", "Green",
+    "Dark Green", "Teal", "Cyan", "Purple", "Violet",
+)
+
+#: Standard colours (a second row, as in Office colour pickers).
+STANDARD_COLORS: Sequence[str] = (
+    "Standard Dark Red", "Standard Red", "Standard Orange", "Standard Yellow",
+    "Standard Light Green", "Standard Green", "Standard Light Blue",
+    "Standard Blue", "Standard Dark Blue", "Standard Purple",
+)
+
+#: Font families offered by font combo boxes (a large enumeration the core
+#: topology intentionally prunes, paper §3.3 "Query on demand").
+FONT_FAMILIES: Sequence[str] = (
+    "Calibri", "Cambria", "Candara", "Consolas", "Constantia", "Corbel",
+    "Arial", "Arial Black", "Arial Narrow", "Bahnschrift", "Book Antiqua",
+    "Bookman Old Style", "Calisto MT", "Century", "Century Gothic",
+    "Comic Sans MS", "Courier New", "Franklin Gothic", "Gabriola", "Garamond",
+    "Georgia", "Gill Sans MT", "Helvetica", "Impact", "Lucida Console",
+    "Lucida Sans", "Malgun Gothic", "Microsoft YaHei", "MingLiU", "Palatino",
+    "Rockwell", "Segoe Print", "Segoe Script", "Segoe UI", "SimSun",
+    "Sitka", "Sylfaen", "Tahoma", "Times New Roman", "Trebuchet MS",
+    "Tw Cen MT", "Verdana", "Yu Gothic",
+)
+
+#: Font sizes offered by size combo boxes.
+FONT_SIZES: Sequence[str] = (
+    "8", "9", "10", "10.5", "11", "12", "14", "16", "18", "20",
+    "22", "24", "26", "28", "36", "48", "72",
+)
+
+ChoiceCallback = Callable[[str], None]
+
+
+class RibbonBuilder:
+    """Builds a ribbon (a :class:`TabControl` plus per-tab panels).
+
+    Parameters
+    ----------
+    window:
+        The window the ribbon is installed into.
+    app_name:
+        Used to derive automation ids (``Word.Ribbon.Home`` etc.).
+    """
+
+    def __init__(self, window: Window, app_name: str) -> None:
+        self.window = window
+        self.app_name = app_name
+        self.ribbon = TabControl(name="Ribbon", automation_id=f"{app_name}.Ribbon")
+        window.add_child(self.ribbon)
+        self.panels: Dict[str, Pane] = {}
+        self.tabs: Dict[str, TabItem] = {}
+
+    def add_tab(self, title: str, description: str = "", visible: bool = True,
+                on_select: Optional[Callable[[], None]] = None) -> Pane:
+        """Add a ribbon tab and return its content panel."""
+        panel = Pane(name=f"{title} panel", automation_id=f"{self.app_name}.{title}.Panel")
+        tab = TabItem(
+            name=title,
+            automation_id=f"{self.app_name}.Tab.{title}",
+            description=description or f"{title} ribbon tab",
+            panel=panel,
+            on_select=on_select,
+        )
+        tab.visible = visible
+        self.ribbon.add_tab(tab)
+        self.window.add_child(panel)
+        self.panels[title] = panel
+        self.tabs[title] = tab
+        return panel
+
+    def add_group(self, tab_title: str, group_title: str, description: str = "") -> Group:
+        """Add a command group to a previously created tab panel."""
+        panel = self.panels[tab_title]
+        group = Group(
+            name=group_title,
+            automation_id=f"{self.app_name}.{tab_title}.{group_title}",
+            description=description or f"{group_title} group on the {tab_title} tab",
+        )
+        panel.add_child(group)
+        return group
+
+    def select_tab(self, title: str) -> None:
+        self.tabs[title].select()
+
+    def selected_tab_title(self) -> Optional[str]:
+        tab = self.ribbon.selected_tab()
+        return tab.name if tab is not None else None
+
+
+# ----------------------------------------------------------------------
+# drop-down / gallery builders
+# ----------------------------------------------------------------------
+def build_color_dropdown(
+    name: str,
+    on_choice: ChoiceCallback,
+    automation_id: str = "",
+    description: str = "",
+    include_more_colors: bool = True,
+    extra_items: Sequence[str] = (),
+) -> SplitButton:
+    """Build a colour drop-down (split button revealing colour galleries).
+
+    Several of these are installed across the apps with *different callbacks*
+    (font colour, outline colour, underline colour, fill colour...), creating
+    the path-dependent merge-node situation discussed in the paper
+    (Challenge #1).
+    """
+    dropdown = SplitButton(
+        name,
+        automation_id=automation_id or name.replace(" ", ""),
+        description=description or f"Choose a {name.lower()}",
+    )
+    theme = Gallery(
+        name="Theme Colors",
+        automation_id=f"{dropdown.automation_id}.ThemeColors",
+        choices=THEME_COLORS,
+        on_choice=on_choice,
+    )
+    standard = Gallery(
+        name="Standard Colors",
+        automation_id=f"{dropdown.automation_id}.StandardColors",
+        choices=STANDARD_COLORS,
+        on_choice=on_choice,
+    )
+    dropdown.add_child(theme)
+    dropdown.add_child(standard)
+    for extra in extra_items:
+        dropdown.add_child(Button(extra, on_click=lambda value=extra: on_choice(value),
+                                  automation_id=f"{dropdown.automation_id}.{extra.replace(' ', '')}"))
+    if include_more_colors:
+        dropdown.add_child(
+            Button(
+                "More Colors...",
+                automation_id=f"{dropdown.automation_id}.MoreColors",
+                description="Open the custom colors dialog",
+                on_click=lambda: on_choice("Custom"),
+            )
+        )
+    return dropdown
+
+
+def build_menu_button(name: str, items: Dict[str, Callable[[], None]],
+                      automation_id: str = "", description: str = "") -> SplitButton:
+    """A drop-down button whose menu items invoke callbacks."""
+    dropdown = SplitButton(
+        name,
+        automation_id=automation_id or name.replace(" ", ""),
+        description=description,
+    )
+    menu = Menu(name=f"{name} menu", automation_id=f"{dropdown.automation_id}.Menu")
+    dropdown.add_child(menu)
+    for label, callback in items.items():
+        menu.add_child(
+            MenuItem(label, on_click=callback,
+                     automation_id=f"{dropdown.automation_id}.{label.replace(' ', '')}")
+        )
+    return dropdown
+
+
+def build_gallery_button(name: str, choices: Sequence[str], on_choice: ChoiceCallback,
+                         automation_id: str = "", description: str = "") -> SplitButton:
+    """A drop-down button revealing a gallery of named choices."""
+    dropdown = SplitButton(
+        name,
+        automation_id=automation_id or name.replace(" ", ""),
+        description=description,
+    )
+    gallery = Gallery(
+        name=f"{name} gallery",
+        automation_id=f"{dropdown.automation_id}.Gallery",
+        choices=choices,
+        on_choice=on_choice,
+    )
+    dropdown.add_child(gallery)
+    return dropdown
+
+
+def build_font_controls(prefix: str, on_font: ChoiceCallback, on_size: ChoiceCallback) -> List:
+    """The Font-name and Font-size combo boxes shared by all three apps."""
+    font_box = ComboBox(
+        "Font",
+        automation_id=f"{prefix}.FontName",
+        description="Set the font family of the selection",
+        choices=FONT_FAMILIES,
+        value="Calibri",
+        on_change=on_font,
+    )
+    size_box = ComboBox(
+        "Font Size",
+        automation_id=f"{prefix}.FontSize",
+        description="Set the font size of the selection",
+        choices=FONT_SIZES,
+        value="11",
+        on_change=on_size,
+    )
+    return [font_box, size_box]
+
+
+# ----------------------------------------------------------------------
+# dialog builders
+# ----------------------------------------------------------------------
+class DialogBuilder:
+    """Helper for building modal dialogs with tabs, fields and radio groups."""
+
+    def __init__(self, title: str, on_ok: Optional[Callable[[], None]] = None,
+                 on_cancel: Optional[Callable[[], None]] = None) -> None:
+        self.dialog = Dialog(title, on_ok=on_ok, on_cancel=on_cancel)
+        self._tabs: Optional[TabControl] = None
+
+    def add_tab(self, title: str) -> Pane:
+        """Add a nested tab to the dialog and return its panel."""
+        if self._tabs is None:
+            self._tabs = TabControl(name=f"{self.dialog.name} tabs",
+                                    automation_id=f"{self.dialog.name}.Tabs")
+            self.dialog.add_child(self._tabs)
+        panel = Pane(name=f"{title} page", automation_id=f"{self.dialog.name}.{title}.Page")
+        tab = TabItem(name=title, automation_id=f"{self.dialog.name}.Tab.{title}", panel=panel)
+        self._tabs.add_tab(tab)
+        self.dialog.add_child(panel)
+        return panel
+
+    def add_edit(self, parent, label: str, value: str = "",
+                 on_commit: Optional[Callable[[str], None]] = None,
+                 requires_enter: bool = False) -> Edit:
+        edit = Edit(
+            label,
+            automation_id=f"{self.dialog.name}.{label.replace(' ', '')}",
+            value=value,
+            on_commit=on_commit,
+            requires_enter_to_commit=requires_enter,
+        )
+        parent.add_child(edit)
+        return edit
+
+    def add_checkbox(self, parent, label: str, checked: bool = False,
+                     on_change: Optional[Callable[[bool], None]] = None) -> CheckBox:
+        box = CheckBox(label, checked=checked, on_change=on_change,
+                       automation_id=f"{self.dialog.name}.{label.replace(' ', '')}")
+        parent.add_child(box)
+        return box
+
+    def add_radio_group(self, parent, group_label: str, options: Sequence[str],
+                        on_select: ChoiceCallback) -> Group:
+        group = Group(name=group_label,
+                      automation_id=f"{self.dialog.name}.{group_label.replace(' ', '')}")
+        parent.add_child(group)
+        for option in options:
+            group.add_child(
+                RadioButton(option,
+                            automation_id=f"{group.automation_id}.{option.replace(' ', '')}",
+                            on_select=lambda sel, value=option: on_select(value) if sel else None)
+            )
+        return group
+
+    def add_spinner(self, parent, label: str, value: float = 0.0, minimum: float = 0.0,
+                    maximum: float = 100.0,
+                    on_change: Optional[Callable[[float], None]] = None) -> Spinner:
+        spinner = Spinner(label, value=value, minimum=minimum, maximum=maximum,
+                          on_change=on_change,
+                          automation_id=f"{self.dialog.name}.{label.replace(' ', '')}")
+        parent.add_child(spinner)
+        return spinner
+
+    def add_button(self, parent, label: str, on_click: Callable[[], None]) -> Button:
+        button = Button(label, on_click=on_click,
+                        automation_id=f"{self.dialog.name}.{label.replace(' ', '')}")
+        parent.add_child(button)
+        return button
+
+    def add_combo(self, parent, label: str, choices: Sequence[str], value: str = "",
+                  on_change: Optional[ChoiceCallback] = None) -> ComboBox:
+        combo = ComboBox(label, choices=choices, value=value, on_change=on_change,
+                         automation_id=f"{self.dialog.name}.{label.replace(' ', '')}")
+        parent.add_child(combo)
+        return combo
+
+    def build(self) -> Dialog:
+        return self.dialog

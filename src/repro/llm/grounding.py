@@ -1,0 +1,98 @@
+"""Visual-grounding simulation.
+
+GUI-based agents must map the control they *intend* to act on to a concrete
+on-screen element, typically by reading a labelled accessibility tree or a
+screenshot.  The paper identifies imperfect visual grounding as a dominant
+mechanism-level failure source for GUI-only agents.  :class:`GroundingModel`
+reproduces that failure mode: a lookup by name usually resolves to the right
+element, but with a profile-dependent probability it lands on a *plausible
+neighbour* (spatially close, or sharing part of the name) instead.
+
+DMI's access declaration bypasses grounding entirely — the executor resolves
+ids deterministically — which is exactly why the declarative interface
+removes this class of failure.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from repro.gui.screen import neighbours_of
+from repro.llm.profiles import ModelProfile
+from repro.uia.element import UIElement
+
+
+class GroundingModel:
+    """Resolves intended control names against the visible UI, imperfectly."""
+
+    def __init__(self, profile: ModelProfile, rng: Optional[random.Random] = None) -> None:
+        self.profile = profile
+        self.rng = rng or random.Random(0)
+        self.lookups = 0
+        self.errors_injected = 0
+
+    # ------------------------------------------------------------------
+    def locate(self, name: str, visible: Sequence[UIElement],
+               scope_hint: str = "") -> Optional[UIElement]:
+        """Find the on-screen element the model believes matches ``name``.
+
+        Returns None when nothing plausibly matches (the model reports the
+        control as "not visible"), the correct element most of the time, and
+        a nearby/confusable element with probability
+        ``profile.grounding_error_rate``.
+        """
+        self.lookups += 1
+        target = self._best_match(name, visible, scope_hint)
+        if target is None:
+            return None
+        if self.rng.random() < self.profile.grounding_error_rate:
+            wrong = self._confusable_alternative(target, name, visible)
+            if wrong is not None:
+                self.errors_injected += 1
+                return wrong
+        return target
+
+    def misreads_content(self) -> bool:
+        """Whether the model misreads dynamic on-screen content this time."""
+        return self.rng.random() < self.profile.visual_parse_error_rate
+
+    # ------------------------------------------------------------------
+    def _best_match(self, name: str, visible: Sequence[UIElement],
+                    scope_hint: str = "") -> Optional[UIElement]:
+        wanted = name.lower()
+        hint = scope_hint.lower()
+        exact = [e for e in visible if e.name.lower() == wanted and e.is_enabled]
+        if hint and len(exact) > 1:
+            scoped = [e for e in exact if hint in _ancestry_text(e)]
+            if scoped:
+                exact = scoped
+        if exact:
+            return exact[0]
+        partial = [e for e in visible
+                   if wanted and wanted in e.name.lower() and e.is_enabled]
+        if hint and len(partial) > 1:
+            scoped = [e for e in partial if hint in _ancestry_text(e)]
+            if scoped:
+                partial = scoped
+        return partial[0] if partial else None
+
+    def _confusable_alternative(self, target: UIElement, name: str,
+                                visible: Sequence[UIElement]) -> Optional[UIElement]:
+        """Pick a plausible wrong element: same-name siblings first, then
+        spatial neighbours, then anything clickable nearby in the list."""
+        same_name = [e for e in visible
+                     if e is not target and e.name.lower() == name.lower()]
+        if same_name:
+            return self.rng.choice(same_name)
+        near = [e for e in neighbours_of(target) if e.is_enabled]
+        if near:
+            return self.rng.choice(near)
+        others = [e for e in visible if e is not target and e.is_enabled and e.name]
+        if others:
+            return self.rng.choice(others)
+        return None
+
+
+def _ancestry_text(element: UIElement) -> str:
+    return " > ".join(a.name for a in reversed(element.ancestors())).lower()

@@ -1,0 +1,428 @@
+"""The semantic planner: the policy half of the simulated LLM.
+
+Given a task specification, the planner produces either
+
+* a **declarative plan** (:meth:`SemanticPlanner.plan_declarative`) — the
+  sequence of DMI calls (``visit`` bundles, state declarations, observation
+  requests, ``further_query``) an LLM using DMI would emit, or
+* an **imperative plan** (:meth:`SemanticPlanner.plan_imperative`) — the
+  sequence of fine-grained GUI micro-steps (clicks, text entry, drags) a
+  GUI-only agent must emit.
+
+Both start from the task's oracle intent decomposition and then degrade it
+according to the model profile:
+
+* **semantic errors** — with a task- and profile-dependent probability the
+  planner misunderstands the task: it substitutes a plausible distractor
+  control, mangles a numeric argument, or drops a trailing intent.  This is
+  decided once per trial (a misunderstanding persists across rounds) and is
+  the source of *policy-level* failures.
+* **imperfect instruction following** — with some probability the planner
+  also emits navigation (non-leaf) nodes in ``visit`` commands, which DMI's
+  filtering must absorb.
+* **knowledge gaps** — models that do not know the application's command
+  structure explore wrong ribbon tabs before finding the right one when
+  driving the GUI imperatively.
+
+Mechanism-level errors (grounding, composite interaction) are *not* applied
+here; they live in :mod:`repro.llm.grounding` and the agent's executor,
+because they occur at action-delivery time.
+"""
+
+from __future__ import annotations
+
+import random
+import re
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from typing import TYPE_CHECKING
+
+from repro.llm.profiles import ModelProfile
+from repro.spec import FailureCause, Intent, IntentKind, TaskSpec
+from repro.topology.forest import ForestNode, NavigationForest
+
+if TYPE_CHECKING:  # pragma: no cover - avoids a circular import at runtime
+    from repro.topology.core import CoreTopology
+
+
+@dataclass
+class PlannedCall:
+    """One LLM round's worth of DMI output."""
+
+    kind: str                      # visit | set_scrollbar_pos | select_lines |
+    #                              # select_paragraphs | select_controls |
+    #                              # get_texts | further_query | gui_fallback
+    payload: dict = field(default_factory=dict)
+    intent_index: int = -1
+
+
+@dataclass
+class MicroStep:
+    """One fine-grained imperative GUI action the baseline must deliver."""
+
+    kind: str                      # click | type | shortcut | drag_scroll |
+    #                              # select_text | read
+    target: str = ""
+    scope_hint: str = ""
+    text: str = ""
+    value: float = 0.0
+    select_range: Tuple[int, ...] = ()
+    intent_index: int = -1
+    #: True when the step is exploratory noise (wrong tab opened by a model
+    #: that does not know the application structure).
+    exploratory: bool = False
+
+
+@dataclass
+class SemanticPlan:
+    """The planner's output for one trial."""
+
+    calls: List[PlannedCall] = field(default_factory=list)
+    steps: List[MicroStep] = field(default_factory=list)
+    corruption: Optional[FailureCause] = None
+    corrupted_intent: int = -1
+    notes: List[str] = field(default_factory=list)
+
+
+@dataclass
+class LeafResolution:
+    """Result of resolving an intent target against the navigation forest."""
+
+    node: Optional[ForestNode]
+    entry_ref_ids: List[int] = field(default_factory=list)
+    in_core: bool = True
+
+    @property
+    def resolved(self) -> bool:
+        return self.node is not None
+
+
+class SemanticPlanner:
+    """Produces (possibly degraded) plans for one task trial."""
+
+    def __init__(self, profile: ModelProfile, rng: Optional[random.Random] = None) -> None:
+        self.profile = profile
+        self.rng = rng or random.Random(0)
+
+    # ------------------------------------------------------------------
+    # semantic corruption
+    # ------------------------------------------------------------------
+    def corrupt_intents(self, task: TaskSpec, split_attention: bool
+                        ) -> Tuple[List[Intent], Optional[FailureCause], int]:
+        """Apply at most one semantic misunderstanding to the task's intents.
+
+        Returns (intents, failure_cause, corrupted_index); the cause is None
+        when the planner understood the task correctly.
+        """
+        intents = list(task.intents)
+        probability = self.profile.effective_semantic_error(task.semantic_difficulty,
+                                                            split_attention)
+        if self.rng.random() >= probability:
+            return intents, None, -1
+
+        index = self.rng.randrange(len(intents))
+        intents[index] = self._corrupt_one(intents[index])
+        cause = task.policy_failure_cause
+        if task.ambiguous:
+            cause = FailureCause.AMBIGUOUS_TASK
+        return intents, cause, index
+
+    def _corrupt_one(self, intent: Intent) -> Intent:
+        """Produce a plausible — and consequential — misunderstanding of one intent."""
+        from dataclasses import replace
+
+        if intent.distractors:
+            wrong = self.rng.choice(list(intent.distractors))
+            return replace(intent, target=wrong, scope_hint="")
+        if intent.kind == IntentKind.SET_SCROLLBAR:
+            wrong_value = max(0.0, min(100.0, intent.value + self.rng.choice([-45.0, -30.0, 35.0])))
+            return replace(intent, value=wrong_value)
+        if intent.kind in (IntentKind.SELECT_LINES, IntentKind.SELECT_PARAGRAPHS) \
+                and intent.select_range:
+            start, end = intent.select_range[0], intent.select_range[-1]
+            shifted = (max(0, start - 1), max(0, end - 1))
+            return replace(intent, select_range=shifted)
+        if intent.kind == IntentKind.ACCESS_INPUT and intent.text:
+            return replace(intent, text=_corrupt_text(intent.text, self.rng))
+        if intent.kind == IntentKind.SELECT_CONTROLS and intent.control_names:
+            return replace(intent, control_names=tuple(_corrupt_text(n, self.rng)
+                                                       for n in intent.control_names))
+        # Last resort: the planner simply skips the operation.
+        return replace(intent, kind=IntentKind.OBSERVE, target=intent.target)
+
+    # ------------------------------------------------------------------
+    # leaf resolution against the forest
+    # ------------------------------------------------------------------
+    def resolve_leaf(self, forest: NavigationForest, name: str, scope_hint: str = "",
+                     core: Optional["CoreTopology"] = None,
+                     prefer_types: Tuple[str, ...] = ()) -> LeafResolution:
+        """Find the functional node the planner means by ``name``.
+
+        Candidates are filtered by the scope hint first (the path-dependent
+        disambiguation — "Blue" under "Fill Color" vs "Font Color"), then by
+        control-type preference (a "type text into X" intent prefers Edit-like
+        controls over an identically named checkbox), then leaves are
+        preferred.  The chosen node may be a non-leaf when the semantically
+        right control happens to reveal content when clicked (e.g.
+        "New Slide > Two Content" reveals a new thumbnail); the caller decides
+        what to do with it — DMI's visit interface would filter it, so the
+        declarative planner falls back to GUI for that intent, as the paper's
+        "explicit navigation-node access" lesson prescribes.
+        """
+        candidates = forest.find_by_name(name, exact=True)
+        if not candidates:
+            candidates = forest.find_by_name(name, exact=False)
+        candidates = [c for c in candidates if not c.is_reference]
+        if not candidates:
+            return LeafResolution(node=None)
+        scoped = self._filter_by_scope(candidates, scope_hint)
+        pool = scoped if scoped else candidates
+        if prefer_types:
+            wanted_types = {t.lower() for t in prefer_types}
+            typed = [c for c in pool if c.control_type.value.lower() in wanted_types]
+            if typed:
+                pool = typed
+        leaves = [c for c in pool if c.is_leaf]
+        chosen = leaves[0] if leaves else pool[0]
+        entry_refs: List[int] = []
+        if chosen.subtree_id is not None:
+            references = forest.references_to_subtree(chosen.subtree_id)
+            scoped_refs = self._filter_by_scope(references, scope_hint)
+            ref = (scoped_refs or references)[0] if references else None
+            if ref is not None:
+                entry_refs = [ref.node_id]
+        in_core = core.contains(chosen.node_id) if core is not None else True
+        return LeafResolution(node=chosen, entry_ref_ids=entry_refs, in_core=in_core)
+
+    @staticmethod
+    def _filter_by_scope(candidates: Sequence[ForestNode], scope_hint: str) -> List[ForestNode]:
+        if not scope_hint:
+            return list(candidates)
+        hint = scope_hint.lower()
+        matching = []
+        for candidate in candidates:
+            path_text = " > ".join(n.name for n in candidate.path_from_root()).lower()
+            if hint in path_text:
+                matching.append(candidate)
+        return matching
+
+    # ------------------------------------------------------------------
+    # declarative planning (GUI + DMI)
+    # ------------------------------------------------------------------
+    def plan_declarative(self, task: TaskSpec, forest: NavigationForest,
+                         core: Optional["CoreTopology"] = None) -> SemanticPlan:
+        """The sequence of DMI calls the model emits for this task."""
+        intents, cause, corrupted = self.corrupt_intents(task, split_attention=False)
+        plan = SemanticPlan(corruption=cause, corrupted_intent=corrupted)
+
+        pending_visit: List[dict] = []
+
+        def flush_visit() -> None:
+            if pending_visit:
+                plan.calls.append(PlannedCall(kind="visit",
+                                              payload={"commands": list(pending_visit)}))
+                pending_visit.clear()
+
+        for index, intent in enumerate(intents):
+            if intent.kind in (IntentKind.ACCESS, IntentKind.ACCESS_INPUT):
+                prefer = _EDITABLE_TYPES if intent.kind == IntentKind.ACCESS_INPUT else ()
+                resolution = self.resolve_leaf(forest, intent.target, intent.scope_hint, core,
+                                               prefer_types=prefer)
+                if not resolution.resolved or not resolution.node.is_leaf:
+                    # Either the topology lacks the control, or the intended
+                    # control is a navigation node that visit would filter:
+                    # use the GUI slow path for this intent (paper §5.7).
+                    flush_visit()
+                    plan.calls.append(PlannedCall(kind="gui_fallback",
+                                                  payload={"intent": intent},
+                                                  intent_index=index))
+                    plan.notes.append(f"{intent.target!r} is outside visit's fast path; "
+                                      f"falling back to GUI")
+                    continue
+                if not resolution.in_core:
+                    flush_visit()
+                    plan.calls.append(PlannedCall(
+                        kind="further_query",
+                        payload={"node_ids": [resolution.node.node_id]},
+                        intent_index=index))
+                command = {"id": resolution.node.node_id}
+                if resolution.entry_ref_ids:
+                    command["entry_ref_id"] = list(resolution.entry_ref_ids)
+                if intent.kind == IntentKind.ACCESS_INPUT:
+                    command["text"] = intent.text
+                pending_visit.append(command)
+                self._maybe_disobey(forest, resolution, pending_visit)
+            elif intent.kind == IntentKind.SHORTCUT:
+                pending_visit.append({"shortcut_key": intent.text})
+            elif intent.kind == IntentKind.SET_SCROLLBAR:
+                flush_visit()
+                plan.calls.append(PlannedCall(
+                    kind="set_scrollbar_pos",
+                    payload={"control": intent.target, "percent": intent.value},
+                    intent_index=index))
+            elif intent.kind == IntentKind.SELECT_LINES:
+                flush_visit()
+                plan.calls.append(PlannedCall(
+                    kind="select_lines",
+                    payload={"control": intent.target,
+                             "start": intent.select_range[0],
+                             "end": intent.select_range[-1]},
+                    intent_index=index))
+            elif intent.kind == IntentKind.SELECT_PARAGRAPHS:
+                flush_visit()
+                plan.calls.append(PlannedCall(
+                    kind="select_paragraphs",
+                    payload={"control": intent.target,
+                             "start": intent.select_range[0],
+                             "end": intent.select_range[-1]},
+                    intent_index=index))
+            elif intent.kind == IntentKind.SELECT_CONTROLS:
+                flush_visit()
+                plan.calls.append(PlannedCall(
+                    kind="select_controls",
+                    payload={"controls": list(intent.control_names)},
+                    intent_index=index))
+            elif intent.kind == IntentKind.OBSERVE:
+                flush_visit()
+                plan.calls.append(PlannedCall(
+                    kind="get_texts",
+                    payload={"control": intent.target},
+                    intent_index=index))
+            else:  # pragma: no cover - defensive
+                raise ValueError(f"unhandled intent kind {intent.kind}")
+        flush_visit()
+        return plan
+
+    def _maybe_disobey(self, forest: NavigationForest, resolution: LeafResolution,
+                       pending_visit: List[dict]) -> None:
+        """With some probability, also emit the navigation parent (violating
+        the "functional controls only" instruction); DMI must filter it."""
+        if self.rng.random() >= self.profile.instruction_following_error:
+            return
+        node = resolution.node
+        if node is None or node.parent is None:
+            return
+        parent = node.parent
+        if parent.is_reference or parent.parent is None:
+            return
+        pending_visit.insert(max(0, len(pending_visit) - 1), {"id": parent.node_id})
+
+    # ------------------------------------------------------------------
+    # imperative planning (GUI-only baseline)
+    # ------------------------------------------------------------------
+    def plan_imperative(self, task: TaskSpec, forest: NavigationForest,
+                        knows_structure: Optional[bool] = None) -> SemanticPlan:
+        """The fine-grained GUI micro-steps the baseline model emits."""
+        intents, cause, corrupted = self.corrupt_intents(task, split_attention=True)
+        plan = SemanticPlan(corruption=cause, corrupted_intent=corrupted)
+        knows = self.profile.knows_app_structure if knows_structure is None else knows_structure
+
+        previous_path_names: List[str] = []
+        for index, intent in enumerate(intents):
+            if intent.kind in (IntentKind.ACCESS, IntentKind.ACCESS_INPUT):
+                if not knows:
+                    for wrong_tab in self._exploration_noise(forest):
+                        plan.steps.append(MicroStep(kind="click", target=wrong_tab,
+                                                    intent_index=index, exploratory=True))
+                prefer = _EDITABLE_TYPES if intent.kind == IntentKind.ACCESS_INPUT else ()
+                resolution = self.resolve_leaf(forest, intent.target, intent.scope_hint,
+                                               prefer_types=prefer)
+                if resolution.resolved:
+                    path = forest.node_path(resolution.node.node_id, resolution.entry_ref_ids)
+                else:
+                    # The model believes the control exists and will try to
+                    # click it directly (and fail to find it on screen).
+                    path = []
+                path_names = [node.name for node in path]
+                # Consecutive intents that live behind the same menu/dialog
+                # share a navigation prefix the model does not re-open (the
+                # dialog is already in front of it).
+                shared = _common_prefix_length(previous_path_names, path_names)
+                shared = min(shared, max(0, len(path_names) - 1))
+                for name in path_names[shared:]:
+                    plan.steps.append(MicroStep(kind="click", target=name,
+                                                scope_hint=intent.scope_hint,
+                                                intent_index=index))
+                if not path_names:
+                    plan.steps.append(MicroStep(kind="click", target=intent.target,
+                                                scope_hint=intent.scope_hint,
+                                                intent_index=index))
+                previous_path_names = path_names
+                if intent.kind == IntentKind.ACCESS_INPUT:
+                    plan.steps.append(MicroStep(kind="type", target=intent.target,
+                                                scope_hint=intent.scope_hint,
+                                                text=intent.text, intent_index=index))
+            elif intent.kind == IntentKind.SHORTCUT:
+                plan.steps.append(MicroStep(kind="shortcut", text=intent.text,
+                                            intent_index=index))
+            elif intent.kind == IntentKind.SET_SCROLLBAR:
+                plan.steps.append(MicroStep(kind="drag_scroll", target=intent.target,
+                                            value=intent.value, intent_index=index))
+            elif intent.kind in (IntentKind.SELECT_LINES, IntentKind.SELECT_PARAGRAPHS):
+                plan.steps.append(MicroStep(kind="select_text", target=intent.target,
+                                            select_range=tuple(intent.select_range),
+                                            intent_index=index))
+            elif intent.kind == IntentKind.SELECT_CONTROLS:
+                for name in intent.control_names:
+                    plan.steps.append(MicroStep(kind="click", target=name,
+                                                intent_index=index))
+            elif intent.kind == IntentKind.OBSERVE:
+                plan.steps.append(MicroStep(kind="read", target=intent.target,
+                                            intent_index=index))
+            else:  # pragma: no cover - defensive
+                raise ValueError(f"unhandled intent kind {intent.kind}")
+        return plan
+
+    def _exploration_noise(self, forest: NavigationForest) -> List[str]:
+        """Ribbon tabs a structure-unaware model opens while searching."""
+        if forest.main_root is None:
+            return []
+        tabs = [n.name for n in forest.main_root.children
+                if not n.is_reference and n.children and n.name]
+        if not tabs:
+            return []
+        count = self.rng.choice([0, 1, 1, 2])
+        return [self.rng.choice(tabs) for _ in range(count)]
+
+
+#: Control types an access-and-input-text intent prefers when several
+#: controls share a name (the Notes edit pane over the "Notes" checkbox).
+_EDITABLE_TYPES = ("Edit", "ComboBox", "DataItem", "Document", "Spinner")
+
+
+def _common_prefix_length(previous: Sequence[str], current: Sequence[str]) -> int:
+    """Length of the shared leading segment of two navigation paths."""
+    length = 0
+    for a, b in zip(previous, current):
+        if a != b:
+            break
+        length += 1
+    return length
+
+
+_CELL_REFERENCE_RE = re.compile(r"^([A-Za-z]{1,3})([0-9]+)((:[A-Za-z]{1,3}[0-9]+)?)$")
+
+
+def _corrupt_text(text: str, rng: random.Random) -> str:
+    """A consequential misunderstanding of a textual argument.
+
+    Cell references drift by one row, numbers lose or gain an order of
+    magnitude or a digit, and free text is replaced by a near-miss — the
+    kinds of small semantic slips that still execute cleanly but leave the
+    wrong final state.
+    """
+    match = _CELL_REFERENCE_RE.match(text.strip())
+    if match:
+        column, row, tail = match.group(1), int(match.group(2)), match.group(3) or ""
+        return f"{column}{max(1, row + rng.choice([-1, 1]))}{tail}"
+    try:
+        value = float(text)
+    except ValueError:
+        words = text.split()
+        if len(words) > 1:
+            return " ".join(words[:-1])
+        return text + " draft"
+    factor = rng.choice([0.1, 10.0])
+    corrupted = value * factor
+    return str(int(corrupted)) if corrupted.is_integer() else str(corrupted)

@@ -1,0 +1,106 @@
+"""The access blocklist (paper §4.1).
+
+DFS-based ripping must return the application to its prior state before
+exploring further branches.  Some controls make that impossible or expensive:
+they trigger external transitions (opening another application), enter states
+that cannot be exited with ``Esc``/``Close``, or would destroy the scratch
+document the ripper is driving.  The paper handles these with a manually
+maintained blocklist — the dominant share of the per-application manual
+effort it reports (~1.5 person-days).
+
+Blocklisted controls are still *recorded* as UNG nodes when they are revealed
+(they are legitimate functional leaves an agent may need to invoke); they are
+simply never *activated* by the explorer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence, Set
+
+from repro.uia.element import UIElement
+
+
+@dataclass
+class AccessBlocklist:
+    """Controls the ripper must not activate during exploration."""
+
+    #: Exact control names that are never clicked.
+    names: Set[str] = field(default_factory=set)
+    #: Automation-id prefixes that are never clicked.
+    automation_id_prefixes: Set[str] = field(default_factory=set)
+    #: Substrings of names that are never clicked (case-insensitive).
+    name_substrings: Set[str] = field(default_factory=set)
+
+    def blocks(self, element: UIElement) -> bool:
+        """Return True if the ripper must not activate ``element``."""
+        if element.name in self.names:
+            return True
+        lowered = element.name.lower()
+        for fragment in self.name_substrings:
+            if fragment.lower() in lowered:
+                return True
+        for prefix in self.automation_id_prefixes:
+            if element.automation_id.startswith(prefix):
+                return True
+        return False
+
+    def merged_with(self, other: "AccessBlocklist") -> "AccessBlocklist":
+        return AccessBlocklist(
+            names=self.names | other.names,
+            automation_id_prefixes=self.automation_id_prefixes | other.automation_id_prefixes,
+            name_substrings=self.name_substrings | other.name_substrings,
+        )
+
+    @classmethod
+    def from_names(cls, names: Iterable[str]) -> "AccessBlocklist":
+        return cls(names=set(names))
+
+
+#: Dialog-dismissal buttons: activating them mid-exploration would close the
+#: dialog under the explorer's feet.  They remain UNG leaves.
+_DIALOG_BUTTONS: Sequence[str] = ("OK", "Cancel", "Close")
+
+#: Controls shared by all applications that either leave the application
+#: (Print spoolers, external viewers) or destroy scratch state.
+_COMMON: Sequence[str] = (
+    "Print",
+    "Close Document",
+    "Export as PDF",
+    "Export as CSV",
+)
+
+_PER_APP = {
+    "Word": AccessBlocklist(
+        names=set(_DIALOG_BUTTONS) | set(_COMMON) | {
+            "Spelling & Grammar",       # opens the proofing task pane loop
+            "Thesaurus",                # external lookup
+        },
+    ),
+    "Excel": AccessBlocklist(
+        names=set(_DIALOG_BUTTONS) | set(_COMMON) | {
+            "New Window",               # spawns another top-level window
+            "Remove Duplicates",        # destructive on the scratch workbook
+        },
+    ),
+    "PowerPoint": AccessBlocklist(
+        names=set(_DIALOG_BUTTONS) | set(_COMMON) | {
+            "From Beginning",           # enters the slide-show state
+            "From Current Slide",
+            "Delete Slide",             # destructive on the scratch deck
+            "Video",                    # external media picker
+            "Audio",
+        },
+    ),
+}
+
+
+def default_blocklist_for(app_name: str) -> AccessBlocklist:
+    """The curated blocklist for one of the simulated applications.
+
+    Unknown applications get the common core (dialog buttons + external
+    transitions) so the ripper still behaves sensibly on custom apps.
+    """
+    if app_name in _PER_APP:
+        return _PER_APP[app_name]
+    return AccessBlocklist(names=set(_DIALOG_BUTTONS) | set(_COMMON))

@@ -1,0 +1,42 @@
+"""Context-aware exploration (paper §4.1).
+
+Some controls are only visible under specific conditions — PowerPoint's
+"Picture Format" tab exists only while an image is selected.  The paper
+manually instantiates representative objects (an image, a text box) together
+with their context types; the explorer traverses each context independently
+and merges the results into a unified topology.
+
+Applications declare their contexts via
+:meth:`repro.apps.base.Application.register_context`; this module wraps them
+in :class:`ExplorationContext` objects the ripper iterates over.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List
+
+from repro.apps.base import Application
+
+#: Name of the implicit context every application is explored under.
+DEFAULT_CONTEXT = "default"
+
+
+@dataclass
+class ExplorationContext:
+    """A named application state the ripper explores independently."""
+
+    name: str
+    setup: Callable[[], None]
+
+    def enter(self) -> None:
+        """Bring the application into this context."""
+        self.setup()
+
+
+def context_plan_for(app: Application) -> List[ExplorationContext]:
+    """Return the exploration contexts for ``app`` (default context first)."""
+    plan = [ExplorationContext(name=DEFAULT_CONTEXT, setup=lambda: None)]
+    for name, setup in app.exploration_contexts().items():
+        plan.append(ExplorationContext(name=name, setup=setup))
+    return plan

@@ -1,0 +1,151 @@
+"""Task and intent specifications.
+
+These dataclasses describe *what a benchmark task asks for* in a way both the
+policy simulator (:mod:`repro.llm.planner`) and the benchmark checkers
+(:mod:`repro.bench`) can consume.  They live in a dependency-free module so
+that the LLM substrate does not need to import the benchmark package (and
+vice versa).
+
+An :class:`Intent` is one abstract semantic operation — "access the
+``Apply to All`` control", "set the scrollbar to 80%", "type 42 into the
+Name Box".  A task's intent list is the *oracle decomposition* of the
+instruction: it is what a competent planner would derive from the natural-
+language instruction plus application knowledge.  The policy simulator
+starts from this decomposition and then degrades it according to the model
+profile (semantic errors, grounding errors, planning errors), which is how
+LLM weaknesses enter the reproduction without a live model.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence, Tuple
+
+
+class IntentKind(str, enum.Enum):
+    """The kinds of abstract operations tasks are composed of."""
+
+    #: Navigate to a functional control and click it.
+    ACCESS = "access"
+    #: Navigate to an Edit-type control and type text into it.
+    ACCESS_INPUT = "access_input"
+    #: Press a keyboard shortcut (auxiliary; e.g. ENTER to commit).
+    SHORTCUT = "shortcut"
+    #: Set a scrollbar to an absolute position (composite interaction).
+    SET_SCROLLBAR = "set_scrollbar"
+    #: Select a contiguous range of lines in a text control.
+    SELECT_LINES = "select_lines"
+    #: Select a contiguous range of paragraphs in a text control.
+    SELECT_PARAGRAPHS = "select_paragraphs"
+    #: Select one or more controls (cells, list items) by name.
+    SELECT_CONTROLS = "select_controls"
+    #: Retrieve structured text from controls and use it for a later choice.
+    OBSERVE = "observe"
+
+
+@dataclass(frozen=True)
+class Intent:
+    """One abstract semantic operation of a task."""
+
+    kind: IntentKind
+    #: Name of the target functional control (ACCESS/ACCESS_INPUT), or of the
+    #: on-screen control operated on by state/observation declarations.
+    target: str = ""
+    #: Substring that must appear in the navigation path of the target; used
+    #: to disambiguate controls that share a name (e.g. the colour "Blue"
+    #: under "Fill Color" vs under "Font Color").
+    scope_hint: str = ""
+    #: Text to type (ACCESS_INPUT) or key combination (SHORTCUT).
+    text: str = ""
+    #: Numeric argument (scroll percent, spinner value).
+    value: float = 0.0
+    #: Inclusive (start, end) range for SELECT_LINES / SELECT_PARAGRAPHS, or
+    #: an empty tuple.
+    select_range: Tuple[int, ...] = ()
+    #: Control names to select for SELECT_CONTROLS.
+    control_names: Tuple[str, ...] = ()
+    #: Plausible-but-wrong alternatives a semantically confused planner might
+    #: pick instead of ``target`` (drives the policy-failure model).
+    distractors: Tuple[str, ...] = ()
+
+    def describe(self) -> str:
+        if self.kind in (IntentKind.ACCESS, IntentKind.ACCESS_INPUT):
+            suffix = f" <- {self.text!r}" if self.text else ""
+            scope = f" (via {self.scope_hint})" if self.scope_hint else ""
+            return f"{self.kind.value}: {self.target}{scope}{suffix}"
+        if self.kind == IntentKind.SET_SCROLLBAR:
+            return f"{self.kind.value}: {self.target} -> {self.value:.0f}%"
+        if self.kind in (IntentKind.SELECT_LINES, IntentKind.SELECT_PARAGRAPHS):
+            return f"{self.kind.value}: {self.target} {self.select_range}"
+        if self.kind == IntentKind.SELECT_CONTROLS:
+            return f"{self.kind.value}: {', '.join(self.control_names)}"
+        if self.kind == IntentKind.SHORTCUT:
+            return f"{self.kind.value}: {self.text}"
+        return f"{self.kind.value}: {self.target}"
+
+
+class FailureCategory(str, enum.Enum):
+    """Top-level failure taxonomy (paper §5.6, Figure 6)."""
+
+    POLICY = "policy"
+    MECHANISM = "mechanism"
+
+
+class FailureCause(str, enum.Enum):
+    """Fine-grained failure causes used in the paper's failure analysis."""
+
+    # policy-level
+    AMBIGUOUS_TASK = "ambiguous_task_description"
+    CONTROL_SEMANTICS = "misinterpreted_control_semantics"
+    VISUAL_SEMANTIC = "weak_visual_semantic_understanding"
+    SUBTLE_SEMANTICS = "misunderstood_subtle_task_semantics"
+    # mechanism-level
+    CONTROL_LOCALIZATION = "control_localization_or_navigation_error"
+    COMPOSITE_INTERACTION = "composite_interaction_error"
+    TOPOLOGY_INACCURACY = "topology_modeling_inaccuracy"
+    STEP_BUDGET_EXHAUSTED = "step_budget_exhausted"
+
+    @property
+    def category(self) -> FailureCategory:
+        if self in (FailureCause.AMBIGUOUS_TASK, FailureCause.CONTROL_SEMANTICS,
+                    FailureCause.VISUAL_SEMANTIC, FailureCause.SUBTLE_SEMANTICS):
+            return FailureCategory.POLICY
+        return FailureCategory.MECHANISM
+
+
+@dataclass
+class TaskSpec:
+    """One benchmark task (an OSWorld-W-style single-app scenario)."""
+
+    task_id: str
+    app: str                                   # "word" | "excel" | "powerpoint"
+    instruction: str
+    intents: Tuple[Intent, ...]
+    #: Called with the application instance after the run; True == success.
+    checker: Callable[[object], bool]
+    #: Multiplier on the model's semantic-error rate (0 = trivially clear,
+    #: 1 = average, >1 = harder than average).
+    semantic_difficulty: float = 1.0
+    #: Whether the instruction itself is ambiguous (the dominant policy
+    #: failure cause in the paper's analysis).
+    ambiguous: bool = False
+    #: Which policy-level cause a semantic failure on this task is recorded
+    #: under (matches the paper's categories).
+    policy_failure_cause: FailureCause = FailureCause.SUBTLE_SEMANTICS
+    #: The task requires reading dynamic content before acting (observation
+    #: declaration / visual parsing for the baseline).
+    requires_observation: bool = False
+    #: The task involves a composite interaction (scroll/drag) at some point.
+    uses_composite_interaction: bool = False
+    #: Free-form tags used by reporting.
+    tags: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.app not in {"word", "excel", "powerpoint"}:
+            raise ValueError(f"unknown app {self.app!r} for task {self.task_id}")
+        if not self.intents:
+            raise ValueError(f"task {self.task_id} has no intents")
+
+    def intent_count(self) -> int:
+        return len(self.intents)

@@ -1,0 +1,48 @@
+"""Path-unambiguous navigation topology (paper §3.2, §3.3).
+
+This package turns the raw UI Navigation Graph produced by ripping into the
+artefacts DMI consumes online:
+
+1. :mod:`repro.topology.decycle` — remove back-edges to obtain a
+   single-source DAG;
+2. :mod:`repro.topology.externalize` — cost-based selective externalization
+   of merge nodes, trading clone blow-up against indirection;
+3. :mod:`repro.topology.forest` — the resulting forest (main tree + shared
+   subtrees + entry map) with unique root-to-control paths;
+4. :mod:`repro.topology.serialize` — the compact textual description
+   ``name(type)(description)_id[children]`` sent to the LLM;
+5. :mod:`repro.topology.core` — depth-limited core extraction with pruning of
+   large enumerations;
+6. :mod:`repro.topology.query` — the ``further_query`` on-demand retrieval
+   mechanism.
+"""
+
+from repro.topology.decycle import DecycleResult, decycle
+from repro.topology.externalize import ExternalizationConfig, ExternalizationResult, plan_externalization
+from repro.topology.forest import ForestNode, NavigationForest, build_forest
+from repro.topology.serialize import SerializationConfig, serialize_forest, serialize_node
+from repro.topology.core import CoreTopologyConfig, CoreTopology, extract_core
+from repro.topology.query import QueryEngine
+from repro.topology.persistence import load_ung, save_ung, ung_from_dict, ung_to_dict
+
+__all__ = [
+    "load_ung",
+    "save_ung",
+    "ung_from_dict",
+    "ung_to_dict",
+    "CoreTopology",
+    "CoreTopologyConfig",
+    "DecycleResult",
+    "ExternalizationConfig",
+    "ExternalizationResult",
+    "ForestNode",
+    "NavigationForest",
+    "QueryEngine",
+    "SerializationConfig",
+    "build_forest",
+    "decycle",
+    "extract_core",
+    "plan_externalization",
+    "serialize_forest",
+    "serialize_node",
+]

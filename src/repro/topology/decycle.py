@@ -1,0 +1,117 @@
+"""Graph decycling: UNG -> single-source DAG (paper §3.2, step 1).
+
+Cycles in the UNG (e.g. Word's Find-and-Replace ``More >>`` / ``<< Less``
+buttons revealing each other) would make root-to-control paths infinite.  The
+transformation removes *back-edges* discovered by a depth-first traversal
+from the single source (the virtual root), which preserves reachability of
+every node while producing an acyclic graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+from repro.ripping.ung import NavigationGraph
+
+
+@dataclass
+class DecycleResult:
+    """The DAG produced from a UNG plus bookkeeping about what was removed."""
+
+    root_id: str
+    #: Adjacency of the resulting DAG (successor lists preserve UNG order).
+    successors: Dict[str, List[str]] = field(default_factory=dict)
+    #: Edges removed because they closed a cycle.
+    removed_back_edges: List[Tuple[str, str]] = field(default_factory=list)
+    #: Nodes unreachable from the root (excluded from the DAG).
+    unreachable: Set[str] = field(default_factory=set)
+
+    # -- queries ---------------------------------------------------------
+    def nodes(self) -> Set[str]:
+        found = set(self.successors.keys())
+        for targets in self.successors.values():
+            found.update(targets)
+        return found
+
+    def in_degree(self) -> Dict[str, int]:
+        degree: Dict[str, int] = {nid: 0 for nid in self.nodes()}
+        for targets in self.successors.values():
+            for target in targets:
+                degree[target] = degree.get(target, 0) + 1
+        return degree
+
+    def edge_count(self) -> int:
+        return sum(len(t) for t in self.successors.values())
+
+    def is_acyclic(self) -> bool:
+        state: Dict[str, int] = {}
+
+        def visit(node: str) -> bool:
+            state[node] = 1
+            for child in self.successors.get(node, []):
+                mark = state.get(child, 0)
+                if mark == 1:
+                    return False
+                if mark == 0 and not visit(child):
+                    return False
+            state[node] = 2
+            return True
+
+        return visit(self.root_id)
+
+    def topological_order(self) -> List[str]:
+        """Topological order of the DAG (root first)."""
+        order: List[str] = []
+        state: Dict[str, int] = {}
+
+        def visit(node: str) -> None:
+            state[node] = 1
+            for child in self.successors.get(node, []):
+                if state.get(child, 0) == 0:
+                    visit(child)
+            state[node] = 2
+            order.append(node)
+
+        visit(self.root_id)
+        order.reverse()
+        return order
+
+
+def decycle(ung: NavigationGraph) -> DecycleResult:
+    """Remove back-edges from ``ung`` so every node keeps a finite root path.
+
+    The traversal is iterative DFS from the virtual root; an edge u -> v is a
+    back-edge iff v is currently on the DFS stack (grey).  Cross- and
+    forward-edges are preserved — they are what merge nodes are made of and
+    the externalization step deals with them.
+    """
+    result = DecycleResult(root_id=ung.root_id)
+    reachable = ung.reachable_from_root()
+    result.unreachable = set(ung.nodes) - reachable
+
+    WHITE, GREY, BLACK = 0, 1, 2
+    color: Dict[str, int] = {nid: WHITE for nid in reachable}
+
+    def visit(node: str) -> None:
+        color[node] = GREY
+        kept: List[str] = []
+        for child in ung.successors(node):
+            if child not in reachable:
+                continue
+            if color.get(child) == GREY or child == node:
+                result.removed_back_edges.append((node, child))
+                continue
+            kept.append(child)
+            if color.get(child) == WHITE:
+                visit(child)
+        result.successors[node] = kept
+        color[node] = BLACK
+
+    # Recursion depth equals the navigation depth of the application
+    # (typically < 15), so plain recursion is safe.
+    visit(ung.root_id)
+    for node in reachable:
+        result.successors.setdefault(node, [nid for nid in ung.successors(node)
+                                             if nid in reachable])
+    return result

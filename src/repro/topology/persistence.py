@@ -1,0 +1,89 @@
+"""Persistence of the offline navigation model.
+
+The paper notes the navigation model is version-specific but *reusable across
+machines* for the same application build (§5.2).  This module serialises the
+UI Navigation Graph to JSON so the expensive offline phase (GUI ripping plus
+any manual blocklist/context curation) runs once per application build; any
+other machine can load the JSON and rebuild the forest, core topology and
+query engine deterministically.
+
+Only the UNG is persisted: the forest and core view are cheap, deterministic
+functions of it, so storing them would just risk divergence from the
+transformation code.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Union
+
+from repro.ripping.ripper import RipReport
+from repro.ripping.ung import NavigationGraph, UNGNode
+from repro.uia.control_types import ControlType
+
+#: Format marker so later revisions can migrate old files.
+FORMAT_VERSION = 1
+
+
+def ung_to_dict(ung: NavigationGraph, report: RipReport = None) -> Dict:
+    """Serialisable representation of a UNG (plus optional rip report)."""
+    payload = {
+        "format_version": FORMAT_VERSION,
+        "app_name": ung.app_name,
+        "root_id": ung.root_id,
+        "nodes": [
+            {
+                "node_id": node.node_id,
+                "name": node.name,
+                "control_type": node.control_type.value,
+                "automation_id": node.automation_id,
+                "description": node.description,
+                "contexts": sorted(node.contexts),
+                "window": node.window,
+            }
+            for node in ung.nodes.values()
+        ],
+        "edges": [[source, target] for source, target in ung.edges()],
+    }
+    if report is not None:
+        payload["rip_report"] = report.as_dict()
+    return payload
+
+
+def ung_from_dict(payload: Dict) -> NavigationGraph:
+    """Rebuild a UNG from its serialised representation."""
+    version = payload.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(f"unsupported navigation-model format version {version!r}")
+    ung = NavigationGraph(app_name=payload.get("app_name", ""))
+    for entry in payload["nodes"]:
+        ung.add_node(UNGNode(
+            node_id=entry["node_id"],
+            name=entry["name"],
+            control_type=ControlType(entry["control_type"]),
+            automation_id=entry.get("automation_id", ""),
+            description=entry.get("description", ""),
+            contexts=set(entry.get("contexts", [])),
+            window=entry.get("window", ""),
+        ))
+    ung.root_id = payload.get("root_id", ung.root_id)
+    for source, target in payload["edges"]:
+        ung.add_edge(source, target)
+    return ung
+
+
+def save_ung(ung: NavigationGraph, path: Union[str, Path],
+             report: RipReport = None) -> Path:
+    """Write the UNG (and optional rip report) to a JSON file."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as handle:
+        json.dump(ung_to_dict(ung, report), handle, ensure_ascii=False, indent=1)
+    return path
+
+
+def load_ung(path: Union[str, Path]) -> NavigationGraph:
+    """Load a UNG previously written by :func:`save_ung`."""
+    with Path(path).open("r", encoding="utf-8") as handle:
+        return ung_from_dict(json.load(handle))

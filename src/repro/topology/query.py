@@ -1,0 +1,99 @@
+"""Query-on-demand over the navigation forest (paper §3.3, §3.4).
+
+When the pruned core topology lacks the structure a task needs, the LLM
+issues a ``further_query`` command with two modes:
+
+* **targeted branch queries** — expand the substructure below specific node
+  ids;
+* **global queries** — retrieve the complete forest (``-1``).
+
+The :class:`QueryEngine` answers both, and keeps simple accounting of how
+many tokens each answer adds (used by the token-overhead bench).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Union
+
+from repro.llm.tokens import estimate_tokens
+from repro.topology.core import CoreTopology
+from repro.topology.forest import NavigationForest
+from repro.topology.serialize import SerializationConfig, serialize_forest, serialize_node
+
+#: Sentinel node id meaning "fetch the entire forest".
+FULL_FOREST = -1
+
+
+@dataclass
+class QueryResult:
+    """One answered further_query."""
+
+    requested: List[int]
+    text: str
+    tokens: int
+    is_global: bool = False
+    unknown_ids: List[int] = field(default_factory=list)
+
+
+class QueryEngine:
+    """Answers ``further_query`` commands against a forest / core view."""
+
+    def __init__(self, forest: NavigationForest, core: CoreTopology,
+                 serialization: SerializationConfig = SerializationConfig()) -> None:
+        self.forest = forest
+        self.core = core
+        self.serialization = serialization
+        self.history: List[QueryResult] = []
+
+    # ------------------------------------------------------------------
+    def initial_prompt_text(self) -> str:
+        """The core topology text included in every prompt by default."""
+        return self.core.serialize(self.serialization)
+
+    def further_query(self, node_ids: Union[int, Sequence[int]]) -> QueryResult:
+        """Answer a further_query command.
+
+        ``node_ids`` may be a single id, a sequence of ids, or ``-1`` (or a
+        sequence containing ``-1``) for the whole forest.
+        """
+        if isinstance(node_ids, int):
+            node_ids = [node_ids]
+        requested = [int(n) for n in node_ids]
+        if FULL_FOREST in requested:
+            text = serialize_forest(self.forest, self.serialization)
+            result = QueryResult(requested=requested, text=text,
+                                 tokens=estimate_tokens(text), is_global=True)
+            self.history.append(result)
+            return result
+
+        sections: List[str] = []
+        unknown: List[int] = []
+        for node_id in requested:
+            if not self.forest.has_node(node_id):
+                unknown.append(node_id)
+                continue
+            node = self.forest.node(node_id)
+            sections.append(serialize_node(node, self.serialization))
+        text = "\n".join(sections)
+        result = QueryResult(requested=requested, text=text,
+                             tokens=estimate_tokens(text), unknown_ids=unknown)
+        self.history.append(result)
+        return result
+
+    # ------------------------------------------------------------------
+    def total_query_tokens(self) -> int:
+        return sum(r.tokens for r in self.history)
+
+    def query_count(self) -> int:
+        return len(self.history)
+
+    def coverage_report(self) -> Dict[str, int]:
+        """How much of the forest the core view covers versus on-demand."""
+        return {
+            "core_nodes": self.core.visible_node_count(),
+            "pruned_nodes": self.core.pruned_node_count(),
+            "queries_answered": self.query_count(),
+            "query_tokens": self.total_query_tokens(),
+            "core_tokens": self.core.token_estimate(),
+        }

@@ -1,0 +1,82 @@
+"""A Windows UI Automation (UIA)-like accessibility substrate.
+
+The real DMI implementation drives Microsoft Office through the Windows UI
+Automation framework (via pywinauto).  This package provides an in-process
+equivalent exposing the same *abstract surface* that DMI consumes:
+
+* a finite set of control types (:mod:`repro.uia.control_types`),
+* a finite set of control patterns (:mod:`repro.uia.patterns`),
+* an accessibility tree of elements with properties and bounding rectangles
+  (:mod:`repro.uia.element`, :mod:`repro.uia.tree`),
+* XPath-like control identifiers (:mod:`repro.uia.identifiers`),
+* structure-changed / window-opened event listeners (:mod:`repro.uia.events`).
+"""
+
+from repro.uia.control_types import ControlType, KEY_CONTROL_TYPES, is_container_type
+from repro.uia.element import BoundingRect, UIElement
+from repro.uia.identifiers import ControlIdentifier, synthesize_identifier, parse_identifier
+from repro.uia.patterns import (
+    ExpandCollapsePattern,
+    ExpandCollapseState,
+    GridItemPattern,
+    GridPattern,
+    InvokePattern,
+    LegacyAccessiblePattern,
+    PatternId,
+    RangeValuePattern,
+    ScrollPattern,
+    SelectionItemPattern,
+    SelectionPattern,
+    TextPattern,
+    TogglePattern,
+    ToggleState,
+    UIAPattern,
+    ValuePattern,
+    WindowPattern,
+)
+from repro.uia.tree import (
+    TreeWalker,
+    find_all,
+    find_first,
+    iter_descendants,
+    iter_subtree,
+    tree_size,
+)
+from repro.uia.events import EventKind, UIAEvent, EventBus
+
+__all__ = [
+    "BoundingRect",
+    "ControlIdentifier",
+    "ControlType",
+    "EventBus",
+    "EventKind",
+    "ExpandCollapsePattern",
+    "ExpandCollapseState",
+    "GridItemPattern",
+    "GridPattern",
+    "InvokePattern",
+    "KEY_CONTROL_TYPES",
+    "LegacyAccessiblePattern",
+    "PatternId",
+    "RangeValuePattern",
+    "ScrollPattern",
+    "SelectionItemPattern",
+    "SelectionPattern",
+    "TextPattern",
+    "TogglePattern",
+    "ToggleState",
+    "TreeWalker",
+    "UIAEvent",
+    "UIAPattern",
+    "UIElement",
+    "ValuePattern",
+    "WindowPattern",
+    "find_all",
+    "find_first",
+    "is_container_type",
+    "iter_descendants",
+    "iter_subtree",
+    "parse_identifier",
+    "synthesize_identifier",
+    "tree_size",
+]

@@ -1,0 +1,255 @@
+"""The accessibility element (UI control node).
+
+:class:`UIElement` is the single node type of the simulated accessibility
+tree.  Widgets in :mod:`repro.gui.widgets` subclass it to add behaviour, but
+every consumer in the reproduction (the ripper, DMI's executor, the agent
+baseline) sees only the UIA surface defined here: name, automation id,
+control type, enabled/offscreen flags, bounding rectangle, children, and the
+set of supported control patterns.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional
+
+from repro.uia.control_types import ControlType
+from repro.uia.patterns import PatternId, UIAPattern
+
+_runtime_id_counter = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class BoundingRect:
+    """Screen-space bounding rectangle of a control (pixels)."""
+
+    left: float = 0.0
+    top: float = 0.0
+    width: float = 0.0
+    height: float = 0.0
+
+    @property
+    def right(self) -> float:
+        return self.left + self.width
+
+    @property
+    def bottom(self) -> float:
+        return self.top + self.height
+
+    @property
+    def center(self) -> tuple:
+        return (self.left + self.width / 2.0, self.top + self.height / 2.0)
+
+    @property
+    def area(self) -> float:
+        return max(0.0, self.width) * max(0.0, self.height)
+
+    def contains(self, x: float, y: float) -> bool:
+        """Return True if the point (x, y) falls inside the rectangle."""
+        return self.left <= x < self.right and self.top <= y < self.bottom
+
+    def intersects(self, other: "BoundingRect") -> bool:
+        return not (
+            other.left >= self.right
+            or other.right <= self.left
+            or other.top >= self.bottom
+            or other.bottom <= self.top
+        )
+
+
+class UIElement:
+    """A node in the accessibility tree.
+
+    Parameters
+    ----------
+    name:
+        Human-readable control name (UIA ``Name`` property).
+    control_type:
+        One of the 41 UIA control types.
+    automation_id:
+        Developer-assigned identifier (may be empty; uniqueness is *not*
+        guaranteed, mirroring real UIA).
+    description:
+        Free-form help/description text (UIA ``HelpText`` /
+        ``FullDescription``).
+    enabled / visible:
+        The UIA ``IsEnabled`` and (negated) ``IsOffscreen`` properties.
+        Visibility here is the element's *own* flag; whether it is actually
+        on screen also depends on its ancestors (see :meth:`is_on_screen`).
+    """
+
+    def __init__(
+        self,
+        name: str = "",
+        control_type: ControlType = ControlType.CUSTOM,
+        automation_id: str = "",
+        description: str = "",
+        enabled: bool = True,
+        visible: bool = True,
+        rect: Optional[BoundingRect] = None,
+    ) -> None:
+        self.name = name
+        self.control_type = ControlType(control_type)
+        self.automation_id = automation_id
+        self.description = description
+        self.is_enabled = enabled
+        self.visible = visible
+        self.rect = rect or BoundingRect()
+        self.text: str = ""
+        self.runtime_id: int = next(_runtime_id_counter)
+        self.parent: Optional[UIElement] = None
+        self.children: List[UIElement] = []
+        self.patterns: Dict[PatternId, UIAPattern] = {}
+        #: Free-form property bag for application metadata (e.g. semantic
+        #: tags used by checkers); never read by DMI itself.
+        self.properties: Dict[str, object] = {}
+
+    # ------------------------------------------------------------------
+    # structure
+    # ------------------------------------------------------------------
+    def add_child(self, child: "UIElement", index: Optional[int] = None) -> "UIElement":
+        """Attach ``child`` to this element and return it."""
+        if child.parent is not None:
+            child.parent.remove_child(child)
+        child.parent = self
+        if index is None:
+            self.children.append(child)
+        else:
+            self.children.insert(index, child)
+        return child
+
+    def add_children(self, children: List["UIElement"]) -> List["UIElement"]:
+        for child in children:
+            self.add_child(child)
+        return children
+
+    def remove_child(self, child: "UIElement") -> None:
+        if child in self.children:
+            self.children.remove(child)
+            child.parent = None
+
+    def clear_children(self) -> None:
+        for child in list(self.children):
+            self.remove_child(child)
+
+    def ancestors(self) -> List["UIElement"]:
+        """Return ancestors from the immediate parent to the root."""
+        chain = []
+        node = self.parent
+        while node is not None:
+            chain.append(node)
+            node = node.parent
+        return chain
+
+    def root(self) -> "UIElement":
+        node = self
+        while node.parent is not None:
+            node = node.parent
+        return node
+
+    def depth(self) -> int:
+        """Distance to the root (root has depth 0)."""
+        return len(self.ancestors())
+
+    def iter_descendants(self) -> Iterator["UIElement"]:
+        """Yield all descendants in depth-first pre-order (excluding self)."""
+        stack = list(reversed(self.children))
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node.children))
+
+    def iter_subtree(self) -> Iterator["UIElement"]:
+        """Yield self followed by all descendants (depth-first pre-order)."""
+        yield self
+        for node in self.iter_descendants():
+            yield node
+
+    # ------------------------------------------------------------------
+    # patterns
+    # ------------------------------------------------------------------
+    def add_pattern(self, pattern: UIAPattern) -> UIAPattern:
+        """Register a pattern instance on this element and return it."""
+        self.patterns[pattern.pattern_id] = pattern
+        return pattern
+
+    def get_pattern(self, pattern_id: PatternId) -> Optional[UIAPattern]:
+        """Return the pattern with ``pattern_id`` or None if unsupported."""
+        return self.patterns.get(pattern_id)
+
+    def supports_pattern(self, pattern_id: PatternId) -> bool:
+        return pattern_id in self.patterns
+
+    # ------------------------------------------------------------------
+    # visibility
+    # ------------------------------------------------------------------
+    def is_on_screen(self) -> bool:
+        """True if this element and every ancestor is visible."""
+        node: Optional[UIElement] = self
+        while node is not None:
+            if not node.visible:
+                return False
+            node = node.parent
+        return True
+
+    @property
+    def is_offscreen(self) -> bool:
+        """The UIA ``IsOffscreen`` property (inverse of :meth:`is_on_screen`)."""
+        return not self.is_on_screen()
+
+    # ------------------------------------------------------------------
+    # convenience
+    # ------------------------------------------------------------------
+    @property
+    def primary_id(self) -> str:
+        """automation_id, falling back to name, falling back to "[Unnamed]".
+
+        This mirrors the paper's control-identifier synthesis (§4.1).
+        """
+        if self.automation_id:
+            return self.automation_id
+        if self.name:
+            return self.name
+        return "[Unnamed]"
+
+    def ancestor_path(self) -> str:
+        """Slash-delimited sequence of ancestor primary ids, root first."""
+        names = [a.primary_id for a in reversed(self.ancestors())]
+        return "/".join(names)
+
+    def find(self, **criteria) -> Optional["UIElement"]:
+        """Return the first descendant matching all keyword criteria.
+
+        Supported criteria: ``name``, ``automation_id``, ``control_type``,
+        ``name_contains``.
+        """
+        for node in self.iter_descendants():
+            if _matches(node, criteria):
+                return node
+        return None
+
+    def find_all(self, **criteria) -> List["UIElement"]:
+        """Return all descendants matching all keyword criteria."""
+        return [node for node in self.iter_descendants() if _matches(node, criteria)]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"UIElement(name={self.name!r}, type={self.control_type.value}, "
+            f"automation_id={self.automation_id!r}, children={len(self.children)})"
+        )
+
+
+def _matches(node: UIElement, criteria: Dict[str, object]) -> bool:
+    for key, expected in criteria.items():
+        if key == "name" and node.name != expected:
+            return False
+        elif key == "automation_id" and node.automation_id != expected:
+            return False
+        elif key == "control_type" and node.control_type != ControlType(expected):
+            return False
+        elif key == "name_contains" and str(expected).lower() not in node.name.lower():
+            return False
+        elif key not in {"name", "automation_id", "control_type", "name_contains"}:
+            raise TypeError(f"unsupported search criterion {key!r}")
+    return True

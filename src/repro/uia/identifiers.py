@@ -1,0 +1,177 @@
+"""XPath-like control identifiers (paper §4.1, "Control identifier synthesis").
+
+UIA does not guarantee globally unique ``AutomationId`` values, so the paper
+labels each UNG node with a composite identifier::
+
+    primary_id|control_type|ancestor_path
+
+where ``primary_id`` is the automation id, falling back to the control name,
+falling back to ``[Unnamed]``; ``control_type`` is the UIA type name; and
+``ancestor_path`` is a slash-delimited sequence of ancestor primary ids
+(root first).  Index-based addressing is deliberately avoided because dynamic
+menus shift indices unpredictably.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.uia.control_types import ControlType
+from repro.uia.element import UIElement
+
+#: Field separator inside a control identifier.
+FIELD_SEPARATOR = "|"
+#: Segment separator inside the ancestor path.
+PATH_SEPARATOR = "/"
+#: Fallback primary id for controls with neither automation id nor name.
+UNNAMED = "[Unnamed]"
+
+
+@dataclass(frozen=True)
+class ControlIdentifier:
+    """Parsed form of a composite control identifier."""
+
+    primary_id: str
+    control_type: ControlType
+    ancestor_path: Tuple[str, ...] = ()
+
+    def __str__(self) -> str:
+        return FIELD_SEPARATOR.join(
+            (
+                _escape(self.primary_id),
+                self.control_type.value,
+                PATH_SEPARATOR.join(_escape(seg) for seg in self.ancestor_path),
+            )
+        )
+
+    @property
+    def short_name(self) -> str:
+        """Human-oriented short label (primary id only)."""
+        return self.primary_id
+
+    def matches_element(self, element: UIElement) -> bool:
+        """Exact match of primary id and control type against an element."""
+        return (
+            element.primary_id == self.primary_id
+            and element.control_type == self.control_type
+        )
+
+
+def _escape(segment: str) -> str:
+    """Escape separator characters occurring inside names."""
+    return segment.replace("\\", "\\\\").replace(FIELD_SEPARATOR, "\\|").replace(
+        PATH_SEPARATOR, "\\/"
+    )
+
+
+def _unescape(segment: str) -> str:
+    out = []
+    i = 0
+    while i < len(segment):
+        ch = segment[i]
+        if ch == "\\" and i + 1 < len(segment):
+            out.append(segment[i + 1])
+            i += 2
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+def _split_escaped(text: str, separator: str) -> list:
+    """Split on ``separator`` while honouring backslash escapes."""
+    parts = []
+    current = []
+    i = 0
+    while i < len(text):
+        ch = text[i]
+        if ch == "\\" and i + 1 < len(text):
+            current.append(ch)
+            current.append(text[i + 1])
+            i += 2
+            continue
+        if ch == separator:
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(ch)
+        i += 1
+    parts.append("".join(current))
+    return parts
+
+
+def synthesize_identifier(element: UIElement) -> ControlIdentifier:
+    """Build the composite identifier for ``element`` from its current position."""
+    ancestors = tuple(a.primary_id for a in reversed(element.ancestors()))
+    return ControlIdentifier(
+        primary_id=element.primary_id,
+        control_type=element.control_type,
+        ancestor_path=ancestors,
+    )
+
+
+def identifier_string(element: UIElement) -> str:
+    """Convenience wrapper returning ``str(synthesize_identifier(element))``."""
+    return str(synthesize_identifier(element))
+
+
+def parse_identifier(text: str) -> ControlIdentifier:
+    """Parse a composite identifier string back into a :class:`ControlIdentifier`.
+
+    Raises
+    ------
+    ValueError
+        If the string does not have exactly three ``|``-separated fields or
+        the control type is unknown.
+    """
+    fields = _split_escaped(text, FIELD_SEPARATOR)
+    if len(fields) != 3:
+        raise ValueError(
+            f"control identifier must have 3 '|'-separated fields, got {len(fields)}: {text!r}"
+        )
+    primary_raw, type_raw, path_raw = fields
+    try:
+        control_type = ControlType(type_raw)
+    except ValueError as exc:
+        raise ValueError(f"unknown control type {type_raw!r} in identifier {text!r}") from exc
+    if path_raw:
+        ancestors = tuple(_unescape(seg) for seg in _split_escaped(path_raw, PATH_SEPARATOR))
+    else:
+        ancestors = ()
+    return ControlIdentifier(
+        primary_id=_unescape(primary_raw),
+        control_type=control_type,
+        ancestor_path=ancestors,
+    )
+
+
+def identifiers_equal(a: str, b: str) -> bool:
+    """Structural equality of two identifier strings (ignores escaping noise)."""
+    return parse_identifier(a) == parse_identifier(b)
+
+
+def find_by_identifier(root: UIElement, identifier: ControlIdentifier) -> Optional[UIElement]:
+    """Locate an element under ``root`` by exact identifier match.
+
+    The search requires primary id and control type to match and the ancestor
+    path to match as a suffix (the stored path may have been captured from a
+    different root).  Returns the first match in pre-order, or None.
+    """
+    for node in root.iter_subtree():
+        if not identifier.matches_element(node):
+            continue
+        node_path = tuple(a.primary_id for a in reversed(node.ancestors()))
+        if _is_suffix(identifier.ancestor_path, node_path) or _is_suffix(
+            node_path, identifier.ancestor_path
+        ):
+            return node
+    return None
+
+
+def _is_suffix(short: Tuple[str, ...], long: Tuple[str, ...]) -> bool:
+    if len(short) > len(long):
+        return False
+    if not short:
+        return True
+    return long[-len(short):] == short

@@ -1,0 +1,297 @@
+"""Tests for the three simulated applications' UI wiring (clicks mutate state)."""
+
+import pytest
+
+from repro.apps import ExcelApp, PowerPointApp, WordApp
+from repro.uia.control_types import ControlType
+
+
+# ----------------------------------------------------------------------
+# generic application behaviour
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("factory", [WordApp, ExcelApp, PowerPointApp])
+def test_application_exposes_rich_control_tree(factory):
+    app = factory()
+    described = app.describe()
+    assert described["controls_in_main_window"] > 300
+    assert app.top_window() is app.window
+    assert app.window.properties["app_name"] == app.APP_NAME
+
+
+@pytest.mark.parametrize("factory", [WordApp, ExcelApp, PowerPointApp])
+def test_ctrl_s_shortcut_saves(factory):
+    app = factory()
+    app.state.saved = False
+    app.input.keyboard_input("ctrl+s")
+    assert app.state.saved
+
+
+def test_unknown_shortcut_is_ignored():
+    app = WordApp()
+    assert app.handle_shortcut(app.input.keyboard_input("ctrl+shift+zz")) is False
+
+
+# ----------------------------------------------------------------------
+# Word
+# ----------------------------------------------------------------------
+def test_word_bold_applies_to_selection():
+    app = WordApp()
+    app.document.select_paragraphs(2, 2)
+    app.input.click(app.window.find(automation_id="Word.Home.Bold"))
+    assert app.document.paragraphs[2].format.bold
+
+
+def test_word_orientation_menu():
+    app = WordApp()
+    orientation = app.window.find(automation_id="Word.Layout.Orientation")
+    app.input.click(orientation)
+    landscape = app.window.find(name="Landscape", control_type=ControlType.MENU_ITEM)
+    app.input.click(landscape)
+    assert app.document.page_orientation == "landscape"
+
+
+def test_word_font_color_gallery_sets_color():
+    app = WordApp()
+    app.document.select_paragraphs(0, 0)
+    dropdown = app.window.find(automation_id="Word.Home.FontColor")
+    app.input.click(dropdown)
+    red = [e for e in dropdown.find_all(name="Red")][0]
+    app.input.click(red)
+    assert app.document.paragraphs[0].format.color == "Red"
+
+
+def test_word_find_replace_dialog_flow():
+    app = WordApp()
+    app.input.click(app.window.find(automation_id="Word.Home.Replace"))
+    dialog = app.top_window()
+    assert dialog.name == "Find and Replace"
+    app.input.type_text(dialog.find(name="Find what (Replace)"), "risk")
+    app.input.type_text(dialog.find(name="Replace with"), "threat")
+    app.input.click(dialog.find(name="Replace All"))
+    assert "risk" not in app.document.full_text().lower()
+
+
+def test_word_find_replace_more_less_cycle():
+    app = WordApp()
+    app.input.click(app.window.find(automation_id="Word.Home.Replace"))
+    dialog = app.top_window()
+    more = dialog.find(automation_id="FindReplace.More")
+    less = dialog.find(automation_id="FindReplace.Less")
+    options = dialog.find(automation_id="FindReplace.SearchOptions")
+    assert more.visible and not less.visible and not options.visible
+    app.input.click(more)
+    assert options.visible and less.visible and not more.visible
+    app.input.click(less)
+    assert more.visible and not options.visible
+
+
+def test_word_page_setup_dialog_commits_margins_on_ok():
+    app = WordApp()
+    app.input.click(app.window.find(automation_id="Word.Layout.PageSetupDialog"))
+    dialog = app.top_window()
+    app.input.type_text(dialog.find(name="Top margin"), "3.0")
+    app.input.click(dialog.find(name="OK"))
+    assert app.document.margins["top"] == 3.0
+    assert not dialog.is_open
+
+
+def test_word_word_count_dialog_shows_statistics():
+    app = WordApp()
+    app.input.click(app.window.find(automation_id="Word.Review.WordCount"))
+    dialog = app.top_window()
+    label = dialog.find(automation_id="WordCount.Words")
+    assert str(app.document.word_count()) in label.name
+
+
+def test_word_track_changes_and_footer():
+    app = WordApp()
+    app.input.click(app.window.find(automation_id="Word.Review.TrackChanges"))
+    assert app.document.tracked_changes
+    footer_menu = app.window.find(automation_id="Word.Insert.Footer")
+    app.input.click(footer_menu)
+    app.input.click(footer_menu.find(name="Edit Footer"))
+    dialog = app.top_window()
+    app.input.type_text(dialog.find(name="Footer text"), "Confidential")
+    assert app.document.footer_text == "Confidential"
+
+
+def test_word_scrollbar_updates_document_scroll():
+    app = WordApp()
+    app.scrollbar.set_position(60)
+    assert app.document.scroll_percent == 60
+
+
+# ----------------------------------------------------------------------
+# Excel
+# ----------------------------------------------------------------------
+def test_excel_name_box_selects_range_on_enter():
+    app = ExcelApp()
+    app.input.type_text(app.name_box, "C2:C9")
+    app.input.keyboard_input("enter")
+    assert len(app.sheet.selection) == 8
+    assert app.sheet.selected_references()[0] == "C2"
+
+
+def test_excel_formula_bar_writes_active_cell():
+    app = ExcelApp()
+    app.input.type_text(app.name_box, "B10")
+    app.input.keyboard_input("enter")
+    app.input.type_text(app.formula_bar, "500")
+    app.input.keyboard_input("enter")
+    assert app.sheet.get_value("B10") == 500.0
+    # the visible grid mirrors the model
+    assert app.grid.cell(9, 1).value == "500"
+
+
+def test_excel_grid_cell_click_selects_and_edit_writes_model():
+    app = ExcelApp()
+    cell = app.window.find(automation_id="Excel.Cell.A2")
+    app.input.click(cell)
+    assert app.sheet.selection == [(1, 0)]
+    app.input.type_text(cell, "Northeast")
+    assert app.sheet.get_value("A2") == "Northeast"
+
+
+def test_excel_autosum_inserts_formula_below_selection():
+    app = ExcelApp()
+    app.sheet.select_range("C2:C9")
+    autosum = app.window.find(automation_id="Excel.Home.AutoSum")
+    app.input.click(autosum)
+    app.input.click(autosum.find(name="Sum"))
+    assert app.sheet.get_value("C10") == pytest.approx(2095.0)
+
+
+def test_excel_conditional_format_dialog():
+    app = ExcelApp()
+    app.sheet.select_range("E2:E9")
+    menu = app.window.find(automation_id="Excel.Home.ConditionalFormatting")
+    app.input.click(menu)
+    app.input.click(menu.find(name="Greater Than..."))
+    dialog = app.top_window()
+    app.input.type_text(dialog.find(name="Format cells that are"), "50000")
+    app.input.click(dialog.find(name="OK"))
+    assert app.sheet.conditional_formats
+    assert app.sheet.conditional_fill_for("E2") is not None
+
+
+def test_excel_sort_buttons_sort_selection():
+    app = ExcelApp()
+    app.sheet.select_range("A2:E9")
+    app.input.click(app.window.find(automation_id="Excel.Data.SortAsc"))
+    regions = [app.sheet.get_value(f"A{r}") for r in range(2, 10)]
+    assert regions == sorted(regions)
+
+
+def test_excel_freeze_panes_menu():
+    app = ExcelApp()
+    menu = app.window.find(automation_id="Excel.View.FreezePanes")
+    app.input.click(menu)
+    app.input.click(menu.find(name="Freeze Top Row"))
+    assert app.sheet.frozen_rows == 1 and app.sheet.frozen_columns == 0
+
+
+def test_excel_chart_gallery_inserts_chart():
+    app = ExcelApp()
+    app.sheet.select_range("A1:E9")
+    gallery = app.window.find(automation_id="Excel.Insert.ColumnChart")
+    app.input.click(gallery)
+    app.input.click(gallery.find(name="Clustered Column"))
+    assert any("Column" in c.chart_type for c in app.sheet.charts)
+
+
+def test_excel_number_format_gallery():
+    app = ExcelApp()
+    app.sheet.select_range("D2:D9")
+    gallery = app.window.find(automation_id="Excel.Home.NumberFormat")
+    app.input.click(gallery)
+    app.input.click(gallery.find(name="Currency"))
+    assert app.sheet.cell("D2").format.number_format == "Currency"
+
+
+def test_excel_contexts_are_not_registered_but_word_has_none_either():
+    app = ExcelApp()
+    assert app.exploration_contexts() == {}
+
+
+# ----------------------------------------------------------------------
+# PowerPoint
+# ----------------------------------------------------------------------
+def test_ppt_format_background_apply_to_all():
+    app = PowerPointApp()
+    app.ribbon.select_tab("Design")
+    app.input.click(app.window.find(automation_id="PowerPoint.Design.FormatBackground"))
+    dialog = app.top_window()
+    app.input.click(dialog.find(automation_id="FormatBackground.SolidFill"))
+    fill = dialog.find(automation_id="FormatBackground.FillColor")
+    app.input.click(fill)
+    app.input.click(fill.find(name="Blue"))
+    app.input.click(dialog.find(automation_id="FormatBackground.ApplyToAll"))
+    assert all(s.background.color == "Blue" for s in app.presentation.slides)
+
+
+def test_ppt_scrollbar_changes_active_slide():
+    app = PowerPointApp()
+    app.scrollbar.set_position(80)
+    assert app.presentation.scroll_percent == 80
+    assert app.presentation.active_index >= 3
+
+
+def test_ppt_new_slide_gallery_adds_slide():
+    app = PowerPointApp()
+    before = app.presentation.slide_count()
+    gallery = app.window.find(automation_id="PowerPoint.Home.NewSlide")
+    app.input.click(gallery)
+    app.input.click(gallery.find(name="Two Content"))
+    assert app.presentation.slide_count() == before + 1
+    assert app.presentation.slides[-1].layout == "Two Content"
+
+
+def test_ppt_contextual_tab_appears_when_picture_selected():
+    app = PowerPointApp()
+    picture_tab = app.ribbon.tabs["Picture Format"]
+    assert not picture_tab.visible
+    app.enter_context("image_selected")
+    assert picture_tab.visible
+    app.enter_context("text_box_selected")
+    assert not picture_tab.visible
+    assert app.ribbon.tabs["Shape Format"].visible
+
+
+def test_ppt_transition_gallery_and_apply_to_all():
+    app = PowerPointApp()
+    gallery = app.window.find(automation_id="PowerPoint.Transitions.Effects")
+    app.input.click(gallery)
+    app.input.click(gallery.find(name="Fade"))
+    app.input.click(app.window.find(automation_id="PowerPoint.Transitions.ApplyToAll"))
+    assert all(s.transition.effect == "Fade" for s in app.presentation.slides)
+
+
+def test_ppt_selecting_shape_then_fill_color():
+    app = PowerPointApp()
+    subtitle = app.window.find(automation_id="PowerPoint.Shape.Subtitle")
+    app.input.click(subtitle)
+    fill = app.window.find(automation_id="PowerPoint.Home.ShapeFill")
+    app.input.click(fill)
+    app.input.click(fill.find(name="Gold"))
+    assert app.presentation.slides[0].shape_named("Subtitle").format.fill_color == "Gold"
+
+
+def test_ppt_notes_and_hide_slide():
+    app = PowerPointApp()
+    app.input.type_text(app.notes_edit, "Remember to thank the team")
+    assert "thank the team" in app.presentation.active_slide.notes
+    app.input.click(app.window.find(automation_id="PowerPoint.SlideShow.HideSlide"))
+    assert app.presentation.active_slide.hidden
+
+
+def test_ppt_slide_size_menu():
+    app = PowerPointApp()
+    menu = app.window.find(automation_id="PowerPoint.Design.SlideSize")
+    app.input.click(menu)
+    app.input.click(menu.find(name="Standard (4:3)"))
+    assert app.presentation.slide_size == "4:3"
+
+
+def test_ppt_exploration_contexts_registered():
+    app = PowerPointApp()
+    assert set(app.exploration_contexts()) == {"image_selected", "text_box_selected"}

@@ -1,0 +1,168 @@
+"""Tests for the Word-like document model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.apps.document import Document, Paragraph, TextFormat, sample_document
+
+
+def small_doc():
+    doc = Document(title="T")
+    doc.add_paragraph("first paragraph")
+    doc.add_paragraph("second paragraph here")
+    doc.add_paragraph("third")
+    return doc
+
+
+def test_add_insert_delete_paragraphs():
+    doc = small_doc()
+    assert doc.paragraph_count() == 3
+    doc.insert_paragraph(1, "inserted")
+    assert doc.paragraphs[1].text == "inserted"
+    removed = doc.delete_paragraph(0)
+    assert removed.text == "first paragraph"
+    assert doc.paragraph_count() == 3
+    assert not doc.saved
+
+
+def test_word_count_and_full_text():
+    doc = small_doc()
+    assert doc.word_count() == 2 + 3 + 1
+    assert doc.full_text().splitlines() == ["first paragraph", "second paragraph here", "third"]
+
+
+def test_selection_validation_and_selected_text():
+    doc = small_doc()
+    doc.select_paragraphs(1, 2)
+    assert doc.selected_text() == "second paragraph here\nthird"
+    with pytest.raises(IndexError):
+        doc.select_paragraphs(2, 5)
+    with pytest.raises(IndexError):
+        doc.select_paragraphs(-1)
+    doc.clear_selection()
+    assert doc.selected_paragraphs() == []
+
+
+def test_select_all_and_empty_document():
+    doc = small_doc()
+    assert doc.select_all() == (0, 2)
+    empty = Document()
+    assert empty.select_all() is None
+
+
+def test_apply_format_to_selection_only():
+    doc = small_doc()
+    doc.select_paragraphs(0, 1)
+    count = doc.apply_format(bold=True, color="Red")
+    assert count == 2
+    assert doc.paragraphs[0].format.bold and doc.paragraphs[1].format.color == "Red"
+    assert not doc.paragraphs[2].format.bold
+    with pytest.raises(AttributeError):
+        doc.apply_format(nonexistent=1)
+
+
+def test_apply_format_without_selection_is_noop():
+    doc = small_doc()
+    assert doc.apply_format(bold=True) == 0
+    assert not doc.paragraphs[0].format.bold
+
+
+def test_toggle_format_flag_word_semantics():
+    doc = small_doc()
+    doc.select_paragraphs(0, 1)
+    doc.paragraphs[0].format.bold = True
+    # Mixed selection -> everything turns on.
+    doc.toggle_format_flag("bold")
+    assert doc.paragraphs[0].format.bold and doc.paragraphs[1].format.bold
+    # Uniformly bold -> toggling turns everything off.
+    doc.toggle_format_flag("bold")
+    assert not doc.paragraphs[0].format.bold and not doc.paragraphs[1].format.bold
+
+
+def test_find_is_case_insensitive_by_default():
+    doc = small_doc()
+    hits = doc.find("PARAGRAPH")
+    assert len(hits) == 2
+    assert doc.find("paragraph", match_case=True) == [(0, 6), (1, 7)]
+    assert doc.find("") == []
+
+
+def test_replace_all_counts_and_modes():
+    doc = small_doc()
+    assert doc.replace_all("paragraph", "section") == 2
+    assert "section" in doc.paragraphs[0].text
+    assert doc.replace_all("missing", "x") == 0
+    doc2 = Document()
+    doc2.add_paragraph("Risk and risk")
+    assert doc2.replace_all("risk", "threat", match_case=True) == 1
+    assert doc2.paragraphs[0].text == "Risk and threat"
+
+
+def test_orientation_margins_zoom_scroll():
+    doc = small_doc()
+    doc.set_orientation("landscape")
+    assert doc.page_orientation == "landscape"
+    with pytest.raises(ValueError):
+        doc.set_orientation("diagonal")
+    doc.set_margins(top=3.0, bottom=3.0)
+    assert doc.margins["top"] == 3.0
+    with pytest.raises(ValueError):
+        doc.set_margins(middle=1.0)
+    doc.set_zoom(1000)
+    assert doc.zoom_percent == 500.0
+    doc.scroll_to(120)
+    assert doc.scroll_percent == 100.0
+
+
+def test_save_resets_dirty_flag_and_counts():
+    doc = small_doc()
+    assert not doc.saved
+    doc.save(file_format="pdf")
+    assert doc.saved and doc.file_format == "pdf" and doc.save_count == 1
+
+
+def test_text_provider_protocol():
+    doc = small_doc()
+    assert doc.get_lines() == doc.get_paragraphs()
+    doc.select_range(0, 1)
+    assert doc.selection == (0, 1)
+
+
+def test_sample_document_shape():
+    doc = sample_document()
+    assert doc.paragraph_count() == 8
+    assert doc.paragraphs[0].format.style == "Title"
+    assert doc.summary()["words"] == doc.word_count()
+
+
+def test_text_format_copy_is_independent():
+    fmt = TextFormat(bold=True)
+    clone = fmt.copy()
+    clone.bold = False
+    assert fmt.bold
+
+
+# ----------------------------------------------------------------------
+# property-based
+# ----------------------------------------------------------------------
+@given(st.lists(st.text(alphabet="abc XYZ", max_size=30), min_size=1, max_size=12),
+       st.data())
+def test_any_valid_selection_formats_exactly_that_range(texts, data):
+    doc = Document()
+    for text in texts:
+        doc.add_paragraph(text)
+    start = data.draw(st.integers(min_value=0, max_value=len(texts) - 1))
+    end = data.draw(st.integers(min_value=start, max_value=len(texts) - 1))
+    doc.select_paragraphs(start, end)
+    affected = doc.apply_format(italic=True)
+    assert affected == end - start + 1
+    for index, paragraph in enumerate(doc.paragraphs):
+        assert paragraph.format.italic == (start <= index <= end)
+
+
+@given(st.text(alphabet="abcdef ", max_size=40), st.text(alphabet="abc", min_size=1, max_size=3))
+def test_replace_all_removes_every_occurrence(text, needle):
+    doc = Document()
+    doc.add_paragraph(text)
+    doc.replace_all(needle, "@")
+    assert needle not in doc.paragraphs[0].text

@@ -1,0 +1,105 @@
+"""Tests for the PowerPoint-like presentation model."""
+
+import pytest
+
+from repro.apps.presentation import Presentation, Shape, Slide, sample_presentation
+
+
+def test_slides_have_title_shape_and_ids():
+    deck = Presentation(slide_count=3)
+    assert deck.slide_count() == 3
+    assert deck.slides[0].title_text() == "Slide 1"
+    ids = {slide.slide_id for slide in deck.slides}
+    assert len(ids) == 3
+
+
+def test_goto_add_delete_duplicate_slides():
+    deck = Presentation(slide_count=2)
+    deck.add_slide(layout="Two Content", title="New")
+    assert deck.slide_count() == 3
+    deck.goto_slide(2)
+    assert deck.active_slide.layout == "Two Content"
+    with pytest.raises(IndexError):
+        deck.goto_slide(9)
+    copy = deck.duplicate_slide(0)
+    assert copy.title_text() == deck.slides[0].title_text()
+    assert deck.slide_count() == 4
+    deck.delete_slide(3)
+    assert deck.slide_count() == 3
+    assert not deck.saved
+
+
+def test_add_text_box_picture_and_shape_queries():
+    slide = Slide(title="T")
+    box = slide.add_text_box("hello", name="Body")
+    picture = slide.add_picture("img.png")
+    assert slide.shape_named("Body") is box
+    assert slide.pictures() == [picture]
+    assert "hello" in slide.text_content()
+    slide.remove_shape(box)
+    assert slide.shape_named("Body") is None
+
+
+def test_background_single_vs_all(capsys=None):
+    deck = Presentation(slide_count=4)
+    deck.goto_slide(2)
+    affected = deck.set_background("Blue")
+    assert affected == 1
+    assert deck.slides[2].background.color == "Blue"
+    assert deck.slides[0].background.color == "White"
+    affected = deck.set_background("Green", apply_to_all=True)
+    assert affected == 4
+    assert all(s.background.color == "Green" for s in deck.slides)
+
+
+def test_shape_selection_and_formatting():
+    deck = Presentation(slide_count=1)
+    shape = deck.active_slide.add_text_box("x", name="Box")
+    assert not deck.apply_format_to_selection(fill_color="Gold")
+    deck.select_shape(shape)
+    assert deck.apply_format_to_selection(fill_color="Gold", bold=True)
+    assert shape.format.fill_color == "Gold" and shape.format.bold
+    with pytest.raises(AttributeError):
+        deck.apply_format_to_selection(bogus=1)
+
+
+def test_transitions_single_and_all():
+    deck = Presentation(slide_count=3)
+    deck.set_transition("Fade")
+    assert deck.active_slide.transition.effect == "Fade"
+    assert deck.slides[1].transition.effect == "None"
+    deck.set_transition("Morph", apply_to_all=True, duration_seconds=2.0)
+    assert all(s.transition.effect == "Morph" for s in deck.slides)
+    assert deck.slides[2].transition.duration_seconds == 2.0
+
+
+def test_notes_slideshow_and_scroll():
+    deck = Presentation(slide_count=5)
+    deck.set_notes("remember", index=3)
+    assert deck.slides[3].notes == "remember"
+    deck.goto_slide(2)
+    deck.start_slideshow(from_beginning=False)
+    assert deck.slideshow_from == 2
+    deck.start_slideshow(True)
+    assert deck.slideshow_from == 0
+    deck.scroll_to(100)
+    assert deck.active_index == 4
+    deck.scroll_to(0)
+    assert deck.active_index == 0
+
+
+def test_save_and_summary():
+    deck = Presentation()
+    deck.set_background("Blue")
+    deck.save(file_format="pdf")
+    assert deck.saved and deck.file_format == "pdf"
+    summary = deck.summary()
+    assert summary["slides"] == 1 and summary["backgrounds"] == ["Blue"]
+
+
+def test_sample_presentation_contents():
+    deck = sample_presentation()
+    assert deck.slide_count() == 5
+    assert deck.slides[0].shape_named("Subtitle") is not None
+    assert deck.slides[2].pictures()
+    assert deck.slides[0].title_text() == "Product Launch"

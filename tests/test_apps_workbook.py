@@ -1,0 +1,273 @@
+"""Tests for the Excel-like workbook model."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.apps.workbook import (
+    Cell,
+    CellFormat,
+    ConditionalFormatRule,
+    Workbook,
+    Worksheet,
+    column_index_to_letter,
+    column_letter_to_index,
+    parse_a1,
+    parse_range,
+    sample_sales_workbook,
+    to_a1,
+)
+
+
+# ----------------------------------------------------------------------
+# reference arithmetic
+# ----------------------------------------------------------------------
+def test_column_letter_conversions():
+    assert column_letter_to_index("A") == 0
+    assert column_letter_to_index("Z") == 25
+    assert column_letter_to_index("AA") == 26
+    assert column_index_to_letter(27) == "AB"
+    with pytest.raises(ValueError):
+        column_letter_to_index("A1")
+    with pytest.raises(ValueError):
+        column_index_to_letter(-1)
+
+
+def test_parse_a1_and_round_trip():
+    assert parse_a1("B10") == (9, 1)
+    assert to_a1(9, 1) == "B10"
+    with pytest.raises(ValueError):
+        parse_a1("10B")
+
+
+def test_parse_range_expands_rectangles():
+    cells = parse_range("A1:B2")
+    assert set(cells) == {(0, 0), (0, 1), (1, 0), (1, 1)}
+    assert parse_range("C3") == [(2, 2)]
+    # reversed corners still work
+    assert set(parse_range("B2:A1")) == {(0, 0), (0, 1), (1, 0), (1, 1)}
+
+
+@given(st.integers(min_value=0, max_value=500))
+def test_column_letter_round_trip(index):
+    assert column_letter_to_index(column_index_to_letter(index)) == index
+
+
+@given(st.integers(min_value=0, max_value=200), st.integers(min_value=0, max_value=80))
+def test_a1_round_trip(row, column):
+    assert parse_a1(to_a1(row, column)) == (row, column)
+
+
+# ----------------------------------------------------------------------
+# worksheet basics
+# ----------------------------------------------------------------------
+def test_set_and_get_values_with_coercion():
+    sheet = Worksheet("S")
+    sheet.set_value("A1", "12")
+    sheet.set_value("A2", "text")
+    sheet.set_value("A3", "")
+    assert sheet.get_value("A1") == 12.0
+    assert sheet.get_value("A2") == "text"
+    assert sheet.get_value("A3") is None
+    assert sheet.get_value("Z99") is None
+
+
+def test_cell_bounds_checked():
+    sheet = Worksheet("S", rows=5, columns=5)
+    with pytest.raises(IndexError):
+        sheet.cell_at(5, 0)
+
+
+def test_used_range():
+    sheet = Worksheet("S")
+    assert sheet.used_range() is None
+    sheet.set_value("B2", 1)
+    sheet.set_value("D5", 2)
+    assert sheet.used_range() == "B2:D5"
+
+
+def test_display_value_formats():
+    cell = Cell(value=1234.5, format=CellFormat(number_format="Currency"))
+    assert cell.display_value() == "$1,234.50"
+    cell.format.number_format = "Percentage"
+    assert cell.display_value() == "123450.00%"
+    assert Cell(value=None).display_value() == ""
+    assert Cell(value=7.0).display_value() == "7"
+
+
+# ----------------------------------------------------------------------
+# formulas
+# ----------------------------------------------------------------------
+def test_sum_average_min_max_count():
+    sheet = Worksheet("S")
+    for row, value in enumerate((10, 20, 30), start=1):
+        sheet.set_value(f"A{row}", value)
+    assert sheet.evaluate_formula("=SUM(A1:A3)") == 60.0
+    assert sheet.evaluate_formula("=AVERAGE(A1:A3)") == 20.0
+    assert sheet.evaluate_formula("=MIN(A1:A3)") == 10.0
+    assert sheet.evaluate_formula("=MAX(A1:A3)") == 30.0
+    assert sheet.evaluate_formula("=COUNT(A1:A4)") == 3.0
+
+
+def test_arithmetic_formulas_and_references():
+    sheet = Worksheet("S")
+    sheet.set_value("A1", 6)
+    sheet.set_value("A2", 7)
+    sheet.set_value("A3", "=A1*A2")
+    assert sheet.get_value("A3") == 42.0
+    sheet.set_value("A4", "=(A1+A2)/2")
+    assert sheet.get_value("A4") == 6.5
+
+
+def test_formula_with_text_reference_raises():
+    sheet = Worksheet("S")
+    sheet.set_value("A1", "abc")
+    with pytest.raises(ValueError):
+        sheet.evaluate_formula("=A1*2")
+
+
+def test_formula_rejects_unsupported_expressions():
+    sheet = Worksheet("S")
+    with pytest.raises(ValueError):
+        sheet.evaluate_formula("=__import__('os')")
+
+
+def test_division_by_zero_yields_nan():
+    sheet = Worksheet("S")
+    sheet.set_value("A1", 1)
+    sheet.set_value("A2", 0)
+    assert math.isnan(sheet.evaluate_formula("=A1/A2"))
+
+
+def test_recalculate_updates_formula_cells():
+    sheet = Worksheet("S")
+    sheet.set_value("A1", 2)
+    sheet.set_value("A2", "=A1*10")
+    sheet.set_value("A1", 5)
+    sheet.recalculate()
+    assert sheet.get_value("A2") == 50.0
+
+
+@given(st.lists(st.integers(min_value=-1000, max_value=1000), min_size=1, max_size=20))
+def test_sum_formula_matches_python_sum(values):
+    sheet = Worksheet("S", rows=len(values) + 2)
+    for row, value in enumerate(values, start=1):
+        sheet.set_value(f"A{row}", value)
+    result = sheet.evaluate_formula(f"=SUM(A1:A{len(values)})")
+    assert result == pytest.approx(float(sum(values)))
+
+
+# ----------------------------------------------------------------------
+# selection, formatting, conditional formats
+# ----------------------------------------------------------------------
+def test_selection_and_format_application():
+    sheet = Worksheet("S")
+    sheet.select_range("A1:B2")
+    assert len(sheet.selected_cells()) == 4
+    assert sheet.selected_references() == ["A1", "A2", "B1", "B2"] or \
+        set(sheet.selected_references()) == {"A1", "A2", "B1", "B2"}
+    count = sheet.apply_format_to_selection(bold=True, fill_color="Gold")
+    assert count == 4
+    assert sheet.cell("B2").format.bold
+    with pytest.raises(AttributeError):
+        sheet.apply_format_to_selection(bogus=True)
+
+
+def test_conditional_format_rules_and_fill_resolution():
+    sheet = Worksheet("S")
+    sheet.set_value("E2", 100000)
+    sheet.set_value("E3", 10)
+    rule = ConditionalFormatRule(range_ref="E2:E3", operator="greater_than",
+                                 threshold=50000, fill_color="Light Red")
+    sheet.add_conditional_format(rule)
+    assert sheet.conditional_fill_for("E2") == "Light Red"
+    assert sheet.conditional_fill_for("E3") is None
+    assert sheet.conditional_fill_for("A1") is None
+
+
+def test_conditional_rule_operators():
+    rule_between = ConditionalFormatRule(range_ref="A1", operator="between",
+                                         threshold=10, threshold_upper=20)
+    assert rule_between.matches(15)
+    assert not rule_between.matches(25)
+    rule_eq = ConditionalFormatRule(range_ref="A1", operator="equal_to", threshold=0)
+    assert rule_eq.matches(None)       # blank cells match 0 (paper failure example)
+    rule_lt = ConditionalFormatRule(range_ref="A1", operator="less_than", threshold=5)
+    assert rule_lt.matches(1) and not rule_lt.matches(9)
+    with pytest.raises(ValueError):
+        ConditionalFormatRule(range_ref="A1", operator="weird").matches(1)
+
+
+# ----------------------------------------------------------------------
+# sorting, charts, structure
+# ----------------------------------------------------------------------
+def test_sort_range_with_header_and_direction():
+    sheet = Worksheet("S")
+    data = [("Region", "Units"), ("West", 3), ("East", 1), ("North", 2)]
+    for r, row in enumerate(data, start=1):
+        sheet.set_value(f"A{r}", row[0])
+        sheet.set_value(f"B{r}", row[1])
+    sheet.sort_range("A1:B4", key_column=0, ascending=True, has_header=True)
+    assert [sheet.get_value(f"A{r}") for r in range(2, 5)] == ["East", "North", "West"]
+    sheet.sort_range("A2:B4", key_column=1, ascending=False)
+    assert [sheet.get_value(f"B{r}") for r in range(2, 5)] == [3.0, 2.0, 1.0]
+
+
+def test_sort_places_none_last():
+    sheet = Worksheet("S")
+    sheet.set_value("A1", "b")
+    sheet.set_value("A3", "a")      # A2 left empty
+    sheet.sort_range("A1:A3", key_column=0, ascending=True)
+    assert sheet.get_value("A1") == "a"
+    assert sheet.get_value("A3") is None
+
+
+def test_charts_filters_freeze_and_sizing():
+    sheet = Worksheet("S")
+    chart = sheet.insert_chart("Clustered Column", "A1:B5", title="Sales")
+    assert sheet.charts == [chart]
+    sheet.set_filter(0, "enabled")
+    assert sheet.filters[0] == "enabled"
+    sheet.freeze_panes(1, 2)
+    assert (sheet.frozen_rows, sheet.frozen_columns) == (1, 2)
+    sheet.hide_column("C")
+    assert 2 in sheet.hidden_columns
+    sheet.set_column_width("B", 20)
+    sheet.set_row_height(3, 30)
+    assert sheet.column_widths[1] == 20 and sheet.row_heights[3] == 30
+
+
+# ----------------------------------------------------------------------
+# workbook
+# ----------------------------------------------------------------------
+def test_workbook_sheet_management():
+    workbook = Workbook(sheet_names=("One",))
+    two = workbook.add_sheet("Two")
+    assert workbook.sheet("Two") is two
+    with pytest.raises(ValueError):
+        workbook.add_sheet("Two")
+    workbook.activate_sheet("Two")
+    assert workbook.active_sheet is two
+    with pytest.raises(KeyError):
+        workbook.activate_sheet("Three")
+    with pytest.raises(KeyError):
+        workbook.sheet("Three")
+
+
+def test_workbook_save_and_dirty_flag():
+    workbook = Workbook()
+    workbook.mark_dirty()
+    assert not workbook.saved
+    workbook.save(file_format="csv")
+    assert workbook.saved and workbook.file_format == "csv" and workbook.save_count == 1
+
+
+def test_sample_sales_workbook_revenue_formulas():
+    workbook = sample_sales_workbook()
+    sheet = workbook.active_sheet
+    assert sheet.get_value("E2") == pytest.approx(120 * 950.0)
+    assert sheet.get_value("A1") == "Region"
+    # Highest revenue row is East/Laptop at B7 (used by the observation task).
+    revenues = {f"B{r}": sheet.get_value(f"E{r}") for r in range(2, 10)}
+    assert max(revenues, key=revenues.get) == "B7"

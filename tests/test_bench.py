@@ -1,0 +1,265 @@
+"""Tests for the benchmark: tasks, checkers, metrics, failures, runner, reporting."""
+
+import dataclasses
+
+import pytest
+
+from repro.agent.session import FailureRecord, InterfaceSetting, SessionResult
+from repro.apps import APP_FACTORIES, ExcelApp, PowerPointApp, WordApp
+from repro.bench.failures import failure_breakdown, failure_distribution, failure_share_by_cause
+from repro.bench.metrics import (
+    aggregate,
+    normalized_core_steps,
+    one_shot_rate,
+    per_app_success,
+    solved_task_intersection,
+    success_rate,
+)
+from repro.bench.runner import (
+    BenchmarkConfig,
+    BenchmarkRunner,
+    CORE_SETTING_KEYS,
+    EvaluationSetting,
+    TABLE3_SETTINGS,
+    setting_by_key,
+)
+from repro.bench import reporting
+from repro.bench.tasks import all_tasks, task_by_id, tasks_for_app
+from repro.llm.profiles import GPT5_MEDIUM
+from repro.spec import FailureCause
+
+
+# ----------------------------------------------------------------------
+# task suite shape
+# ----------------------------------------------------------------------
+def test_suite_has_27_single_app_tasks_across_three_apps():
+    tasks = all_tasks()
+    assert len(tasks) == 27
+    assert {len(tasks_for_app(app)) for app in ("word", "excel", "powerpoint")} == {9}
+    assert len({t.task_id for t in tasks}) == 27
+
+
+def test_every_task_has_checker_and_valid_metadata():
+    for task in all_tasks():
+        assert callable(task.checker)
+        assert task.intents
+        assert task.semantic_difficulty > 0
+        assert task.app in APP_FACTORIES
+
+
+def test_checkers_fail_on_fresh_unmodified_apps():
+    for task in all_tasks():
+        app = APP_FACTORIES[task.app]()
+        assert not task.checker(app), f"{task.task_id} must not pass on a fresh app"
+
+
+def test_task_by_id_lookup():
+    assert task_by_id("ppt-01-blue-background").app == "powerpoint"
+    with pytest.raises(KeyError):
+        task_by_id("nope")
+
+
+def test_checkers_pass_after_direct_state_manipulation():
+    word = WordApp()
+    word.document.set_orientation("landscape")
+    assert task_by_id("word-02-landscape").checker(word)
+
+    excel = ExcelApp()
+    excel.sheet.set_value("B10", 500)
+    assert task_by_id("excel-01-enter-value").checker(excel)
+
+    ppt = PowerPointApp()
+    ppt.presentation.set_background("Blue", apply_to_all=True)
+    assert task_by_id("ppt-01-blue-background").checker(ppt)
+
+
+def test_paper_flagship_tasks_are_present():
+    tags = {tag for task in all_tasks() for tag in task.tags}
+    assert "paper-task-1" in tags and "paper-task-2" in tags
+
+
+# ----------------------------------------------------------------------
+# metrics
+# ----------------------------------------------------------------------
+def fake_result(task_id="t1", success=True, steps=5, core=2, time_s=100.0,
+                cause=None, one_core=False):
+    result = SessionResult(task_id=task_id, app="word", interface=InterfaceSetting.GUI_ONLY,
+                           model="gpt-5", reasoning="medium")
+    result.success = success
+    result.steps = steps
+    result.core_steps = 1 if one_core else core
+    result.wall_time_s = time_s
+    if cause is not None:
+        result.failure = FailureRecord(cause)
+    return result
+
+
+def test_success_rate_and_aggregate_use_successes_only_for_steps():
+    results = [fake_result(success=True, steps=4, time_s=50),
+               fake_result(success=False, steps=30, time_s=900,
+                           cause=FailureCause.CONTROL_LOCALIZATION)]
+    assert success_rate(results) == 0.5
+    summary = aggregate(results)
+    assert summary.avg_steps == 4
+    assert summary.avg_time_s == 50
+    assert summary.as_dict()["SR"] == 50.0
+
+
+def test_one_shot_rate_counts_single_core_call_successes():
+    results = [fake_result(success=True, one_core=True),
+               fake_result(success=True, core=3),
+               fake_result(success=False, cause=FailureCause.AMBIGUOUS_TASK)]
+    assert one_shot_rate(results) == 0.5
+
+
+def test_aggregate_empty_results():
+    summary = aggregate([])
+    assert summary.success_rate == 0.0 and summary.avg_steps == 0.0
+
+
+def test_solved_intersection_and_normalized_steps():
+    setting_a = [fake_result("t1", True, core=4), fake_result("t2", True, core=6)]
+    setting_b = [fake_result("t1", True, core=2),
+                 fake_result("t2", False, cause=FailureCause.CONTROL_LOCALIZATION)]
+    by_setting = {"a": setting_a, "b": setting_b}
+    assert solved_task_intersection(by_setting) == {"t1"}
+    normalized = normalized_core_steps(by_setting)
+    assert normalized["a"] == 4 and normalized["b"] == 2
+
+
+def test_per_app_success_groups_by_application():
+    results = [fake_result("w", True), fake_result("w2", False,
+                                                   cause=FailureCause.AMBIGUOUS_TASK)]
+    assert per_app_success(results) == {"word": 0.5}
+
+
+# ----------------------------------------------------------------------
+# failures
+# ----------------------------------------------------------------------
+def test_failure_distribution_and_breakdown():
+    results = [
+        fake_result(success=False, cause=FailureCause.AMBIGUOUS_TASK),
+        fake_result(success=False, cause=FailureCause.CONTROL_LOCALIZATION),
+        fake_result(success=False, cause=FailureCause.CONTROL_SEMANTICS),
+        fake_result(success=True),
+    ]
+    distribution = failure_distribution(results)
+    assert distribution["failures"] == 3
+    assert distribution["policy"] == 2 and distribution["mechanism"] == 1
+    breakdown = failure_breakdown(results)
+    assert breakdown[FailureCause.AMBIGUOUS_TASK.value] == 1
+    shares = failure_share_by_cause(results)
+    assert pytest.approx(sum(shares.values())) == 1.0
+
+
+def test_failure_distribution_with_no_failures():
+    distribution = failure_distribution([fake_result(success=True)])
+    assert distribution["failures"] == 0
+    assert distribution["policy_share"] == 0.0
+    assert failure_share_by_cause([fake_result(success=True)]) == {}
+
+
+# ----------------------------------------------------------------------
+# runner
+# ----------------------------------------------------------------------
+def test_table3_settings_cover_paper_rows():
+    assert len(TABLE3_SETTINGS) == 8
+    interfaces = {(s.interface, s.profile.name, s.profile.reasoning) for s in TABLE3_SETTINGS}
+    assert (InterfaceSetting.GUI_PLUS_DMI, "gpt-5", "medium") in interfaces
+    assert (InterfaceSetting.GUI_PLUS_FOREST, "gpt-5-mini", "medium") in interfaces
+    assert setting_by_key("dmi-gpt5-medium").interface.uses_dmi
+    with pytest.raises(KeyError):
+        setting_by_key("nope")
+    assert set(CORE_SETTING_KEYS) <= {s.key for s in TABLE3_SETTINGS}
+
+
+def test_runner_is_deterministic_for_same_seed():
+    tasks = [task_by_id("ppt-01-blue-background"), task_by_id("word-02-landscape")]
+    setting = setting_by_key("dmi-gpt5-medium")
+    runner_a = BenchmarkRunner(BenchmarkConfig(trials=2, seed=5, tasks=tasks))
+    runner_b = BenchmarkRunner(BenchmarkConfig(trials=2, seed=5, tasks=tasks))
+    out_a = runner_a.run_setting(setting)
+    out_b = runner_b.run_setting(setting)
+    assert [r.success for r in out_a.results] == [r.success for r in out_b.results]
+    assert [r.steps for r in out_a.results] == [r.steps for r in out_b.results]
+
+
+def test_runner_produces_expected_trial_counts_and_outcome_queries():
+    tasks = [task_by_id("ppt-02-scroll-to-end")]
+    runner = BenchmarkRunner(BenchmarkConfig(trials=3, seed=2, tasks=tasks))
+    outcome = runner.run_setting(setting_by_key("dmi-gpt5-medium"))
+    assert len(outcome.results) == 3
+    assert set(outcome.by_task()) == {"ppt-02-scroll-to-end"}
+    assert outcome.solved_task_ids() <= {"ppt-02-scroll-to-end"}
+
+
+def test_runner_reuses_offline_artifacts_across_trials():
+    runner = BenchmarkRunner(BenchmarkConfig(trials=1))
+    first = runner.offline_artifacts("word")
+    second = runner.offline_artifacts("word")
+    assert first is second
+    assert set(runner.all_offline_artifacts()) == {"word", "excel", "powerpoint"}
+
+
+def test_gui_vs_dmi_shape_on_a_small_subset():
+    """The paper's headline shape holds even on a 4-task subset: DMI reaches
+    at least the baseline's success rate with fewer core steps."""
+    tasks = [task_by_id(t) for t in ("ppt-01-blue-background", "ppt-02-scroll-to-end",
+                                     "word-02-landscape", "excel-03-bold-header")]
+    runner = BenchmarkRunner(BenchmarkConfig(trials=3, seed=13, tasks=tasks))
+    gui = runner.run_setting(setting_by_key("gui-gpt5-medium"))
+    dmi = runner.run_setting(setting_by_key("dmi-gpt5-medium"))
+    gui_summary = aggregate(gui.results)
+    dmi_summary = aggregate(dmi.results)
+    assert dmi_summary.success_rate >= gui_summary.success_rate
+    assert dmi_summary.avg_core_steps < gui_summary.avg_core_steps
+
+
+# ----------------------------------------------------------------------
+# reporting
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def small_outcomes():
+    tasks = [task_by_id(t) for t in ("ppt-01-blue-background", "word-02-landscape")]
+    runner = BenchmarkRunner(BenchmarkConfig(trials=1, seed=3, tasks=tasks))
+    keys = ("gui-gpt5-medium", "forest-gpt5-medium", "dmi-gpt5-medium")
+    outcomes = {key: runner.run_setting(setting_by_key(key)) for key in keys}
+    return runner, outcomes
+
+
+def test_render_table3_contains_rows_and_metrics(small_outcomes):
+    _, outcomes = small_outcomes
+    text = reporting.render_table3(outcomes)
+    assert "Interface" in text and "GUI+DMI" in text and "%" in text
+
+
+def test_render_figures_and_sections(small_outcomes):
+    runner, outcomes = small_outcomes
+    assert "Success rate" in reporting.render_figure5a(outcomes)
+    fig5b = reporting.render_figure5b(outcomes, groups=[list(outcomes)])
+    assert "Normalized core steps" in fig5b
+    fig6 = reporting.render_figure6(outcomes["dmi-gpt5-medium"].results,
+                                    outcomes["gui-gpt5-medium"].results)
+    assert "policy-level" in fig6 and "mechanism-level" in fig6
+    offline = reporting.render_offline_modeling(runner.all_offline_artifacts())
+    assert "UNG nodes" in offline
+    one_shot = reporting.render_one_shot(outcomes, "dmi-gpt5-medium")
+    assert "single core LLM call" in one_shot
+    table2 = reporting.render_table2()
+    assert "set_scrollbar_pos" in table2 and "ScrollPattern" in table2
+    ablation = reporting.render_ablation(outcomes, [list(outcomes)])
+    assert "SR" in ablation
+
+
+def test_render_table1_formats_traces():
+    text = reporting.render_table1(["click(A)", "click(B)"], ["visit([1, 2])"],
+                                   ["drag", "drag"], ["set_scrollbar_pos(80%)"])
+    assert "Task 1" in text and "visit([1, 2])" in text and "set_scrollbar_pos" in text
+
+
+def test_render_token_overhead():
+    text = reporting.render_token_overhead(
+        {"Word": {"navigation_topology": 5000, "total": 6000}},
+        {"Word": 12.0},
+        {"gui": {"prompt": 1000, "total": 1200}})
+    assert "Token overhead" in text and "12.0" in text

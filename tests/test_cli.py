@@ -1,0 +1,50 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_rejects_unknown_setting():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args(["run", "--settings", "nope"])
+
+
+def test_tasks_command_lists_suite(capsys):
+    assert main(["tasks"]) == 0
+    output = capsys.readouterr().out
+    assert "ppt-01-blue-background" in output
+    assert output.count("\n") == 27
+
+
+def test_tasks_command_filters_by_app(capsys):
+    main(["tasks", "--app", "excel"])
+    output = capsys.readouterr().out
+    assert output.count("\n") == 9
+    assert "word-" not in output
+
+
+def test_model_command_prints_offline_statistics(capsys):
+    assert main(["model", "powerpoint"]) == 0
+    output = capsys.readouterr().out
+    assert "UNG nodes" in output and "powerpoint" in output
+
+
+def test_run_command_on_small_subset(capsys):
+    code = main(["run", "--settings", "dmi-gpt5-medium", "--trials", "1",
+                 "--tasks", "ppt-02-scroll-to-end", "word-02-landscape"])
+    assert code == 0
+    output = capsys.readouterr().out
+    assert "GUI+DMI" in output and "one-shot" in output
+
+
+def test_report_command_on_small_subset(capsys):
+    code = main(["report", "--trials", "1",
+                 "--tasks", "ppt-01-blue-background", "excel-03-bold-header"])
+    assert code == 0
+    output = capsys.readouterr().out
+    assert "Table 3" in output
+    assert "Figure 5a" in output
+    assert "Figure 6" in output
+    assert "single core LLM call" in output

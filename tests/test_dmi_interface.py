@@ -1,0 +1,63 @@
+"""Tests for the DMI facade: offline build, prompt assembly, token accounting."""
+
+from repro.apps import PowerPointApp
+from repro.dmi.interface import DMI, DMIConfig, build_dmi_for_app, build_offline_artifacts
+from repro.topology.externalize import ExternalizationConfig
+
+
+def test_offline_artifacts_summary_fields(ppt_artifacts):
+    summary = ppt_artifacts.summary()
+    for key in ("ung_nodes", "ung_edges", "merge_nodes", "forest_nodes",
+                "shared_subtrees", "core_nodes", "core_tokens", "modeling_seconds"):
+        assert key in summary
+    assert summary["ung_nodes"] > 400
+    assert summary["core_nodes"] <= summary["forest_nodes"]
+
+
+def test_initial_context_contains_usage_prompt_topology_and_digest(ppt_dmi):
+    context = ppt_dmi.initial_context()
+    assert "Declarative Model Interface" in context
+    assert "## Main tree" in context
+    assert "passive get_texts" in context
+
+
+def test_context_token_breakdown_adds_up(ppt_dmi):
+    breakdown = ppt_dmi.context_token_breakdown()
+    assert breakdown["total"] == (breakdown["usage_prompt"]
+                                  + breakdown["navigation_topology"]
+                                  + breakdown["dataitem_digest"])
+    assert breakdown["navigation_topology"] > 1000
+
+
+def test_tokens_per_control_is_paper_scale(ppt_dmi):
+    """The paper reports ~15 tokens per control; ours should be single-to-low
+    double digits, not hundreds."""
+    breakdown = ppt_dmi.context_token_breakdown()
+    per_control = breakdown["navigation_topology"] / ppt_dmi.core.visible_node_count()
+    assert 3.0 <= per_control <= 40.0
+
+
+def test_further_query_through_facade(ppt_dmi):
+    leaf = ppt_dmi.forest.leaf_nodes()[0]
+    result = ppt_dmi.further_query([leaf.node_id])
+    assert result.tokens > 0
+    assert ppt_dmi.query_engine.query_count() == 1
+
+
+def test_build_dmi_for_app_reuses_artifacts(ppt_artifacts):
+    app = PowerPointApp()
+    dmi = build_dmi_for_app(app, artifacts=ppt_artifacts)
+    assert dmi.app is app
+    assert dmi.artifacts is ppt_artifacts
+
+
+def test_build_offline_artifacts_honours_externalization_config(mini_app):
+    config = DMIConfig(externalization=ExternalizationConfig(clone_cost_threshold=0))
+    artifacts = build_offline_artifacts(mini_app, config)
+    assert artifacts.forest.node_count() > 0
+
+
+def test_facade_state_and_observation_shortcuts(ppt_dmi):
+    assert ppt_dmi.set_scrollbar_pos("Vertical Scroll Bar", None, 40.0).ok
+    assert ppt_dmi.get_texts("Notes").ok or True   # Notes may be empty but callable
+    assert ppt_dmi.select_controls(["Title"]).ok

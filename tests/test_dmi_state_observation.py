@@ -1,0 +1,164 @@
+"""Tests for state and observation declarations (paper §3.5, Table 2)."""
+
+from repro.dmi.state import INTERFACE_PATTERN_TABLE
+from repro.uia.patterns import ToggleState
+
+
+# ----------------------------------------------------------------------
+# the Table 2 inventory
+# ----------------------------------------------------------------------
+def test_interface_pattern_table_matches_paper_rows():
+    assert INTERFACE_PATTERN_TABLE["set_scrollbar_pos"] == "ScrollPattern"
+    assert INTERFACE_PATTERN_TABLE["select_lines"] == "TextPattern"
+    assert INTERFACE_PATTERN_TABLE["select_paragraphs"] == "TextPattern"
+    assert INTERFACE_PATTERN_TABLE["select_controls"] == "SelectionPattern"
+    assert "TextPattern" in INTERFACE_PATTERN_TABLE["get_texts"]
+    assert INTERFACE_PATTERN_TABLE["set_toggle_state"] == "TogglePattern"
+    assert INTERFACE_PATTERN_TABLE["set_expanded"] == "ExpandCollapsePattern"
+
+
+# ----------------------------------------------------------------------
+# set_scrollbar_pos
+# ----------------------------------------------------------------------
+def test_set_scrollbar_pos_sets_state_directly(mini_dmi):
+    feedback = mini_dmi.set_scrollbar_pos("Mini Scroll", None, 80.0)
+    assert feedback.ok
+    assert feedback.detail["vertical"] == 80.0
+    assert mini_dmi.app.scroll_position == 80.0
+
+
+def test_set_scrollbar_pos_on_powerpoint_scrolls_deck(ppt_dmi):
+    feedback = ppt_dmi.set_scrollbar_pos("Vertical Scroll Bar", None, 80.0)
+    assert feedback.ok
+    assert ppt_dmi.app.presentation.scroll_percent == 80.0
+
+
+def test_set_scrollbar_pos_rejects_static_topology_ids(mini_dmi):
+    feedback = mini_dmi.set_scrollbar_pos("42", None, 50.0)
+    assert not feedback.ok
+    assert "labels" in feedback.message or "label" in feedback.message
+
+
+def test_set_scrollbar_pos_unknown_label_and_unsupported_pattern(mini_dmi):
+    assert not mini_dmi.set_scrollbar_pos("No Such Control", None, 10.0).ok
+    feedback = mini_dmi.set_scrollbar_pos("Bold", None, 10.0)
+    assert not feedback.ok
+    assert feedback.detail.get("required_pattern") == "Scroll"
+
+
+# ----------------------------------------------------------------------
+# select_lines / select_paragraphs
+# ----------------------------------------------------------------------
+def test_select_paragraphs_on_word_document(word_dmi):
+    feedback = word_dmi.select_paragraphs("Document", 2, 2)
+    assert feedback.ok
+    assert word_dmi.app.document.selection == (2, 2)
+
+
+def test_select_lines_out_of_range_reports_available_count(word_dmi):
+    feedback = word_dmi.select_lines("Document", 0, 999)
+    assert not feedback.ok
+    assert feedback.detail["available"] == word_dmi.app.document.paragraph_count()
+
+
+def test_select_lines_on_control_without_text_pattern(mini_dmi):
+    feedback = mini_dmi.select_lines("Bold", 0, 0)
+    assert not feedback.ok
+
+
+# ----------------------------------------------------------------------
+# select_controls
+# ----------------------------------------------------------------------
+def test_select_controls_single_and_multiple(mini_dmi):
+    feedback = mini_dmi.select_controls(["Item A", "Item C"], mode="add")
+    assert feedback.ok
+    listbox = mini_dmi.app.window.find(automation_id="Mini.Items")
+    selected = {item.name for item in listbox.selected_items()}
+    assert selected == {"Item A", "Item C"}
+
+
+def test_select_controls_is_conservative_on_unknown_labels(mini_dmi):
+    feedback = mini_dmi.select_controls(["Item A", "Item Z"])
+    assert not feedback.ok
+    listbox = mini_dmi.app.window.find(automation_id="Mini.Items")
+    assert listbox.selected_items() == []      # nothing partially selected
+
+
+def test_select_controls_requires_selection_item_pattern(mini_dmi):
+    feedback = mini_dmi.select_controls(["Bold"])
+    assert not feedback.ok
+    assert feedback.detail.get("required_pattern") == "SelectionItem"
+
+
+def test_select_controls_on_excel_cell_updates_sheet_selection(excel_dmi):
+    feedback = excel_dmi.select_controls(["B7"])
+    assert feedback.ok
+    assert excel_dmi.app.sheet.selection == [(6, 1)]
+
+
+# ----------------------------------------------------------------------
+# toggle / expansion / value
+# ----------------------------------------------------------------------
+def test_set_toggle_state_on_checkbox(word_dmi):
+    # Interaction interfaces address controls on the *current* screen, so the
+    # View tab (which hosts the Ruler checkbox) must be active first.
+    word_dmi.app.ribbon.select_tab("View")
+    word_dmi.app.desktop.relayout()
+    feedback = word_dmi.set_toggle_state("Ruler", True)
+    assert feedback.ok
+    ruler = word_dmi.app.window.find(automation_id="Word.View.Ruler")
+    assert ruler.checked
+    assert feedback.detail["state"] == int(ToggleState.ON)
+
+
+def test_set_expanded_and_collapsed(mini_dmi):
+    dropdown = mini_dmi.app.window.find(automation_id="Mini.FontColor")
+    feedback = mini_dmi.set_expanded("Font Color")
+    assert feedback.ok
+    assert all(child.is_on_screen() for child in dropdown.children)
+    feedback = mini_dmi.set_collapsed("Font Color")
+    assert feedback.ok
+    assert all(not child.is_on_screen() for child in dropdown.children)
+
+
+def test_set_value_on_edit_and_unsupported_control(mini_dmi):
+    feedback = mini_dmi.set_value("Name Field", "draft.docx")
+    assert feedback.ok
+    field = mini_dmi.app.window.find(automation_id="Mini.NameField")
+    assert field.value == "draft.docx"
+    assert not mini_dmi.set_value("Bold", "x").ok
+
+
+# ----------------------------------------------------------------------
+# get_texts (observation declaration)
+# ----------------------------------------------------------------------
+def test_passive_digest_collects_data_items_and_coalesces_empties(excel_dmi):
+    digest = excel_dmi.passive_digest()
+    assert digest.entries.get("A1") == "Region"
+    assert digest.coalesced_empty > 0
+    text = digest.to_prompt_text()
+    assert "passive get_texts" in text
+    assert digest.token_estimate() > 0
+
+
+def test_active_get_texts_named_control(excel_dmi):
+    feedback = excel_dmi.get_texts("B2")
+    assert feedback.ok
+    assert feedback.detail["text"] == "Laptop"
+
+
+def test_active_get_texts_full_table(excel_dmi):
+    feedback = excel_dmi.get_texts()
+    assert feedback.ok
+    values = feedback.detail["values"]
+    assert values["E2"].startswith("114000")
+
+
+def test_get_texts_unknown_label(excel_dmi):
+    assert not excel_dmi.get_texts("ZZ99-not-there").ok
+
+
+def test_get_texts_on_text_control_reads_document(word_dmi):
+    feedback = word_dmi.get_texts("Document")
+    assert feedback.ok
+    assert "Quarterly Report" in feedback.detail["text"]

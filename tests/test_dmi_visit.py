@@ -1,0 +1,173 @@
+"""Tests for the visit executor: access declaration, filtering, robustness."""
+
+import pytest
+
+from repro.dmi.errors import ExecutionStatus
+from repro.dmi.visit import VisitCommand, VisitExecutor
+from repro.dmi.interface import DMI
+
+
+# ----------------------------------------------------------------------
+# command parsing
+# ----------------------------------------------------------------------
+def test_parse_access_command():
+    command = VisitCommand.parse({"id": 7})
+    assert command.kind == "access" and command.node_id == 7
+
+
+def test_parse_access_with_entry_ref_and_text():
+    command = VisitCommand.parse({"id": "9", "entry_ref_id": ["3"], "text": "hello"})
+    assert command.kind == "access_input"
+    assert command.entry_ref_ids == [3]
+    assert command.text == "hello"
+
+
+def test_parse_shortcut_and_further_query():
+    assert VisitCommand.parse({"shortcut_key": "ctrl+s"}).kind == "shortcut"
+    query = VisitCommand.parse({"further_query": -1})
+    assert query.kind == "further_query" and query.query_ids == [-1]
+
+
+def test_parse_unknown_command_raises():
+    with pytest.raises(ValueError):
+        VisitCommand.parse({"bogus": 1})
+
+
+# ----------------------------------------------------------------------
+# execution against the MiniApp
+# ----------------------------------------------------------------------
+def find_leaf(dmi: DMI, name: str, scope: str = ""):
+    nodes = [n for n in dmi.forest.find_by_name(name, leaves_only=True)]
+    if scope:
+        nodes = [n for n in nodes
+                 if scope.lower() in " > ".join(p.name for p in n.path_from_root()).lower()]
+    return nodes[0]
+
+
+def test_visit_navigates_and_clicks_leaf(mini_dmi):
+    bold = find_leaf(mini_dmi, "Bold")
+    result = mini_dmi.visit([{"id": bold.node_id}])
+    assert result.ok and result.executed == 1
+    assert "bold" in mini_dmi.app.state_log
+
+
+def test_visit_resolves_path_dependent_color_semantics(mini_dmi):
+    blue_font = find_leaf(mini_dmi, "Blue", scope="Font Color")
+    blue_page = find_leaf(mini_dmi, "Blue", scope="Page Color")
+    assert blue_font.node_id != blue_page.node_id
+    mini_dmi.visit([{"id": blue_font.node_id}])
+    assert mini_dmi.app.font_color == "Blue"
+    assert mini_dmi.app.page_color == "White"
+    mini_dmi.visit([{"id": blue_page.node_id}])
+    assert mini_dmi.app.page_color == "Blue"
+
+
+def test_visit_batches_multiple_commands_in_one_call(mini_dmi):
+    blue = find_leaf(mini_dmi, "Blue", scope="Font Color")
+    bold = find_leaf(mini_dmi, "Bold")
+    result = mini_dmi.visit([{"id": blue.node_id}, {"id": bold.node_id}])
+    assert result.executed == 2
+    assert mini_dmi.app.font_color == "Blue" and "bold" in mini_dmi.app.state_log
+
+
+def test_visit_access_and_input_text_with_shortcut_commit(mini_dmi):
+    field = find_leaf(mini_dmi, "Name Field")
+    result = mini_dmi.visit([
+        {"id": field.node_id, "text": "quarterly.docx"},
+        {"shortcut_key": "enter"},
+    ])
+    assert result.ok
+    assert mini_dmi.app.saved_name == "quarterly.docx"
+
+
+def test_visit_navigates_into_dialogs(mini_dmi):
+    checkbox = find_leaf(mini_dmi, "Enable feature")
+    result = mini_dmi.visit([{"id": checkbox.node_id}])
+    assert result.ok
+    assert ("feature", True) in mini_dmi.app.state_log
+    # The dialog the executor had to open is still the top window.
+    assert mini_dmi.app.top_window().name == "Settings"
+
+
+def test_visit_filters_navigation_nodes_and_following_shortcuts(mini_dmi):
+    navigation = [n for n in mini_dmi.forest.find_by_name("Font Color") if not n.is_leaf][0]
+    bold = find_leaf(mini_dmi, "Bold")
+    result = mini_dmi.visit([
+        {"id": navigation.node_id},
+        {"shortcut_key": "enter"},
+        {"id": bold.node_id},
+    ])
+    assert len(result.filtered) == 2
+    assert result.executed == 1
+    statuses = [f.status for f in result.feedback]
+    assert ExecutionStatus.FILTERED in statuses
+
+
+def test_visit_rejects_mixed_further_query(mini_dmi):
+    bold = find_leaf(mini_dmi, "Bold")
+    result = mini_dmi.visit([{"further_query": [1]}, {"id": bold.node_id}])
+    assert not result.ok
+    assert result.executed == 0
+
+
+def test_visit_pure_further_query_returns_topology(mini_dmi):
+    result = mini_dmi.visit([{"further_query": [-1]}])
+    assert result.ok
+    assert result.further_query_ids == [-1]
+
+
+def test_visit_unknown_node_id_gives_structured_error(mini_dmi):
+    result = mini_dmi.visit([{"id": 10**6}])
+    assert not result.ok
+    error = result.errors()[0]
+    assert "unknown topology node" in error.message
+    assert error.suggestions
+
+
+def test_visit_reports_disabled_controls(mini_dmi):
+    bold_node = find_leaf(mini_dmi, "Bold")
+    element = mini_dmi.app.window.find(automation_id="Mini.Bold")
+    element.is_enabled = False
+    result = mini_dmi.visit([{"id": bold_node.node_id}])
+    assert not result.ok
+    assert "disabled" in result.errors()[0].message
+
+
+def test_visit_fuzzy_matches_renamed_controls(mini_dmi):
+    bold_node = find_leaf(mini_dmi, "Bold")
+    element = mini_dmi.app.window.find(automation_id="Mini.Bold")
+    element.name = "Bold Text"          # UI renamed since modeling
+    result = mini_dmi.visit([{"id": bold_node.node_id}])
+    assert result.ok
+    assert "bold" in mini_dmi.app.state_log
+
+
+def test_visit_closes_unrelated_dialog_to_reach_main_window_target(mini_dmi):
+    # Open the settings dialog, then ask for a main-window control: the
+    # executor should close the dialog (OK > Close > Cancel) and proceed.
+    mini_dmi.app.window.find(automation_id="Mini.OpenSettings").activate()
+    assert mini_dmi.app.open_dialogs()
+    bold = find_leaf(mini_dmi, "Bold")
+    result = mini_dmi.visit([{"id": bold.node_id}])
+    assert result.ok
+    assert not mini_dmi.app.open_dialogs()
+
+
+def test_visit_executor_counts_actions(mini_dmi):
+    blue = find_leaf(mini_dmi, "Blue", scope="Font Color")
+    result = mini_dmi.visit([{"id": blue.node_id}])
+    assert result.actions_delivered >= 2     # expand dropdown + click cell
+
+
+# ----------------------------------------------------------------------
+# on a real application: the paper's Task 1
+# ----------------------------------------------------------------------
+def test_visit_completes_paper_task1_on_powerpoint(ppt_dmi):
+    forest = ppt_dmi.forest
+    solid = find_leaf(ppt_dmi, "Solid fill", scope="Format Background")
+    blue = find_leaf(ppt_dmi, "Blue", scope="Fill Color")
+    apply_all = find_leaf(ppt_dmi, "Apply to All", scope="Format Background")
+    result = ppt_dmi.visit([{"id": solid.node_id}, {"id": blue.node_id},
+                            {"id": apply_all.node_id}])
+    assert result.ok and result.executed == 3
+    assert all(s.background.color == "Blue" for s in ppt_dmi.app.presentation.slides)

@@ -1,0 +1,121 @@
+"""Tests for the ribbon / dialog construction helpers."""
+
+from repro.gui.desktop import Desktop
+from repro.gui.ribbon import (
+    DialogBuilder,
+    FONT_FAMILIES,
+    RibbonBuilder,
+    STANDARD_COLORS,
+    THEME_COLORS,
+    build_color_dropdown,
+    build_font_controls,
+    build_gallery_button,
+    build_menu_button,
+)
+from repro.gui.widgets import Window
+from repro.uia.control_types import ControlType
+
+
+def make_window():
+    desktop = Desktop()
+    window = Window("App")
+    desktop.open_window(window, process_id=desktop.register_process("App"))
+    return window
+
+
+def test_ribbon_builder_creates_tabs_groups_and_selection():
+    window = make_window()
+    ribbon = RibbonBuilder(window, "App")
+    ribbon.add_tab("Home", description="home tab")
+    ribbon.add_tab("Insert")
+    home_group = ribbon.add_group("Home", "Font")
+    assert home_group.automation_id == "App.Home.Font"
+    ribbon.select_tab("Home")
+    assert ribbon.selected_tab_title() == "Home"
+    assert ribbon.panels["Home"].visible and not ribbon.panels["Insert"].visible
+    ribbon.select_tab("Insert")
+    assert ribbon.selected_tab_title() == "Insert"
+    assert not ribbon.panels["Home"].visible
+
+
+def test_color_dropdown_contains_theme_standard_and_more_colors():
+    chosen = []
+    dropdown = build_color_dropdown("Font Color", on_choice=chosen.append,
+                                    extra_items=("No Color",))
+    names = {c.name for c in dropdown.iter_descendants()}
+    assert set(THEME_COLORS) <= names
+    assert set(STANDARD_COLORS) <= names
+    assert "More Colors..." in names and "No Color" in names
+    cell = [c for c in dropdown.iter_descendants() if c.name == "Teal"][0]
+    cell.activate()
+    more = [c for c in dropdown.iter_descendants() if c.name == "More Colors..."][0]
+    more.activate()
+    assert chosen == ["Teal", "Custom"]
+
+
+def test_menu_button_wires_callbacks():
+    calls = []
+    dropdown = build_menu_button("Margins", {"Narrow": lambda: calls.append("narrow"),
+                                             "Wide": lambda: calls.append("wide")})
+    dropdown.activate()
+    narrow = [c for c in dropdown.iter_descendants() if c.name == "Narrow"][0]
+    narrow.activate()
+    assert calls == ["narrow"]
+    assert dropdown.control_type == ControlType.SPLIT_BUTTON
+
+
+def test_gallery_button_and_font_controls():
+    chosen = []
+    gallery = build_gallery_button("Styles", ("Quote", "Title"), on_choice=chosen.append)
+    quote = [c for c in gallery.iter_descendants() if c.name == "Quote"][0]
+    quote.activate()
+    assert chosen == ["Quote"]
+
+    fonts = []
+    sizes = []
+    font_box, size_box = build_font_controls("App.Home", on_font=fonts.append,
+                                             on_size=sizes.append)
+    assert font_box.value == "Calibri"
+    assert set(font_box.choices()) == set(FONT_FAMILIES)
+    font_box.set_value("Georgia")
+    size_box.set_value("14")
+    assert fonts == ["Georgia"] and sizes == ["14"]
+
+
+def test_dialog_builder_composes_tabs_fields_and_groups():
+    committed = {}
+    builder = DialogBuilder("Options", on_ok=lambda: committed.setdefault("ok", True))
+    page = builder.add_tab("General")
+    second = builder.add_tab("Advanced")
+    edit = builder.add_edit(page, "User name", value="alice",
+                            on_commit=lambda v: committed.update(name=v))
+    checkbox = builder.add_checkbox(page, "Enable", checked=True,
+                                    on_change=lambda v: committed.update(enabled=v))
+    builder.add_radio_group(page, "Mode", ("Fast", "Safe"),
+                            on_select=lambda v: committed.update(mode=v))
+    spinner = builder.add_spinner(second, "Timeout", value=5, maximum=60,
+                                  on_change=lambda v: committed.update(timeout=v))
+    combo = builder.add_combo(second, "Theme", choices=("Light", "Dark"), value="Light",
+                              on_change=lambda v: committed.update(theme=v))
+    builder.add_button(second, "Reset", on_click=lambda: committed.update(reset=True))
+    dialog = builder.build()
+
+    # The two pages exist and only the selected one is visible after selection.
+    tabs = dialog.find_all(control_type=ControlType.TAB_ITEM)
+    assert {t.name for t in tabs} == {"General", "Advanced"}
+    tabs[0].select()
+    assert page.visible and not second.visible
+
+    edit.set_text("bob")
+    checkbox.set_checked(False)
+    fast = [r for r in dialog.find_all(control_type=ControlType.RADIO_BUTTON)
+            if r.name == "Fast"][0]
+    fast.activate()
+    spinner.set_value(30)
+    combo.set_value("Dark")
+    [b for b in dialog.find_all(name="Reset")][0].activate()
+    dialog.ok_button.activate()
+
+    assert committed == {"name": "bob", "enabled": False, "mode": "Fast", "timeout": 30,
+                         "theme": "Dark", "reset": True, "ok": True}
+    assert not dialog.is_open

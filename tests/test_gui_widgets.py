@@ -1,0 +1,271 @@
+"""Tests for the widget toolkit."""
+
+from repro.gui.widgets import (
+    Button,
+    CheckBox,
+    ComboBox,
+    DataGrid,
+    DataItem,
+    Dialog,
+    Edit,
+    Gallery,
+    ListBox,
+    ListItemControl,
+    Menu,
+    MenuItem,
+    RadioButton,
+    ScrollBarControl,
+    Slider,
+    Spinner,
+    SplitButton,
+    TabControl,
+    TabItem,
+    TreeItemControl,
+    Window,
+)
+from repro.uia.control_types import ControlType
+from repro.uia.patterns import PatternId
+
+
+# ----------------------------------------------------------------------
+# buttons / toggles
+# ----------------------------------------------------------------------
+def test_button_click_invokes_callback():
+    clicks = []
+    button = Button("Save", on_click=lambda: clicks.append(1))
+    button.activate()
+    assert clicks == [1]
+    assert button.control_type == ControlType.BUTTON
+
+
+def test_button_callback_can_be_replaced():
+    log = []
+    button = Button("X")
+    button.activate()
+    button.set_on_click(lambda: log.append("new"))
+    button.activate()
+    assert log == ["new"]
+
+
+def test_split_button_click_expands_children():
+    split = SplitButton("Colors")
+    child = split.add_child(Button("Blue"))
+    assert not child.visible
+    split.activate()
+    assert child.visible
+    split.activate()
+    assert not child.visible
+
+
+def test_checkbox_toggles_and_reports_state():
+    states = []
+    box = CheckBox("Ruler", on_change=states.append)
+    box.activate()
+    assert box.checked and states == [True]
+    box.set_checked(False)
+    assert not box.checked and states == [True, False]
+
+
+def test_radio_button_selection():
+    chosen = []
+    radio = RadioButton("Portrait", on_select=lambda sel: chosen.append(sel))
+    radio.activate()
+    assert radio.selected
+    assert chosen == [True]
+
+
+# ----------------------------------------------------------------------
+# tabs
+# ----------------------------------------------------------------------
+def test_tab_selection_shows_panel_and_hides_siblings():
+    window = Window("Main")
+    tabs = TabControl()
+    window.add_child(tabs)
+    panel_a = window.add_child(Window("panel a"))
+    panel_b = window.add_child(Window("panel b"))
+    tab_a = tabs.add_tab(TabItem("A", panel=panel_a))
+    tab_b = tabs.add_tab(TabItem("B", panel=panel_b))
+    assert not panel_a.visible and not panel_b.visible
+    tab_a.select()
+    assert panel_a.visible and not panel_b.visible
+    tab_b.select()
+    assert panel_b.visible and not panel_a.visible
+    assert tabs.selected_tab() is tab_b
+
+
+def test_tab_on_select_callback():
+    selected = []
+    tab = TabItem("Design", on_select=lambda: selected.append("design"))
+    TabControl().add_tab(tab)
+    tab.select()
+    assert selected == ["design"]
+
+
+# ----------------------------------------------------------------------
+# menus
+# ----------------------------------------------------------------------
+def test_menu_item_with_submenu_expands_on_click():
+    item = MenuItem("Margins")
+    submenu = item.attach_submenu(Menu("Margins menu"))
+    leaf_calls = []
+    submenu.add_child(MenuItem("Narrow", on_click=lambda: leaf_calls.append("narrow")))
+    assert not submenu.visible
+    item.activate()
+    assert submenu.visible
+    submenu.children[0].activate()
+    assert leaf_calls == ["narrow"]
+    item.activate()
+    assert not submenu.visible
+
+
+# ----------------------------------------------------------------------
+# lists / galleries / combos
+# ----------------------------------------------------------------------
+def test_listbox_selection_modes():
+    box = ListBox("items", multi_select=False)
+    a = box.add_item(ListItemControl("a"))
+    b = box.add_item(ListItemControl("b"))
+    a.activate()
+    b.activate()
+    assert box.selected_items() == [b]
+
+
+def test_gallery_choice_callback():
+    chosen = []
+    gallery = Gallery("Theme Colors", choices=("Red", "Blue"), on_choice=chosen.append)
+    blue = [c for c in gallery.items() if c.name == "Blue"][0]
+    blue.activate()
+    assert chosen == ["Blue"]
+    assert blue.is_selected
+
+
+def test_combobox_expand_select_and_value():
+    changes = []
+    combo = ComboBox("Font", choices=("Arial", "Calibri"), value="Calibri",
+                     on_change=changes.append)
+    items = combo.find_all(control_type=ControlType.LIST_ITEM)
+    assert all(not i.is_on_screen() for i in items)
+    combo.activate()          # expand
+    items = combo.find_all(control_type=ControlType.LIST_ITEM)
+    assert all(i.is_on_screen() for i in items)
+    arial = [i for i in items if i.name == "Arial"][0]
+    arial.activate()
+    assert combo.value == "Arial"
+    assert changes == ["Arial"]
+    assert combo.choices() == ["Arial", "Calibri"]
+
+
+# ----------------------------------------------------------------------
+# text input
+# ----------------------------------------------------------------------
+def test_edit_commits_immediately_by_default():
+    committed = []
+    edit = Edit("Footer text", on_commit=committed.append)
+    edit.set_text("Confidential")
+    assert committed == ["Confidential"]
+    assert edit.value == "Confidential"
+
+
+def test_edit_with_enter_commit_requires_explicit_commit():
+    committed = []
+    edit = Edit("Name Box", requires_enter_to_commit=True, on_commit=committed.append)
+    edit.set_text("B10")
+    assert committed == []
+    edit.commit()
+    assert committed == ["B10"]
+
+
+def test_edit_append_text():
+    edit = Edit("note", value="a")
+    edit.append_text("b")
+    assert edit.value == "ab"
+
+
+# ----------------------------------------------------------------------
+# range widgets
+# ----------------------------------------------------------------------
+def test_slider_and_spinner_values():
+    slider = Slider("Transparency", value=10, maximum=100)
+    slider.set_value(55)
+    assert slider.value == 55
+    spinner = Spinner("Duration", value=1.0, minimum=0.0, maximum=10.0, step=0.5)
+    spinner.increment()
+    assert spinner.value == 1.5
+    spinner.decrement()
+    spinner.decrement()
+    assert spinner.value == 0.5
+
+
+def test_scrollbar_position_and_callback():
+    positions = []
+    bar = ScrollBarControl("VScroll", orientation="vertical", on_scroll=positions.append)
+    bar.set_position(80)
+    assert bar.position == 80
+    assert positions == [80]
+    horizontal = ScrollBarControl("HScroll", orientation="horizontal")
+    horizontal.set_position(25)
+    assert horizontal.position == 25
+
+
+# ----------------------------------------------------------------------
+# data grid
+# ----------------------------------------------------------------------
+def test_data_grid_cells_and_patterns():
+    grid = DataGrid("Grid", rows=3, columns=2)
+    assert len(grid.all_cells()) == 6
+    cell = grid.cell(2, 1)
+    assert isinstance(cell, DataItem)
+    assert grid.get_pattern(PatternId.GRID).get_item(2, 1) is cell
+
+
+def test_data_item_value_and_display_value():
+    edits = []
+    cell = DataItem("B2", row=1, column=1, on_change=edits.append)
+    cell.set_value("42")
+    assert edits == ["42"]
+    cell.set_display_value("43")          # no callback
+    assert edits == ["42"]
+    assert cell.value == "43"
+
+
+def test_data_item_selection_display_does_not_fire_callback():
+    selections = []
+    cell = DataItem("A1", on_select=selections.append)
+    cell.set_selected(True)
+    assert selections == [True]
+    cell.set_selected_display(False)
+    assert selections == [True]
+    assert not cell.is_selected
+
+
+# ----------------------------------------------------------------------
+# trees / windows / dialogs
+# ----------------------------------------------------------------------
+def test_tree_item_expansion_hides_and_shows_children():
+    parent = TreeItemControl("Folder")
+    child = parent.add_child(TreeItemControl("File"))
+    assert not child.visible
+    parent.get_pattern(PatternId.EXPAND_COLLAPSE).expand()
+    assert child.visible
+
+
+def test_dialog_ok_and_cancel_close_and_call_back():
+    outcomes = []
+    dialog = Dialog("Settings", on_ok=lambda: outcomes.append("ok"),
+                    on_cancel=lambda: outcomes.append("cancel"))
+    assert dialog.is_modal
+    dialog.ok_button.activate()
+    assert outcomes == ["ok"]
+    assert not dialog.is_open
+
+    dialog2 = Dialog("Settings2", on_cancel=lambda: outcomes.append("cancel"))
+    dialog2.cancel_button.activate()
+    assert outcomes == ["ok", "cancel"]
+
+
+def test_window_close_notifies_user_callback():
+    closed = []
+    window = Window("Main", on_close=lambda: closed.append(1))
+    window.close()
+    assert closed == [1]
+    assert not window.is_open

@@ -1,0 +1,114 @@
+"""End-to-end integration tests: the full offline + online pipeline.
+
+These tests exercise the complete chain the paper describes — rip a live
+application, build the path-unambiguous forest, hand the core topology to a
+planner, execute declaratively through DMI, and verify the *application
+state* — plus the headline properties (one-shot completion, policy/mechanism
+decoupling, fallback to GUI).
+"""
+
+import dataclasses
+import random
+
+import pytest
+
+from repro.agent.host_agent import HostAgent
+from repro.agent.dmi_agent import DmiAgentConfig
+from repro.agent.session import InterfaceSetting
+from repro.apps import APP_FACTORIES
+from repro.bench.tasks import all_tasks
+from repro.dmi.interface import DMI
+from repro.llm.profiles import GPT5_MEDIUM
+
+PERFECT = dataclasses.replace(
+    GPT5_MEDIUM, grounding_error_rate=0.0, nav_plan_error_rate=0.0,
+    composite_error_rate=0.0, visual_parse_error_rate=0.0, semantic_error_rate=0.0,
+    instruction_following_error=0.0, recovery_competence=1.0, knows_app_structure=True)
+
+
+@pytest.fixture(scope="module")
+def artifacts_by_app(word_artifacts, excel_artifacts, ppt_artifacts):
+    return {"word": word_artifacts, "excel": excel_artifacts, "powerpoint": ppt_artifacts}
+
+
+def run_task(task, artifacts, interface, profile=PERFECT, seed=0):
+    app = APP_FACTORIES[task.app]()
+    host = HostAgent(profile, interface, rng=random.Random(seed))
+    dmi = DMI(app, artifacts) if interface.uses_dmi else None
+    return host.run_task(task, app, artifacts.forest, core=artifacts.core, dmi=dmi,
+                         dmi_config=DmiAgentConfig(topology_gap_rate=0.0))
+
+
+@pytest.mark.parametrize("task", all_tasks(), ids=lambda t: t.task_id)
+def test_every_benchmark_task_is_solvable_through_dmi(task, artifacts_by_app):
+    """With a perfect policy, GUI+DMI completes every task in the suite."""
+    result = run_task(task, artifacts_by_app[task.app], InterfaceSetting.GUI_PLUS_DMI)
+    assert result.success, (task.task_id, result.failure, result.notes)
+    assert result.steps <= 30
+
+
+@pytest.mark.parametrize("task_id", [
+    "ppt-01-blue-background", "word-03-replace-risk", "excel-02-sum-units",
+    "word-06-custom-margins", "excel-05-sort-region",
+])
+def test_representative_tasks_solvable_through_gui_only(task_id, artifacts_by_app):
+    """The imperative baseline can also finish these tasks when no errors are
+    injected — the interfaces differ in fragility, not raw capability."""
+    task = [t for t in all_tasks() if t.task_id == task_id][0]
+    result = run_task(task, artifacts_by_app[task.app], InterfaceSetting.GUI_ONLY)
+    assert result.success, (task_id, result.failure, result.notes)
+
+
+def test_dmi_needs_fewer_core_steps_than_gui_on_the_flagship_task(artifacts_by_app):
+    task = [t for t in all_tasks() if t.task_id == "ppt-01-blue-background"][0]
+    dmi_result = run_task(task, artifacts_by_app["powerpoint"], InterfaceSetting.GUI_PLUS_DMI)
+    gui_result = run_task(task, artifacts_by_app["powerpoint"], InterfaceSetting.GUI_ONLY)
+    assert dmi_result.core_steps == 1
+    assert gui_result.core_steps >= 3
+    assert dmi_result.steps < gui_result.steps
+
+
+def test_one_shot_share_exceeds_paper_threshold_with_perfect_policy(artifacts_by_app):
+    """Paper §5.3: with DMI, most successful single-app tasks complete in a
+    single core LLM call (>61%)."""
+    one_shot = 0
+    successes = 0
+    for task in all_tasks():
+        result = run_task(task, artifacts_by_app[task.app], InterfaceSetting.GUI_PLUS_DMI)
+        if result.success:
+            successes += 1
+            one_shot += 1 if result.one_shot else 0
+    assert successes == 27
+    assert one_shot / successes > 0.61
+
+
+def test_dmi_tolerates_weak_grounding_better_than_gui(artifacts_by_app):
+    """Degrading only the mechanism-level abilities hurts the GUI baseline but
+    leaves DMI's fast path intact (the policy/mechanism decoupling)."""
+    weak_mechanism = dataclasses.replace(
+        PERFECT, grounding_error_rate=0.5, nav_plan_error_rate=0.3,
+        composite_error_rate=0.7, recovery_competence=0.2)
+    tasks = [t for t in all_tasks() if t.task_id in (
+        "ppt-01-blue-background", "ppt-02-scroll-to-end", "word-09-red-heading",
+        "excel-04-conditional-format", "excel-08-currency-format")]
+    dmi_successes = 0
+    gui_successes = 0
+    for seed, task in enumerate(tasks):
+        artifacts = artifacts_by_app[task.app]
+        if run_task(task, artifacts, InterfaceSetting.GUI_PLUS_DMI,
+                    profile=weak_mechanism, seed=seed).success:
+            dmi_successes += 1
+        if run_task(task, artifacts, InterfaceSetting.GUI_ONLY,
+                    profile=weak_mechanism, seed=seed).success:
+            gui_successes += 1
+    assert dmi_successes == len(tasks)
+    assert gui_successes < len(tasks)
+
+
+def test_offline_model_is_reusable_across_application_instances(ppt_artifacts):
+    """The navigation model is built once per application build and reused
+    (paper §5.2): two independent app instances share the same artifacts."""
+    task = [t for t in all_tasks() if t.task_id == "ppt-04-fade-transition-all"][0]
+    first = run_task(task, ppt_artifacts, InterfaceSetting.GUI_PLUS_DMI, seed=1)
+    second = run_task(task, ppt_artifacts, InterfaceSetting.GUI_PLUS_DMI, seed=2)
+    assert first.success and second.success

@@ -1,0 +1,222 @@
+"""Tests for the LLM substrate: tokens, profiles, grounding, planner."""
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.llm.grounding import GroundingModel
+from repro.llm.planner import SemanticPlanner, _common_prefix_length, _corrupt_text
+from repro.llm.profiles import (
+    GPT5_MEDIUM,
+    GPT5_MINI,
+    GPT5_MINIMAL,
+    all_profiles,
+    profile_by_name,
+)
+from repro.llm.tokens import estimate_tokens, tokens_per_item
+from repro.spec import FailureCause, Intent, IntentKind, TaskSpec
+from repro.uia.control_types import ControlType
+from repro.uia.element import UIElement
+
+
+# ----------------------------------------------------------------------
+# tokens
+# ----------------------------------------------------------------------
+def test_estimate_tokens_empty_and_scaling():
+    assert estimate_tokens("") == 0
+    short = estimate_tokens("Bold")
+    long = estimate_tokens("Bold " * 100)
+    assert short >= 1
+    assert long > short * 50
+
+
+def test_estimate_tokens_counts_punctuation_heavy_text():
+    structured = estimate_tokens("name(type)(desc)_12[child(type)_13]")
+    assert structured >= 8
+
+
+def test_tokens_per_item():
+    assert tokens_per_item([]) == 0.0
+    assert tokens_per_item(["hello world", "hello world"]) > 0
+
+
+@given(st.text(max_size=400))
+def test_estimate_tokens_is_nonnegative_and_bounded(text):
+    tokens = estimate_tokens(text)
+    assert tokens >= 0
+    assert tokens <= max(1, len(text))
+
+
+# ----------------------------------------------------------------------
+# profiles
+# ----------------------------------------------------------------------
+def test_profile_lookup_and_registry():
+    assert profile_by_name("gpt-5-medium") is GPT5_MEDIUM
+    assert profile_by_name("gpt-5-mini-medium") is GPT5_MINI
+    with pytest.raises(KeyError):
+        profile_by_name("gpt-6")
+    assert len(all_profiles()) == 3
+
+
+def test_profiles_order_by_capability():
+    # The weaker configurations have strictly higher mechanism error rates.
+    assert GPT5_MEDIUM.grounding_error_rate < GPT5_MINIMAL.grounding_error_rate \
+        < GPT5_MINI.grounding_error_rate
+    assert GPT5_MEDIUM.semantic_error_rate < GPT5_MINIMAL.semantic_error_rate
+    assert GPT5_MINI.knows_app_structure is False
+    assert GPT5_MEDIUM.knows_app_structure is True
+
+
+def test_effective_semantic_error_scales_with_difficulty_and_attention():
+    base = GPT5_MEDIUM.effective_semantic_error(1.0, split_attention=False)
+    harder = GPT5_MEDIUM.effective_semantic_error(1.5, split_attention=False)
+    split = GPT5_MEDIUM.effective_semantic_error(1.0, split_attention=True)
+    assert harder > base and split > base
+    assert GPT5_MEDIUM.effective_semantic_error(100.0, True) <= 0.95
+
+
+def test_with_knowledge_returns_modified_copy():
+    updated = GPT5_MINI.with_knowledge(True)
+    assert updated.knows_app_structure and not GPT5_MINI.knows_app_structure
+    assert updated.grounding_error_rate == GPT5_MINI.grounding_error_rate
+
+
+# ----------------------------------------------------------------------
+# grounding
+# ----------------------------------------------------------------------
+def visible_controls():
+    root = UIElement(name="win", control_type=ControlType.WINDOW)
+    names = ["Bold", "Italic", "Underline", "Font Color", "Fill Color"]
+    elements = [root.add_child(UIElement(name=n, control_type=ControlType.BUTTON))
+                for n in names]
+    return root, elements
+
+
+def test_grounding_resolves_correctly_with_zero_error_rate():
+    import dataclasses
+    profile = dataclasses.replace(GPT5_MEDIUM, grounding_error_rate=0.0)
+    model = GroundingModel(profile, random.Random(0))
+    _, elements = visible_controls()
+    for element in elements:
+        assert model.locate(element.name, elements) is element
+    assert model.errors_injected == 0
+
+
+def test_grounding_injects_errors_at_configured_rate():
+    import dataclasses
+    profile = dataclasses.replace(GPT5_MEDIUM, grounding_error_rate=1.0)
+    model = GroundingModel(profile, random.Random(0))
+    _, elements = visible_controls()
+    wrong = model.locate("Bold", elements)
+    assert wrong is not None and wrong.name != "Bold"
+    assert model.errors_injected == 1
+
+
+def test_grounding_scope_hint_disambiguates_same_names():
+    root = UIElement(name="win", control_type=ControlType.WINDOW)
+    font = root.add_child(UIElement(name="Font Color", control_type=ControlType.SPLIT_BUTTON))
+    page = root.add_child(UIElement(name="Page Color", control_type=ControlType.SPLIT_BUTTON))
+    blue_font = font.add_child(UIElement(name="Blue", control_type=ControlType.LIST_ITEM))
+    blue_page = page.add_child(UIElement(name="Blue", control_type=ControlType.LIST_ITEM))
+    import dataclasses
+    profile = dataclasses.replace(GPT5_MEDIUM, grounding_error_rate=0.0)
+    model = GroundingModel(profile, random.Random(0))
+    visible = list(root.iter_subtree())
+    assert model.locate("Blue", visible, scope_hint="Page Color") is blue_page
+    assert model.locate("Blue", visible, scope_hint="Font Color") is blue_font
+
+
+def test_grounding_returns_none_for_unknown_controls():
+    model = GroundingModel(GPT5_MEDIUM, random.Random(0))
+    _, elements = visible_controls()
+    assert model.locate("Nonexistent Widget", elements) is None
+
+
+def test_misreads_content_rate():
+    import dataclasses
+    always = GroundingModel(dataclasses.replace(GPT5_MEDIUM, visual_parse_error_rate=1.0),
+                            random.Random(0))
+    never = GroundingModel(dataclasses.replace(GPT5_MEDIUM, visual_parse_error_rate=0.0),
+                           random.Random(0))
+    assert always.misreads_content() and not never.misreads_content()
+
+
+# ----------------------------------------------------------------------
+# planner helpers
+# ----------------------------------------------------------------------
+def test_common_prefix_length():
+    assert _common_prefix_length(["a", "b", "c"], ["a", "b", "d"]) == 2
+    assert _common_prefix_length([], ["a"]) == 0
+    assert _common_prefix_length(["a"], ["a"]) == 1
+
+
+def test_corrupt_text_shifts_cell_references():
+    rng = random.Random(0)
+    corrupted = _corrupt_text("B10", rng)
+    assert corrupted != "B10" and corrupted[0] == "B"
+
+
+def test_corrupt_text_scales_numbers_and_mangles_words():
+    rng = random.Random(0)
+    assert float(_corrupt_text("500", rng)) in (50.0, 5000.0)
+    assert _corrupt_text("hello world again", rng) != "hello world again"
+    assert _corrupt_text("word", rng) != "word"
+
+
+# ----------------------------------------------------------------------
+# planner: corruption behaviour
+# ----------------------------------------------------------------------
+def demo_task(**overrides):
+    defaults = dict(
+        task_id="demo", app="powerpoint", instruction="do things",
+        intents=(
+            Intent(IntentKind.ACCESS, target="Blue", scope_hint="Fill Color",
+                   distractors=("Dark Blue",)),
+            Intent(IntentKind.SET_SCROLLBAR, target="Vertical Scroll Bar", value=80.0),
+        ),
+        checker=lambda app: True,
+    )
+    defaults.update(overrides)
+    return TaskSpec(**defaults)
+
+
+def test_corrupt_intents_never_fires_with_zero_rate():
+    import dataclasses
+    profile = dataclasses.replace(GPT5_MEDIUM, semantic_error_rate=0.0)
+    planner = SemanticPlanner(profile, random.Random(0))
+    intents, cause, index = planner.corrupt_intents(demo_task(), split_attention=False)
+    assert cause is None and index == -1
+    assert list(intents) == list(demo_task().intents)
+
+
+def test_corrupt_intents_always_fires_with_certain_rate_and_uses_task_cause():
+    import dataclasses
+    profile = dataclasses.replace(GPT5_MEDIUM, semantic_error_rate=1.0)
+    planner = SemanticPlanner(profile, random.Random(3))
+    task = demo_task(policy_failure_cause=FailureCause.CONTROL_SEMANTICS)
+    intents, cause, index = planner.corrupt_intents(task, split_attention=False)
+    assert cause == FailureCause.CONTROL_SEMANTICS
+    assert intents[index] != task.intents[index]
+
+
+def test_ambiguous_tasks_report_ambiguity_as_cause():
+    import dataclasses
+    profile = dataclasses.replace(GPT5_MEDIUM, semantic_error_rate=1.0)
+    planner = SemanticPlanner(profile, random.Random(3))
+    _, cause, _ = planner.corrupt_intents(demo_task(ambiguous=True), split_attention=False)
+    assert cause == FailureCause.AMBIGUOUS_TASK
+
+
+def test_task_spec_validation():
+    with pytest.raises(ValueError):
+        demo_task(app="notepad")
+    with pytest.raises(ValueError):
+        demo_task(intents=())
+    assert demo_task().intent_count() == 2
+
+
+def test_intent_describe_is_human_readable():
+    intent = Intent(IntentKind.ACCESS_INPUT, target="Name Box", text="B10")
+    assert "Name Box" in intent.describe() and "B10" in intent.describe()
+    assert "80" in Intent(IntentKind.SET_SCROLLBAR, target="x", value=80.0).describe()

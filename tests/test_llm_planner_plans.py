@@ -1,0 +1,140 @@
+"""Tests for declarative / imperative plan generation against real forests."""
+
+import dataclasses
+import random
+
+import pytest
+
+from repro.bench.tasks import task_by_id
+from repro.llm.planner import SemanticPlanner
+from repro.llm.profiles import GPT5_MEDIUM, GPT5_MINI
+from repro.spec import Intent, IntentKind, TaskSpec
+
+
+@pytest.fixture
+def perfect_planner():
+    profile = dataclasses.replace(GPT5_MEDIUM, semantic_error_rate=0.0,
+                                  instruction_following_error=0.0)
+    return SemanticPlanner(profile, random.Random(0))
+
+
+# ----------------------------------------------------------------------
+# leaf resolution
+# ----------------------------------------------------------------------
+def test_resolve_leaf_prefers_scope_match(ppt_artifacts, perfect_planner):
+    forest = ppt_artifacts.forest
+    fill_blue = perfect_planner.resolve_leaf(forest, "Blue", "Fill Color")
+    font_blue = perfect_planner.resolve_leaf(forest, "Blue", "Font Color")
+    assert fill_blue.node.node_id != font_blue.node.node_id
+    path = " > ".join(n.name for n in fill_blue.node.path_from_root())
+    assert "Fill Color" in path
+
+
+def test_resolve_leaf_prefers_editable_types_for_text_input(excel_artifacts, perfect_planner):
+    forest = excel_artifacts.forest
+    resolution = perfect_planner.resolve_leaf(forest, "Formula Bar",
+                                              prefer_types=("Edit",))
+    assert resolution.node.control_type.value == "Edit"
+
+
+def test_resolve_leaf_unknown_name(ppt_artifacts, perfect_planner):
+    assert not perfect_planner.resolve_leaf(ppt_artifacts.forest, "Quantum Flux").resolved
+
+
+# ----------------------------------------------------------------------
+# declarative plans
+# ----------------------------------------------------------------------
+def test_declarative_plan_bundles_accesses_into_one_visit(ppt_artifacts, perfect_planner):
+    task = task_by_id("ppt-01-blue-background")
+    plan = perfect_planner.plan_declarative(task, ppt_artifacts.forest, ppt_artifacts.core)
+    assert [c.kind for c in plan.calls] == ["visit"]
+    commands = plan.calls[0].payload["commands"]
+    assert len(commands) == 3
+    assert all("id" in c for c in commands)
+    assert plan.corruption is None
+
+
+def test_declarative_plan_uses_state_declaration_for_scroll(ppt_artifacts, perfect_planner):
+    task = task_by_id("ppt-02-scroll-to-end")
+    plan = perfect_planner.plan_declarative(task, ppt_artifacts.forest, ppt_artifacts.core)
+    assert plan.calls[0].kind == "set_scrollbar_pos"
+    assert plan.calls[0].payload["percent"] == 80.0
+
+
+def test_declarative_plan_inserts_further_query_for_pruned_targets(word_artifacts,
+                                                                   perfect_planner):
+    task = task_by_id("word-04-font-arial")
+    plan = perfect_planner.plan_declarative(task, word_artifacts.forest, word_artifacts.core)
+    kinds = [c.kind for c in plan.calls]
+    assert "further_query" in kinds
+    assert kinds.index("further_query") < kinds.index("visit")
+
+
+def test_declarative_plan_falls_back_to_gui_for_non_leaf_targets(ppt_artifacts,
+                                                                 perfect_planner):
+    task = task_by_id("ppt-05-insert-text-box")
+    plan = perfect_planner.plan_declarative(task, ppt_artifacts.forest, ppt_artifacts.core)
+    assert any(c.kind == "gui_fallback" for c in plan.calls)
+
+
+def test_declarative_plan_mixes_shortcut_into_visit(excel_artifacts, perfect_planner):
+    task = task_by_id("excel-01-enter-value")
+    plan = perfect_planner.plan_declarative(task, excel_artifacts.forest, excel_artifacts.core)
+    visit = [c for c in plan.calls if c.kind == "visit"][0]
+    kinds = [("shortcut_key" in c) for c in visit.payload["commands"]]
+    assert any(kinds)
+
+
+def test_instruction_following_noise_adds_navigation_nodes(ppt_artifacts):
+    profile = dataclasses.replace(GPT5_MEDIUM, semantic_error_rate=0.0,
+                                  instruction_following_error=1.0)
+    planner = SemanticPlanner(profile, random.Random(1))
+    task = task_by_id("ppt-01-blue-background")
+    plan = planner.plan_declarative(task, ppt_artifacts.forest, ppt_artifacts.core)
+    commands = plan.calls[-1].payload["commands"]
+    ids = [c["id"] for c in commands if "id" in c]
+    non_leaf = [i for i in ids if not ppt_artifacts.forest.node(i).is_leaf]
+    assert non_leaf, "the disobedient planner should emit at least one navigation node"
+
+
+# ----------------------------------------------------------------------
+# imperative plans
+# ----------------------------------------------------------------------
+def test_imperative_plan_expands_navigation_paths(ppt_artifacts, perfect_planner):
+    task = task_by_id("ppt-01-blue-background")
+    plan = perfect_planner.plan_imperative(task, ppt_artifacts.forest)
+    clicks = [s for s in plan.steps if s.kind == "click"]
+    names = [s.target for s in clicks]
+    assert "Design" in names and "Format Background" in names and "Apply to All" in names
+    # Intents sharing the Format Background dialog do not re-open it.
+    assert names.count("Design") == 1
+
+
+def test_imperative_plan_contains_composite_steps(ppt_artifacts, perfect_planner):
+    task = task_by_id("ppt-02-scroll-to-end")
+    plan = perfect_planner.plan_imperative(task, ppt_artifacts.forest)
+    assert [s.kind for s in plan.steps] == ["drag_scroll"]
+
+
+def test_imperative_plan_for_structure_unaware_model_adds_exploration(word_artifacts):
+    profile = dataclasses.replace(GPT5_MINI, semantic_error_rate=0.0)
+    planner = SemanticPlanner(profile, random.Random(7))
+    task = task_by_id("word-02-landscape")
+    plan = planner.plan_imperative(task, word_artifacts.forest, knows_structure=False)
+    assert any(s.exploratory for s in plan.steps) or len(plan.steps) >= 2
+    informed = planner.plan_imperative(task, word_artifacts.forest, knows_structure=True)
+    assert not any(s.exploratory for s in informed.steps)
+
+
+def test_imperative_plan_handles_observation_and_selection(excel_artifacts, perfect_planner):
+    task = task_by_id("excel-09-bold-top-product")
+    plan = perfect_planner.plan_imperative(task, excel_artifacts.forest)
+    kinds = [s.kind for s in plan.steps]
+    assert "read" in kinds and "click" in kinds
+
+
+def test_imperative_plan_word_selection_tasks_use_select_text(word_artifacts, perfect_planner):
+    task = task_by_id("word-01-italic-revenue")
+    plan = perfect_planner.plan_imperative(task, word_artifacts.forest)
+    assert plan.steps[0].kind == "select_text"
+    assert plan.steps[0].select_range == (2, 2)

@@ -1,0 +1,179 @@
+"""Tests for the accessibility element and tree helpers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.uia.control_types import ControlType
+from repro.uia.element import BoundingRect, UIElement
+from repro.uia.tree import (
+    TreeWalker,
+    diff_snapshots,
+    find_all,
+    find_first,
+    snapshot,
+    tree_depth,
+    tree_size,
+    visible_elements,
+)
+
+
+def build_tree():
+    root = UIElement(name="root", control_type=ControlType.WINDOW)
+    pane = root.add_child(UIElement(name="pane", control_type=ControlType.PANE))
+    button = pane.add_child(UIElement(name="ok", control_type=ControlType.BUTTON,
+                                      automation_id="dlg.ok"))
+    hidden = pane.add_child(UIElement(name="hidden", control_type=ControlType.BUTTON,
+                                      visible=False))
+    hidden.add_child(UIElement(name="inner", control_type=ControlType.TEXT))
+    return root, pane, button, hidden
+
+
+# ----------------------------------------------------------------------
+# BoundingRect
+# ----------------------------------------------------------------------
+def test_rect_contains_and_center():
+    rect = BoundingRect(10, 20, 100, 50)
+    assert rect.contains(10, 20)
+    assert rect.contains(109.9, 69.9)
+    assert not rect.contains(110, 20)
+    assert rect.center == (60, 45)
+    assert rect.area == 5000
+
+
+def test_rect_intersects():
+    a = BoundingRect(0, 0, 10, 10)
+    b = BoundingRect(5, 5, 10, 10)
+    c = BoundingRect(20, 20, 5, 5)
+    assert a.intersects(b)
+    assert not a.intersects(c)
+
+
+# ----------------------------------------------------------------------
+# structure
+# ----------------------------------------------------------------------
+def test_add_child_sets_parent_and_reparents():
+    root, pane, button, _hidden = build_tree()
+    assert button.parent is pane
+    other = UIElement(name="other")
+    other.add_child(button)
+    assert button.parent is other
+    assert button not in pane.children
+
+
+def test_ancestors_root_and_depth():
+    root, pane, button, _ = build_tree()
+    assert button.ancestors() == [pane, root]
+    assert button.root() is root
+    assert button.depth() == 2
+    assert root.depth() == 0
+
+
+def test_iter_descendants_is_preorder():
+    root, pane, button, hidden = build_tree()
+    names = [e.name for e in root.iter_descendants()]
+    assert names == ["pane", "ok", "hidden", "inner"]
+
+
+def test_find_and_find_all():
+    root, pane, button, _ = build_tree()
+    assert root.find(name="ok") is button
+    assert root.find(automation_id="dlg.ok") is button
+    assert root.find(name="nope") is None
+    assert len(root.find_all(control_type=ControlType.BUTTON)) == 2
+    assert root.find(name_contains="OK") is button
+    with pytest.raises(TypeError):
+        root.find(bogus="x")
+
+
+def test_primary_id_fallbacks():
+    assert UIElement(automation_id="abc", name="x").primary_id == "abc"
+    assert UIElement(name="x").primary_id == "x"
+    assert UIElement().primary_id == "[Unnamed]"
+
+
+def test_visibility_depends_on_ancestors():
+    root, pane, button, hidden = build_tree()
+    inner = hidden.children[0]
+    assert button.is_on_screen()
+    assert not inner.is_on_screen()       # parent hidden
+    assert inner.is_offscreen
+    pane.visible = False
+    assert not button.is_on_screen()
+
+
+def test_clear_children():
+    root, pane, *_ = build_tree()
+    pane.clear_children()
+    assert pane.children == []
+
+
+# ----------------------------------------------------------------------
+# tree helpers
+# ----------------------------------------------------------------------
+def test_tree_size_and_depth():
+    root, *_ = build_tree()
+    assert tree_size(root) == 5
+    assert tree_depth(root) == 4
+
+
+def test_visible_elements_excludes_hidden_subtrees():
+    root, pane, button, hidden = build_tree()
+    names = {e.name for e in visible_elements(root)}
+    assert names == {"root", "pane", "ok"}
+
+
+def test_find_first_and_all_with_predicate():
+    root, *_ = build_tree()
+    assert find_first(root, lambda e: e.control_type == ControlType.BUTTON).name == "ok"
+    assert len(find_all(root, lambda e: e.control_type == ControlType.BUTTON)) == 2
+
+
+def test_tree_walker_skips_filtered_nodes_but_keeps_their_children():
+    root = UIElement(name="root", control_type=ControlType.WINDOW)
+    separator = root.add_child(UIElement(name="sep", control_type=ControlType.SEPARATOR))
+    child = separator.add_child(UIElement(name="inside", control_type=ControlType.BUTTON))
+    walker = TreeWalker(condition=lambda e: e.control_type != ControlType.SEPARATOR)
+    assert walker.get_children(root) == [child]
+    assert walker.get_parent(child) is root
+    assert [e.name for e in walker.walk(root)] == ["root", "inside"]
+
+
+def test_tree_walker_siblings():
+    root = UIElement(name="root")
+    a = root.add_child(UIElement(name="a"))
+    b = root.add_child(UIElement(name="b"))
+    walker = TreeWalker()
+    assert walker.get_next_sibling(a) is b
+    assert walker.get_next_sibling(b) is None
+    assert walker.get_first_child(root) is a
+    assert walker.get_last_child(root) is b
+
+
+def test_snapshot_and_diff():
+    root, pane, button, hidden = build_tree()
+    before = snapshot(root)
+    new_button = pane.add_child(UIElement(name="new", control_type=ControlType.BUTTON))
+    after = snapshot(root)
+    new_entries = diff_snapshots(before, after)
+    assert [e["name"] for e in new_entries] == ["new"]
+    assert new_entries[0]["runtime_id"] == new_button.runtime_id
+
+
+# ----------------------------------------------------------------------
+# property-based: structural invariants
+# ----------------------------------------------------------------------
+@given(st.lists(st.integers(min_value=0, max_value=4), min_size=1, max_size=40))
+def test_random_trees_preserve_parent_child_consistency(branch_choices):
+    """Attaching children per a random recipe keeps depth/ancestor invariants."""
+    root = UIElement(name="root")
+    nodes = [root]
+    for index, choice in enumerate(branch_choices):
+        parent = nodes[choice % len(nodes)]
+        child = parent.add_child(UIElement(name=f"n{index}"))
+        nodes.append(child)
+    for node in root.iter_subtree():
+        for child in node.children:
+            assert child.parent is node
+        assert node.depth() == len(node.ancestors())
+        assert node.root() is root
+    assert tree_size(root) == len(nodes)

@@ -1,0 +1,60 @@
+"""Tests for the accessibility event bus."""
+
+from repro.uia.element import UIElement
+from repro.uia.events import EventBus, EventKind, UIAEvent
+
+
+def test_subscribe_specific_kind():
+    bus = EventBus()
+    received = []
+    bus.subscribe(received.append, EventKind.WINDOW_OPENED)
+    bus.emit_kind(EventKind.WINDOW_OPENED)
+    bus.emit_kind(EventKind.WINDOW_CLOSED)
+    assert len(received) == 1
+    assert received[0].kind == EventKind.WINDOW_OPENED
+
+
+def test_subscribe_all_kinds():
+    bus = EventBus()
+    received = []
+    bus.subscribe(received.append, None)
+    bus.emit_kind(EventKind.INVOKED)
+    bus.emit_kind(EventKind.VALUE_CHANGED)
+    assert [e.kind for e in received] == [EventKind.INVOKED, EventKind.VALUE_CHANGED]
+
+
+def test_unsubscribe_stops_delivery():
+    bus = EventBus()
+    received = []
+    unsubscribe = bus.subscribe(received.append, EventKind.INVOKED)
+    bus.emit_kind(EventKind.INVOKED)
+    unsubscribe()
+    bus.emit_kind(EventKind.INVOKED)
+    assert len(received) == 1
+
+
+def test_history_and_filtering():
+    bus = EventBus()
+    source = UIElement(name="button")
+    bus.emit_kind(EventKind.INVOKED, source=source, extra=1)
+    bus.emit_kind(EventKind.FOCUS_CHANGED, source=source)
+    invoked = bus.events_of_kind(EventKind.INVOKED)
+    assert len(invoked) == 1
+    assert invoked[0].source is source
+    assert invoked[0].detail == {"extra": 1}
+    bus.clear_history()
+    assert bus.history == []
+
+
+def test_history_limit_is_enforced():
+    bus = EventBus(history_limit=5)
+    for _ in range(12):
+        bus.emit_kind(EventKind.INVOKED)
+    assert len(bus.history) == 5
+
+
+def test_emit_accepts_prebuilt_event():
+    bus = EventBus()
+    event = UIAEvent(kind=EventKind.SCROLL_CHANGED)
+    bus.emit(event)
+    assert bus.history[-1] is event

@@ -1,0 +1,112 @@
+"""Tests for control-identifier synthesis and parsing (paper §4.1)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.uia.control_types import ControlType
+from repro.uia.element import UIElement
+from repro.uia.identifiers import (
+    ControlIdentifier,
+    UNNAMED,
+    find_by_identifier,
+    identifier_string,
+    identifiers_equal,
+    parse_identifier,
+    synthesize_identifier,
+)
+
+
+def build_chain():
+    root = UIElement(name="App", control_type=ControlType.WINDOW, automation_id="app.main")
+    tab = root.add_child(UIElement(name="Home", control_type=ControlType.TAB_ITEM,
+                                   automation_id="app.tab.home"))
+    group = tab.add_child(UIElement(name="Font", control_type=ControlType.GROUP))
+    button = group.add_child(UIElement(name="Bold", control_type=ControlType.BUTTON,
+                                       automation_id="app.bold"))
+    return root, tab, group, button
+
+
+def test_synthesize_uses_automation_id_then_name_then_unnamed():
+    root, tab, group, button = build_chain()
+    assert synthesize_identifier(button).primary_id == "app.bold"
+    assert synthesize_identifier(group).primary_id == "Font"
+    unnamed = group.add_child(UIElement(control_type=ControlType.TEXT))
+    assert synthesize_identifier(unnamed).primary_id == UNNAMED
+
+
+def test_ancestor_path_is_root_first():
+    root, tab, group, button = build_chain()
+    identifier = synthesize_identifier(button)
+    assert identifier.ancestor_path == ("app.main", "app.tab.home", "Font")
+
+
+def test_round_trip_parse():
+    _, _, _, button = build_chain()
+    text = identifier_string(button)
+    parsed = parse_identifier(text)
+    assert parsed == synthesize_identifier(button)
+
+
+def test_parse_rejects_malformed_strings():
+    with pytest.raises(ValueError):
+        parse_identifier("only-one-field")
+    with pytest.raises(ValueError):
+        parse_identifier("a|NotAType|b/c")
+
+
+def test_escaping_of_separator_characters():
+    root = UIElement(name="Weird|Name/With\\Chars", control_type=ControlType.BUTTON)
+    identifier = synthesize_identifier(root)
+    parsed = parse_identifier(str(identifier))
+    assert parsed.primary_id == "Weird|Name/With\\Chars"
+
+
+def test_identifiers_equal_ignores_formatting():
+    _, _, _, button = build_chain()
+    a = identifier_string(button)
+    assert identifiers_equal(a, str(parse_identifier(a)))
+
+
+def test_matches_element_checks_primary_id_and_type():
+    _, _, _, button = build_chain()
+    identifier = synthesize_identifier(button)
+    assert identifier.matches_element(button)
+    other = UIElement(name="Bold", control_type=ControlType.CHECK_BOX, automation_id="app.bold")
+    assert not identifier.matches_element(other)
+
+
+def test_find_by_identifier_locates_the_control():
+    root, tab, group, button = build_chain()
+    identifier = synthesize_identifier(button)
+    assert find_by_identifier(root, identifier) is button
+
+
+def test_find_by_identifier_accepts_path_suffix_match():
+    root, tab, group, button = build_chain()
+    shorter = ControlIdentifier(primary_id="app.bold", control_type=ControlType.BUTTON,
+                                ancestor_path=("Font",))
+    assert find_by_identifier(root, shorter) is button
+
+
+def test_find_by_identifier_returns_none_when_missing():
+    root, *_ = build_chain()
+    missing = ControlIdentifier(primary_id="nope", control_type=ControlType.BUTTON)
+    assert find_by_identifier(root, missing) is None
+
+
+# ----------------------------------------------------------------------
+# property-based round trip
+# ----------------------------------------------------------------------
+name_strategy = st.text(
+    alphabet=st.characters(blacklist_categories=("Cs",), blacklist_characters="\x00"),
+    min_size=1, max_size=20,
+)
+
+
+@given(primary=name_strategy,
+       ancestors=st.lists(name_strategy, max_size=4),
+       control_type=st.sampled_from(list(ControlType)))
+def test_identifier_string_round_trips(primary, ancestors, control_type):
+    identifier = ControlIdentifier(primary_id=primary, control_type=control_type,
+                                   ancestor_path=tuple(ancestors))
+    assert parse_identifier(str(identifier)) == identifier

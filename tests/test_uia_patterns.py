@@ -1,0 +1,262 @@
+"""Tests for UIA control patterns."""
+
+import pytest
+
+from repro.uia.control_types import ControlType
+from repro.uia.element import UIElement
+from repro.uia.patterns import (
+    ElementDisabledError,
+    ExpandCollapsePattern,
+    ExpandCollapseState,
+    GridItemPattern,
+    GridPattern,
+    InvokePattern,
+    PatternId,
+    PatternNotSupportedError,
+    RangeValuePattern,
+    ScrollPattern,
+    SelectionItemPattern,
+    SelectionPattern,
+    TextPattern,
+    TogglePattern,
+    ToggleState,
+    ValuePattern,
+    WindowPattern,
+)
+
+
+def make_element(name="control", control_type=ControlType.BUTTON, enabled=True):
+    return UIElement(name=name, control_type=control_type, enabled=enabled)
+
+
+# ----------------------------------------------------------------------
+# Invoke
+# ----------------------------------------------------------------------
+def test_invoke_runs_callback_and_counts():
+    calls = []
+    element = make_element()
+    pattern = InvokePattern(element, on_invoke=lambda: calls.append(1))
+    pattern.invoke()
+    pattern.invoke()
+    assert calls == [1, 1]
+    assert pattern.invoke_count == 2
+
+
+def test_invoke_on_disabled_element_raises():
+    element = make_element(enabled=False)
+    pattern = InvokePattern(element)
+    with pytest.raises(ElementDisabledError):
+        pattern.invoke()
+
+
+# ----------------------------------------------------------------------
+# Toggle
+# ----------------------------------------------------------------------
+def test_toggle_cycles_between_on_and_off():
+    element = make_element(control_type=ControlType.CHECK_BOX)
+    pattern = TogglePattern(element)
+    assert pattern.toggle() == ToggleState.ON
+    assert pattern.toggle() == ToggleState.OFF
+
+
+def test_toggle_set_state_fires_callback_only_on_change():
+    changes = []
+    element = make_element(control_type=ControlType.CHECK_BOX)
+    pattern = TogglePattern(element, on_change=changes.append)
+    pattern.set_state(ToggleState.ON)
+    pattern.set_state(ToggleState.ON)
+    assert changes == [ToggleState.ON]
+
+
+# ----------------------------------------------------------------------
+# ExpandCollapse
+# ----------------------------------------------------------------------
+def test_expand_collapse_transitions_and_callbacks():
+    events = []
+    element = make_element(control_type=ControlType.MENU_ITEM)
+    pattern = ExpandCollapsePattern(element, on_expand=lambda: events.append("expand"),
+                                    on_collapse=lambda: events.append("collapse"))
+    pattern.expand()
+    assert pattern.state == ExpandCollapseState.EXPANDED
+    pattern.expand()          # no-op
+    pattern.collapse()
+    assert pattern.state == ExpandCollapseState.COLLAPSED
+    assert events == ["expand", "collapse"]
+
+
+# ----------------------------------------------------------------------
+# Scroll
+# ----------------------------------------------------------------------
+def test_scroll_set_percent_clamps_to_range():
+    element = make_element(control_type=ControlType.PANE)
+    pattern = ScrollPattern(element, horizontal=0.0, vertical=0.0)
+    pattern.set_scroll_percent(150.0, -20.0)
+    assert pattern.horizontal_percent == 100.0
+    assert pattern.vertical_percent == 0.0
+
+
+def test_scroll_rejects_unscrollable_axis():
+    element = make_element(control_type=ControlType.PANE)
+    pattern = ScrollPattern(element, horizontal=ScrollPattern.NO_SCROLL, vertical=0.0)
+    with pytest.raises(PatternNotSupportedError):
+        pattern.set_scroll_percent(50.0, None)
+
+
+def test_scroll_by_moves_relative():
+    element = make_element(control_type=ControlType.PANE)
+    pattern = ScrollPattern(element, vertical=40.0)
+    pattern.scroll_by(vertical_delta=25.0)
+    assert pattern.vertical_percent == 65.0
+
+
+# ----------------------------------------------------------------------
+# Selection / SelectionItem
+# ----------------------------------------------------------------------
+def _selection_container(multi=False, items=3):
+    container = UIElement(name="list", control_type=ControlType.LIST)
+    SelectionPattern_ = SelectionPattern(container, can_select_multiple=multi)
+    container.add_pattern(SelectionPattern_)
+    children = []
+    for i in range(items):
+        child = UIElement(name=f"item {i}", control_type=ControlType.LIST_ITEM)
+        child.add_pattern(SelectionItemPattern(child))
+        container.add_child(child)
+        children.append(child)
+    return container, children
+
+
+def test_single_selection_deselects_siblings():
+    container, children = _selection_container(multi=False)
+    children[0].get_pattern(PatternId.SELECTION_ITEM).select()
+    children[1].get_pattern(PatternId.SELECTION_ITEM).select()
+    selected = container.get_pattern(PatternId.SELECTION).get_selection()
+    assert selected == [children[1]]
+
+
+def test_multi_selection_accumulates():
+    container, children = _selection_container(multi=True)
+    children[0].get_pattern(PatternId.SELECTION_ITEM).select()
+    children[2].get_pattern(PatternId.SELECTION_ITEM).add_to_selection()
+    selected = container.get_pattern(PatternId.SELECTION).get_selection()
+    assert set(selected) == {children[0], children[2]}
+
+
+def test_add_to_selection_rejected_in_single_select_container():
+    container, children = _selection_container(multi=False)
+    children[0].get_pattern(PatternId.SELECTION_ITEM).select()
+    with pytest.raises(PatternNotSupportedError):
+        children[1].get_pattern(PatternId.SELECTION_ITEM).add_to_selection()
+
+
+def test_remove_from_selection():
+    container, children = _selection_container(multi=True)
+    item = children[1].get_pattern(PatternId.SELECTION_ITEM)
+    item.select()
+    item.remove_from_selection()
+    assert not item.is_selected
+
+
+# ----------------------------------------------------------------------
+# Text
+# ----------------------------------------------------------------------
+class FakeTextProvider:
+    def __init__(self):
+        self.lines = ["alpha", "beta", "gamma"]
+        self.selected = None
+
+    def get_text(self):
+        return "\n".join(self.lines)
+
+    def get_lines(self):
+        return self.lines
+
+    def get_paragraphs(self):
+        return self.lines
+
+    def select_range(self, start, end, unit):
+        self.selected = (unit, start, end)
+
+
+def test_text_pattern_reads_from_provider():
+    element = make_element(control_type=ControlType.DOCUMENT)
+    provider = FakeTextProvider()
+    pattern = TextPattern(element, provider=provider)
+    assert pattern.get_text() == "alpha\nbeta\ngamma"
+    assert pattern.get_lines() == ["alpha", "beta", "gamma"]
+    assert pattern.get_text(max_length=5) == "alpha"
+
+
+def test_text_pattern_select_lines_updates_provider():
+    element = make_element(control_type=ControlType.DOCUMENT)
+    provider = FakeTextProvider()
+    pattern = TextPattern(element, provider=provider)
+    pattern.select_lines(0, 1)
+    assert provider.selected == ("line", 0, 1)
+    assert pattern.selection == ("line", 0, 1)
+
+
+def test_text_pattern_rejects_out_of_range_selection():
+    element = make_element(control_type=ControlType.DOCUMENT)
+    pattern = TextPattern(element, provider=FakeTextProvider())
+    with pytest.raises(IndexError):
+        pattern.select_paragraphs(2, 9)
+
+
+# ----------------------------------------------------------------------
+# Value / RangeValue
+# ----------------------------------------------------------------------
+def test_value_pattern_set_and_callback():
+    values = []
+    element = make_element(control_type=ControlType.EDIT)
+    pattern = ValuePattern(element, on_change=values.append)
+    pattern.set_value("hello")
+    assert pattern.value == "hello"
+    assert values == ["hello"]
+
+
+def test_value_pattern_read_only_rejects_writes():
+    element = make_element(control_type=ControlType.EDIT)
+    pattern = ValuePattern(element, value="fixed", is_read_only=True)
+    with pytest.raises(PatternNotSupportedError):
+        pattern.set_value("other")
+
+
+def test_range_value_clamps_and_validates():
+    element = make_element(control_type=ControlType.SLIDER)
+    pattern = RangeValuePattern(element, value=50, minimum=0, maximum=100)
+    pattern.set_value(250)
+    assert pattern.value == 100
+    with pytest.raises(ValueError):
+        RangeValuePattern(element, minimum=10, maximum=0)
+
+
+# ----------------------------------------------------------------------
+# Grid / Window
+# ----------------------------------------------------------------------
+def test_grid_pattern_bounds_check():
+    element = make_element(control_type=ControlType.DATA_GRID)
+    cells = {}
+
+    def get_item(r, c):
+        return cells.setdefault((r, c), make_element(name=f"{r},{c}"))
+
+    pattern = GridPattern(element, row_count=2, column_count=2, get_item=get_item)
+    assert pattern.get_item(1, 1).name == "1,1"
+    with pytest.raises(IndexError):
+        pattern.get_item(2, 0)
+
+
+def test_grid_item_records_coordinates():
+    element = make_element(control_type=ControlType.DATA_ITEM)
+    pattern = GridItemPattern(element, row=3, column=4)
+    assert (pattern.row, pattern.column) == (3, 4)
+
+
+def test_window_pattern_close_is_idempotent():
+    closes = []
+    element = make_element(control_type=ControlType.WINDOW)
+    pattern = WindowPattern(element, is_modal=True, on_close=lambda: closes.append(1))
+    pattern.close()
+    pattern.close()
+    assert closes == [1]
+    assert not pattern.is_open
