@@ -10,11 +10,12 @@ from __future__ import annotations
 
 import pytest
 
-from repro.bench.runner import BenchmarkConfig, BenchmarkRunner
+from repro.bench.runner import BenchmarkConfig, BenchmarkRunner, DEFAULT_SEED
 
 #: The paper's protocol: every task runs three times and results are averaged.
 TRIALS = 3
-SEED = 11
+#: One canonical seed for library, CLI and harness (see runner.DEFAULT_SEED).
+SEED = DEFAULT_SEED
 
 
 @pytest.fixture(scope="session")

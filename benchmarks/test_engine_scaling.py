@@ -1,0 +1,73 @@
+"""Engine scaling micro-benchmark: serial vs parallel execution wall-clock.
+
+First datapoint of the performance trajectory (ROADMAP: "as fast as the
+hardware allows"): the same fixed task×setting×trial grid is executed by the
+SerialExecutor and by the process-pool ParallelExecutor with ``jobs=4`` over
+a warm artifact cache, and both wall-clock times are recorded in the
+pytest-benchmark report (``extra_info``).
+
+The bench asserts only correctness (parallel output identical to serial) and
+records the timings plus ``cpu_count``; speedup assertions would be
+hardware-dependent noise — on a single-core container the parallel run is
+*expected* to be slower (pool spin-up and IPC with no cores to spread over),
+so interpret ``speedup`` relative to the recorded ``cpu_count``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.bench.metrics import aggregate
+from repro.bench.runner import BenchmarkConfig, BenchmarkRunner, setting_by_key
+from repro.bench.tasks import tasks_for_app
+
+JOBS = 4
+TRIALS = 3
+SETTING_KEYS = ("gui-gpt5-medium", "dmi-gpt5-medium")
+
+
+def _grid():
+    tasks = tasks_for_app("powerpoint") + tasks_for_app("word")
+    settings = [setting_by_key(key) for key in SETTING_KEYS]
+    return tasks, settings
+
+
+def test_engine_scaling_serial_vs_parallel(benchmark, tmp_path_factory):
+    tasks, settings = _grid()
+    cache_dir = tmp_path_factory.mktemp("engine-cache")
+
+    serial = BenchmarkRunner(BenchmarkConfig(trials=TRIALS, tasks=tasks,
+                                             cache_dir=cache_dir))
+    # Untimed warm-up: both timed runs start from the same warm cache so the
+    # comparison measures executor scaling, not cache population.
+    for app_name in sorted({task.app for task in tasks}):
+        serial.offline_artifacts(app_name)
+
+    started = time.perf_counter()
+    out_serial = serial.run_settings(settings)
+    serial_seconds = time.perf_counter() - started
+
+    parallel = BenchmarkRunner(BenchmarkConfig(trials=TRIALS, tasks=tasks,
+                                               jobs=JOBS, cache_dir=cache_dir))
+
+    def run_parallel():
+        return parallel.run_settings(settings)
+
+    out_parallel = benchmark.pedantic(run_parallel, rounds=1, iterations=1)
+    parallel_seconds = benchmark.stats.stats.mean
+
+    trial_count = len(tasks) * len(settings) * TRIALS
+    benchmark.extra_info.update({
+        "trials_in_grid": trial_count,
+        "jobs": JOBS,
+        "cpu_count": os.cpu_count(),
+        "serial_seconds": round(serial_seconds, 3),
+        "parallel_seconds": round(parallel_seconds, 3),
+        "speedup": round(serial_seconds / parallel_seconds, 2),
+    })
+
+    for key in out_serial:
+        assert ([r.as_dict() for r in out_serial[key].results]
+                == [r.as_dict() for r in out_parallel[key].results])
+        assert aggregate(out_serial[key].results) == aggregate(out_parallel[key].results)

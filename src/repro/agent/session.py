@@ -43,6 +43,20 @@ class LLMCallRecord:
     latency_s: float = 0.0
     detail: str = ""
 
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "role": self.role,
+            "purpose": self.purpose,
+            "prompt_tokens": self.prompt_tokens,
+            "completion_tokens": self.completion_tokens,
+            "latency_s": self.latency_s,
+            "detail": self.detail,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "LLMCallRecord":
+        return cls(**payload)
+
 
 @dataclass
 class FailureRecord:
@@ -54,6 +68,14 @@ class FailureRecord:
     @property
     def category(self) -> FailureCategory:
         return self.cause.category
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"cause": self.cause.value, "detail": self.detail}
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "FailureRecord":
+        return cls(cause=FailureCause(payload["cause"]),
+                   detail=str(payload.get("detail", "")))
 
 
 @dataclass
@@ -102,6 +124,12 @@ class SessionResult:
         return self.prompt_tokens + self.completion_tokens
 
     def as_dict(self) -> Dict[str, object]:
+        """Plain-data representation, lossless enough for :meth:`from_dict`.
+
+        ``time_s`` stays rounded for human consumption; ``wall_time_s``
+        carries the exact float so a round trip (e.g. across a process
+        boundary or a JSON export) reproduces aggregate metrics bit-for-bit.
+        """
         return {
             "task_id": self.task_id,
             "app": self.app,
@@ -112,10 +140,41 @@ class SessionResult:
             "steps": self.steps,
             "core_steps": self.core_steps,
             "time_s": round(self.wall_time_s, 1),
+            "wall_time_s": self.wall_time_s,
             "actions": self.actions,
             "prompt_tokens": self.prompt_tokens,
             "completion_tokens": self.completion_tokens,
             "one_shot": self.one_shot,
             "failure_cause": self.failure.cause.value if self.failure else None,
             "failure_category": self.failure.category.value if self.failure else None,
+            "failure": self.failure.as_dict() if self.failure else None,
+            "calls": [call.as_dict() for call in self.calls],
+            "notes": list(self.notes),
         }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "SessionResult":
+        """Rebuild a result from :meth:`as_dict` output (exact round trip)."""
+        result = cls(
+            task_id=payload["task_id"],
+            app=payload["app"],
+            interface=InterfaceSetting(payload["interface"]),
+            model=payload["model"],
+            reasoning=payload["reasoning"],
+        )
+        result.success = bool(payload.get("success", False))
+        result.steps = int(payload.get("steps", 0))
+        result.core_steps = int(payload.get("core_steps", 0))
+        result.wall_time_s = float(payload.get("wall_time_s", payload.get("time_s", 0.0)))
+        result.actions = int(payload.get("actions", 0))
+        result.prompt_tokens = int(payload.get("prompt_tokens", 0))
+        result.completion_tokens = int(payload.get("completion_tokens", 0))
+        result.one_shot = bool(payload.get("one_shot", False))
+        failure = payload.get("failure")
+        if failure:
+            result.failure = FailureRecord.from_dict(failure)
+        elif payload.get("failure_cause"):
+            result.failure = FailureRecord(FailureCause(payload["failure_cause"]))
+        result.calls = [LLMCallRecord.from_dict(call) for call in payload.get("calls", [])]
+        result.notes = list(payload.get("notes", []))
+        return result

@@ -8,7 +8,22 @@ report generators behind every table and figure in the evaluation section.
 """
 
 from repro.bench.tasks import all_tasks, tasks_for_app
-from repro.bench.runner import BenchmarkConfig, BenchmarkRunner, EvaluationSetting, RunOutcome
+from repro.bench.engine import (
+    Executor,
+    ParallelExecutor,
+    ProgressEvent,
+    SerialExecutor,
+    TrialSpec,
+    expand_trial_specs,
+    trial_seed,
+)
+from repro.bench.runner import (
+    BenchmarkConfig,
+    BenchmarkRunner,
+    DEFAULT_SEED,
+    EvaluationSetting,
+    RunOutcome,
+)
 from repro.bench.metrics import (
     MetricSummary,
     aggregate,
@@ -22,11 +37,18 @@ from repro.bench import reporting
 __all__ = [
     "BenchmarkConfig",
     "BenchmarkRunner",
+    "DEFAULT_SEED",
     "EvaluationSetting",
+    "Executor",
     "MetricSummary",
+    "ParallelExecutor",
+    "ProgressEvent",
     "RunOutcome",
+    "SerialExecutor",
+    "TrialSpec",
     "aggregate",
     "all_tasks",
+    "expand_trial_specs",
     "failure_breakdown",
     "failure_distribution",
     "normalized_core_steps",
@@ -34,4 +56,5 @@ __all__ = [
     "reporting",
     "success_rate",
     "tasks_for_app",
+    "trial_seed",
 ]

@@ -1,28 +1,54 @@
 """Command-line interface for the reproduction.
 
-Three subcommands cover the common workflows without writing any code:
+Four subcommands cover the common workflows without writing any code:
 
 ``model``
     Run the offline phase for one application and print the modeling
     statistics (UNG size, forest, core topology, token estimate).
+    ``--save PATH`` persists the navigation model (UNG + rip report) to
+    JSON; ``--load PATH`` rebuilds the artefacts from such a file instead
+    of re-ripping — the paper's "model once, reuse on any machine" path.
 ``run``
     Execute the benchmark for one or more Table 3 configurations and print
     the aggregate metrics (optionally restricted to a subset of tasks).
 ``report``
     Run the three core-setting configurations and print the paper's Table 3,
     Figure 5a/5b, Figure 6 and one-shot sections in text form.
+``tasks``
+    List the benchmark task suite.
+
+Execution-engine flags (``run`` and ``report``):
+
+``--jobs N``
+    Fan trials out over N worker processes.  Trials are deterministically
+    seeded work units, so results are identical to a serial run for the
+    same ``--seed``.
+``--cache-dir PATH``
+    Content-addressed cache of offline navigation models.  The first run
+    rips each application once and persists the UNG; later runs (and every
+    parallel worker) load instead of re-ripping.
+``--export FILE``
+    Write all per-trial results and aggregate summaries to a JSON file.
+
+The default seed is 11 everywhere (``repro.bench.runner.DEFAULT_SEED``): the
+library, this CLI and the benchmark harness share one constant so quoted
+numbers agree across entry points.
 
 Examples::
 
-    python -m repro model powerpoint
+    python -m repro model powerpoint --save models/ppt.json
+    python -m repro model powerpoint --load models/ppt.json
     python -m repro run --settings dmi-gpt5-medium gui-gpt5-medium --trials 1
+    python -m repro run --jobs 4 --cache-dir .dmi-cache --export results.json
     python -m repro report --trials 1 --tasks ppt-01-blue-background word-02-landscape
 """
 
 from __future__ import annotations
 
 import argparse
-from typing import List, Optional, Sequence
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
 
 from repro.apps import APP_FACTORIES
 from repro.bench import reporting
@@ -31,11 +57,14 @@ from repro.bench.runner import (
     BenchmarkConfig,
     BenchmarkRunner,
     CORE_SETTING_KEYS,
+    DEFAULT_SEED,
+    RunOutcome,
     TABLE3_SETTINGS,
     setting_by_key,
 )
 from repro.bench.tasks import all_tasks, task_by_id
-from repro.dmi.interface import build_offline_artifacts
+from repro.dmi.interface import build_offline_artifacts, rebuild_offline_artifacts
+from repro.topology.persistence import load_model, save_ung
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -48,6 +77,24 @@ def build_parser() -> argparse.ArgumentParser:
 
     model = subparsers.add_parser("model", help="run the offline modeling phase for one app")
     model.add_argument("app", choices=sorted(APP_FACTORIES), help="application to model")
+    model.add_argument("--save", metavar="PATH", default=None,
+                       help="persist the navigation model (UNG + rip report) to JSON")
+    model.add_argument("--load", metavar="PATH", default=None,
+                       help="rebuild artefacts from a saved model instead of ripping")
+
+    def positive_int(text: str) -> int:
+        value = int(text)
+        if value < 1:
+            raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+        return value
+
+    def add_engine_flags(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--jobs", type=positive_int, default=1,
+                         help="worker processes (1 = serial; >1 = process pool)")
+        sub.add_argument("--cache-dir", metavar="PATH", default=None,
+                         help="on-disk cache for offline navigation models")
+        sub.add_argument("--export", metavar="FILE", default=None,
+                         help="write per-trial results and summaries to a JSON file")
 
     run = subparsers.add_parser("run", help="run benchmark configurations")
     run.add_argument("--settings", nargs="+", default=list(CORE_SETTING_KEYS),
@@ -56,12 +103,14 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--tasks", nargs="*", default=None,
                      help="task ids to run (default: the full 27-task suite)")
     run.add_argument("--trials", type=int, default=3, help="trials per task (paper: 3)")
-    run.add_argument("--seed", type=int, default=11, help="benchmark seed")
+    run.add_argument("--seed", type=int, default=DEFAULT_SEED, help="benchmark seed")
+    add_engine_flags(run)
 
     report = subparsers.add_parser("report", help="print the core-setting tables and figures")
     report.add_argument("--tasks", nargs="*", default=None)
     report.add_argument("--trials", type=int, default=3)
-    report.add_argument("--seed", type=int, default=11)
+    report.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    add_engine_flags(report)
 
     tasks = subparsers.add_parser("tasks", help="list the benchmark tasks")
     tasks.add_argument("--app", choices=sorted(APP_FACTORIES), default=None)
@@ -75,13 +124,59 @@ def _resolve_tasks(task_ids: Optional[Sequence[str]]):
 
 
 def _runner(args) -> BenchmarkRunner:
+    if args.cache_dir is not None and Path(args.cache_dir).exists() \
+            and not Path(args.cache_dir).is_dir():
+        raise SystemExit(f"repro: --cache-dir {args.cache_dir!r} exists and "
+                         "is not a directory")
     return BenchmarkRunner(BenchmarkConfig(trials=args.trials, seed=args.seed,
-                                           tasks=_resolve_tasks(args.tasks)))
+                                           tasks=_resolve_tasks(args.tasks),
+                                           jobs=args.jobs, cache_dir=args.cache_dir))
+
+
+def _export_outcomes(path: str, runner: BenchmarkRunner,
+                     outcomes: Dict[str, RunOutcome]) -> None:
+    payload = {
+        "config": {
+            "trials": runner.config.trials,
+            "seed": runner.config.seed,
+            "jobs": runner.config.jobs,
+            "cache_dir": str(runner.config.cache_dir) if runner.config.cache_dir else None,
+        },
+        "settings": {
+            key: {
+                "label": outcome.setting.label,
+                "summary": aggregate(outcome.results).as_dict(),
+                "results": [result.as_dict() for result in outcome.results],
+            }
+            for key, outcome in outcomes.items()
+        },
+    }
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(json.dumps(payload, indent=1, ensure_ascii=False),
+                      encoding="utf-8")
 
 
 def command_model(args) -> int:
-    app = APP_FACTORIES[args.app]()
-    artifacts = build_offline_artifacts(app)
+    if args.load:
+        try:
+            ung, report = load_model(args.load)
+        except OSError as error:
+            raise SystemExit(f"repro: cannot load model {args.load!r}: {error}")
+        except (ValueError, KeyError) as error:
+            raise SystemExit(f"repro: invalid model file {args.load!r}: {error}")
+        if ung.app_name and ung.app_name.lower() != args.app:
+            raise SystemExit(f"repro: {args.load!r} is a model of "
+                             f"{ung.app_name!r}, not of {args.app!r}")
+        artifacts = rebuild_offline_artifacts(ung, rip_report=report)
+    else:
+        app = APP_FACTORIES[args.app]()
+        artifacts = build_offline_artifacts(app)
+    if args.save:
+        try:
+            save_ung(artifacts.ung, args.save, report=artifacts.rip_report)
+        except OSError as error:
+            raise SystemExit(f"repro: cannot save model {args.save!r}: {error}")
     print(reporting.render_offline_modeling({args.app: artifacts}))
     return 0
 
@@ -95,6 +190,8 @@ def command_run(args) -> int:
         summary = aggregate(outcome.results)
         print(f"{key}: one-shot {summary.one_shot_rate * 100:.0f}%, "
               f"avg total tokens {summary.avg_total_tokens:.0f}")
+    if args.export:
+        _export_outcomes(args.export, runner, outcomes)
     return 0
 
 
@@ -111,6 +208,8 @@ def command_report(args) -> int:
                                    outcomes["gui-gpt5-medium"].results))
     print()
     print(reporting.render_one_shot(outcomes, "dmi-gpt5-medium"))
+    if args.export:
+        _export_outcomes(args.export, runner, outcomes)
     return 0
 
 

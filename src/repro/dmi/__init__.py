@@ -31,8 +31,10 @@ from repro.dmi.visit import VisitCommand, VisitExecutor, VisitResult
 from repro.dmi.state import StateInterfaces
 from repro.dmi.observation import ObservationInterface
 from repro.dmi.interface import DMI, DMIConfig, build_dmi_for_app
+from repro.dmi.cache import ArtifactCache
 
 __all__ = [
+    "ArtifactCache",
     "CommandFiltered",
     "ControlDisabledFeedback",
     "ControlNotFoundFeedback",

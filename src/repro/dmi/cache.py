@@ -1,0 +1,114 @@
+"""Content-addressed on-disk cache for offline navigation models.
+
+The paper calls the offline navigation model "version-specific but
+machine-independent" (§5.2): for a given application build and ripper
+configuration the UNG never changes, so re-ripping it for every benchmark
+run — or once per worker process in a parallel run — is pure waste.
+
+:class:`ArtifactCache` persists the UNG (plus the original rip report) via
+:mod:`repro.topology.persistence` under a key derived from
+
+* the application name,
+* a fingerprint of the ripper configuration (the only knobs that change
+  what the rip observes), and
+* the persistence :data:`~repro.topology.persistence.FORMAT_VERSION`,
+
+so stale entries are never served across config or format changes — a new
+key simply misses and rebuilds.  Only the UNG is stored; forest, core view
+and query engine are rebuilt deterministically on load
+(:func:`repro.dmi.interface.rebuild_offline_artifacts`), which keeps cached
+runs byte-identical to cold runs even when the *serialization* knobs differ
+from the ones the cache entry was written under.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from pathlib import Path
+from typing import Callable, Dict, Optional, Union
+
+from repro.apps import APP_FACTORIES
+from repro.apps.base import Application
+from repro.dmi.interface import (
+    DMIConfig,
+    OfflineArtifacts,
+    build_offline_artifacts,
+    rebuild_offline_artifacts,
+)
+from repro.topology.persistence import FORMAT_VERSION, load_model, save_ung
+
+
+def config_fingerprint(config: DMIConfig) -> str:
+    """Hex digest identifying the rip-relevant part of a DMI configuration."""
+    payload = {
+        "format_version": FORMAT_VERSION,
+        "ripper": dataclasses.asdict(config.ripper),
+    }
+    encoded = json.dumps(payload, sort_keys=True).encode("utf-8")
+    return hashlib.sha256(encoded).hexdigest()[:16]
+
+
+class ArtifactCache:
+    """Loads offline artefacts from disk, building (and storing) on miss."""
+
+    def __init__(self, cache_dir: Union[str, Path],
+                 config: Optional[DMIConfig] = None) -> None:
+        self.cache_dir = Path(cache_dir)
+        self.config = config or DMIConfig()
+        #: Entries served from disk without ripping.
+        self.hits = 0
+        #: Entries that required a fresh offline build.
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    # addressing
+    # ------------------------------------------------------------------
+    def path_for(self, app_name: str) -> Path:
+        return self.cache_dir / f"{app_name}-{config_fingerprint(self.config)}.json"
+
+    # ------------------------------------------------------------------
+    # read / write
+    # ------------------------------------------------------------------
+    def get(self, app_name: str) -> Optional[OfflineArtifacts]:
+        """Return cached artefacts for ``app_name``, or None on miss.
+
+        Unreadable or format-incompatible entries are treated as misses (the
+        caller rebuilds and overwrites them) rather than raised, so a cache
+        directory can survive format bumps.
+        """
+        path = self.path_for(app_name)
+        if not path.exists():
+            return None
+        try:
+            ung, report = load_model(path)
+        except (ValueError, KeyError, json.JSONDecodeError, OSError):
+            return None
+        return rebuild_offline_artifacts(ung, self.config, rip_report=report)
+
+    def store(self, app_name: str, artifacts: OfflineArtifacts) -> Path:
+        """Persist already-built artefacts (only the UNG + rip report)."""
+        return save_ung(artifacts.ung, self.path_for(app_name),
+                        report=artifacts.rip_report)
+
+    # ------------------------------------------------------------------
+    # the main entry point
+    # ------------------------------------------------------------------
+    def load_or_build(self, app_name: str,
+                      factory: Optional[Callable[[], Application]] = None
+                      ) -> OfflineArtifacts:
+        """Return artefacts for ``app_name``, ripping only on a cold cache."""
+        cached = self.get(app_name)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        self.misses += 1
+        factory = factory or APP_FACTORIES[app_name]
+        artifacts = build_offline_artifacts(factory(), self.config)
+        self.store(app_name, artifacts)
+        return artifacts
+
+    def stats(self) -> Dict[str, object]:
+        return {"cache_dir": str(self.cache_dir), "hits": self.hits,
+                "misses": self.misses}

@@ -216,11 +216,25 @@ def build_offline_artifacts(app: Application, config: Optional[DMIConfig] = None
     config = config or DMIConfig()
     ripper = GuiRipper(app, blocklist=blocklist, config=config.ripper)
     ung = ripper.rip()
+    return rebuild_offline_artifacts(ung, config, rip_report=ripper.report)
+
+
+def rebuild_offline_artifacts(ung: NavigationGraph, config: Optional[DMIConfig] = None,
+                              rip_report: Optional[RipReport] = None) -> OfflineArtifacts:
+    """Derive the forest/core artefacts from an already-ripped UNG.
+
+    The transformation pipeline (decycle -> externalize -> forest -> core) is
+    a deterministic function of the UNG, so a graph persisted via
+    :mod:`repro.topology.persistence` — on this machine or another — yields
+    artefacts identical to a fresh offline build without touching the GUI.
+    """
+    config = config or DMIConfig()
     dag = decycle(ung)
     plan = plan_externalization(dag, config.externalization)
     forest = build_forest(ung, dag=dag, plan=plan)
     core = extract_core(forest, config.core)
-    return OfflineArtifacts(ung=ung, forest=forest, core=core, rip_report=ripper.report)
+    return OfflineArtifacts(ung=ung, forest=forest, core=core,
+                            rip_report=rip_report or RipReport(app_name=ung.app_name))
 
 
 def build_dmi_for_app(app: Application, config: Optional[DMIConfig] = None,

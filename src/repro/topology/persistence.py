@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Dict, Union
+from typing import Dict, Optional, Tuple, Union
 
 from repro.ripping.ripper import RipReport
 from repro.ripping.ung import NavigationGraph, UNGNode
@@ -26,7 +26,7 @@ from repro.uia.control_types import ControlType
 FORMAT_VERSION = 1
 
 
-def ung_to_dict(ung: NavigationGraph, report: RipReport = None) -> Dict:
+def ung_to_dict(ung: NavigationGraph, report: Optional[RipReport] = None) -> Dict:
     """Serialisable representation of a UNG (plus optional rip report)."""
     payload = {
         "format_version": FORMAT_VERSION,
@@ -74,7 +74,7 @@ def ung_from_dict(payload: Dict) -> NavigationGraph:
 
 
 def save_ung(ung: NavigationGraph, path: Union[str, Path],
-             report: RipReport = None) -> Path:
+             report: Optional[RipReport] = None) -> Path:
     """Write the UNG (and optional rip report) to a JSON file."""
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
@@ -87,3 +87,24 @@ def load_ung(path: Union[str, Path]) -> NavigationGraph:
     """Load a UNG previously written by :func:`save_ung`."""
     with Path(path).open("r", encoding="utf-8") as handle:
         return ung_from_dict(json.load(handle))
+
+
+def rip_report_from_dict(payload: Dict) -> RipReport:
+    """Rebuild a :class:`RipReport` from :meth:`RipReport.as_dict` output."""
+    known = {f for f in RipReport.__dataclass_fields__}
+    return RipReport(**{key: value for key, value in payload.items() if key in known})
+
+
+def load_model(path: Union[str, Path]) -> Tuple[NavigationGraph, Optional[RipReport]]:
+    """Load a UNG plus its rip report (when one was saved alongside it).
+
+    This is the machine-transfer entry point: the UNG file produced on the
+    modeling machine carries the rip statistics, so a loading machine can
+    report the original offline cost without re-ripping.
+    """
+    with Path(path).open("r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    ung = ung_from_dict(payload)
+    report_payload = payload.get("rip_report")
+    report = rip_report_from_dict(report_payload) if report_payload else None
+    return ung, report

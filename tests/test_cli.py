@@ -1,7 +1,10 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
+from repro.bench.runner import DEFAULT_SEED
 from repro.cli import build_parser, main
 
 
@@ -48,3 +51,72 @@ def test_report_command_on_small_subset(capsys):
     assert "Figure 5a" in output
     assert "Figure 6" in output
     assert "single core LLM call" in output
+
+
+def test_run_and_report_share_the_canonical_seed():
+    parser = build_parser()
+    assert parser.parse_args(["run"]).seed == DEFAULT_SEED
+    assert parser.parse_args(["report"]).seed == DEFAULT_SEED
+
+
+def test_run_command_with_jobs_cache_and_export(tmp_path, capsys):
+    export = tmp_path / "out" / "results.json"
+    args = ["run", "--settings", "dmi-gpt5-medium", "--trials", "1",
+            "--tasks", "ppt-02-scroll-to-end", "word-02-landscape",
+            "--jobs", "2", "--cache-dir", str(tmp_path / "cache"),
+            "--export", str(export)]
+    assert main(args) == 0
+    assert "GUI+DMI" in capsys.readouterr().out
+    payload = json.loads(export.read_text())
+    assert payload["config"]["jobs"] == 2
+    results = payload["settings"]["dmi-gpt5-medium"]["results"]
+    assert len(results) == 2
+    assert {r["task_id"] for r in results} == {"ppt-02-scroll-to-end",
+                                               "word-02-landscape"}
+    assert "SR" in payload["settings"]["dmi-gpt5-medium"]["summary"]
+    # Warm-cache re-run produces the identical export.
+    assert main(args) == 0
+    capsys.readouterr()
+    assert json.loads(export.read_text()) == payload
+
+
+def test_model_command_save_then_load_round_trip(tmp_path, capsys):
+    model_path = tmp_path / "models" / "ppt.json"
+    assert main(["model", "powerpoint", "--save", str(model_path)]) == 0
+    built = capsys.readouterr().out
+    assert model_path.exists()
+    assert main(["model", "powerpoint", "--load", str(model_path)]) == 0
+    loaded = capsys.readouterr().out
+    assert loaded == built
+
+
+def test_model_load_rejects_missing_file_and_wrong_app(tmp_path, capsys):
+    with pytest.raises(SystemExit, match="cannot load"):
+        main(["model", "word", "--load", str(tmp_path / "nope.json")])
+    model_path = tmp_path / "ppt.json"
+    main(["model", "powerpoint", "--save", str(model_path)])
+    capsys.readouterr()
+    with pytest.raises(SystemExit, match="not of 'word'"):
+        main(["model", "word", "--load", str(model_path)])
+    truncated = tmp_path / "truncated.json"
+    truncated.write_text('{"format_version": 1}')
+    with pytest.raises(SystemExit, match="invalid model file"):
+        main(["model", "word", "--load", str(truncated)])
+
+
+def test_model_save_reports_unwritable_path(tmp_path, capsys):
+    blocker = tmp_path / "blocker"
+    blocker.write_text("x")  # a file where --save needs a directory
+    with pytest.raises(SystemExit, match="cannot save"):
+        main(["model", "word", "--save", str(blocker / "model.json")])
+    capsys.readouterr()
+
+
+def test_run_rejects_invalid_jobs_and_cache_dir(tmp_path):
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["run", "--jobs", "0"])
+    not_a_dir = tmp_path / "file"
+    not_a_dir.write_text("x")
+    with pytest.raises(SystemExit, match="not a directory"):
+        main(["run", "--settings", "dmi-gpt5-medium", "--trials", "1",
+              "--tasks", "word-02-landscape", "--cache-dir", str(not_a_dir)])
