@@ -1,0 +1,66 @@
+"""Shard-pipeline micro-benchmark: plan → run-each → merge vs direct serial.
+
+Companion to ``test_engine_scaling.py`` for the distributed path (ROADMAP:
+"shard the suite across machines"): the same fixed grid is executed once by
+the SerialExecutor directly and once through the full manifest pipeline —
+:func:`plan_shards`, one :class:`ManifestExecutor` per manifest over a shared
+warm artifact cache, then :func:`merge_shard_results`.
+
+As with the engine benchmark, only correctness is asserted (the merged
+outcome is bit-identical to serial); the recorded ``shard_overhead_seconds``
+is the price of manifest serialization + per-shard runner spin-up on *one*
+machine, i.e. the fixed cost a real deployment pays to buy N-machine
+scale-out.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.bench.metrics import aggregate
+from repro.bench.runner import BenchmarkConfig, BenchmarkRunner, setting_by_key
+from repro.bench.shard import ManifestExecutor, merge_shard_results
+from repro.bench.tasks import tasks_for_app
+
+SHARDS = 3
+TRIALS = 2
+SETTING_KEYS = ("gui-gpt5-medium", "dmi-gpt5-medium")
+
+
+def test_shard_pipeline_overhead_vs_serial(benchmark, tmp_path_factory):
+    tasks = tasks_for_app("powerpoint")
+    settings = [setting_by_key(key) for key in SETTING_KEYS]
+    cache_dir = tmp_path_factory.mktemp("shard-cache")
+
+    serial = BenchmarkRunner(BenchmarkConfig(trials=TRIALS, tasks=tasks,
+                                             cache_dir=cache_dir))
+    # Untimed warm-up so both paths start from a warm cache.
+    serial.offline_artifacts("powerpoint")
+
+    started = time.perf_counter()
+    out_serial = serial.run_settings(settings)
+    serial_seconds = time.perf_counter() - started
+
+    plan = serial.shard_plan(settings, SHARDS)
+
+    def run_pipeline():
+        executor = ManifestExecutor(cache_dir=cache_dir)
+        return merge_shard_results([executor.run(manifest)
+                                    for manifest in plan.manifests])
+
+    merged = benchmark.pedantic(run_pipeline, rounds=1, iterations=1)
+    sharded_seconds = benchmark.stats.stats.mean
+
+    benchmark.extra_info.update({
+        "trials_in_grid": len(tasks) * len(settings) * TRIALS,
+        "shards": SHARDS,
+        "serial_seconds": round(serial_seconds, 3),
+        "sharded_seconds": round(sharded_seconds, 3),
+        "shard_overhead_seconds": round(sharded_seconds - serial_seconds, 3),
+    })
+
+    for key in out_serial:
+        assert ([r.as_dict() for r in out_serial[key].results]
+                == [r.as_dict() for r in merged[key].results])
+        assert (aggregate(out_serial[key].results).as_dict()
+                == aggregate(merged[key].results).as_dict())

@@ -24,6 +24,16 @@ from repro.bench.runner import (
     EvaluationSetting,
     RunOutcome,
 )
+from repro.bench.shard import (
+    MANIFEST_FORMAT_VERSION,
+    ManifestExecutor,
+    ShardError,
+    ShardManifest,
+    ShardPlan,
+    ShardResults,
+    merge_shard_results,
+    plan_shards,
+)
 from repro.bench.metrics import (
     MetricSummary,
     aggregate,
@@ -40,19 +50,27 @@ __all__ = [
     "DEFAULT_SEED",
     "EvaluationSetting",
     "Executor",
+    "MANIFEST_FORMAT_VERSION",
+    "ManifestExecutor",
     "MetricSummary",
     "ParallelExecutor",
     "ProgressEvent",
     "RunOutcome",
     "SerialExecutor",
+    "ShardError",
+    "ShardManifest",
+    "ShardPlan",
+    "ShardResults",
     "TrialSpec",
     "aggregate",
     "all_tasks",
     "expand_trial_specs",
     "failure_breakdown",
     "failure_distribution",
+    "merge_shard_results",
     "normalized_core_steps",
     "one_shot_rate",
+    "plan_shards",
     "reporting",
     "success_rate",
     "tasks_for_app",

@@ -194,20 +194,31 @@ class ParallelExecutor(Executor):
                     "SerialExecutor for customized settings.")
             apps.add(registry_task.app)
 
-        with tempfile.TemporaryDirectory(prefix="repro-cache-") as scratch:
-            cache_dir = runner.config.cache_dir or scratch
+        # A scratch directory is only needed when no persistent cache is
+        # configured; with a cache_dir, workers share the runner's own cache
+        # (and its hit/miss counters stay authoritative).
+        scratch: Optional[tempfile.TemporaryDirectory] = None
+        try:
+            if runner.config.cache_dir is not None and runner.cache is not None:
+                cache_dir = runner.config.cache_dir
+                cache = runner.cache
+            else:
+                scratch = tempfile.TemporaryDirectory(prefix="repro-cache-")
+                cache_dir = scratch.name
+                cache = ArtifactCache(cache_dir, runner.config.dmi)
             # Pre-warm the on-disk cache from the parent so the rip phase
-            # runs (at most) once per app instead of once per worker; a
-            # warm entry needs no parent-side work at all.
-            cache = ArtifactCache(cache_dir, runner.config.dmi)
+            # runs (at most) once per app instead of once per worker.  The
+            # pre-warm goes through the cache's own load_or_build so warm
+            # entries count as hits and fresh rips as misses.
             for app_name in sorted(apps):
-                if cache.path_for(app_name).exists():
-                    continue
-                artifacts = runner.offline_artifacts(app_name)
-                if not cache.path_for(app_name).exists():
-                    # offline_artifacts writes through the runner's own cache
-                    # when config.cache_dir is set; store only if it didn't.
-                    cache.store(app_name, artifacts)
+                in_memory = runner._artifacts.get(app_name)
+                if in_memory is not None:
+                    # Already ripped in this process; persist for the
+                    # workers without re-building.
+                    if not cache.path_for(app_name).exists():
+                        cache.store(app_name, in_memory)
+                else:
+                    runner._artifacts[app_name] = cache.load_or_build(app_name)
             results: List[Optional[SessionResult]] = [None] * len(specs)
             with ProcessPoolExecutor(
                     max_workers=self.jobs, initializer=_worker_init,
@@ -224,4 +235,7 @@ class ParallelExecutor(Executor):
                     if progress is not None:
                         progress(ProgressEvent(completed=completed, total=len(specs),
                                                spec=specs[index], result=result))
+        finally:
+            if scratch is not None:
+                scratch.cleanup()
         return results  # type: ignore[return-value]

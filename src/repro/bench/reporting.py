@@ -28,7 +28,14 @@ def _interface_label(outcome: RunOutcome) -> str:
         "gui-only+nav.forest": "GUI-only",
         "gui+dmi": "GUI+DMI",
     }
-    return mapping[outcome.setting.interface.value]
+    value = outcome.setting.interface.value
+    label = mapping.get(value)
+    if label is None:
+        raise ValueError(
+            f"no Table 3 interface label for interface {value!r} "
+            f"(setting {outcome.setting.key!r}); add it to the "
+            "_interface_label mapping")
+    return label
 
 
 def _model_label(outcome: RunOutcome) -> str:
@@ -92,13 +99,15 @@ def render_figure5b(outcomes: Mapping[str, RunOutcome], groups: Sequence[Sequenc
         if not present:
             continue
         normalized = normalized_core_steps(present)
+        # max(...) or 1.0 keeps peak positive even when every value is 0.0
+        # (empty solved-task intersection), so dividing is always safe.
         peak = max(normalized.values()) or 1.0
         for key in group:
             if key not in normalized:
                 continue
             outcome = outcomes[key]
             value = normalized[key]
-            bar = "#" * int(round((value / peak) * bar_width)) if peak else ""
+            bar = "#" * int(round((value / peak) * bar_width))
             label = (f"{_model_label(outcome)} ({outcome.setting.profile.reasoning}) "
                      f"{_interface_label(outcome)}"
                      + (" +Nav.forest" if outcome.setting.interface.value ==

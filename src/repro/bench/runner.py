@@ -222,6 +222,26 @@ class BenchmarkRunner:
         """Run all eight Table 3 configurations."""
         return self.run_settings(TABLE3_SETTINGS, tasks, progress=progress)
 
+    def shard_plan(self, settings: Sequence[EvaluationSetting], shards: int,
+                   tasks: Optional[Sequence[TaskSpec]] = None):
+        """Partition this runner's grid into ``shards`` exportable manifests.
+
+        The manifests embed the runner's seed, trial count and DMI config
+        fingerprint; run them anywhere with
+        :class:`repro.bench.shard.ManifestExecutor` and recombine with
+        :func:`repro.bench.shard.merge_shard_results` — the merged outcome
+        is bit-identical to :meth:`run_settings` on this runner.
+        """
+        from repro.bench.shard import plan_shards
+
+        settings = list({setting.key: setting for setting in settings}.values())
+        task_list = list(tasks) if tasks is not None else self.tasks()
+        return plan_shards(shards, seed=self.config.seed,
+                           trials=self.config.trials,
+                           setting_keys=[setting.key for setting in settings],
+                           task_ids=[task.task_id for task in task_list],
+                           dmi_config=self.config.dmi)
+
     # ------------------------------------------------------------------
     def _register_settings(self, settings: Sequence[EvaluationSetting]) -> None:
         for setting in settings:

@@ -1,6 +1,6 @@
 """Command-line interface for the reproduction.
 
-Four subcommands cover the common workflows without writing any code:
+Five subcommands cover the common workflows without writing any code:
 
 ``model``
     Run the offline phase for one application and print the modeling
@@ -14,10 +14,18 @@ Four subcommands cover the common workflows without writing any code:
 ``report``
     Run the three core-setting configurations and print the paper's Table 3,
     Figure 5a/5b, Figure 6 and one-shot sections in text form.
+``shard``
+    Distribute a run across machines as manifest shards:
+    ``shard plan --shards N --out DIR`` partitions the grid into N
+    self-contained JSON manifests; ``shard run MANIFEST --results FILE``
+    executes one manifest anywhere (reusing ``--jobs``/``--cache-dir``);
+    ``shard merge RESULTS...`` validates that all shards came from the same
+    plan, reassembles them in canonical spec order and prints (or exports)
+    the same output a single-machine ``run`` would have produced.
 ``tasks``
     List the benchmark task suite.
 
-Execution-engine flags (``run`` and ``report``):
+Execution-engine flags (``run``, ``report`` and ``shard run``):
 
 ``--jobs N``
     Fan trials out over N worker processes.  Trials are deterministically
@@ -28,7 +36,11 @@ Execution-engine flags (``run`` and ``report``):
     rips each application once and persists the UNG; later runs (and every
     parallel worker) load instead of re-ripping.
 ``--export FILE``
-    Write all per-trial results and aggregate summaries to a JSON file.
+    Write all per-trial results and aggregate summaries to a JSON file
+    (``run``, ``report`` and ``shard merge``).
+``--progress``
+    Stream one ``[completed/total] task setting trial`` line per finished
+    trial to stderr while the run executes.
 
 The default seed is 11 everywhere (``repro.bench.runner.DEFAULT_SEED``): the
 library, this CLI and the benchmark harness share one constant so quoted
@@ -40,19 +52,33 @@ Examples::
     python -m repro model powerpoint --load models/ppt.json
     python -m repro run --settings dmi-gpt5-medium gui-gpt5-medium --trials 1
     python -m repro run --jobs 4 --cache-dir .dmi-cache --export results.json
+    python -m repro run --progress --trials 1 --tasks word-02-landscape
     python -m repro report --trials 1 --tasks ppt-01-blue-background word-02-landscape
+    python -m repro shard plan --shards 3 --out shards/
+    python -m repro shard run shards/shard-000-of-003.json \\
+        --results results-0.json --jobs 4 --cache-dir .dmi-cache --progress
+    python -m repro shard merge results-*.json --report --export merged.json
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import sys
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, TextIO
 
 from repro.apps import APP_FACTORIES
 from repro.bench import reporting
+from repro.bench.engine import ProgressCallback, ProgressEvent
 from repro.bench.metrics import aggregate
+from repro.bench.shard import (
+    ManifestExecutor,
+    ShardError,
+    ShardManifest,
+    ShardResults,
+    merge_shard_results,
+)
 from repro.bench.runner import (
     BenchmarkConfig,
     BenchmarkRunner,
@@ -88,6 +114,11 @@ def build_parser() -> argparse.ArgumentParser:
             raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
         return value
 
+    def add_progress_flag(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--progress", action="store_true",
+                         help="stream '[completed/total] task setting trial' "
+                              "lines to stderr as trials finish")
+
     def add_engine_flags(sub: argparse.ArgumentParser) -> None:
         sub.add_argument("--jobs", type=positive_int, default=1,
                          help="worker processes (1 = serial; >1 = process pool)")
@@ -95,22 +126,61 @@ def build_parser() -> argparse.ArgumentParser:
                          help="on-disk cache for offline navigation models")
         sub.add_argument("--export", metavar="FILE", default=None,
                          help="write per-trial results and summaries to a JSON file")
+        add_progress_flag(sub)
+
+    def add_grid_flags(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--tasks", nargs="*", default=None,
+                         help="task ids to run (default: the full 27-task suite)")
+        sub.add_argument("--trials", type=positive_int, default=3,
+                         help="trials per task (paper: 3)")
+        sub.add_argument("--seed", type=int, default=DEFAULT_SEED,
+                         help="benchmark seed")
 
     run = subparsers.add_parser("run", help="run benchmark configurations")
     run.add_argument("--settings", nargs="+", default=list(CORE_SETTING_KEYS),
                      choices=[s.key for s in TABLE3_SETTINGS],
                      help="Table 3 configuration keys to run")
-    run.add_argument("--tasks", nargs="*", default=None,
-                     help="task ids to run (default: the full 27-task suite)")
-    run.add_argument("--trials", type=int, default=3, help="trials per task (paper: 3)")
-    run.add_argument("--seed", type=int, default=DEFAULT_SEED, help="benchmark seed")
+    add_grid_flags(run)
     add_engine_flags(run)
 
     report = subparsers.add_parser("report", help="print the core-setting tables and figures")
-    report.add_argument("--tasks", nargs="*", default=None)
-    report.add_argument("--trials", type=int, default=3)
-    report.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    add_grid_flags(report)
     add_engine_flags(report)
+
+    shard = subparsers.add_parser(
+        "shard", help="distribute a run across machines as manifest shards")
+    shard_sub = shard.add_subparsers(dest="shard_command", required=True)
+
+    shard_plan = shard_sub.add_parser(
+        "plan", help="partition the evaluation grid into N shard manifests")
+    shard_plan.add_argument("--shards", type=positive_int, required=True,
+                            help="number of manifests to produce")
+    shard_plan.add_argument("--out", metavar="DIR", required=True,
+                            help="directory for the manifest JSON files")
+    shard_plan.add_argument("--settings", nargs="+", default=list(CORE_SETTING_KEYS),
+                            choices=[s.key for s in TABLE3_SETTINGS],
+                            help="Table 3 configuration keys to shard")
+    add_grid_flags(shard_plan)
+
+    shard_run = shard_sub.add_parser(
+        "run", help="execute one shard manifest on this machine")
+    shard_run.add_argument("manifest", help="manifest JSON written by 'shard plan'")
+    shard_run.add_argument("--results", metavar="FILE", required=True,
+                           help="where to write this shard's results JSON")
+    shard_run.add_argument("--jobs", type=positive_int, default=1,
+                           help="worker processes (1 = serial; >1 = process pool)")
+    shard_run.add_argument("--cache-dir", metavar="PATH", default=None,
+                           help="on-disk cache for offline navigation models")
+    add_progress_flag(shard_run)
+
+    shard_merge = shard_sub.add_parser(
+        "merge", help="validate and merge shard results into one report")
+    shard_merge.add_argument("results", nargs="+",
+                             help="results JSON files written by 'shard run'")
+    shard_merge.add_argument("--report", action="store_true",
+                             help="also print the figure/one-shot sections")
+    shard_merge.add_argument("--export", metavar="FILE", default=None,
+                             help="write merged results and summaries to a JSON file")
 
     tasks = subparsers.add_parser("tasks", help="list the benchmark tasks")
     tasks.add_argument("--app", choices=sorted(APP_FACTORIES), default=None)
@@ -118,30 +188,54 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _resolve_tasks(task_ids: Optional[Sequence[str]]):
-    if not task_ids:
+    if task_ids is None:
         return None
-    return [task_by_id(task_id) for task_id in task_ids]
+    if not task_ids:
+        # nargs="*" lets `--tasks` appear with zero arguments; running the
+        # full 27-task suite in that case would silently ignore the flag.
+        raise SystemExit("repro: --tasks requires at least one task id "
+                         "(omit the flag to run the full 27-task suite)")
+    try:
+        return [task_by_id(task_id) for task_id in task_ids]
+    except KeyError as error:
+        raise SystemExit(f"repro: {error.args[0]}; see 'repro tasks' for "
+                         "the suite")
+
+
+def _check_cache_dir(cache_dir: Optional[str]) -> None:
+    if cache_dir is not None and Path(cache_dir).exists() \
+            and not Path(cache_dir).is_dir():
+        raise SystemExit(f"repro: --cache-dir {cache_dir!r} exists and "
+                         "is not a directory")
 
 
 def _runner(args) -> BenchmarkRunner:
-    if args.cache_dir is not None and Path(args.cache_dir).exists() \
-            and not Path(args.cache_dir).is_dir():
-        raise SystemExit(f"repro: --cache-dir {args.cache_dir!r} exists and "
-                         "is not a directory")
+    _check_cache_dir(args.cache_dir)
     return BenchmarkRunner(BenchmarkConfig(trials=args.trials, seed=args.seed,
                                            tasks=_resolve_tasks(args.tasks),
                                            jobs=args.jobs, cache_dir=args.cache_dir))
 
 
-def _export_outcomes(path: str, runner: BenchmarkRunner,
+def _progress_printer(stream: Optional[TextIO] = None) -> ProgressCallback:
+    """The --progress live display: one line per completed trial."""
+    out = stream if stream is not None else sys.stderr
+
+    def emit(event: ProgressEvent) -> None:
+        spec = event.spec
+        print(f"[{event.completed}/{event.total}] {spec.task_id} "
+              f"{spec.setting_key} trial {spec.trial}", file=out, flush=True)
+
+    return emit
+
+
+def _progress(args) -> Optional[ProgressCallback]:
+    return _progress_printer() if getattr(args, "progress", False) else None
+
+
+def _export_outcomes(path: str, config: Dict[str, object],
                      outcomes: Dict[str, RunOutcome]) -> None:
     payload = {
-        "config": {
-            "trials": runner.config.trials,
-            "seed": runner.config.seed,
-            "jobs": runner.config.jobs,
-            "cache_dir": str(runner.config.cache_dir) if runner.config.cache_dir else None,
-        },
+        "config": config,
         "settings": {
             key: {
                 "label": outcome.setting.label,
@@ -155,6 +249,15 @@ def _export_outcomes(path: str, runner: BenchmarkRunner,
     target.parent.mkdir(parents=True, exist_ok=True)
     target.write_text(json.dumps(payload, indent=1, ensure_ascii=False),
                       encoding="utf-8")
+
+
+def _runner_config_payload(runner: BenchmarkRunner) -> Dict[str, object]:
+    return {
+        "trials": runner.config.trials,
+        "seed": runner.config.seed,
+        "jobs": runner.config.jobs,
+        "cache_dir": str(runner.config.cache_dir) if runner.config.cache_dir else None,
+    }
 
 
 def command_model(args) -> int:
@@ -181,23 +284,29 @@ def command_model(args) -> int:
     return 0
 
 
-def command_run(args) -> int:
-    runner = _runner(args)
-    outcomes = runner.run_settings([setting_by_key(key) for key in args.settings])
+def _print_run_summary(outcomes: Dict[str, RunOutcome]) -> None:
     print(reporting.render_table3(outcomes))
     print()
     for key, outcome in outcomes.items():
         summary = aggregate(outcome.results)
         print(f"{key}: one-shot {summary.one_shot_rate * 100:.0f}%, "
               f"avg total tokens {summary.avg_total_tokens:.0f}")
+
+
+def command_run(args) -> int:
+    runner = _runner(args)
+    outcomes = runner.run_settings([setting_by_key(key) for key in args.settings],
+                                   progress=_progress(args))
+    _print_run_summary(outcomes)
     if args.export:
-        _export_outcomes(args.export, runner, outcomes)
+        _export_outcomes(args.export, _runner_config_payload(runner), outcomes)
     return 0
 
 
 def command_report(args) -> int:
     runner = _runner(args)
-    outcomes = runner.run_settings([setting_by_key(key) for key in CORE_SETTING_KEYS])
+    outcomes = runner.run_settings([setting_by_key(key) for key in CORE_SETTING_KEYS],
+                                   progress=_progress(args))
     print(reporting.render_table3(outcomes))
     print()
     print(reporting.render_figure5a(outcomes))
@@ -209,8 +318,96 @@ def command_report(args) -> int:
     print()
     print(reporting.render_one_shot(outcomes, "dmi-gpt5-medium"))
     if args.export:
-        _export_outcomes(args.export, runner, outcomes)
+        _export_outcomes(args.export, _runner_config_payload(runner), outcomes)
     return 0
+
+
+# ----------------------------------------------------------------------
+# shard plan / run / merge
+# ----------------------------------------------------------------------
+def command_shard_plan(args) -> int:
+    runner = BenchmarkRunner(BenchmarkConfig(trials=args.trials, seed=args.seed,
+                                             tasks=_resolve_tasks(args.tasks)))
+    try:
+        plan = runner.shard_plan([setting_by_key(key) for key in args.settings],
+                                 args.shards)
+        paths = plan.write(args.out)
+    except ShardError as error:
+        raise SystemExit(f"repro: {error}")
+    except OSError as error:
+        raise SystemExit(f"repro: cannot write manifests to {args.out!r}: {error}")
+    for manifest, path in zip(plan.manifests, paths):
+        print(f"wrote {path} ({len(manifest.specs)} trial specs)")
+    print(f"{len(paths)} shards, {sum(len(m.specs) for m in plan.manifests)} "
+          f"trial specs total (seed {args.seed}, {args.trials} trial(s)/task).")
+    print("Run each with 'repro shard run MANIFEST --results FILE', then "
+          "combine with 'repro shard merge RESULTS...'.")
+    return 0
+
+
+def command_shard_run(args) -> int:
+    _check_cache_dir(args.cache_dir)
+    try:
+        manifest = ShardManifest.load(args.manifest)
+        executor = ManifestExecutor(jobs=args.jobs, cache_dir=args.cache_dir)
+        shard = executor.run(manifest, progress=_progress(args))
+        path = shard.save(args.results)
+    except ShardError as error:
+        raise SystemExit(f"repro: {error}")
+    except OSError as error:
+        raise SystemExit(f"repro: cannot write results {args.results!r}: {error}")
+    print(f"shard {manifest.shard_index + 1}/{manifest.shard_count}: "
+          f"{len(shard.results)} results -> {path}")
+    return 0
+
+
+def command_shard_merge(args) -> int:
+    try:
+        shards = [ShardResults.load(path) for path in args.results]
+        outcomes = merge_shard_results(shards)
+    except ShardError as error:
+        raise SystemExit(f"repro: {error}")
+    _print_run_summary(outcomes)
+    if args.report:
+        # Figure 5b compares interfaces *within* one model configuration;
+        # group the merged settings by model profile so an 8-setting merge
+        # never cross-normalizes gpt5-medium against gpt5-mini bars.
+        groups: Dict[str, List[str]] = {}
+        for key in outcomes:
+            groups.setdefault(setting_by_key(key).profile.name, []).append(key)
+        print()
+        print(reporting.render_figure5a(outcomes))
+        print()
+        print(reporting.render_figure5b(outcomes, groups=list(groups.values())))
+        if "dmi-gpt5-medium" in outcomes and "gui-gpt5-medium" in outcomes:
+            print()
+            print(reporting.render_figure6(outcomes["dmi-gpt5-medium"].results,
+                                           outcomes["gui-gpt5-medium"].results))
+        if "dmi-gpt5-medium" in outcomes:
+            print()
+            print(reporting.render_one_shot(outcomes, "dmi-gpt5-medium"))
+    if args.export:
+        reference = shards[0].manifest
+        try:
+            _export_outcomes(args.export, {
+                "trials": reference.trials,
+                "seed": reference.seed,
+                "shards": reference.shard_count,
+                "fingerprint": reference.fingerprint,
+            }, outcomes)
+        except OSError as error:
+            raise SystemExit(f"repro: cannot write export {args.export!r}: "
+                             f"{error}")
+    return 0
+
+
+def command_shard(args) -> int:
+    handlers = {
+        "plan": command_shard_plan,
+        "run": command_shard_run,
+        "merge": command_shard_merge,
+    }
+    return handlers[args.shard_command](args)
 
 
 def command_tasks(args) -> int:
@@ -227,6 +424,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "model": command_model,
         "run": command_run,
         "report": command_report,
+        "shard": command_shard,
         "tasks": command_tasks,
     }
     return handlers[args.command](args)

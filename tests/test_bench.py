@@ -263,3 +263,31 @@ def test_render_token_overhead():
         {"Word": 12.0},
         {"gui": {"prompt": 1000, "total": 1200}})
     assert "Token overhead" in text and "12.0" in text
+
+
+def test_interface_label_fails_with_labeled_error_on_unknown_interface():
+    """Regression: a non-Table-3 interface value raised a bare KeyError."""
+    from types import SimpleNamespace
+
+    outcome = SimpleNamespace(setting=SimpleNamespace(
+        key="voice-gpt5-medium",
+        interface=SimpleNamespace(value="voice-only")))
+    with pytest.raises(ValueError, match="no Table 3 interface label.*voice-only"):
+        reporting._interface_label(outcome)
+
+
+def test_render_figure5b_with_no_commonly_solved_tasks():
+    """All-zero normalized steps must render (peak clamps to 1.0), with
+    empty bars rather than a division error."""
+    from repro.agent.session import InterfaceSetting, SessionResult
+    from repro.bench.runner import RunOutcome, setting_by_key
+
+    failed = SessionResult(task_id="t", app="word",
+                           interface=InterfaceSetting.GUI_ONLY,
+                           model="gpt-5", reasoning="medium", success=False)
+    outcome = RunOutcome(setting=setting_by_key("gui-gpt5-medium"),
+                         results=[failed])
+    text = reporting.render_figure5b({"gui-gpt5-medium": outcome},
+                                     groups=[["gui-gpt5-medium"]])
+    assert "Normalized core steps" in text
+    assert " 0.00 |" in text and "#" not in text.split("|")[-1]

@@ -120,3 +120,135 @@ def test_run_rejects_invalid_jobs_and_cache_dir(tmp_path):
     with pytest.raises(SystemExit, match="not a directory"):
         main(["run", "--settings", "dmi-gpt5-medium", "--trials", "1",
               "--tasks", "word-02-landscape", "--cache-dir", str(not_a_dir)])
+
+
+def test_run_and_report_reject_non_positive_trials(capsys):
+    """Regression: --trials 0 used to print an all-zero Table 3."""
+    for command in ("run", "report"):
+        for trials in ("0", "-1"):
+            with pytest.raises(SystemExit) as exc:
+                main([command, "--trials", trials,
+                      "--tasks", "word-02-landscape"])
+            assert exc.value.code != 0
+    captured = capsys.readouterr()
+    assert "must be >= 1" in captured.err
+    assert "Table 3" not in captured.out
+
+
+def test_run_rejects_explicit_empty_task_list():
+    """Regression: `--tasks` with zero ids fell back to the full suite."""
+    with pytest.raises(SystemExit, match="at least one task id"):
+        main(["run", "--settings", "dmi-gpt5-medium", "--trials", "1",
+              "--tasks"])
+
+
+def test_run_rejects_unknown_task_id():
+    with pytest.raises(SystemExit, match="unknown task id 'no-such-task'"):
+        main(["run", "--trials", "1", "--tasks", "no-such-task"])
+
+
+def test_run_progress_streams_one_line_per_trial(capsys):
+    assert main(["run", "--settings", "dmi-gpt5-medium", "--trials", "2",
+                 "--tasks", "word-02-landscape", "--progress"]) == 0
+    captured = capsys.readouterr()
+    lines = [line for line in captured.err.splitlines() if line.startswith("[")]
+    assert lines == ["[1/2] word-02-landscape dmi-gpt5-medium trial 0",
+                     "[2/2] word-02-landscape dmi-gpt5-medium trial 1"]
+    assert "[1/2]" not in captured.out  # progress stays off stdout
+
+
+# ----------------------------------------------------------------------
+# shard plan / run / merge
+# ----------------------------------------------------------------------
+SHARD_GRID = ["--settings", "dmi-gpt5-medium", "gui-gpt5-medium",
+              "--tasks", "ppt-01-blue-background", "word-02-landscape",
+              "--trials", "1"]
+
+
+def _sharded_export(tmp_path, capsys, shards=3):
+    out_dir = tmp_path / "shards"
+    assert main(["shard", "plan", "--shards", str(shards),
+                 "--out", str(out_dir)] + SHARD_GRID) == 0
+    manifests = sorted(out_dir.glob("shard-*.json"))
+    assert len(manifests) == shards
+    results = []
+    for index, manifest in enumerate(manifests):
+        path = tmp_path / f"results-{index}.json"
+        assert main(["shard", "run", str(manifest),
+                     "--results", str(path)]) == 0
+        results.append(str(path))
+    merged = tmp_path / "merged.json"
+    assert main(["shard", "merge", *results, "--export", str(merged)]) == 0
+    capsys.readouterr()
+    return json.loads(merged.read_text())
+
+
+def test_shard_plan_run_merge_matches_single_machine_run(tmp_path, capsys):
+    merged = _sharded_export(tmp_path, capsys)
+    single = tmp_path / "single.json"
+    assert main(["run", *SHARD_GRID, "--export", str(single)]) == 0
+    capsys.readouterr()
+    payload = json.loads(single.read_text())
+    # Identical per-trial results and aggregate summaries, bit for bit.
+    assert merged["settings"] == payload["settings"]
+    assert merged["config"]["shards"] == 3
+    assert merged["config"]["seed"] == payload["config"]["seed"]
+
+
+def test_shard_run_progress_counts_manifest_specs(tmp_path, capsys):
+    out_dir = tmp_path / "shards"
+    main(["shard", "plan", "--shards", "1", "--out", str(out_dir)] + SHARD_GRID)
+    capsys.readouterr()
+    manifest = next(out_dir.glob("shard-*.json"))
+    assert main(["shard", "run", str(manifest), "--progress",
+                 "--results", str(tmp_path / "r.json")]) == 0
+    captured = capsys.readouterr()
+    lines = [line for line in captured.err.splitlines() if line.startswith("[")]
+    assert len(lines) == 4  # 2 settings x 2 tasks x 1 trial
+    assert lines[-1].startswith("[4/4] ")
+
+
+def test_shard_merge_rejects_foreign_and_missing_shards(tmp_path, capsys):
+    out_dir = tmp_path / "shards"
+    main(["shard", "plan", "--shards", "2", "--out", str(out_dir)] + SHARD_GRID)
+    alien_dir = tmp_path / "alien"
+    main(["shard", "plan", "--shards", "2", "--out", str(alien_dir),
+          "--seed", "99"] + SHARD_GRID)
+    capsys.readouterr()
+    paths = {}
+    for name, directory in (("ours-0", out_dir), ("alien-1", alien_dir)):
+        index = name.split("-")[1]
+        manifest = directory / f"shard-00{index}-of-002.json"
+        paths[name] = tmp_path / f"{name}.json"
+        assert main(["shard", "run", str(manifest),
+                     "--results", str(paths[name])]) == 0
+    capsys.readouterr()
+    with pytest.raises(SystemExit, match="seed"):
+        main(["shard", "merge", str(paths["ours-0"]), str(paths["alien-1"])])
+    with pytest.raises(SystemExit, match="missing results"):
+        main(["shard", "merge", str(paths["ours-0"])])
+    with pytest.raises(SystemExit, match="cannot read"):
+        main(["shard", "merge", str(tmp_path / "nope.json")])
+
+
+def test_shard_plan_rejects_oversharding(tmp_path):
+    with pytest.raises(SystemExit, match="fewer shards"):
+        main(["shard", "plan", "--shards", "99", "--out", str(tmp_path / "s")]
+             + SHARD_GRID)
+
+
+def test_shard_merge_report_prints_figures(tmp_path, capsys):
+    out_dir = tmp_path / "shards"
+    main(["shard", "plan", "--shards", "2", "--out", str(out_dir)] + SHARD_GRID)
+    results = []
+    for index, manifest in enumerate(sorted(out_dir.glob("shard-*.json"))):
+        path = tmp_path / f"r{index}.json"
+        main(["shard", "run", str(manifest), "--results", str(path)])
+        results.append(str(path))
+    capsys.readouterr()
+    assert main(["shard", "merge", *results, "--report"]) == 0
+    output = capsys.readouterr().out
+    assert "Table 3" in output
+    assert "Figure 5a" in output
+    assert "Figure 6" in output
+    assert "single core LLM call" in output

@@ -167,6 +167,37 @@ def test_parallel_executor_rejects_customized_registry_settings():
         runner.run_setting(tweaked)
 
 
+def test_parallel_executor_skips_scratch_dir_with_persistent_cache(tmp_path, monkeypatch):
+    """Regression: a TemporaryDirectory was created (and fsync'd) even when a
+    persistent --cache-dir made it dead weight."""
+    import repro.bench.engine as engine
+
+    def explode(*args, **kwargs):
+        raise AssertionError("scratch dir must not be created when a "
+                             "persistent cache_dir is configured")
+
+    monkeypatch.setattr(engine.tempfile, "TemporaryDirectory", explode)
+    runner = BenchmarkRunner(BenchmarkConfig(trials=1, seed=11,
+                                             tasks=[task_by_id(SUBSET[0])],
+                                             jobs=2, cache_dir=tmp_path / "cache"))
+    outcome = runner.run_setting(setting_by_key("gui-gpt5-medium"))
+    assert len(outcome.results) == 1
+
+
+def test_parallel_prewarm_counts_cache_hits_and_misses(tmp_path):
+    """Regression: the pre-warm path bypassed ArtifactCache.load_or_build, so
+    hits/misses under-counted (a warm parallel run reported 0 hits)."""
+    config = dict(trials=1, seed=11, tasks=[task_by_id(SUBSET[0])], jobs=2,
+                  cache_dir=tmp_path / "cache")
+    cold = BenchmarkRunner(BenchmarkConfig(**config))
+    cold.run_setting(setting_by_key("gui-gpt5-medium"))
+    assert cold.cache.misses == 1 and cold.cache.hits == 0
+
+    warm = BenchmarkRunner(BenchmarkConfig(**config))
+    warm.run_setting(setting_by_key("gui-gpt5-medium"))
+    assert warm.cache.hits == 1 and warm.cache.misses == 0
+
+
 # ----------------------------------------------------------------------
 # session-result serialisation (crosses the process boundary)
 # ----------------------------------------------------------------------

@@ -1,0 +1,329 @@
+"""Tests for sharded manifest execution: plan / run / merge.
+
+The load-bearing property is merge equivalence: a grid partitioned into N
+manifests, executed shard-by-shard (in any order, on any machine) and merged
+must be bit-identical — per-trial results *and* aggregate metrics — to the
+SerialExecutor running the same grid with the same seed.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.bench.engine import expand_trial_specs
+from repro.bench.metrics import aggregate, one_shot_rate
+from repro.bench.runner import (
+    BenchmarkConfig,
+    BenchmarkRunner,
+    DEFAULT_SEED,
+    setting_by_key,
+)
+from repro.bench.shard import (
+    MANIFEST_FORMAT_VERSION,
+    ManifestExecutor,
+    ShardError,
+    ShardManifest,
+    ShardPlan,
+    ShardResults,
+    merge_shard_results,
+    plan_shards,
+)
+from repro.bench.tasks import task_by_id
+from repro.dmi.cache import config_fingerprint
+from repro.dmi.interface import DMIConfig
+from repro.ripping.ripper import RipperConfig
+
+TASKS = ("ppt-01-blue-background", "word-02-landscape")
+SETTINGS = ("gui-gpt5-medium", "dmi-gpt5-medium")
+
+
+def small_plan(shards=3, seed=DEFAULT_SEED, trials=2, **kwargs):
+    return plan_shards(shards, seed=seed, trials=trials,
+                       setting_keys=SETTINGS, task_ids=TASKS, **kwargs)
+
+
+def run_plan(plan, **executor_kwargs):
+    executor = ManifestExecutor(**executor_kwargs)
+    return [executor.run(manifest) for manifest in plan.manifests]
+
+
+# ----------------------------------------------------------------------
+# planning
+# ----------------------------------------------------------------------
+def test_plan_partitions_the_full_grid_without_overlap():
+    plan = small_plan(shards=3)
+    canonical = expand_trial_specs(DEFAULT_SEED, 2, SETTINGS, TASKS)
+    assert plan.shard_count == 3
+    scattered = plan.specs()
+    assert sorted(scattered, key=lambda s: (s.setting_key, s.task_id, s.trial)) \
+        == sorted(canonical, key=lambda s: (s.setting_key, s.task_id, s.trial))
+    assert len(set(scattered)) == len(canonical)  # no spec claimed twice
+    # Round-robin keeps shard sizes balanced to within one spec.
+    sizes = [len(m.specs) for m in plan.manifests]
+    assert max(sizes) - min(sizes) <= 1
+
+
+def test_plan_embeds_identity_in_every_manifest():
+    plan = small_plan(shards=2, seed=42, trials=1)
+    fingerprint = config_fingerprint(DMIConfig())
+    for index, manifest in enumerate(plan.manifests):
+        assert manifest.shard_index == index
+        assert manifest.shard_count == 2
+        assert manifest.seed == 42
+        assert manifest.trials == 1
+        assert manifest.fingerprint == fingerprint
+        assert manifest.setting_keys == SETTINGS
+        assert manifest.task_ids == TASKS
+
+
+def test_plan_rejects_degenerate_shapes():
+    with pytest.raises(ShardError, match=">= 1"):
+        small_plan(shards=0)
+    with pytest.raises(ShardError, match="fewer shards"):
+        small_plan(shards=99, trials=1)
+    with pytest.raises(ShardError, match="trials"):
+        small_plan(shards=1, trials=0)
+
+
+def test_manifest_round_trips_through_file(tmp_path):
+    plan = small_plan(shards=2)
+    paths = plan.write(tmp_path / "shards")
+    assert [p.name for p in paths] == ["shard-000-of-002.json",
+                                      "shard-001-of-002.json"]
+    for manifest, path in zip(plan.manifests, paths):
+        assert ShardManifest.load(path) == manifest
+
+
+def test_manifest_load_rejects_bad_files(tmp_path):
+    missing = tmp_path / "nope.json"
+    with pytest.raises(ShardError, match="cannot read"):
+        ShardManifest.load(missing)
+    garbled = tmp_path / "garbled.json"
+    garbled.write_text("{not json")
+    with pytest.raises(ShardError, match="not valid JSON"):
+        ShardManifest.load(garbled)
+    wrong_kind = tmp_path / "kind.json"
+    wrong_kind.write_text(json.dumps({"kind": "something-else",
+                                      "format_version": MANIFEST_FORMAT_VERSION}))
+    with pytest.raises(ShardError, match="expected a 'repro-shard-manifest'"):
+        ShardManifest.load(wrong_kind)
+    future = tmp_path / "future.json"
+    payload = small_plan(shards=1).manifests[0].as_dict()
+    payload["format_version"] = MANIFEST_FORMAT_VERSION + 1
+    future.write_text(json.dumps(payload))
+    with pytest.raises(ShardError, match="format version"):
+        ShardManifest.load(future)
+
+
+# ----------------------------------------------------------------------
+# executing one manifest
+# ----------------------------------------------------------------------
+def test_manifest_executor_refuses_foreign_fingerprint():
+    plan = small_plan(shards=1, trials=1,
+                      dmi_config=DMIConfig(ripper=RipperConfig(max_depth=2)))
+    with pytest.raises(ShardError, match="DMI configuration"):
+        ManifestExecutor().run(plan.manifests[0])
+
+
+def test_manifest_executor_refuses_unknown_registry_entries():
+    manifest = small_plan(shards=1, trials=1).manifests[0]
+    bogus = dataclasses.replace(manifest, task_ids=("no-such-task",)
+                                + manifest.task_ids)
+    with pytest.raises(ShardError, match="registry"):
+        ManifestExecutor().run(bogus)
+    with pytest.raises(ShardError, match="jobs"):
+        ManifestExecutor(jobs=0)
+
+
+def test_manifest_executor_uses_warm_cache(tmp_path):
+    plan = small_plan(shards=1, trials=1)
+    ManifestExecutor(cache_dir=tmp_path).run(plan.manifests[0])
+    from repro.ripping.ripper import GuiRipper
+
+    original = GuiRipper.rip
+
+    def explode(self):
+        raise AssertionError("warm cache must not rip the GUI")
+
+    GuiRipper.rip = explode
+    try:
+        again = ManifestExecutor(cache_dir=tmp_path).run(plan.manifests[0])
+    finally:
+        GuiRipper.rip = original
+    assert len(again.results) == len(plan.manifests[0].specs)
+
+
+def test_shard_results_round_trip_through_file(tmp_path):
+    plan = small_plan(shards=2, trials=1)
+    shard = ManifestExecutor().run(plan.manifests[0])
+    path = shard.save(tmp_path / "out" / "r0.json")
+    loaded = ShardResults.load(path)
+    assert loaded.manifest == shard.manifest
+    assert [r.as_dict() for r in loaded.results] \
+        == [r.as_dict() for r in shard.results]
+
+
+def test_shard_results_load_rejects_misaligned_results(tmp_path):
+    plan = small_plan(shards=1, trials=1)
+    shard = ManifestExecutor().run(plan.manifests[0])
+    payload = shard.as_dict()
+    # Swap two results of different tasks: lengths still match, but the
+    # positional spec <-> result pairing is broken.
+    first = next(i for i, s in enumerate(payload["manifest"]["specs"])
+                 if s["task_id"] == TASKS[0])
+    second = next(i for i, s in enumerate(payload["manifest"]["specs"])
+                  if s["task_id"] == TASKS[1])
+    payload["results"][first], payload["results"][second] = \
+        payload["results"][second], payload["results"][first]
+    path = tmp_path / "swapped.json"
+    path.write_text(json.dumps(payload))
+    with pytest.raises(ShardError, match="misaligned"):
+        ShardResults.load(path)
+
+
+def test_shard_results_load_rejects_cross_setting_swaps(tmp_path):
+    """Same task, different setting: task_id alone can't catch the swap, the
+    interface/model cross-check must."""
+    plan = small_plan(shards=1, trials=1)
+    shard = ManifestExecutor().run(plan.manifests[0])
+    payload = shard.as_dict()
+    specs = payload["manifest"]["specs"]
+    first = next(i for i, s in enumerate(specs)
+                 if s["task_id"] == TASKS[0] and s["setting_key"] == SETTINGS[0])
+    second = next(i for i, s in enumerate(specs)
+                  if s["task_id"] == TASKS[0] and s["setting_key"] == SETTINGS[1])
+    payload["results"][first], payload["results"][second] = \
+        payload["results"][second], payload["results"][first]
+    path = tmp_path / "cross-setting.json"
+    path.write_text(json.dumps(payload))
+    with pytest.raises(ShardError, match="misaligned"):
+        ShardResults.load(path)
+
+
+def test_plan_rejects_duplicate_tasks_and_settings():
+    with pytest.raises(ShardError, match="duplicate task id"):
+        plan_shards(2, seed=DEFAULT_SEED, trials=1, setting_keys=SETTINGS,
+                    task_ids=TASKS + (TASKS[0],))
+    with pytest.raises(ShardError, match="duplicate setting key"):
+        plan_shards(2, seed=DEFAULT_SEED, trials=1,
+                    setting_keys=SETTINGS + (SETTINGS[1],), task_ids=TASKS)
+
+
+def test_merge_rejects_setting_keys_outside_the_registry():
+    shards = run_plan(small_plan(shards=1, trials=1))
+    alien = dataclasses.replace(shards[0].manifest,
+                                setting_keys=("no-such-setting",),
+                                specs=(), task_ids=())
+    with pytest.raises(ShardError, match="not in this build's registry"):
+        merge_shard_results([ShardResults(alien, [])])
+
+
+def test_shard_results_load_rejects_truncated_results(tmp_path):
+    plan = small_plan(shards=1, trials=1)
+    shard = ManifestExecutor().run(plan.manifests[0])
+    payload = shard.as_dict()
+    payload["results"] = payload["results"][:-1]
+    path = tmp_path / "truncated.json"
+    path.write_text(json.dumps(payload))
+    with pytest.raises(ShardError, match="specs but"):
+        ShardResults.load(path)
+
+
+# ----------------------------------------------------------------------
+# merge equivalence (the acceptance-criteria property)
+# ----------------------------------------------------------------------
+def test_merged_sharded_run_is_bit_identical_to_serial():
+    serial = BenchmarkRunner(BenchmarkConfig(
+        trials=2, seed=DEFAULT_SEED, tasks=[task_by_id(t) for t in TASKS]))
+    reference = serial.run_settings([setting_by_key(k) for k in SETTINGS])
+
+    plan = small_plan(shards=3, trials=2)
+    shards = run_plan(plan)
+    merged = merge_shard_results(list(reversed(shards)))  # order-independent
+
+    assert list(merged) == list(SETTINGS)
+    for key in reference:
+        expected = [r.as_dict() for r in reference[key].results]
+        actual = [r.as_dict() for r in merged[key].results]
+        assert expected == actual
+        assert aggregate(reference[key].results).as_dict() \
+            == aggregate(merged[key].results).as_dict()
+
+
+def test_merged_one_shot_field_agrees_with_one_shot_rate():
+    plan = small_plan(shards=2, trials=1)
+    merged = merge_shard_results(run_plan(plan))
+    for outcome in merged.values():
+        results = outcome.results
+        # The per-result one_shot flag survives the process/file round trip
+        # and stays consistent with its definition...
+        for result in results:
+            assert result.one_shot == (result.success and result.core_steps <= 1)
+        # ...so the aggregate one_shot percentage equals the rate recomputed
+        # from the flags alone.
+        successes = [r for r in results if r.success]
+        from_flags = (sum(1 for r in successes if r.one_shot) / len(successes)
+                      if successes else 0.0)
+        assert one_shot_rate(results) == from_flags
+        assert aggregate(results).as_dict()["one_shot"] \
+            == round(from_flags * 100.0, 1)
+
+
+def test_merge_rejects_wrong_seed_and_wrong_fingerprint():
+    shards = run_plan(small_plan(shards=2, trials=1))
+    alien_seed = dataclasses.replace(shards[1].manifest, seed=DEFAULT_SEED + 1)
+    with pytest.raises(ShardError, match="seed"):
+        merge_shard_results([shards[0], ShardResults(alien_seed,
+                                                     shards[1].results)])
+    alien_print = dataclasses.replace(shards[1].manifest, fingerprint="deadbeef")
+    with pytest.raises(ShardError, match="fingerprint"):
+        merge_shard_results([shards[0], ShardResults(alien_print,
+                                                     shards[1].results)])
+
+
+def test_merge_rejects_missing_duplicate_and_empty_shards():
+    shards = run_plan(small_plan(shards=2, trials=1))
+    with pytest.raises(ShardError, match="no shard results"):
+        merge_shard_results([])
+    with pytest.raises(ShardError, match="missing results for shard"):
+        merge_shard_results(shards[:1])
+    with pytest.raises(ShardError, match="more than once"):
+        merge_shard_results([shards[0], shards[0]])
+
+
+def test_merge_rejects_specs_outside_the_plan_grid():
+    shards = run_plan(small_plan(shards=2, trials=1))
+    donor = run_plan(plan_shards(1, seed=DEFAULT_SEED, trials=1,
+                                 setting_keys=SETTINGS,
+                                 task_ids=("excel-03-bold-header",)))[0]
+    # Graft a same-identity manifest whose specs don't belong to the grid.
+    grafted = dataclasses.replace(
+        shards[1].manifest, specs=donor.manifest.specs)
+    with pytest.raises(ShardError, match="outside the plan's grid"):
+        merge_shard_results([shards[0],
+                             ShardResults(grafted, donor.results)])
+
+
+def test_runner_shard_plan_mirrors_its_config():
+    runner = BenchmarkRunner(BenchmarkConfig(
+        trials=2, seed=19, tasks=[task_by_id(t) for t in TASKS]))
+    plan = runner.shard_plan([setting_by_key(k) for k in SETTINGS], 2)
+    assert isinstance(plan, ShardPlan)
+    assert plan.manifests[0].seed == 19
+    assert plan.manifests[0].trials == 2
+    assert plan.manifests[0].task_ids == TASKS
+    merged = merge_shard_results(run_plan(plan))
+    reference = runner.run_settings([setting_by_key(k) for k in SETTINGS])
+    for key in reference:
+        assert [r.as_dict() for r in reference[key].results] \
+            == [r.as_dict() for r in merged[key].results]
+
+
+def test_parallel_shard_run_matches_serial_shard_run(tmp_path):
+    plan = small_plan(shards=2, trials=1)
+    serial_shards = run_plan(plan)
+    parallel_shards = run_plan(plan, jobs=2, cache_dir=tmp_path / "cache")
+    for ours, theirs in zip(serial_shards, parallel_shards):
+        assert [r.as_dict() for r in ours.results] \
+            == [r.as_dict() for r in theirs.results]
