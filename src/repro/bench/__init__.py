@@ -33,6 +33,16 @@ from repro.bench.shard import (
     ShardResults,
     merge_shard_results,
     plan_shards,
+    shard_file_name,
+)
+from repro.bench.transport import (
+    DEFAULT_LEASE_TTL,
+    BrokerStatus,
+    InMemoryBroker,
+    LocalDirBroker,
+    ShardBroker,
+    ShardLease,
+    ShardWorker,
 )
 from repro.bench.metrics import (
     MetricSummary,
@@ -47,9 +57,13 @@ from repro.bench import reporting
 __all__ = [
     "BenchmarkConfig",
     "BenchmarkRunner",
+    "BrokerStatus",
+    "DEFAULT_LEASE_TTL",
     "DEFAULT_SEED",
     "EvaluationSetting",
     "Executor",
+    "InMemoryBroker",
+    "LocalDirBroker",
     "MANIFEST_FORMAT_VERSION",
     "ManifestExecutor",
     "MetricSummary",
@@ -57,10 +71,13 @@ __all__ = [
     "ProgressEvent",
     "RunOutcome",
     "SerialExecutor",
+    "ShardBroker",
     "ShardError",
+    "ShardLease",
     "ShardManifest",
     "ShardPlan",
     "ShardResults",
+    "ShardWorker",
     "TrialSpec",
     "aggregate",
     "all_tasks",
@@ -72,6 +89,7 @@ __all__ = [
     "one_shot_rate",
     "plan_shards",
     "reporting",
+    "shard_file_name",
     "success_rate",
     "tasks_for_app",
     "trial_seed",

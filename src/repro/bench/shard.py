@@ -41,7 +41,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.agent.session import SessionResult
 from repro.bench.engine import ProgressCallback, TrialSpec, expand_trial_specs
-from repro.dmi.cache import config_fingerprint
+from repro.dmi.cache import ArtifactCache, config_fingerprint
 from repro.dmi.interface import DMIConfig
 
 #: Version of the manifest / results JSON layout.  Bumped on any change to
@@ -62,16 +62,50 @@ def _require(payload: Dict[str, object], key: str, source: str) -> object:
     return payload[key]
 
 
+def _require_int(payload: Dict[str, object], key: str, source: str) -> int:
+    value = _require(payload, key, source)
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ShardError(f"{source}: field {key!r} must be an integer, "
+                         f"got {value!r}")
+    return value
+
+
+def _require_str(payload: Dict[str, object], key: str, source: str) -> str:
+    value = _require(payload, key, source)
+    if not isinstance(value, str):
+        raise ShardError(f"{source}: field {key!r} must be a string, "
+                         f"got {value!r}")
+    return value
+
+
+def _require_str_tuple(payload: Dict[str, object], key: str,
+                       source: str) -> Tuple[str, ...]:
+    value = _require(payload, key, source)
+    if not isinstance(value, (list, tuple)) \
+            or not all(isinstance(item, str) for item in value):
+        raise ShardError(f"{source}: field {key!r} must be a list of "
+                         f"strings, got {value!r}")
+    return tuple(value)
+
+
+def _require_list(payload: Dict[str, object], key: str, source: str) -> list:
+    value = _require(payload, key, source)
+    if not isinstance(value, list):
+        raise ShardError(f"{source}: field {key!r} must be a list, "
+                         f"got {type(value).__name__}")
+    return value
+
+
 def _check_header(payload: Dict[str, object], kind: str, source: str) -> None:
     found_kind = payload.get("kind")
     if found_kind != kind:
-        raise ShardError(f"{source}: expected a {kind!r} file, got "
-                         f"{found_kind!r}")
+        raise ShardError(f"{source}: field 'kind' is {found_kind!r}; "
+                         f"expected a {kind!r} file")
     version = payload.get("format_version")
     if version != MANIFEST_FORMAT_VERSION:
         raise ShardError(
-            f"{source}: format version {version!r} is not supported "
-            f"(this build reads version {MANIFEST_FORMAT_VERSION})")
+            f"{source}: field 'format_version' is {version!r}; this build "
+            f"reads format version {MANIFEST_FORMAT_VERSION}")
 
 
 def _load_json(path: Union[str, Path], source: str) -> Dict[str, object]:
@@ -123,16 +157,23 @@ class ShardManifest:
     def from_dict(cls, payload: Dict[str, object],
                   source: str = "manifest") -> "ShardManifest":
         _check_header(payload, _MANIFEST_KIND, source)
+        specs = []
+        for position, spec in enumerate(_require_list(payload, "specs", source)):
+            try:
+                specs.append(TrialSpec.from_dict(spec))
+            except (KeyError, TypeError, ValueError, AttributeError) as error:
+                raise ShardError(
+                    f"{source}: field 'specs[{position}]' is not a valid "
+                    f"trial spec: {error!r}") from error
         return cls(
-            shard_index=int(_require(payload, "shard_index", source)),
-            shard_count=int(_require(payload, "shard_count", source)),
-            seed=int(_require(payload, "seed", source)),
-            trials=int(_require(payload, "trials", source)),
-            fingerprint=str(_require(payload, "fingerprint", source)),
-            setting_keys=tuple(_require(payload, "setting_keys", source)),
-            task_ids=tuple(_require(payload, "task_ids", source)),
-            specs=tuple(TrialSpec.from_dict(spec)
-                        for spec in _require(payload, "specs", source)),
+            shard_index=_require_int(payload, "shard_index", source),
+            shard_count=_require_int(payload, "shard_count", source),
+            seed=_require_int(payload, "seed", source),
+            trials=_require_int(payload, "trials", source),
+            fingerprint=_require_str(payload, "fingerprint", source),
+            setting_keys=_require_str_tuple(payload, "setting_keys", source),
+            task_ids=_require_str_tuple(payload, "task_ids", source),
+            specs=tuple(specs),
         )
 
     def save(self, path: Union[str, Path]) -> Path:
@@ -151,6 +192,36 @@ class ShardManifest:
                 self.setting_keys, self.task_ids)
 
 
+#: Labels for :meth:`ShardManifest.plan_identity`, in tuple order.
+PLAN_IDENTITY_LABELS = ("shard_count", "seed", "trials", "fingerprint",
+                        "setting_keys", "task_ids")
+
+
+def check_plan_identity(reference: Tuple[object, ...],
+                        manifest: "ShardManifest", source: str) -> None:
+    """Raise a :class:`ShardError` naming the first identity field on which
+    ``manifest`` disagrees with ``reference`` (a ``plan_identity()`` tuple)."""
+    theirs = manifest.plan_identity()
+    if theirs == reference:
+        return
+    for label, ours_value, theirs_value in zip(PLAN_IDENTITY_LABELS,
+                                               reference, theirs):
+        if ours_value != theirs_value:
+            raise ShardError(
+                f"{source}: does not belong to this plan: field {label!r} "
+                f"is {theirs_value!r}, expected {ours_value!r}")
+    # Unequal tuples with no differing zipped field means the shapes differ
+    # (e.g. an identity built by an older build) — never accept silently.
+    raise ShardError(
+        f"{source}: does not belong to this plan: identity has "
+        f"{len(theirs)} field(s), expected {len(reference)}")
+
+
+def shard_file_name(shard_index: int, shard_count: int) -> str:
+    """Canonical file name for one shard's manifest (and its results)."""
+    return f"shard-{shard_index:03d}-of-{shard_count:03d}.json"
+
+
 @dataclass(frozen=True)
 class ShardPlan:
     """A full grid partitioned into N self-contained manifests."""
@@ -166,7 +237,7 @@ class ShardPlan:
         return [spec for manifest in self.manifests for spec in manifest.specs]
 
     def manifest_name(self, index: int) -> str:
-        return f"shard-{index:03d}-of-{self.shard_count:03d}.json"
+        return shard_file_name(index, self.shard_count)
 
     def write(self, out_dir: Union[str, Path]) -> List[Path]:
         """Write one manifest file per shard; returns the paths in order."""
@@ -243,10 +314,21 @@ class ShardResults:
     def from_dict(cls, payload: Dict[str, object],
                   source: str = "results") -> "ShardResults":
         _check_header(payload, _RESULTS_KIND, source)
+        manifest_payload = _require(payload, "manifest", source)
+        if not isinstance(manifest_payload, dict):
+            raise ShardError(f"{source}: field 'manifest' must be a JSON "
+                             f"object, got {type(manifest_payload).__name__}")
         manifest = ShardManifest.from_dict(
-            _require(payload, "manifest", source), source=f"{source} (manifest)")
-        results = [SessionResult.from_dict(result)
-                   for result in _require(payload, "results", source)]
+            manifest_payload, source=f"{source} (manifest)")
+        results = []
+        for position, result in enumerate(_require_list(payload, "results",
+                                                        source)):
+            try:
+                results.append(SessionResult.from_dict(result))
+            except (KeyError, TypeError, ValueError, AttributeError) as error:
+                raise ShardError(
+                    f"{source}: field 'results[{position}]' is not a valid "
+                    f"session result: {error!r}") from error
         if len(results) != len(manifest.specs):
             raise ShardError(
                 f"{source}: shard {manifest.shard_index} carries "
@@ -311,6 +393,15 @@ class ManifestExecutor:
         self.jobs = jobs
         self.cache_dir = cache_dir
         self.dmi_config = dmi_config or DMIConfig()
+        #: One cache shared across every manifest this executor runs, so
+        #: hit/miss counters aggregate over a whole worker session.
+        self.cache: Optional[ArtifactCache] = (
+            ArtifactCache(cache_dir, self.dmi_config)
+            if cache_dir is not None else None)
+
+    def cache_stats(self) -> Optional[Dict[str, object]]:
+        """Cumulative cache hit/miss stats, or None without a cache_dir."""
+        return self.cache.stats() if self.cache is not None else None
 
     def run(self, manifest: ShardManifest,
             progress: Optional[ProgressCallback] = None) -> ShardResults:
@@ -325,6 +416,10 @@ class ManifestExecutor:
         runner = BenchmarkRunner(BenchmarkConfig(
             trials=manifest.trials, seed=manifest.seed, dmi=self.dmi_config,
             jobs=self.jobs, cache_dir=self.cache_dir))
+        if self.cache is not None:
+            # Share the executor-lifetime cache (and its counters) instead
+            # of the runner's per-run instance.
+            runner.cache = self.cache
         # Register the grid's settings/tasks so spec resolution matches a
         # local run (registry lookup; ad-hoc objects never cross machines).
         try:
@@ -362,18 +457,8 @@ def merge_shard_results(shards: Sequence[ShardResults]) -> Dict[str, "RunOutcome
     reference = shards[0].manifest
     for shard in shards[1:]:
         manifest = shard.manifest
-        if manifest.plan_identity() != reference.plan_identity():
-            for label, ours, theirs in (
-                    ("shard_count", reference.shard_count, manifest.shard_count),
-                    ("seed", reference.seed, manifest.seed),
-                    ("trials", reference.trials, manifest.trials),
-                    ("fingerprint", reference.fingerprint, manifest.fingerprint),
-                    ("setting_keys", reference.setting_keys, manifest.setting_keys),
-                    ("task_ids", reference.task_ids, manifest.task_ids)):
-                if ours != theirs:
-                    raise ShardError(
-                        f"shard {manifest.shard_index} does not belong to "
-                        f"this plan: {label} is {theirs!r}, expected {ours!r}")
+        check_plan_identity(reference.plan_identity(), manifest,
+                            source=f"shard {manifest.shard_index}")
     seen: Dict[int, ShardResults] = {}
     for shard in shards:
         index = shard.manifest.shard_index

@@ -1,0 +1,492 @@
+"""Remote shard transport: a broker/worker queue over shard manifests.
+
+PR 2's shard pipeline (:mod:`repro.bench.shard`) is file-bound: an operator
+hand-carries manifest JSONs to machines and collects results back.  This
+module turns it into a deploy-anywhere work queue with three roles:
+
+coordinator
+    :meth:`ShardBroker.submit` enqueues every manifest of a
+    :class:`~repro.bench.shard.ShardPlan` on a broker;
+    :meth:`ShardBroker.status` reports queued/leased/done counts
+    (:class:`BrokerStatus`) while workers run; :meth:`ShardBroker.collect`
+    gathers the posted :class:`~repro.bench.shard.ShardResults`, which feed
+    straight into :func:`~repro.bench.shard.merge_shard_results` so all of
+    PR 2's plan-identity validation applies unchanged.
+worker
+    :class:`ShardWorker` is a pull loop: lease a manifest, run it through a
+    :class:`~repro.bench.shard.ManifestExecutor` (inheriting ``jobs`` and
+    the :class:`~repro.dmi.cache.ArtifactCache`), post the results, repeat;
+    it exits when the queue drains.
+broker
+    :class:`LocalDirBroker` implements the queue on a shared (NFS-style)
+    directory using only atomic renames, so any number of workers on any
+    number of machines can race for leases without locks; leases expire
+    after ``lease_ttl`` seconds and are reclaimed, so a crashed worker's
+    manifest is re-run by a peer.  :class:`InMemoryBroker` implements the
+    same contract in-process for tests.
+
+Because every trial is deterministically seeded, re-running a reclaimed
+manifest (or double-posting one) reproduces the same
+:class:`~repro.agent.session.SessionResult` payloads, which is what makes
+first-write-wins result posting and lease reclaim safe: the merged output
+stays bit-identical to a serial run no matter how work was dealt out (the
+equivalence harness in ``tests/equivalence.py`` asserts exactly this).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import re
+import socket
+import time
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+from repro.bench.shard import (
+    MANIFEST_FORMAT_VERSION,
+    PLAN_IDENTITY_LABELS,
+    ManifestExecutor,
+    ShardError,
+    ShardManifest,
+    ShardPlan,
+    ShardResults,
+    _check_header,
+    _load_json,
+    _require,
+    _require_int,
+    _require_str,
+    _require_str_tuple,
+    check_plan_identity,
+    shard_file_name,
+)
+from repro.bench.engine import ProgressCallback
+
+#: Seconds a lease stays valid before any worker may reclaim the manifest.
+#: Generous by default: reclaim exists for crashed workers, not slow ones.
+DEFAULT_LEASE_TTL = 900.0
+
+_PLAN_KIND = "repro-broker-plan"
+
+#: Typed loaders for the plan-header fields, keyed by identity label; any
+#: label without an entry falls back to the untyped ``_require``, so a new
+#: ``plan_identity()`` field flows through submit/parse without edits here.
+_IDENTITY_PARSERS: Dict[str, Callable] = {
+    "shard_count": _require_int,
+    "seed": _require_int,
+    "trials": _require_int,
+    "fingerprint": _require_str,
+    "setting_keys": _require_str_tuple,
+    "task_ids": _require_str_tuple,
+}
+
+Clock = Callable[[], float]
+
+
+def _check_posted_results(reference: Tuple[object, ...],
+                          results: ShardResults, source: str) -> None:
+    """Posted results must carry a manifest of this plan, in index range."""
+    manifest = results.manifest
+    check_plan_identity(reference, manifest,
+                        source=f"{source} for shard {manifest.shard_index}")
+    if not 0 <= manifest.shard_index < manifest.shard_count:
+        raise ShardError(f"{source} carry shard index "
+                         f"{manifest.shard_index}, out of range for a "
+                         f"{manifest.shard_count}-shard plan")
+
+
+@dataclass(frozen=True)
+class BrokerStatus:
+    """Coordinator-side queue counters (one snapshot, not a live view)."""
+
+    queued: int
+    leased: int
+    done: int
+    shard_count: int
+
+    @property
+    def complete(self) -> bool:
+        return self.done >= self.shard_count
+
+    @property
+    def drained(self) -> bool:
+        """No work left to lease *or* in flight (done or abandoned)."""
+        return self.queued == 0 and self.leased == 0
+
+    def render(self) -> str:
+        return (f"{self.done}/{self.shard_count} done "
+                f"({self.queued} queued, {self.leased} leased)")
+
+
+@dataclass(frozen=True)
+class ShardLease:
+    """One leased manifest: the work order plus the lease bookkeeping.
+
+    ``token`` is backend-specific (the lease filename for
+    :class:`LocalDirBroker`); ``deadline`` is in the broker clock's units —
+    after it passes any worker may reclaim the manifest.
+    """
+
+    manifest: ShardManifest
+    worker_id: str
+    deadline: float
+    token: str
+
+
+class ShardBroker(ABC):
+    """The queue contract: submit a plan, lease manifests, post results.
+
+    All brokers share first-write-wins semantics on results: posting a
+    shard that is already done is an idempotent no-op (results are
+    deterministic, so the copies are interchangeable), which makes both
+    duplicate posts and post-reclaim stragglers harmless.
+    """
+
+    @abstractmethod
+    def submit(self, plan: ShardPlan) -> None:
+        """Enqueue every manifest of ``plan``.  One plan per broker."""
+
+    @abstractmethod
+    def lease(self, worker_id: str) -> Optional[ShardLease]:
+        """Atomically take one queued manifest, or ``None`` if none is free.
+
+        Expired leases are reclaimed first, so a crashed worker's manifest
+        becomes leasable again after ``lease_ttl`` seconds.
+        """
+
+    @abstractmethod
+    def post(self, lease: ShardLease, results: ShardResults) -> bool:
+        """Post one shard's results; returns ``False`` on a duplicate post."""
+
+    @abstractmethod
+    def collect(self) -> List[ShardResults]:
+        """All posted results, in shard-index order.
+
+        Feed the list to :func:`~repro.bench.shard.merge_shard_results`,
+        which (re)validates completeness and plan identity.
+        """
+
+    @abstractmethod
+    def status(self) -> BrokerStatus:
+        """Queue counters for the ``--progress`` display and drain checks."""
+
+
+class InMemoryBroker(ShardBroker):
+    """The queue contract over plain dicts, for tests and single-process use."""
+
+    def __init__(self, lease_ttl: float = DEFAULT_LEASE_TTL,
+                 clock: Clock = time.monotonic) -> None:
+        if lease_ttl <= 0:
+            raise ShardError(f"lease_ttl must be > 0, got {lease_ttl}")
+        self.lease_ttl = lease_ttl
+        self._clock = clock
+        self._identity: Optional[Tuple[object, ...]] = None
+        self._shard_count = 0
+        self._queued: Dict[int, ShardManifest] = {}
+        self._leases: Dict[int, ShardLease] = {}
+        self._done: Dict[int, ShardResults] = {}
+
+    def _require_plan(self) -> None:
+        if self._identity is None:
+            raise ShardError("no plan has been submitted to this broker")
+
+    def _reclaim_expired(self) -> None:
+        now = self._clock()
+        for index, lease in list(self._leases.items()):
+            if now >= lease.deadline:
+                del self._leases[index]
+                self._queued[index] = lease.manifest
+
+    def submit(self, plan: ShardPlan) -> None:
+        if self._identity is not None:
+            raise ShardError("broker already holds a plan; use one broker "
+                             "per plan")
+        self._identity = plan.manifests[0].plan_identity()
+        self._shard_count = plan.shard_count
+        self._queued = {m.shard_index: m for m in plan.manifests}
+
+    def lease(self, worker_id: str) -> Optional[ShardLease]:
+        self._require_plan()
+        self._reclaim_expired()
+        if not self._queued:
+            return None
+        index = min(self._queued)
+        manifest = self._queued.pop(index)
+        lease = ShardLease(manifest=manifest, worker_id=worker_id,
+                           deadline=self._clock() + self.lease_ttl,
+                           token=str(index))
+        self._leases[index] = lease
+        return lease
+
+    def post(self, lease: ShardLease, results: ShardResults) -> bool:
+        self._require_plan()
+        assert self._identity is not None
+        index = results.manifest.shard_index
+        _check_posted_results(self._identity, results,
+                              source="posted results")
+        self._leases.pop(index, None)
+        self._queued.pop(index, None)
+        if index in self._done:
+            return False
+        self._done[index] = results
+        return True
+
+    def collect(self) -> List[ShardResults]:
+        self._require_plan()
+        return [self._done[index] for index in sorted(self._done)]
+
+    def status(self) -> BrokerStatus:
+        self._require_plan()
+        self._reclaim_expired()
+        return BrokerStatus(queued=len(self._queued), leased=len(self._leases),
+                            done=len(self._done),
+                            shard_count=self._shard_count)
+
+
+def _sanitize_worker_id(worker_id: str) -> str:
+    return re.sub(r"[^\w.-]", "-", worker_id) or "worker"
+
+
+class LocalDirBroker(ShardBroker):
+    """The queue contract over a shared directory, using only atomic renames.
+
+    Layout under ``root``::
+
+        plan.json    the plan's identity header (written once by submit)
+        queued/      manifests waiting for a worker
+        leased/      manifests being worked on; the lease deadline and
+                     worker id are encoded in the filename
+                     (``NAME.lease.<deadline_ms>.<worker>``)
+        done/        posted ShardResults files, one per shard
+
+    Every state transition is a single ``rename`` (atomic on POSIX, also
+    over NFS), so concurrent workers race safely: exactly one wins each
+    lease, the losers see ``FileNotFoundError`` and move on.  Files are
+    written to a temp name first and renamed into place, so readers never
+    observe a half-written JSON.
+
+    Lease deadlines are wall-clock timestamps taken on the *leasing*
+    machine and compared on whichever machine reclaims, so cross-machine
+    clock skew shifts the effective TTL by the skew: a fast reclaimer
+    reclaims early (the manifest is re-run — wasteful but still correct,
+    posts are idempotent), a slow one delays crashed-worker recovery.
+    Keep worker clocks NTP-synced, or size ``lease_ttl`` well above the
+    worst expected skew.
+    """
+
+    PLAN_FILE = "plan.json"
+
+    def __init__(self, root: Union[str, Path],
+                 lease_ttl: float = DEFAULT_LEASE_TTL,
+                 clock: Clock = time.time) -> None:
+        if lease_ttl <= 0:
+            raise ShardError(f"lease_ttl must be > 0, got {lease_ttl}")
+        self.root = Path(root)
+        self.lease_ttl = lease_ttl
+        self._clock = clock
+
+    # ------------------------------------------------------------------
+    # directory plumbing
+    # ------------------------------------------------------------------
+    @property
+    def _plan_path(self) -> Path:
+        return self.root / self.PLAN_FILE
+
+    @property
+    def _queued_dir(self) -> Path:
+        return self.root / "queued"
+
+    @property
+    def _leased_dir(self) -> Path:
+        return self.root / "leased"
+
+    @property
+    def _done_dir(self) -> Path:
+        return self.root / "done"
+
+    def _atomic_write_json(self, path: Path, text: str) -> None:
+        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+        tmp.write_text(text, encoding="utf-8")
+        tmp.replace(path)
+
+    def _identity(self) -> Tuple[object, ...]:
+        """Load and validate the plan header; the broker's reference identity."""
+        if not self._plan_path.exists():
+            raise ShardError(
+                f"{self.root}: no plan has been submitted to this broker "
+                "directory (run 'repro shard submit' first)")
+        source = str(self._plan_path)
+        payload = _load_json(self._plan_path, "broker plan")
+        _check_header(payload, _PLAN_KIND, source)
+        return tuple(_IDENTITY_PARSERS.get(label, _require)(payload, label,
+                                                            source)
+                     for label in PLAN_IDENTITY_LABELS)
+
+    # ------------------------------------------------------------------
+    # the queue contract
+    # ------------------------------------------------------------------
+    def submit(self, plan: ShardPlan) -> None:
+        if self._plan_path.exists():
+            raise ShardError(
+                f"{self._plan_path}: broker directory already holds a plan "
+                "(one broker directory per plan; collect it or submit to a "
+                "fresh directory)")
+        for directory in (self.root, self._queued_dir, self._leased_dir,
+                          self._done_dir):
+            directory.mkdir(parents=True, exist_ok=True)
+        reference = plan.manifests[0]
+        header: Dict[str, object] = {
+            "kind": _PLAN_KIND,
+            "format_version": MANIFEST_FORMAT_VERSION,
+        }
+        # Derived from the identity tuple itself so the header can never
+        # drift from plan_identity()'s field set.
+        for label, value in zip(PLAN_IDENTITY_LABELS,
+                                reference.plan_identity()):
+            header[label] = list(value) if isinstance(value, tuple) else value
+        # Header first: a directory with a header but no manifests reads as
+        # a plan being enqueued; manifests without a header would read as
+        # corruption.
+        self._atomic_write_json(self._plan_path, json.dumps(header, indent=1))
+        for manifest in plan.manifests:
+            name = plan.manifest_name(manifest.shard_index)
+            self._atomic_write_json(self._queued_dir / name,
+                                    json.dumps(manifest.as_dict(), indent=1))
+
+    def _reclaim_expired(self) -> None:
+        now_ms = int(self._clock() * 1000)
+        for path in self._leased_dir.glob("*.lease.*"):
+            name, _, rest = path.name.partition(".lease.")
+            deadline_text, _, _worker = rest.partition(".")
+            try:
+                deadline_ms = int(deadline_text)
+            except ValueError:
+                raise ShardError(f"{path}: malformed lease filename (expected "
+                                 "NAME.lease.<deadline_ms>.<worker>)")
+            if now_ms >= deadline_ms:
+                try:
+                    path.rename(self._queued_dir / name)
+                except FileNotFoundError:
+                    pass  # another worker reclaimed it first
+
+    def lease(self, worker_id: str) -> Optional[ShardLease]:
+        self._identity()
+        self._reclaim_expired()
+        worker = _sanitize_worker_id(worker_id)
+        for path in sorted(self._queued_dir.glob("shard-*.json")):
+            deadline = self._clock() + self.lease_ttl
+            target = self._leased_dir / (
+                f"{path.name}.lease.{int(deadline * 1000)}.{worker}")
+            try:
+                path.rename(target)
+            except FileNotFoundError:
+                continue  # another worker won this manifest
+            manifest = ShardManifest.load(target)
+            return ShardLease(manifest=manifest, worker_id=worker_id,
+                              deadline=deadline, token=target.name)
+        return None
+
+    def post(self, lease: ShardLease, results: ShardResults) -> bool:
+        reference = self._identity()
+        manifest = results.manifest
+        _check_posted_results(reference, results,
+                              source=f"{self.root}: posted results")
+        name = shard_file_name(manifest.shard_index, manifest.shard_count)
+        done_path = self._done_dir / name
+        # First-write-wins must be atomic under concurrent posters (e.g. a
+        # straggler racing the worker that reclaimed its lease): link() the
+        # finished temp file into place — exactly one poster succeeds, the
+        # rest get FileExistsError and report the duplicate.
+        tmp = done_path.with_name(f".{done_path.name}.{os.getpid()}.tmp")
+        tmp.write_text(json.dumps(results.as_dict(), indent=1),
+                       encoding="utf-8")
+        try:
+            os.link(tmp, done_path)
+            first_post = True
+        except FileExistsError:
+            first_post = False
+        finally:
+            tmp.unlink(missing_ok=True)
+        # Clear this shard out of the queue: our lease file, plus any queued
+        # copy left behind if our lease expired and was reclaimed before we
+        # finished (without this the shard would be pointlessly re-run).
+        (self._leased_dir / lease.token).unlink(missing_ok=True)
+        (self._queued_dir / name).unlink(missing_ok=True)
+        return first_post
+
+    def collect(self) -> List[ShardResults]:
+        self._identity()
+        return [ShardResults.load(path)
+                for path in sorted(self._done_dir.glob("shard-*.json"))]
+
+    def status(self) -> BrokerStatus:
+        identity = self._identity()
+        self._reclaim_expired()
+        done_names = {path.name
+                      for path in self._done_dir.glob("shard-*.json")}
+        # A shard can transiently be both done and queued/leased (a
+        # straggler posting after reclaim); done wins so counts add up.
+        queued = sum(1 for path in self._queued_dir.glob("shard-*.json")
+                     if path.name not in done_names)
+        leased = sum(1 for path in self._leased_dir.glob("*.lease.*")
+                     if path.name.partition(".lease.")[0] not in done_names)
+        return BrokerStatus(queued=queued, leased=leased,
+                            done=len(done_names), shard_count=int(identity[0]))
+
+
+# ----------------------------------------------------------------------
+# the worker pull loop
+# ----------------------------------------------------------------------
+#: Called after each posted manifest with the lease, its results and a
+#: fresh queue snapshot (drives the CLI's per-manifest status lines).
+ManifestCallback = Callable[[ShardLease, ShardResults, BrokerStatus], None]
+
+
+class ShardWorker:
+    """Pull loop: lease → execute → post, until the queue drains.
+
+    ``poll`` is the sleep between queue checks while other workers still
+    hold leases (their lease may expire and become ours to reclaim); with
+    ``poll=0`` the worker exits as soon as nothing is leasable.
+    ``max_manifests`` caps how many manifests this worker will execute.
+    """
+
+    def __init__(self, broker: ShardBroker,
+                 executor: Optional[ManifestExecutor] = None,
+                 worker_id: Optional[str] = None, poll: float = 1.0,
+                 max_manifests: Optional[int] = None,
+                 sleep: Callable[[float], None] = time.sleep) -> None:
+        if not math.isfinite(poll) or poll < 0:
+            raise ShardError(f"poll must be a finite number >= 0, got {poll}")
+        if max_manifests is not None and max_manifests < 1:
+            raise ShardError(f"max_manifests must be >= 1, got {max_manifests}")
+        self.broker = broker
+        self.executor = executor or ManifestExecutor()
+        self.worker_id = worker_id or f"{socket.gethostname()}-{os.getpid()}"
+        self.poll = poll
+        self.max_manifests = max_manifests
+        self._sleep = sleep
+
+    def run(self, progress: Optional[ProgressCallback] = None,
+            on_manifest: Optional[ManifestCallback] = None) -> List[ShardResults]:
+        """Drain the queue; returns the results this worker posted."""
+        completed: List[ShardResults] = []
+        while self.max_manifests is None or len(completed) < self.max_manifests:
+            lease = self.broker.lease(self.worker_id)
+            if lease is None:
+                snapshot = self.broker.status()
+                if snapshot.queued > 0:
+                    continue  # lost a lease race; try again immediately
+                if snapshot.leased == 0 or self.poll <= 0:
+                    break  # drained (or not polling for reclaims)
+                self._sleep(self.poll)
+                continue
+            results = self.executor.run(lease.manifest, progress=progress)
+            self.broker.post(lease, results)
+            completed.append(results)
+            if on_manifest is not None:
+                on_manifest(lease, results, self.broker.status())
+        return completed

@@ -22,6 +22,18 @@ Five subcommands cover the common workflows without writing any code:
     ``shard merge RESULTS...`` validates that all shards came from the same
     plan, reassembles them in canonical spec order and prints (or exports)
     the same output a single-machine ``run`` would have produced.
+
+    Instead of hand-carrying manifest and results files, the same grid can
+    flow through a broker work queue (a shared/NFS directory with
+    atomic-rename leases): ``shard submit --broker DIR --shards N`` plans
+    the grid and enqueues the manifests; ``shard work --broker DIR``
+    (run on any number of machines) leases manifests, executes them with
+    the ordinary engine stack and posts results until the queue drains
+    (``--poll SECS`` waits on in-flight peers whose lease might expire;
+    ``--max-manifests N`` caps one worker's share); ``shard collect
+    --broker DIR`` merges the posted results with the same plan-identity
+    validation as ``shard merge`` — the collected output is bit-identical
+    to a single-machine serial run for the same seed.
 ``tasks``
     List the benchmark task suite.
 
@@ -58,13 +70,20 @@ Examples::
     python -m repro shard run shards/shard-000-of-003.json \\
         --results results-0.json --jobs 4 --cache-dir .dmi-cache --progress
     python -m repro shard merge results-*.json --report --export merged.json
+    python -m repro shard submit --broker /mnt/queue --shards 8
+    python -m repro shard work --broker /mnt/queue --jobs 4 \\
+        --cache-dir .dmi-cache          # on every worker machine
+    python -m repro shard collect --broker /mnt/queue --poll 5 --progress \\
+        --report --export merged.json
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import math
 import sys
+import time
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, TextIO
 
@@ -78,6 +97,12 @@ from repro.bench.shard import (
     ShardManifest,
     ShardResults,
     merge_shard_results,
+)
+from repro.bench.transport import (
+    BrokerStatus,
+    LocalDirBroker,
+    ShardLease,
+    ShardWorker,
 )
 from repro.bench.runner import (
     BenchmarkConfig,
@@ -112,6 +137,15 @@ def build_parser() -> argparse.ArgumentParser:
         value = int(text)
         if value < 1:
             raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+        return value
+
+    def nonnegative_float(text: str) -> float:
+        value = float(text)
+        # math.isfinite also rejects NaN, which passes every `< 0` check
+        # but blows up time.sleep later.
+        if not math.isfinite(value) or value < 0:
+            raise argparse.ArgumentTypeError(f"must be a finite number >= 0, "
+                                             f"got {value}")
         return value
 
     def add_progress_flag(sub: argparse.ArgumentParser) -> None:
@@ -182,6 +216,52 @@ def build_parser() -> argparse.ArgumentParser:
     shard_merge.add_argument("--export", metavar="FILE", default=None,
                              help="write merged results and summaries to a JSON file")
 
+    shard_submit = shard_sub.add_parser(
+        "submit", help="plan the grid and enqueue its manifests on a broker")
+    shard_submit.add_argument("--broker", metavar="DIR", required=True,
+                              help="broker queue directory (shared/NFS)")
+    shard_submit.add_argument("--shards", type=positive_int, required=True,
+                              help="number of manifests to enqueue")
+    shard_submit.add_argument("--settings", nargs="+",
+                              default=list(CORE_SETTING_KEYS),
+                              choices=[s.key for s in TABLE3_SETTINGS],
+                              help="Table 3 configuration keys to shard")
+    add_grid_flags(shard_submit)
+
+    shard_work = shard_sub.add_parser(
+        "work", help="lease and execute broker manifests until the queue drains")
+    shard_work.add_argument("--broker", metavar="DIR", required=True,
+                            help="broker queue directory (shared/NFS)")
+    shard_work.add_argument("--poll", type=nonnegative_float, default=1.0,
+                            help="seconds between queue checks while peers "
+                                 "hold leases (0 = exit when nothing is "
+                                 "leasable)")
+    shard_work.add_argument("--max-manifests", type=positive_int, default=None,
+                            help="stop after executing this many manifests")
+    shard_work.add_argument("--worker-id", metavar="NAME", default=None,
+                            help="worker name recorded on leases "
+                                 "(default: hostname-pid)")
+    shard_work.add_argument("--jobs", type=positive_int, default=1,
+                            help="worker processes (1 = serial; >1 = process pool)")
+    shard_work.add_argument("--cache-dir", metavar="PATH", default=None,
+                            help="on-disk cache for offline navigation models")
+    add_progress_flag(shard_work)
+
+    shard_collect = shard_sub.add_parser(
+        "collect", help="merge a broker's posted results into one report")
+    shard_collect.add_argument("--broker", metavar="DIR", required=True,
+                               help="broker queue directory (shared/NFS)")
+    shard_collect.add_argument("--poll", type=nonnegative_float, default=0.0,
+                               help="wait for the queue to complete, checking "
+                                    "every SECS seconds (0 = fail if "
+                                    "incomplete)")
+    shard_collect.add_argument("--report", action="store_true",
+                               help="also print the figure/one-shot sections")
+    shard_collect.add_argument("--export", metavar="FILE", default=None,
+                               help="write merged results and summaries to a "
+                                    "JSON file")
+    add_progress_flag(shard_collect)
+
     tasks = subparsers.add_parser("tasks", help="list the benchmark tasks")
     tasks.add_argument("--app", choices=sorted(APP_FACTORIES), default=None)
     return parser
@@ -232,18 +312,26 @@ def _progress(args) -> Optional[ProgressCallback]:
     return _progress_printer() if getattr(args, "progress", False) else None
 
 
+def export_settings_payload(outcomes: Dict[str, RunOutcome]) -> Dict[str, object]:
+    """The ``--export`` file's ``settings`` section: label + aggregate
+    summary + every per-trial result, per setting key.  Shared with the
+    equivalence harness (``tests/equivalence.py``) so the bit-identical
+    guarantee is asserted on the *real* export payload."""
+    return {
+        key: {
+            "label": outcome.setting.label,
+            "summary": aggregate(outcome.results).as_dict(),
+            "results": [result.as_dict() for result in outcome.results],
+        }
+        for key, outcome in outcomes.items()
+    }
+
+
 def _export_outcomes(path: str, config: Dict[str, object],
                      outcomes: Dict[str, RunOutcome]) -> None:
     payload = {
         "config": config,
-        "settings": {
-            key: {
-                "label": outcome.setting.label,
-                "summary": aggregate(outcome.results).as_dict(),
-                "results": [result.as_dict() for result in outcome.results],
-            }
-            for key, outcome in outcomes.items()
-        },
+        "settings": export_settings_payload(outcomes),
     }
     target = Path(path)
     target.parent.mkdir(parents=True, exist_ok=True)
@@ -361,14 +449,12 @@ def command_shard_run(args) -> int:
     return 0
 
 
-def command_shard_merge(args) -> int:
-    try:
-        shards = [ShardResults.load(path) for path in args.results]
-        outcomes = merge_shard_results(shards)
-    except ShardError as error:
-        raise SystemExit(f"repro: {error}")
+def _emit_merged(shards: List[ShardResults], outcomes: Dict[str, RunOutcome],
+                 *, report: bool, export: Optional[str],
+                 extra_config: Optional[Dict[str, object]] = None) -> None:
+    """Shared output path of ``shard merge`` and ``shard collect``."""
     _print_run_summary(outcomes)
-    if args.report:
+    if report:
         # Figure 5b compares interfaces *within* one model configuration;
         # group the merged settings by model profile so an 8-setting merge
         # never cross-normalizes gpt5-medium against gpt5-mini bars.
@@ -386,18 +472,108 @@ def command_shard_merge(args) -> int:
         if "dmi-gpt5-medium" in outcomes:
             print()
             print(reporting.render_one_shot(outcomes, "dmi-gpt5-medium"))
-    if args.export:
+    if export:
         reference = shards[0].manifest
+        config: Dict[str, object] = {
+            "trials": reference.trials,
+            "seed": reference.seed,
+            "shards": reference.shard_count,
+            "fingerprint": reference.fingerprint,
+        }
+        config.update(extra_config or {})
         try:
-            _export_outcomes(args.export, {
-                "trials": reference.trials,
-                "seed": reference.seed,
-                "shards": reference.shard_count,
-                "fingerprint": reference.fingerprint,
-            }, outcomes)
+            _export_outcomes(export, config, outcomes)
         except OSError as error:
-            raise SystemExit(f"repro: cannot write export {args.export!r}: "
-                             f"{error}")
+            raise SystemExit(f"repro: cannot write export {export!r}: {error}")
+
+
+def command_shard_merge(args) -> int:
+    try:
+        shards = [ShardResults.load(path) for path in args.results]
+        outcomes = merge_shard_results(shards)
+    except ShardError as error:
+        raise SystemExit(f"repro: {error}")
+    _emit_merged(shards, outcomes, report=args.report, export=args.export)
+    return 0
+
+
+# ----------------------------------------------------------------------
+# shard submit / work / collect (the broker queue)
+# ----------------------------------------------------------------------
+def command_shard_submit(args) -> int:
+    runner = BenchmarkRunner(BenchmarkConfig(trials=args.trials, seed=args.seed,
+                                             tasks=_resolve_tasks(args.tasks)))
+    try:
+        plan = runner.shard_plan([setting_by_key(key) for key in args.settings],
+                                 args.shards)
+        broker = LocalDirBroker(args.broker)
+        broker.submit(plan)
+    except ShardError as error:
+        raise SystemExit(f"repro: {error}")
+    except OSError as error:
+        raise SystemExit(f"repro: cannot write to broker {args.broker!r}: "
+                         f"{error}")
+    total = sum(len(manifest.specs) for manifest in plan.manifests)
+    print(f"submitted {plan.shard_count} shard manifest(s), {total} trial "
+          f"specs total (seed {args.seed}, {args.trials} trial(s)/task) "
+          f"to broker {args.broker}")
+    print("Run 'repro shard work --broker DIR' on any number of machines, "
+          "then 'repro shard collect --broker DIR'.")
+    return 0
+
+
+def command_shard_work(args) -> int:
+    _check_cache_dir(args.cache_dir)
+
+    def on_manifest(lease: ShardLease, shard: ShardResults,
+                    status: BrokerStatus) -> None:
+        manifest = lease.manifest
+        print(f"{worker.worker_id}: posted shard "
+              f"{manifest.shard_index + 1}/{manifest.shard_count} "
+              f"({len(shard.results)} results; {status.render()})")
+
+    try:
+        broker = LocalDirBroker(args.broker)
+        executor = ManifestExecutor(jobs=args.jobs, cache_dir=args.cache_dir)
+        worker = ShardWorker(broker, executor, worker_id=args.worker_id,
+                             poll=args.poll, max_manifests=args.max_manifests)
+        completed = worker.run(progress=_progress(args),
+                               on_manifest=on_manifest)
+    except ShardError as error:
+        raise SystemExit(f"repro: {error}")
+    except OSError as error:
+        raise SystemExit(f"repro: broker {args.broker!r} I/O failed: {error}")
+    summary = f"{worker.worker_id}: {len(completed)} manifest(s) executed"
+    stats = executor.cache_stats()
+    if stats is not None:
+        summary += (f"; cache {stats['hits']} hit(s), "
+                    f"{stats['misses']} miss(es)")
+    print(summary)
+    return 0
+
+
+def command_shard_collect(args) -> int:
+    try:
+        broker = LocalDirBroker(args.broker)
+        status = broker.status()
+        while not status.complete and args.poll > 0:
+            if args.progress:
+                print(f"[{status.done}/{status.shard_count}] waiting: "
+                      f"{status.render()}", file=sys.stderr, flush=True)
+            time.sleep(args.poll)
+            status = broker.status()
+        if not status.complete:
+            raise SystemExit(f"repro: broker {args.broker!r} is not complete: "
+                             f"{status.render()}; run more workers or wait "
+                             "with --poll")
+        shards = broker.collect()
+        outcomes = merge_shard_results(shards)
+    except ShardError as error:
+        raise SystemExit(f"repro: {error}")
+    except OSError as error:
+        raise SystemExit(f"repro: broker {args.broker!r} I/O failed: {error}")
+    _emit_merged(shards, outcomes, report=args.report, export=args.export,
+                 extra_config={"broker": str(args.broker)})
     return 0
 
 
@@ -406,6 +582,9 @@ def command_shard(args) -> int:
         "plan": command_shard_plan,
         "run": command_shard_run,
         "merge": command_shard_merge,
+        "submit": command_shard_submit,
+        "work": command_shard_work,
+        "collect": command_shard_collect,
     }
     return handlers[args.shard_command](args)
 

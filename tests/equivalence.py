@@ -1,0 +1,151 @@
+"""Reusable equivalence harness: every execution path must be bit-identical.
+
+The strongest guarantee this codebase sells is that the *same* (seed, grid)
+produces the *same bytes* no matter how the work is executed.  This helper
+runs one grid through every execution path and returns each path's canonical
+JSON export so tests can compare them byte-for-byte:
+
+``serial``
+    :class:`~repro.bench.engine.SerialExecutor` in-process — the reference
+    semantics everything else must match.
+``parallel``
+    :class:`~repro.bench.engine.ParallelExecutor` over a 2-process pool.
+``file-shards``
+    PR 2's file pipeline: ``plan_shards`` → manifests written to and
+    re-loaded from disk → one :class:`~repro.bench.shard.ManifestExecutor`
+    per manifest → results files → ``merge_shard_results``.
+``broker``
+    PR 3's queue: :class:`~repro.bench.transport.LocalDirBroker` ``submit``
+    → two sequential :class:`~repro.bench.transport.ShardWorker` pull loops
+    → ``collect`` → ``merge_shard_results``.
+
+Use :func:`assert_paths_bit_identical` from a test, parametrized over seeds
+and shard counts; it returns the reference bytes for extra assertions.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Sequence
+
+from repro.bench.runner import (
+    BenchmarkConfig,
+    BenchmarkRunner,
+    RunOutcome,
+    setting_by_key,
+)
+from repro.bench.shard import (
+    ManifestExecutor,
+    ShardManifest,
+    ShardResults,
+    merge_shard_results,
+    plan_shards,
+)
+from repro.bench.tasks import task_by_id
+from repro.bench.transport import LocalDirBroker, ShardWorker
+from repro.cli import export_settings_payload
+
+#: A small two-app grid that still exercises both interface stacks.
+DEFAULT_TASKS = ("ppt-01-blue-background", "word-02-landscape")
+DEFAULT_SETTINGS = ("gui-gpt5-medium", "dmi-gpt5-medium")
+
+
+def outcomes_bytes(outcomes: Dict[str, RunOutcome]) -> bytes:
+    """One canonical byte serialization of a run's outcomes.
+
+    Uses the CLI's own ``--export`` settings payload (label + aggregate
+    summary + every per-trial result) — not a test-local mirror of it — and
+    excludes execution-specific config, so two paths agree exactly when
+    their *results* agree exactly.
+    """
+    return json.dumps(export_settings_payload(outcomes), indent=1,
+                      ensure_ascii=False).encode("utf-8")
+
+
+def _runner(seed: int, trials: int, task_ids: Sequence[str],
+            jobs: int = 1, cache_dir=None) -> BenchmarkRunner:
+    return BenchmarkRunner(BenchmarkConfig(
+        trials=trials, seed=seed, jobs=jobs, cache_dir=cache_dir,
+        tasks=[task_by_id(task_id) for task_id in task_ids]))
+
+
+def run_serial(seed: int, trials: int, setting_keys: Sequence[str],
+               task_ids: Sequence[str]) -> bytes:
+    runner = _runner(seed, trials, task_ids)
+    return outcomes_bytes(runner.run_settings(
+        [setting_by_key(key) for key in setting_keys]))
+
+
+def run_parallel(seed: int, trials: int, setting_keys: Sequence[str],
+                 task_ids: Sequence[str], work_dir: Path) -> bytes:
+    runner = _runner(seed, trials, task_ids, jobs=2,
+                     cache_dir=work_dir / "parallel-cache")
+    return outcomes_bytes(runner.run_settings(
+        [setting_by_key(key) for key in setting_keys]))
+
+
+def run_file_shards(seed: int, trials: int, setting_keys: Sequence[str],
+                    task_ids: Sequence[str], shard_count: int,
+                    work_dir: Path) -> bytes:
+    plan = plan_shards(shard_count, seed=seed, trials=trials,
+                       setting_keys=setting_keys, task_ids=task_ids)
+    manifest_paths = plan.write(work_dir / "manifests")
+    executor = ManifestExecutor(cache_dir=work_dir / "shard-cache")
+    result_paths = []
+    for path in manifest_paths:
+        shard = executor.run(ShardManifest.load(path))
+        result_paths.append(shard.save(
+            work_dir / "results" / f"results-{shard.manifest.shard_index}.json"))
+    merged = merge_shard_results([ShardResults.load(path)
+                                  for path in result_paths])
+    return outcomes_bytes(merged)
+
+
+def run_broker(seed: int, trials: int, setting_keys: Sequence[str],
+               task_ids: Sequence[str], shard_count: int,
+               work_dir: Path) -> bytes:
+    plan = plan_shards(shard_count, seed=seed, trials=trials,
+                       setting_keys=setting_keys, task_ids=task_ids)
+    broker = LocalDirBroker(work_dir / "broker")
+    broker.submit(plan)
+    cache_dir = work_dir / "broker-cache"
+    # Two workers sharing one cache dir, like two machines on shared storage:
+    # the first takes exactly one manifest, the second drains the rest.
+    ShardWorker(broker, ManifestExecutor(cache_dir=cache_dir),
+                worker_id="equivalence-w0", poll=0, max_manifests=1).run()
+    ShardWorker(broker, ManifestExecutor(cache_dir=cache_dir),
+                worker_id="equivalence-w1", poll=0).run()
+    merged = merge_shard_results(broker.collect())
+    return outcomes_bytes(merged)
+
+
+def run_all_paths(seed: int, trials: int, setting_keys: Sequence[str],
+                  task_ids: Sequence[str], shard_count: int,
+                  work_dir: Path) -> Dict[str, bytes]:
+    """Execute the grid through all four paths; one bytes blob per path."""
+    work_dir = Path(work_dir)
+    return {
+        "serial": run_serial(seed, trials, setting_keys, task_ids),
+        "parallel": run_parallel(seed, trials, setting_keys, task_ids,
+                                 work_dir / "parallel"),
+        "file-shards": run_file_shards(seed, trials, setting_keys, task_ids,
+                                       shard_count, work_dir / "file-shards"),
+        "broker": run_broker(seed, trials, setting_keys, task_ids,
+                             shard_count, work_dir / "broker"),
+    }
+
+
+def assert_paths_bit_identical(seed: int, trials: int,
+                               setting_keys: Sequence[str],
+                               task_ids: Sequence[str], shard_count: int,
+                               work_dir: Path) -> bytes:
+    """Assert all four exports are byte-identical; returns the reference."""
+    exports = run_all_paths(seed, trials, setting_keys, task_ids,
+                            shard_count, work_dir)
+    reference = exports["serial"]
+    for name, blob in exports.items():
+        assert blob == reference, (
+            f"execution path {name!r} diverged from serial for seed={seed}, "
+            f"shards={shard_count} ({len(blob)} vs {len(reference)} bytes)")
+    return reference

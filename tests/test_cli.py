@@ -237,6 +237,91 @@ def test_shard_plan_rejects_oversharding(tmp_path):
              + SHARD_GRID)
 
 
+# ----------------------------------------------------------------------
+# shard submit / work / collect (the broker queue)
+# ----------------------------------------------------------------------
+#: Like SHARD_GRID but 2 trials, so the round-robin deal gives every shard
+#: both apps (shard 1 then runs entirely from shard 0's warm cache).
+BROKER_GRID = SHARD_GRID[:-1] + ["2"]
+
+
+def test_shard_submit_work_collect_matches_single_machine_run(tmp_path, capsys):
+    broker = tmp_path / "queue"
+    cache = tmp_path / "cache"
+    assert main(["shard", "submit", "--broker", str(broker), "--shards", "2"]
+                + BROKER_GRID) == 0
+    assert "submitted 2 shard manifest(s)" in capsys.readouterr().out
+    # Two sequential workers sharing the cache dir, like two machines.
+    assert main(["shard", "work", "--broker", str(broker), "--worker-id", "w1",
+                 "--cache-dir", str(cache), "--max-manifests", "1"]) == 0
+    first = capsys.readouterr().out
+    assert "w1: 1 manifest(s) executed" in first
+    assert main(["shard", "work", "--broker", str(broker), "--worker-id", "w2",
+                 "--cache-dir", str(cache)]) == 0
+    second = capsys.readouterr().out
+    assert "w2: 1 manifest(s) executed" in second
+    # Satellite guarantee: the second worker's cache never misses.
+    assert "0 miss(es)" in second and "0 miss(es)" not in first
+    merged = tmp_path / "merged.json"
+    assert main(["shard", "collect", "--broker", str(broker),
+                 "--export", str(merged)]) == 0
+    capsys.readouterr()
+    single = tmp_path / "single.json"
+    assert main(["run", *BROKER_GRID, "--export", str(single)]) == 0
+    capsys.readouterr()
+    merged_payload = json.loads(merged.read_text())
+    assert merged_payload["settings"] == json.loads(single.read_text())["settings"]
+    assert merged_payload["config"]["broker"] == str(broker)
+
+
+def test_shard_collect_reports_incomplete_queue(tmp_path, capsys):
+    broker = tmp_path / "queue"
+    main(["shard", "submit", "--broker", str(broker), "--shards", "2"]
+         + SHARD_GRID)
+    main(["shard", "work", "--broker", str(broker), "--max-manifests", "1"])
+    capsys.readouterr()
+    with pytest.raises(SystemExit, match="not complete") as exc:
+        main(["shard", "collect", "--broker", str(broker)])
+    assert "1/2 done" in str(exc.value)
+
+
+def test_shard_work_streams_trial_progress(tmp_path, capsys):
+    broker = tmp_path / "queue"
+    main(["shard", "submit", "--broker", str(broker), "--shards", "1"]
+         + SHARD_GRID)
+    capsys.readouterr()
+    assert main(["shard", "work", "--broker", str(broker), "--progress"]) == 0
+    captured = capsys.readouterr()
+    lines = [line for line in captured.err.splitlines() if line.startswith("[")]
+    assert len(lines) == 4  # 2 settings x 2 tasks x 1 trial
+    assert "posted shard 1/1" in captured.out
+
+
+def test_shard_submit_refuses_a_second_plan(tmp_path, capsys):
+    broker = tmp_path / "queue"
+    assert main(["shard", "submit", "--broker", str(broker), "--shards", "1"]
+                + SHARD_GRID) == 0
+    capsys.readouterr()
+    with pytest.raises(SystemExit, match="already holds a plan"):
+        main(["shard", "submit", "--broker", str(broker), "--shards", "1"]
+             + SHARD_GRID)
+
+
+def test_shard_collect_on_unsubmitted_broker_errors_cleanly(tmp_path):
+    with pytest.raises(SystemExit, match="no plan has been submitted"):
+        main(["shard", "collect", "--broker", str(tmp_path / "empty")])
+
+
+def test_shard_work_rejects_bad_flags(tmp_path):
+    for poll in ("-1", "nan", "inf"):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["shard", "work", "--broker", "q",
+                                       "--poll", poll])
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["shard", "work", "--broker", "q",
+                                   "--max-manifests", "0"])
+
+
 def test_shard_merge_report_prints_figures(tmp_path, capsys):
     out_dir = tmp_path / "shards"
     main(["shard", "plan", "--shards", "2", "--out", str(out_dir)] + SHARD_GRID)

@@ -1,0 +1,58 @@
+"""The equivalence harness as a tier-1 test (the acceptance-criteria gate).
+
+Every execution path the codebase offers — serial, process-pool parallel,
+file-based shard plan/run/merge, and the broker work queue — must export
+byte-identical JSON for the same (seed, grid).  ``tests/equivalence.py``
+does the running; these tests parametrize it over seeds and shard counts.
+"""
+
+import json
+
+import pytest
+
+from equivalence import (
+    DEFAULT_SETTINGS,
+    DEFAULT_TASKS,
+    assert_paths_bit_identical,
+    outcomes_bytes,
+    run_all_paths,
+)
+from repro.bench.runner import DEFAULT_SEED
+
+
+@pytest.mark.parametrize("shard_count", [2, 3])
+@pytest.mark.parametrize("seed", [DEFAULT_SEED, 1097])
+def test_every_execution_path_is_bit_identical(tmp_path, seed, shard_count):
+    reference = assert_paths_bit_identical(
+        seed=seed, trials=1, setting_keys=DEFAULT_SETTINGS,
+        task_ids=DEFAULT_TASKS, shard_count=shard_count, work_dir=tmp_path)
+    # The reference is a real export: per-setting results for the full grid.
+    payload = json.loads(reference.decode("utf-8"))
+    assert set(payload) == set(DEFAULT_SETTINGS)
+    for key in DEFAULT_SETTINGS:
+        assert len(payload[key]["results"]) == len(DEFAULT_TASKS)
+
+
+def test_different_seeds_actually_change_the_export(tmp_path):
+    """Guard against the harness comparing vacuously identical blobs."""
+    exports = {
+        seed: run_all_paths(seed=seed, trials=1,
+                            setting_keys=DEFAULT_SETTINGS,
+                            task_ids=DEFAULT_TASKS, shard_count=2,
+                            work_dir=tmp_path / f"seed-{seed}")
+        for seed in (DEFAULT_SEED, 1097)
+    }
+    assert exports[DEFAULT_SEED]["serial"] != exports[1097]["serial"]
+
+
+def test_outcomes_bytes_is_deterministic_for_equal_outcomes():
+    from repro.bench.runner import BenchmarkConfig, BenchmarkRunner, setting_by_key
+    from repro.bench.tasks import task_by_id
+
+    def one_run():
+        runner = BenchmarkRunner(BenchmarkConfig(
+            trials=1, tasks=[task_by_id(DEFAULT_TASKS[0])]))
+        return outcomes_bytes(runner.run_settings(
+            [setting_by_key(DEFAULT_SETTINGS[1])]))
+
+    assert one_run() == one_run()

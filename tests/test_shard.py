@@ -231,6 +231,109 @@ def test_shard_results_load_rejects_truncated_results(tmp_path):
 
 
 # ----------------------------------------------------------------------
+# error hardening: every load/validation ShardError names file and field
+# ----------------------------------------------------------------------
+def _write_manifest(tmp_path, mutate):
+    payload = small_plan(shards=1, trials=1).manifests[0].as_dict()
+    mutate(payload)
+    path = tmp_path / "manifest.json"
+    path.write_text(json.dumps(payload))
+    return path
+
+
+def test_manifest_errors_name_the_file_and_the_missing_field(tmp_path):
+    path = _write_manifest(tmp_path, lambda p: p.pop("seed"))
+    with pytest.raises(ShardError, match="missing required field 'seed'") as exc:
+        ShardManifest.load(path)
+    assert str(path) in str(exc.value)
+
+
+def test_manifest_errors_name_the_file_and_the_mistyped_field(tmp_path):
+    path = _write_manifest(tmp_path, lambda p: p.update(seed="eleven"))
+    with pytest.raises(ShardError, match="field 'seed' must be an integer") as exc:
+        ShardManifest.load(path)
+    assert str(path) in str(exc.value)
+    path = _write_manifest(tmp_path, lambda p: p.update(seed=True))
+    with pytest.raises(ShardError, match="field 'seed' must be an integer"):
+        ShardManifest.load(path)
+    path = _write_manifest(tmp_path, lambda p: p.update(fingerprint=17))
+    with pytest.raises(ShardError, match="field 'fingerprint' must be a string"):
+        ShardManifest.load(path)
+    path = _write_manifest(tmp_path, lambda p: p.update(task_ids="word"))
+    with pytest.raises(ShardError,
+                       match="field 'task_ids' must be a list of strings"):
+        ShardManifest.load(path)
+    path = _write_manifest(tmp_path, lambda p: p.update(setting_keys=[1, 2]))
+    with pytest.raises(ShardError,
+                       match="field 'setting_keys' must be a list of strings"):
+        ShardManifest.load(path)
+    path = _write_manifest(tmp_path, lambda p: p.update(specs={"not": "a list"}))
+    with pytest.raises(ShardError, match="field 'specs' must be a list"):
+        ShardManifest.load(path)
+
+
+def test_manifest_errors_name_the_offending_spec_entry(tmp_path):
+    def break_second_spec(payload):
+        del payload["specs"][1]["seed"]
+
+    path = _write_manifest(tmp_path, break_second_spec)
+    with pytest.raises(ShardError, match=r"field 'specs\[1\]'") as exc:
+        ShardManifest.load(path)
+    assert str(path) in str(exc.value)
+    assert "'seed'" in str(exc.value)  # the spec's missing key is surfaced
+
+
+def test_header_errors_name_the_file_and_the_field(tmp_path):
+    path = _write_manifest(tmp_path, lambda p: p.update(kind="bogus"))
+    with pytest.raises(ShardError, match="field 'kind'") as exc:
+        ShardManifest.load(path)
+    assert str(path) in str(exc.value)
+    path = _write_manifest(tmp_path,
+                           lambda p: p.update(format_version="newest"))
+    with pytest.raises(ShardError, match="field 'format_version'") as exc:
+        ShardManifest.load(path)
+    assert str(path) in str(exc.value)
+
+
+def test_results_errors_name_the_file_and_the_offending_entry(tmp_path):
+    shard = ManifestExecutor().run(small_plan(shards=1, trials=1).manifests[0])
+    payload = shard.as_dict()
+    payload["results"][2] = {"task_id": "ppt-01-blue-background"}  # gutted
+    path = tmp_path / "results.json"
+    path.write_text(json.dumps(payload))
+    with pytest.raises(ShardError, match=r"field 'results\[2\]'") as exc:
+        ShardResults.load(path)
+    assert str(path) in str(exc.value)
+
+    payload = shard.as_dict()
+    payload["manifest"] = "not-an-object"
+    path.write_text(json.dumps(payload))
+    with pytest.raises(ShardError,
+                       match="field 'manifest' must be a JSON object") as exc:
+        ShardResults.load(path)
+    assert str(path) in str(exc.value)
+
+    payload = shard.as_dict()
+    payload["results"] = "not-a-list"
+    path.write_text(json.dumps(payload))
+    with pytest.raises(ShardError, match="field 'results' must be a list"):
+        ShardResults.load(path)
+
+
+def test_nested_manifest_errors_name_the_results_file(tmp_path):
+    shard = ManifestExecutor().run(small_plan(shards=1, trials=1).manifests[0])
+    payload = shard.as_dict()
+    del payload["manifest"]["trials"]
+    path = tmp_path / "results.json"
+    path.write_text(json.dumps(payload))
+    with pytest.raises(ShardError,
+                       match="missing required field 'trials'") as exc:
+        ShardResults.load(path)
+    assert str(path) in str(exc.value)
+    assert "(manifest)" in str(exc.value)  # points inside the nested object
+
+
+# ----------------------------------------------------------------------
 # merge equivalence (the acceptance-criteria property)
 # ----------------------------------------------------------------------
 def test_merged_sharded_run_is_bit_identical_to_serial():

@@ -1,0 +1,409 @@
+"""Tests for the broker/worker shard transport.
+
+Covers the queue contract on both backends, the failure modes a distributed
+deployment actually hits — worker crash mid-lease (lease expiry + reclaim),
+duplicate result posts, corrupt files in the broker directory — and the
+ArtifactCache hit/miss accounting of the worker loop.
+"""
+
+import json
+
+import pytest
+
+from repro.bench.metrics import aggregate
+from repro.bench.runner import (
+    BenchmarkConfig,
+    BenchmarkRunner,
+    DEFAULT_SEED,
+    setting_by_key,
+)
+from repro.bench.shard import (
+    ManifestExecutor,
+    ShardError,
+    ShardResults,
+    merge_shard_results,
+    plan_shards,
+)
+from repro.bench.tasks import task_by_id
+from repro.bench.transport import (
+    DEFAULT_LEASE_TTL,
+    BrokerStatus,
+    InMemoryBroker,
+    LocalDirBroker,
+    ShardWorker,
+)
+
+TASKS = ("ppt-01-blue-background", "word-02-landscape")
+SETTINGS = ("gui-gpt5-medium", "dmi-gpt5-medium")
+
+
+class FakeClock:
+    """A controllable clock so lease expiry needs no real sleeping."""
+
+    def __init__(self, now: float = 1000.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def small_plan(shards=2, seed=DEFAULT_SEED, trials=1):
+    return plan_shards(shards, seed=seed, trials=trials,
+                       setting_keys=SETTINGS, task_ids=TASKS)
+
+
+def make_broker(kind, tmp_path, **kwargs):
+    if kind == "memory":
+        return InMemoryBroker(**kwargs)
+    return LocalDirBroker(tmp_path / "broker", **kwargs)
+
+
+BROKER_KINDS = ("memory", "dir")
+
+
+# ----------------------------------------------------------------------
+# the queue contract (both backends)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("kind", BROKER_KINDS)
+def test_submit_lease_post_collect_round_trip(kind, tmp_path):
+    broker = make_broker(kind, tmp_path)
+    plan = small_plan(shards=2)
+    broker.submit(plan)
+    assert broker.status() == BrokerStatus(queued=2, leased=0, done=0,
+                                           shard_count=2)
+    executor = ManifestExecutor()
+    seen = []
+    while True:
+        lease = broker.lease("worker-a")
+        if lease is None:
+            break
+        seen.append(lease.manifest.shard_index)
+        assert lease.worker_id == "worker-a"
+        assert broker.post(lease, executor.run(lease.manifest)) is True
+    assert sorted(seen) == [0, 1]
+    status = broker.status()
+    assert status == BrokerStatus(queued=0, leased=0, done=2, shard_count=2)
+    assert status.complete and status.drained
+    merged = merge_shard_results(broker.collect())
+    reference = BenchmarkRunner(BenchmarkConfig(
+        trials=1, tasks=[task_by_id(t) for t in TASKS])).run_settings(
+            [setting_by_key(k) for k in SETTINGS])
+    for key in reference:
+        assert [r.as_dict() for r in reference[key].results] \
+            == [r.as_dict() for r in merged[key].results]
+
+
+@pytest.mark.parametrize("kind", BROKER_KINDS)
+def test_lease_moves_work_in_flight(kind, tmp_path):
+    broker = make_broker(kind, tmp_path)
+    broker.submit(small_plan(shards=2))
+    lease = broker.lease("worker-a")
+    assert lease is not None
+    assert broker.status() == BrokerStatus(queued=1, leased=1, done=0,
+                                           shard_count=2)
+    # The leased manifest is not offered to a second worker.
+    other = broker.lease("worker-b")
+    assert other is not None and other.manifest.shard_index \
+        != lease.manifest.shard_index
+    assert broker.lease("worker-c") is None
+
+
+@pytest.mark.parametrize("kind", BROKER_KINDS)
+def test_broker_refuses_second_plan_and_unsubmitted_use(kind, tmp_path):
+    broker = make_broker(kind, tmp_path)
+    with pytest.raises(ShardError, match="no plan has been submitted"):
+        broker.lease("worker-a")
+    with pytest.raises(ShardError, match="no plan has been submitted"):
+        broker.status()
+    with pytest.raises(ShardError, match="no plan has been submitted"):
+        broker.collect()
+    broker.submit(small_plan(shards=2))
+    with pytest.raises(ShardError, match="already holds a plan"):
+        broker.submit(small_plan(shards=2))
+
+
+@pytest.mark.parametrize("kind", BROKER_KINDS)
+def test_post_rejects_results_from_a_foreign_plan(kind, tmp_path):
+    broker = make_broker(kind, tmp_path)
+    broker.submit(small_plan(shards=1))
+    lease = broker.lease("worker-a")
+    alien = small_plan(shards=1, seed=DEFAULT_SEED + 1)
+    foreign = ManifestExecutor().run(alien.manifests[0])
+    with pytest.raises(ShardError, match="'seed'"):
+        broker.post(lease, foreign)
+
+
+@pytest.mark.parametrize("kind", BROKER_KINDS)
+def test_post_rejects_out_of_range_shard_index(kind, tmp_path):
+    """Same plan identity but an impossible shard index: both backends must
+    refuse, or status() could report complete with a real shard missing."""
+    import dataclasses
+
+    broker = make_broker(kind, tmp_path)
+    broker.submit(small_plan(shards=1))
+    lease = broker.lease("worker-a")
+    shard = ManifestExecutor().run(lease.manifest)
+    rogue = ShardResults(
+        manifest=dataclasses.replace(shard.manifest, shard_index=5),
+        results=shard.results)
+    with pytest.raises(ShardError, match="out of range"):
+        broker.post(lease, rogue)
+    assert broker.status().done == 0
+
+
+# ----------------------------------------------------------------------
+# failure injection: worker crash mid-lease (expiry + reclaim)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("kind", BROKER_KINDS)
+def test_crashed_worker_lease_expires_and_is_reclaimed(kind, tmp_path):
+    clock = FakeClock()
+    broker = make_broker(kind, tmp_path, lease_ttl=60.0, clock=clock)
+    broker.submit(small_plan(shards=1))
+    # worker-a leases the only manifest and "crashes" (never posts).
+    crashed = broker.lease("worker-a")
+    assert crashed is not None
+    assert broker.lease("worker-b") is None  # still leased, nothing free
+    assert broker.status().leased == 1
+    clock.advance(59.9)
+    assert broker.lease("worker-b") is None  # not expired yet
+    clock.advance(0.2)
+    reclaimed = broker.lease("worker-b")  # expired: reclaimed and re-leased
+    assert reclaimed is not None
+    assert reclaimed.manifest == crashed.manifest
+    assert reclaimed.worker_id == "worker-b"
+    broker.post(reclaimed, ManifestExecutor().run(reclaimed.manifest))
+    assert broker.status().complete
+    assert list(merge_shard_results(broker.collect()))  # merges cleanly
+
+
+@pytest.mark.parametrize("kind", BROKER_KINDS)
+def test_straggler_post_after_reclaim_is_harmless(kind, tmp_path):
+    """The crashed worker was only slow: it posts after its lease was
+    reclaimed and re-run.  First write wins; the queue still drains."""
+    clock = FakeClock()
+    broker = make_broker(kind, tmp_path, lease_ttl=60.0, clock=clock)
+    broker.submit(small_plan(shards=1))
+    executor = ManifestExecutor()
+    slow = broker.lease("worker-slow")
+    slow_results = executor.run(slow.manifest)
+    clock.advance(61.0)
+    fast = broker.lease("worker-fast")
+    assert fast is not None
+    assert broker.post(slow, slow_results) is True  # straggler lands first
+    assert broker.post(fast, executor.run(fast.manifest)) is False  # no-op
+    status = broker.status()
+    assert status == BrokerStatus(queued=0, leased=0, done=1, shard_count=1)
+    assert list(merge_shard_results(broker.collect()))
+
+
+@pytest.mark.parametrize("kind", BROKER_KINDS)
+def test_duplicate_result_post_is_idempotent(kind, tmp_path):
+    broker = make_broker(kind, tmp_path)
+    broker.submit(small_plan(shards=2))
+    executor = ManifestExecutor()
+    lease = broker.lease("worker-a")
+    results = executor.run(lease.manifest)
+    assert broker.post(lease, results) is True
+    assert broker.post(lease, results) is False  # duplicate: no-op
+    assert broker.status().done == 1
+    lease = broker.lease("worker-a")
+    broker.post(lease, executor.run(lease.manifest))
+    merged = merge_shard_results(broker.collect())
+    for outcome in merged.values():
+        assert len(outcome.results) == len(TASKS)  # nothing double-counted
+
+
+def test_worker_crash_between_two_real_workers_still_bit_identical(tmp_path):
+    """End-to-end reclaim on the directory broker: a worker leases shard 0
+    and dies; after expiry a healthy worker drains everything; the collected
+    merge is still bit-identical to serial."""
+    clock = FakeClock()
+    broker = LocalDirBroker(tmp_path / "broker", lease_ttl=30.0, clock=clock)
+    broker.submit(small_plan(shards=2))
+    assert broker.lease("doomed") is not None  # crashes here
+    clock.advance(31.0)
+    worker = ShardWorker(broker, ManifestExecutor(), worker_id="healthy",
+                         poll=0)
+    completed = worker.run()
+    assert len(completed) == 2
+    merged = merge_shard_results(broker.collect())
+    reference = BenchmarkRunner(BenchmarkConfig(
+        trials=1, tasks=[task_by_id(t) for t in TASKS])).run_settings(
+            [setting_by_key(k) for k in SETTINGS])
+    for key in reference:
+        assert [r.as_dict() for r in reference[key].results] \
+            == [r.as_dict() for r in merged[key].results]
+
+
+# ----------------------------------------------------------------------
+# failure injection: corrupt files in the broker directory
+# ----------------------------------------------------------------------
+def test_corrupt_queued_manifest_raises_clean_shard_error(tmp_path):
+    broker = LocalDirBroker(tmp_path / "broker")
+    broker.submit(small_plan(shards=1))
+    manifest_path = next((tmp_path / "broker" / "queued").glob("shard-*.json"))
+    manifest_path.write_text("{truncated", encoding="utf-8")
+    with pytest.raises(ShardError, match="not valid JSON") as excinfo:
+        broker.lease("worker-a")
+    assert manifest_path.name in str(excinfo.value)  # names the file
+
+
+def test_truncated_done_results_raise_clean_shard_error(tmp_path):
+    broker = LocalDirBroker(tmp_path / "broker")
+    broker.submit(small_plan(shards=1))
+    lease = broker.lease("worker-a")
+    broker.post(lease, ManifestExecutor().run(lease.manifest))
+    done_path = next((tmp_path / "broker" / "done").glob("shard-*.json"))
+    payload = json.loads(done_path.read_text())
+    payload["results"] = payload["results"][:-1]
+    done_path.write_text(json.dumps(payload))
+    with pytest.raises(ShardError, match="specs but") as excinfo:
+        broker.collect()
+    assert str(done_path) in str(excinfo.value)
+
+
+def test_corrupt_plan_header_raises_clean_shard_error(tmp_path):
+    broker = LocalDirBroker(tmp_path / "broker")
+    broker.submit(small_plan(shards=1))
+    plan_path = tmp_path / "broker" / "plan.json"
+    plan_path.write_text("not json at all")
+    with pytest.raises(ShardError, match="not valid JSON"):
+        broker.status()
+    header = {"kind": "repro-broker-plan", "format_version": 1, "seed": 11}
+    plan_path.write_text(json.dumps(header))
+    with pytest.raises(ShardError, match="missing required field "
+                                         "'shard_count'") as excinfo:
+        broker.status()
+    assert str(plan_path) in str(excinfo.value)
+
+
+def test_malformed_lease_filename_raises_clean_shard_error(tmp_path):
+    broker = LocalDirBroker(tmp_path / "broker")
+    broker.submit(small_plan(shards=1))
+    bogus = tmp_path / "broker" / "leased" / "shard-000-of-001.json.lease.soon.w"
+    bogus.write_text("{}")
+    with pytest.raises(ShardError, match="malformed lease filename"):
+        broker.status()
+
+
+# ----------------------------------------------------------------------
+# the worker pull loop
+# ----------------------------------------------------------------------
+def test_worker_drains_queue_and_respects_max_manifests(tmp_path):
+    broker = LocalDirBroker(tmp_path / "broker")
+    broker.submit(small_plan(shards=3, trials=2))
+    first = ShardWorker(broker, ManifestExecutor(), worker_id="w0", poll=0,
+                        max_manifests=1)
+    assert len(first.run()) == 1
+    assert broker.status().done == 1
+    rest = ShardWorker(broker, ManifestExecutor(), worker_id="w1", poll=0)
+    completed = rest.run()
+    assert len(completed) == 2
+    assert broker.status().complete
+    assert {shard.manifest.shard_index for shard in completed} == {1, 2}
+
+
+def test_worker_polls_while_a_peer_holds_a_lease(tmp_path):
+    """queued=0 but leased>0: a polling worker waits (the peer may crash and
+    its lease becomes reclaimable) instead of exiting early."""
+    clock = FakeClock()
+    broker = LocalDirBroker(tmp_path / "broker", lease_ttl=10.0, clock=clock)
+    broker.submit(small_plan(shards=1))
+    assert broker.lease("peer") is not None  # peer holds the only manifest
+    sleeps = []
+
+    def fake_sleep(seconds):
+        sleeps.append(seconds)
+        clock.advance(6.0)  # two sleeps push past the 10s ttl
+
+    worker = ShardWorker(broker, ManifestExecutor(), worker_id="patient",
+                         poll=2.5, sleep=fake_sleep)
+    completed = worker.run()
+    assert len(completed) == 1  # reclaimed the peer's manifest and ran it
+    assert sleeps and all(s == 2.5 for s in sleeps)
+    assert broker.status().complete
+
+
+def test_worker_with_zero_poll_exits_when_nothing_is_leasable(tmp_path):
+    broker = LocalDirBroker(tmp_path / "broker")
+    broker.submit(small_plan(shards=1))
+    assert broker.lease("peer") is not None
+    worker = ShardWorker(broker, ManifestExecutor(), worker_id="w", poll=0)
+    assert worker.run() == []
+
+
+def test_worker_and_broker_validate_construction(tmp_path):
+    broker = LocalDirBroker(tmp_path / "broker")
+    with pytest.raises(ShardError, match="poll"):
+        ShardWorker(broker, poll=-1)
+    with pytest.raises(ShardError, match="poll"):
+        ShardWorker(broker, poll=float("nan"))  # NaN passes every < check
+    with pytest.raises(ShardError, match="poll"):
+        ShardWorker(broker, poll=float("inf"))
+    with pytest.raises(ShardError, match="max_manifests"):
+        ShardWorker(broker, max_manifests=0)
+    with pytest.raises(ShardError, match="lease_ttl"):
+        LocalDirBroker(tmp_path / "b2", lease_ttl=0)
+    with pytest.raises(ShardError, match="lease_ttl"):
+        InMemoryBroker(lease_ttl=-5)
+
+
+def test_worker_ids_are_sanitized_in_lease_filenames(tmp_path):
+    broker = LocalDirBroker(tmp_path / "broker")
+    broker.submit(small_plan(shards=1))
+    lease = broker.lease("host/with spaces:and#stuff")
+    assert lease is not None
+    assert "/" not in lease.token and " " not in lease.token
+    leased_files = list((tmp_path / "broker" / "leased").glob("*.lease.*"))
+    assert [path.name for path in leased_files] == [lease.token]
+
+
+def test_default_lease_ttl_is_generous():
+    assert DEFAULT_LEASE_TTL >= 300.0
+
+
+# ----------------------------------------------------------------------
+# ArtifactCache accounting under the worker loop
+# ----------------------------------------------------------------------
+def test_second_worker_sharing_a_cache_dir_reports_zero_misses(tmp_path):
+    """Two sequential workers (two queues, one --cache-dir): the first pays
+    every rip, the second loads everything from the shared cache."""
+    cache_dir = tmp_path / "cache"
+    first_broker = LocalDirBroker(tmp_path / "queue-1")
+    first_broker.submit(small_plan(shards=2))
+    first_executor = ManifestExecutor(cache_dir=cache_dir)
+    ShardWorker(first_broker, first_executor, worker_id="w1", poll=0).run()
+    first_stats = first_executor.cache_stats()
+    # The grid spans two apps; the first worker rips each exactly once.
+    assert first_stats["misses"] == len(TASKS)
+
+    second_broker = LocalDirBroker(tmp_path / "queue-2")
+    second_broker.submit(small_plan(shards=2))
+    second_executor = ManifestExecutor(cache_dir=cache_dir)
+    ShardWorker(second_broker, second_executor, worker_id="w2", poll=0).run()
+    second_stats = second_executor.cache_stats()
+    assert second_stats["misses"] == 0
+    assert second_stats["hits"] > 0
+    # And the cached run produced the same bytes as the cold one.
+    for ours, theirs in zip(first_broker.collect(), second_broker.collect()):
+        assert [r.as_dict() for r in ours.results] \
+            == [r.as_dict() for r in theirs.results]
+
+
+def test_cache_counters_aggregate_across_manifests_of_one_worker(tmp_path):
+    broker = LocalDirBroker(tmp_path / "queue")
+    # trials=2 makes the round-robin deal give every shard both apps.
+    broker.submit(small_plan(shards=2, trials=2))
+    executor = ManifestExecutor(cache_dir=tmp_path / "cache")
+    ShardWorker(broker, executor, worker_id="w", poll=0).run()
+    stats = executor.cache_stats()
+    # 2 shards × 2 apps = 4 artefact loads: 2 cold builds + 2 warm loads.
+    assert stats["misses"] == 2
+    assert stats["hits"] == 2
+
+
+def test_executor_without_cache_dir_reports_no_stats():
+    assert ManifestExecutor().cache_stats() is None
