@@ -35,11 +35,18 @@ from repro.bench.shard import (
     plan_shards,
     shard_file_name,
 )
+from repro.bench.store import (
+    FileSystemObjectStore,
+    InMemoryObjectStore,
+    ObjectStore,
+)
 from repro.bench.transport import (
     DEFAULT_LEASE_TTL,
     BrokerStatus,
     InMemoryBroker,
+    LeaseHeartbeat,
     LocalDirBroker,
+    ObjectStoreBroker,
     ShardBroker,
     ShardLease,
     ShardWorker,
@@ -62,11 +69,16 @@ __all__ = [
     "DEFAULT_SEED",
     "EvaluationSetting",
     "Executor",
+    "FileSystemObjectStore",
     "InMemoryBroker",
+    "InMemoryObjectStore",
+    "LeaseHeartbeat",
     "LocalDirBroker",
     "MANIFEST_FORMAT_VERSION",
     "ManifestExecutor",
     "MetricSummary",
+    "ObjectStore",
+    "ObjectStoreBroker",
     "ParallelExecutor",
     "ProgressEvent",
     "RunOutcome",

@@ -120,6 +120,18 @@ def _load_json(path: Union[str, Path], source: str) -> Dict[str, object]:
     return payload
 
 
+def _parse_json_bytes(data: bytes, source: str) -> Dict[str, object]:
+    """Like :func:`_load_json` for payloads that never touched a file
+    (object-store values); ``source`` should name the store and key."""
+    try:
+        payload = json.loads(data.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ShardError(f"{source}: is not valid JSON: {error}") from error
+    if not isinstance(payload, dict):
+        raise ShardError(f"{source}: does not contain a JSON object")
+    return payload
+
+
 @dataclass(frozen=True)
 class ShardManifest:
     """One shard's work order: a spec batch plus the plan's identity.

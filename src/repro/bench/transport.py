@@ -22,8 +22,21 @@ broker
     directory using only atomic renames, so any number of workers on any
     number of machines can race for leases without locks; leases expire
     after ``lease_ttl`` seconds and are reclaimed, so a crashed worker's
-    manifest is re-run by a peer.  :class:`InMemoryBroker` implements the
-    same contract in-process for tests.
+    manifest is re-run by a peer.  :class:`ObjectStoreBroker` implements the
+    same contract over any :class:`~repro.bench.store.ObjectStore` (S3-style
+    conditional writes; leases are small compare-and-swap'd objects instead
+    of renamed files), making the queue deployable against cloud storage.
+    :class:`InMemoryBroker` implements the contract in-process for tests.
+
+Leases are kept alive by *heartbeats*: :meth:`ShardBroker.renew` extends a
+lease the caller still holds (and reports loss if it was reclaimed), and
+:class:`ShardWorker` runs a background :class:`LeaseHeartbeat` thread per
+manifest (interval ``lease_ttl / 3`` by default), so a manifest that takes
+longer than ``lease_ttl`` finishes without being reclaimed — ``lease_ttl``
+can stay sized for crash *detection* instead of worst-case runtime.  A
+worker whose heartbeat discovers the lease was reclaimed abandons the
+manifest without posting; the peer that reclaimed it reproduces the same
+bytes.
 
 Because every trial is deterministically seeded, re-running a reclaimed
 manifest (or double-posting one) reproduces the same
@@ -40,9 +53,10 @@ import math
 import os
 import re
 import socket
+import threading
 import time
 from abc import ABC, abstractmethod
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Tuple, Union
 
@@ -56,6 +70,7 @@ from repro.bench.shard import (
     ShardResults,
     _check_header,
     _load_json,
+    _parse_json_bytes,
     _require,
     _require_int,
     _require_str,
@@ -64,10 +79,16 @@ from repro.bench.shard import (
     shard_file_name,
 )
 from repro.bench.engine import ProgressCallback
+from repro.bench.store import ObjectStore
 
 #: Seconds a lease stays valid before any worker may reclaim the manifest.
-#: Generous by default: reclaim exists for crashed workers, not slow ones.
+#: Generous by default: reclaim exists for crashed workers, not slow ones
+#: (and heartbeats keep live leases fresh regardless of manifest runtime).
 DEFAULT_LEASE_TTL = 900.0
+
+#: Fraction of ``lease_ttl`` between heartbeat renewals when no explicit
+#: interval is configured: three chances to renew before the lease expires.
+DEFAULT_HEARTBEAT_FRACTION = 3.0
 
 _PLAN_KIND = "repro-broker-plan"
 
@@ -84,6 +105,29 @@ _IDENTITY_PARSERS: Dict[str, Callable] = {
 }
 
 Clock = Callable[[], float]
+
+
+def _plan_header_payload(plan: ShardPlan) -> Dict[str, object]:
+    """The submitted plan's identity header, shared by all broker backends."""
+    header: Dict[str, object] = {
+        "kind": _PLAN_KIND,
+        "format_version": MANIFEST_FORMAT_VERSION,
+    }
+    # Derived from the identity tuple itself so the header can never drift
+    # from plan_identity()'s field set.
+    for label, value in zip(PLAN_IDENTITY_LABELS,
+                            plan.manifests[0].plan_identity()):
+        header[label] = list(value) if isinstance(value, tuple) else value
+    return header
+
+
+def _parse_plan_header(payload: Dict[str, object],
+                       source: str) -> Tuple[object, ...]:
+    """Validate a plan header payload into a ``plan_identity()`` tuple."""
+    _check_header(payload, _PLAN_KIND, source)
+    return tuple(_IDENTITY_PARSERS.get(label, _require)(payload, label,
+                                                        source)
+                 for label in PLAN_IDENTITY_LABELS)
 
 
 def _check_posted_results(reference: Tuple[object, ...],
@@ -158,6 +202,17 @@ class ShardBroker(ABC):
         """
 
     @abstractmethod
+    def renew(self, lease: ShardLease) -> Optional[ShardLease]:
+        """Extend a still-held lease by ``lease_ttl`` from now.
+
+        Returns the refreshed :class:`ShardLease` (post with *that* handle
+        from then on), or ``None`` if the lease is no longer held — it
+        expired and was reclaimed, or its shard is already done.  A ``None``
+        tells the worker to abandon the manifest: a peer owns it now and
+        will reproduce the same bytes.
+        """
+
+    @abstractmethod
     def post(self, lease: ShardLease, results: ShardResults) -> bool:
         """Post one shard's results; returns ``False`` on a duplicate post."""
 
@@ -175,7 +230,11 @@ class ShardBroker(ABC):
 
 
 class InMemoryBroker(ShardBroker):
-    """The queue contract over plain dicts, for tests and single-process use."""
+    """The queue contract over plain dicts, for tests and single-process use.
+
+    A lock serializes every operation: the worker's heartbeat thread renews
+    leases concurrently with the main thread's lease/post calls.
+    """
 
     def __init__(self, lease_ttl: float = DEFAULT_LEASE_TTL,
                  clock: Clock = time.monotonic) -> None:
@@ -183,8 +242,10 @@ class InMemoryBroker(ShardBroker):
             raise ShardError(f"lease_ttl must be > 0, got {lease_ttl}")
         self.lease_ttl = lease_ttl
         self._clock = clock
+        self._lock = threading.Lock()
         self._identity: Optional[Tuple[object, ...]] = None
         self._shard_count = 0
+        self._grants = 0
         self._queued: Dict[int, ShardManifest] = {}
         self._leases: Dict[int, ShardLease] = {}
         self._done: Dict[int, ShardResults] = {}
@@ -201,49 +262,71 @@ class InMemoryBroker(ShardBroker):
                 self._queued[index] = lease.manifest
 
     def submit(self, plan: ShardPlan) -> None:
-        if self._identity is not None:
-            raise ShardError("broker already holds a plan; use one broker "
-                             "per plan")
-        self._identity = plan.manifests[0].plan_identity()
-        self._shard_count = plan.shard_count
-        self._queued = {m.shard_index: m for m in plan.manifests}
+        with self._lock:
+            if self._identity is not None:
+                raise ShardError("broker already holds a plan; use one "
+                                 "broker per plan")
+            self._identity = plan.manifests[0].plan_identity()
+            self._shard_count = plan.shard_count
+            self._queued = {m.shard_index: m for m in plan.manifests}
 
     def lease(self, worker_id: str) -> Optional[ShardLease]:
-        self._require_plan()
-        self._reclaim_expired()
-        if not self._queued:
-            return None
-        index = min(self._queued)
-        manifest = self._queued.pop(index)
-        lease = ShardLease(manifest=manifest, worker_id=worker_id,
-                           deadline=self._clock() + self.lease_ttl,
-                           token=str(index))
-        self._leases[index] = lease
-        return lease
+        with self._lock:
+            self._require_plan()
+            self._reclaim_expired()
+            if not self._queued:
+                return None
+            index = min(self._queued)
+            manifest = self._queued.pop(index)
+            # The grant number makes every lease token unique, so a renew
+            # by the original holder after reclaim + re-lease cannot pass
+            # for the new holder's renewal.
+            self._grants += 1
+            lease = ShardLease(manifest=manifest, worker_id=worker_id,
+                               deadline=self._clock() + self.lease_ttl,
+                               token=f"{index}:{self._grants}")
+            self._leases[index] = lease
+            return lease
+
+    def renew(self, lease: ShardLease) -> Optional[ShardLease]:
+        with self._lock:
+            self._require_plan()
+            index = lease.manifest.shard_index
+            current = self._leases.get(index)
+            if current is None or current.token != lease.token:
+                return None  # expired + reclaimed, or already posted
+            refreshed = replace(current,
+                                deadline=self._clock() + self.lease_ttl)
+            self._leases[index] = refreshed
+            return refreshed
 
     def post(self, lease: ShardLease, results: ShardResults) -> bool:
-        self._require_plan()
-        assert self._identity is not None
-        index = results.manifest.shard_index
-        _check_posted_results(self._identity, results,
-                              source="posted results")
-        self._leases.pop(index, None)
-        self._queued.pop(index, None)
-        if index in self._done:
-            return False
-        self._done[index] = results
-        return True
+        with self._lock:
+            self._require_plan()
+            assert self._identity is not None
+            index = results.manifest.shard_index
+            _check_posted_results(self._identity, results,
+                                  source="posted results")
+            self._leases.pop(index, None)
+            self._queued.pop(index, None)
+            if index in self._done:
+                return False
+            self._done[index] = results
+            return True
 
     def collect(self) -> List[ShardResults]:
-        self._require_plan()
-        return [self._done[index] for index in sorted(self._done)]
+        with self._lock:
+            self._require_plan()
+            return [self._done[index] for index in sorted(self._done)]
 
     def status(self) -> BrokerStatus:
-        self._require_plan()
-        self._reclaim_expired()
-        return BrokerStatus(queued=len(self._queued), leased=len(self._leases),
-                            done=len(self._done),
-                            shard_count=self._shard_count)
+        with self._lock:
+            self._require_plan()
+            self._reclaim_expired()
+            return BrokerStatus(queued=len(self._queued),
+                                leased=len(self._leases),
+                                done=len(self._done),
+                                shard_count=self._shard_count)
 
 
 def _sanitize_worker_id(worker_id: str) -> str:
@@ -318,12 +401,8 @@ class LocalDirBroker(ShardBroker):
             raise ShardError(
                 f"{self.root}: no plan has been submitted to this broker "
                 "directory (run 'repro shard submit' first)")
-        source = str(self._plan_path)
         payload = _load_json(self._plan_path, "broker plan")
-        _check_header(payload, _PLAN_KIND, source)
-        return tuple(_IDENTITY_PARSERS.get(label, _require)(payload, label,
-                                                            source)
-                     for label in PLAN_IDENTITY_LABELS)
+        return _parse_plan_header(payload, str(self._plan_path))
 
     # ------------------------------------------------------------------
     # the queue contract
@@ -337,20 +416,12 @@ class LocalDirBroker(ShardBroker):
         for directory in (self.root, self._queued_dir, self._leased_dir,
                           self._done_dir):
             directory.mkdir(parents=True, exist_ok=True)
-        reference = plan.manifests[0]
-        header: Dict[str, object] = {
-            "kind": _PLAN_KIND,
-            "format_version": MANIFEST_FORMAT_VERSION,
-        }
-        # Derived from the identity tuple itself so the header can never
-        # drift from plan_identity()'s field set.
-        for label, value in zip(PLAN_IDENTITY_LABELS,
-                                reference.plan_identity()):
-            header[label] = list(value) if isinstance(value, tuple) else value
         # Header first: a directory with a header but no manifests reads as
         # a plan being enqueued; manifests without a header would read as
         # corruption.
-        self._atomic_write_json(self._plan_path, json.dumps(header, indent=1))
+        self._atomic_write_json(self._plan_path,
+                                json.dumps(_plan_header_payload(plan),
+                                           indent=1))
         for manifest in plan.manifests:
             name = plan.manifest_name(manifest.shard_index)
             self._atomic_write_json(self._queued_dir / name,
@@ -377,6 +448,11 @@ class LocalDirBroker(ShardBroker):
         self._reclaim_expired()
         worker = _sanitize_worker_id(worker_id)
         for path in sorted(self._queued_dir.glob("shard-*.json")):
+            if (self._done_dir / path.name).exists():
+                # A straggler already posted this shard (its stale queued
+                # copy survived a reclaim); don't pointlessly re-run it.
+                path.unlink(missing_ok=True)
+                continue
             deadline = self._clock() + self.lease_ttl
             target = self._leased_dir / (
                 f"{path.name}.lease.{int(deadline * 1000)}.{worker}")
@@ -388,6 +464,24 @@ class LocalDirBroker(ShardBroker):
             return ShardLease(manifest=manifest, worker_id=worker_id,
                               deadline=deadline, token=target.name)
         return None
+
+    def renew(self, lease: ShardLease) -> Optional[ShardLease]:
+        # No _identity() re-read here: a ShardLease proves the plan was
+        # already validated, and renew is the heartbeat hot path.
+        held = self._leased_dir / lease.token
+        name, _, rest = lease.token.partition(".lease.")
+        _deadline_text, _, worker = rest.partition(".")
+        deadline = self._clock() + self.lease_ttl
+        target = self._leased_dir / (
+            f"{name}.lease.{int(deadline * 1000)}.{worker}")
+        try:
+            held.rename(target)
+        except FileNotFoundError:
+            # The lease file is gone: reclaimed (now queued or re-leased
+            # under a new name) or already posted.  Either way it is no
+            # longer ours to extend.
+            return None
+        return replace(lease, deadline=deadline, token=target.name)
 
     def post(self, lease: ShardLease, results: ShardResults) -> bool:
         reference = self._identity()
@@ -437,6 +531,231 @@ class LocalDirBroker(ShardBroker):
                             done=len(done_names), shard_count=int(identity[0]))
 
 
+class ObjectStoreBroker(ShardBroker):
+    """The queue contract over an :class:`~repro.bench.store.ObjectStore`.
+
+    Keys under the store::
+
+        plan.json                   the plan's identity header
+                                    (``put_if_absent`` once by submit)
+        manifest/<shard-name>       one immutable manifest JSON per shard
+        lease/<shard-name>          one small mutable lease object per
+                                    shard; every state transition is a
+                                    compare-and-swap
+        result/<shard-name>         posted ShardResults
+                                    (``put_if_absent``: first write wins)
+
+    A lease object is ``{"state": "queued"}``, ``{"state": "leased",
+    "worker": …, "deadline_ms": …, "grant": …}`` or ``{"state": "done",
+    …}``.  Leasing (including reclaiming an expired lease) is one CAS from
+    the observed etag, so any number of workers race safely: exactly one
+    swap wins, the losers observe a changed etag and move on.  ``grant``
+    increments on every (re)lease and is embedded in the lease token, so a
+    stale holder's :meth:`renew` can never pass for the current holder's.
+
+    The set of ``result/`` keys is authoritative for doneness (the
+    post-time CAS that flips the lease object to ``done`` is best-effort);
+    like :class:`LocalDirBroker`, lease deadlines are wall-clock timestamps
+    compared across machines, so keep worker clocks NTP-synced or size
+    ``lease_ttl`` above the worst expected skew.
+    """
+
+    PLAN_KEY = "plan.json"
+    MANIFEST_PREFIX = "manifest/"
+    LEASE_PREFIX = "lease/"
+    RESULT_PREFIX = "result/"
+    _LEASE_STATES = ("queued", "leased", "done")
+
+    def __init__(self, store: ObjectStore,
+                 lease_ttl: float = DEFAULT_LEASE_TTL,
+                 clock: Clock = time.time) -> None:
+        if lease_ttl <= 0:
+            raise ShardError(f"lease_ttl must be > 0, got {lease_ttl}")
+        self.store = store
+        self.lease_ttl = lease_ttl
+        self._clock = clock
+
+    # ------------------------------------------------------------------
+    # store plumbing
+    # ------------------------------------------------------------------
+    def _source(self, key: str) -> str:
+        return f"{self.store.describe()}: object {key!r}"
+
+    def _get_json(self, key: str) -> Optional[Tuple[Dict[str, object], str]]:
+        stored = self.store.get(key)
+        if stored is None:
+            return None
+        data, etag = stored
+        return _parse_json_bytes(data, self._source(key)), etag
+
+    @staticmethod
+    def _dump(payload: Dict[str, object]) -> bytes:
+        return json.dumps(payload, indent=1).encode("utf-8")
+
+    def _identity(self) -> Tuple[object, ...]:
+        found = self._get_json(self.PLAN_KEY)
+        if found is None:
+            raise ShardError(
+                f"{self.store.describe()}: no plan has been submitted to "
+                "this object store (run 'repro shard submit' first)")
+        return _parse_plan_header(found[0], self._source(self.PLAN_KEY))
+
+    def _parse_lease_object(self, key: str,
+                            payload: Dict[str, object]) -> str:
+        state = _require_str(payload, "state", self._source(key))
+        if state not in self._LEASE_STATES:
+            raise ShardError(f"{self._source(key)}: field 'state' is "
+                             f"{state!r}; expected one of "
+                             f"{', '.join(map(repr, self._LEASE_STATES))}")
+        return state
+
+    def _load_manifest(self, name: str) -> ShardManifest:
+        key = self.MANIFEST_PREFIX + name
+        found = self._get_json(key)
+        if found is None:
+            raise ShardError(f"{self._source(key)}: missing manifest object "
+                             "for an enqueued shard")
+        return ShardManifest.from_dict(found[0], source=self._source(key))
+
+    # ------------------------------------------------------------------
+    # the queue contract
+    # ------------------------------------------------------------------
+    def submit(self, plan: ShardPlan) -> None:
+        header = self._dump(_plan_header_payload(plan))
+        # Header first (exactly one submitter can create it), mirroring
+        # LocalDirBroker: a plan object with manifests still appearing
+        # reads as a plan being enqueued.
+        if not self.store.put_if_absent(self.PLAN_KEY, header):
+            raise ShardError(
+                f"{self.store.describe()}: object store already holds a "
+                "plan (one store per plan; collect it or submit to a fresh "
+                "store)")
+        for manifest in plan.manifests:
+            name = plan.manifest_name(manifest.shard_index)
+            self.store.put_if_absent(self.MANIFEST_PREFIX + name,
+                                     self._dump(manifest.as_dict()))
+            self.store.put_if_absent(self.LEASE_PREFIX + name,
+                                     self._dump({"state": "queued"}))
+
+    def _done_names(self) -> set:
+        return {key[len(self.RESULT_PREFIX):]
+                for key in self.store.list_prefix(self.RESULT_PREFIX)}
+
+    def lease(self, worker_id: str) -> Optional[ShardLease]:
+        self._identity()
+        done = self._done_names()
+        now_ms = int(self._clock() * 1000)
+        for key in self.store.list_prefix(self.LEASE_PREFIX):
+            name = key[len(self.LEASE_PREFIX):]
+            if name in done:
+                continue
+            found = self._get_json(key)
+            if found is None:
+                continue  # deleted under us; nothing to take
+            payload, etag = found
+            state = self._parse_lease_object(key, payload)
+            if state == "done":
+                continue
+            if state == "leased":
+                deadline_ms = _require_int(payload, "deadline_ms",
+                                           self._source(key))
+                if now_ms < deadline_ms:
+                    continue  # a live peer holds it
+                # else: expired — reclaim by CAS'ing it straight to ours.
+            grant = (_require_int(payload, "grant", self._source(key)) + 1
+                     if "grant" in payload else 1)
+            deadline = self._clock() + self.lease_ttl
+            claim = {"state": "leased", "worker": worker_id,
+                     "deadline_ms": int(deadline * 1000), "grant": grant}
+            if not self.store.put_if_match(key, self._dump(claim), etag):
+                continue  # another worker swapped first; next shard
+            return ShardLease(manifest=self._load_manifest(name),
+                              worker_id=worker_id, deadline=deadline,
+                              token=f"{name}:{grant}")
+        return None
+
+    def renew(self, lease: ShardLease) -> Optional[ShardLease]:
+        # No _identity() re-read here: a ShardLease proves the plan was
+        # already validated, and renew is the heartbeat hot path — one CAS
+        # per tick, not an extra plan GET per tick.
+        name, _, grant_text = lease.token.rpartition(":")
+        key = self.LEASE_PREFIX + name
+        found = self._get_json(key)
+        if found is None:
+            return None
+        payload, etag = found
+        state = self._parse_lease_object(key, payload)
+        if state != "leased" or payload.get("grant") != int(grant_text):
+            return None  # reclaimed (new grant) or already done
+        deadline = self._clock() + self.lease_ttl
+        renewed = dict(payload, deadline_ms=int(deadline * 1000))
+        if not self.store.put_if_match(key, self._dump(renewed), etag):
+            return None  # lost a race with a reclaimer: the lease is gone
+        return replace(lease, deadline=deadline)
+
+    def post(self, lease: ShardLease, results: ShardResults) -> bool:
+        reference = self._identity()
+        manifest = results.manifest
+        _check_posted_results(
+            reference, results,
+            source=f"{self.store.describe()}: posted results")
+        name = shard_file_name(manifest.shard_index, manifest.shard_count)
+        first_post = self.store.put_if_absent(
+            self.RESULT_PREFIX + name, self._dump(results.as_dict()))
+        # Flip the lease object to done so nobody re-leases the shard.
+        # Best-effort: result/ presence is what status/collect trust, so a
+        # lost CAS race here costs at most one wasted re-run.
+        key = self.LEASE_PREFIX + name
+        for _ in range(8):
+            found = self._get_json(key)
+            if found is None:
+                break
+            payload, etag = found
+            if self._parse_lease_object(key, payload) == "done":
+                break
+            done = {"state": "done", "worker": lease.worker_id,
+                    "grant": payload.get("grant", 0)}
+            if self.store.put_if_match(key, self._dump(done), etag):
+                break
+        return first_post
+
+    def collect(self) -> List[ShardResults]:
+        self._identity()
+        collected = []
+        for key in self.store.list_prefix(self.RESULT_PREFIX):
+            found = self._get_json(key)
+            if found is None:
+                continue  # deleted mid-listing
+            collected.append(ShardResults.from_dict(
+                found[0], source=self._source(key)))
+        return collected
+
+    def status(self) -> BrokerStatus:
+        identity = self._identity()
+        done = self._done_names()
+        now_ms = int(self._clock() * 1000)
+        queued = leased = 0
+        for key in self.store.list_prefix(self.LEASE_PREFIX):
+            if key[len(self.LEASE_PREFIX):] in done:
+                continue
+            found = self._get_json(key)
+            if found is None:
+                continue
+            payload, _etag = found
+            state = self._parse_lease_object(key, payload)
+            if state == "queued":
+                queued += 1
+            elif state == "leased":
+                deadline_ms = _require_int(payload, "deadline_ms",
+                                           self._source(key))
+                if now_ms >= deadline_ms:
+                    queued += 1  # expired: reclaimable, i.e. leasable
+                else:
+                    leased += 1
+        return BrokerStatus(queued=queued, leased=leased, done=len(done),
+                            shard_count=int(identity[0]))
+
+
 # ----------------------------------------------------------------------
 # the worker pull loop
 # ----------------------------------------------------------------------
@@ -444,37 +763,148 @@ class LocalDirBroker(ShardBroker):
 #: fresh queue snapshot (drives the CLI's per-manifest status lines).
 ManifestCallback = Callable[[ShardLease, ShardResults, BrokerStatus], None]
 
+#: Called after each heartbeat renewal attempt with the lease and whether
+#: the renewal succeeded (``False`` means the lease was lost — the worker
+#: will abandon the manifest).  Runs on the heartbeat thread.
+RenewCallback = Callable[[ShardLease, bool], None]
+
+
+class LeaseHeartbeat:
+    """Background renewal of one held lease, every ``interval`` seconds.
+
+    Start it right after leasing, stop it right after the manifest run
+    (before posting).  :attr:`lease` is the freshest handle — post with it,
+    since some brokers re-token the lease on every renewal.  If a renewal
+    reports the lease lost (reclaimed by a peer, or a broker error mid
+    renew), :attr:`lost` latches ``True`` and the thread exits; the worker
+    must then abandon the manifest instead of posting.
+    """
+
+    def __init__(self, broker: ShardBroker, lease: ShardLease,
+                 interval: float,
+                 on_renew: Optional[RenewCallback] = None) -> None:
+        if not math.isfinite(interval) or interval <= 0:
+            raise ShardError(f"heartbeat interval must be a finite number "
+                             f"> 0, got {interval}")
+        self.broker = broker
+        self.interval = interval
+        self.on_renew = on_renew
+        self._lease = lease
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._lost = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, daemon=True,
+            name=f"lease-heartbeat-{lease.manifest.shard_index}")
+
+    @property
+    def lease(self) -> ShardLease:
+        with self._lock:
+            return self._lease
+
+    @property
+    def lost(self) -> bool:
+        return self._lost.is_set()
+
+    def start(self) -> "LeaseHeartbeat":
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        self._thread.join()
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval):
+            try:
+                renewed = self.broker.renew(self.lease)
+            except (ShardError, OSError):
+                # Transient broker trouble (a storage blip mid-renew) is
+                # not proof the lease is gone: the ttl/3 cadence leaves
+                # further chances before expiry, and a lease that really
+                # was reclaimed shows up as renew() -> None next tick.
+                continue
+            if renewed is None:
+                self._lost.set()
+                self._notify(self.lease, False)
+                return
+            with self._lock:
+                self._lease = renewed
+            self._notify(renewed, True)
+
+    def _notify(self, lease: ShardLease, renewed: bool) -> None:
+        if self.on_renew is None:
+            return
+        try:
+            self.on_renew(lease, renewed)
+        except Exception:
+            # A broken observer (e.g. a closed stderr pipe) must not kill
+            # the renewal thread — the lease staying alive is the point.
+            pass
+
 
 class ShardWorker:
-    """Pull loop: lease → execute → post, until the queue drains.
+    """Pull loop: lease → heartbeat + execute → post, until the queue drains.
 
     ``poll`` is the sleep between queue checks while other workers still
     hold leases (their lease may expire and become ours to reclaim); with
     ``poll=0`` the worker exits as soon as nothing is leasable.
     ``max_manifests`` caps how many manifests this worker will execute.
+
+    ``heartbeat`` is the seconds between background lease renewals while a
+    manifest runs: ``None`` (the default) derives ``lease_ttl / 3`` from
+    the broker, ``0`` disables heartbeats (the PR-3 behaviour: the lease
+    must outlive the manifest on its own).  A heartbeat that discovers its
+    lease was reclaimed makes the worker *abandon* the manifest — results
+    are discarded unposted, since the reclaiming peer reproduces the same
+    bytes — and move on to the next lease.  ``on_renew`` observes every
+    renewal (note it fires on the heartbeat thread).
     """
 
     def __init__(self, broker: ShardBroker,
                  executor: Optional[ManifestExecutor] = None,
                  worker_id: Optional[str] = None, poll: float = 1.0,
                  max_manifests: Optional[int] = None,
+                 heartbeat: Optional[float] = None,
+                 on_renew: Optional[RenewCallback] = None,
                  sleep: Callable[[float], None] = time.sleep) -> None:
         if not math.isfinite(poll) or poll < 0:
             raise ShardError(f"poll must be a finite number >= 0, got {poll}")
         if max_manifests is not None and max_manifests < 1:
             raise ShardError(f"max_manifests must be >= 1, got {max_manifests}")
+        lease_ttl = getattr(broker, "lease_ttl", None)
+        if heartbeat is None:
+            heartbeat = (lease_ttl / DEFAULT_HEARTBEAT_FRACTION
+                         if lease_ttl else 0.0)
+        if not math.isfinite(heartbeat) or heartbeat < 0:
+            raise ShardError(f"heartbeat must be a finite number >= 0, "
+                             f"got {heartbeat}")
+        if heartbeat and lease_ttl is not None and heartbeat >= lease_ttl:
+            raise ShardError(
+                f"heartbeat ({heartbeat}) must be shorter than the broker's "
+                f"lease_ttl ({lease_ttl}), or the lease can expire between "
+                "renewals")
         self.broker = broker
         self.executor = executor or ManifestExecutor()
         self.worker_id = worker_id or f"{socket.gethostname()}-{os.getpid()}"
         self.poll = poll
         self.max_manifests = max_manifests
+        self.heartbeat = heartbeat
+        self.on_renew = on_renew
+        #: Manifests whose lease was lost mid-run and were dropped unposted.
+        self.abandoned = 0
         self._sleep = sleep
 
     def run(self, progress: Optional[ProgressCallback] = None,
             on_manifest: Optional[ManifestCallback] = None) -> List[ShardResults]:
-        """Drain the queue; returns the results this worker posted."""
+        """Drain the queue; returns the results this worker posted.
+
+        ``max_manifests`` counts *executions* (posted or abandoned), so the
+        cap bounds this worker's compute even under lease churn.
+        """
         completed: List[ShardResults] = []
-        while self.max_manifests is None or len(completed) < self.max_manifests:
+        executed = 0
+        while self.max_manifests is None or executed < self.max_manifests:
             lease = self.broker.lease(self.worker_id)
             if lease is None:
                 snapshot = self.broker.status()
@@ -484,7 +914,23 @@ class ShardWorker:
                     break  # drained (or not polling for reclaims)
                 self._sleep(self.poll)
                 continue
-            results = self.executor.run(lease.manifest, progress=progress)
+            beat = None
+            if self.heartbeat > 0:
+                beat = LeaseHeartbeat(self.broker, lease, self.heartbeat,
+                                      on_renew=self.on_renew).start()
+            try:
+                results = self.executor.run(lease.manifest, progress=progress)
+            finally:
+                if beat is not None:
+                    beat.stop()
+            executed += 1
+            if beat is not None:
+                if beat.lost:
+                    # Reclaimed out from under us: a peer owns the shard
+                    # and will post identical bytes.  Drop ours unposted.
+                    self.abandoned += 1
+                    continue
+                lease = beat.lease  # renewals may have re-tokened it
             self.broker.post(lease, results)
             completed.append(results)
             if on_manifest is not None:

@@ -24,16 +24,25 @@ Five subcommands cover the common workflows without writing any code:
     the same output a single-machine ``run`` would have produced.
 
     Instead of hand-carrying manifest and results files, the same grid can
-    flow through a broker work queue (a shared/NFS directory with
-    atomic-rename leases): ``shard submit --broker DIR --shards N`` plans
-    the grid and enqueues the manifests; ``shard work --broker DIR``
-    (run on any number of machines) leases manifests, executes them with
-    the ordinary engine stack and posts results until the queue drains
-    (``--poll SECS`` waits on in-flight peers whose lease might expire;
-    ``--max-manifests N`` caps one worker's share); ``shard collect
-    --broker DIR`` merges the posted results with the same plan-identity
-    validation as ``shard merge`` — the collected output is bit-identical
-    to a single-machine serial run for the same seed.
+    flow through a broker work queue: ``shard submit … --shards N`` plans
+    the grid and enqueues the manifests; ``shard work …`` (run on any
+    number of machines) leases manifests, executes them with the ordinary
+    engine stack and posts results until the queue drains (``--poll SECS``
+    waits on in-flight peers whose lease might expire; ``--max-manifests
+    N`` caps one worker's share); ``shard collect …`` merges the posted
+    results with the same plan-identity validation as ``shard merge`` —
+    the collected output is bit-identical to a single-machine serial run
+    for the same seed.
+
+    Two broker backends, chosen per command: ``--broker DIR`` is a
+    shared/NFS directory with atomic-rename leases; ``--store DIR`` is an
+    object-store broker over a directory emulating S3-style conditional
+    writes (compare-and-swap lease objects — the deployable layout for any
+    store with ``If-None-Match``/``If-Match`` semantics).  Leases expire
+    after ``--lease-ttl SECS`` (default 900) so crashed workers are
+    reclaimed; live workers renew their lease in the background every
+    ``--heartbeat SECS`` (default ``lease_ttl/3``; ``0`` disables), so
+    manifests may run arbitrarily long without an oversized TTL.
 ``tasks``
     List the benchmark task suite.
 
@@ -75,6 +84,11 @@ Examples::
         --cache-dir .dmi-cache          # on every worker machine
     python -m repro shard collect --broker /mnt/queue --poll 5 --progress \\
         --report --export merged.json
+    python -m repro shard submit --store /mnt/objstore --shards 8
+    python -m repro shard work --store /mnt/objstore --lease-ttl 120 \\
+        --heartbeat 30 --jobs 4         # object-store broker + heartbeats
+    python -m repro shard collect --store /mnt/objstore --poll 5 \\
+        --export merged.json
 """
 
 from __future__ import annotations
@@ -98,9 +112,13 @@ from repro.bench.shard import (
     ShardResults,
     merge_shard_results,
 )
+from repro.bench.store import FileSystemObjectStore
 from repro.bench.transport import (
+    DEFAULT_LEASE_TTL,
     BrokerStatus,
     LocalDirBroker,
+    ObjectStoreBroker,
+    ShardBroker,
     ShardLease,
     ShardWorker,
 )
@@ -145,6 +163,13 @@ def build_parser() -> argparse.ArgumentParser:
         # but blows up time.sleep later.
         if not math.isfinite(value) or value < 0:
             raise argparse.ArgumentTypeError(f"must be a finite number >= 0, "
+                                             f"got {value}")
+        return value
+
+    def positive_float(text: str) -> float:
+        value = float(text)
+        if not math.isfinite(value) or value <= 0:
+            raise argparse.ArgumentTypeError(f"must be a finite number > 0, "
                                              f"got {value}")
         return value
 
@@ -216,10 +241,24 @@ def build_parser() -> argparse.ArgumentParser:
     shard_merge.add_argument("--export", metavar="FILE", default=None,
                              help="write merged results and summaries to a JSON file")
 
+    def add_queue_flags(sub: argparse.ArgumentParser) -> None:
+        """The broker-selection flags shared by submit/work/collect."""
+        backend = sub.add_mutually_exclusive_group(required=True)
+        backend.add_argument("--broker", metavar="DIR",
+                             help="directory broker queue (shared/NFS, "
+                                  "atomic-rename leases)")
+        backend.add_argument("--store", metavar="DIR",
+                             help="object-store broker (a directory with "
+                                  "S3-style conditional-write semantics, "
+                                  "compare-and-swap leases)")
+        sub.add_argument("--lease-ttl", type=positive_float,
+                         default=DEFAULT_LEASE_TTL, metavar="SECS",
+                         help="seconds before an unrenewed lease may be "
+                              "reclaimed (default: %(default)s)")
+
     shard_submit = shard_sub.add_parser(
         "submit", help="plan the grid and enqueue its manifests on a broker")
-    shard_submit.add_argument("--broker", metavar="DIR", required=True,
-                              help="broker queue directory (shared/NFS)")
+    add_queue_flags(shard_submit)
     shard_submit.add_argument("--shards", type=positive_int, required=True,
                               help="number of manifests to enqueue")
     shard_submit.add_argument("--settings", nargs="+",
@@ -230,8 +269,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     shard_work = shard_sub.add_parser(
         "work", help="lease and execute broker manifests until the queue drains")
-    shard_work.add_argument("--broker", metavar="DIR", required=True,
-                            help="broker queue directory (shared/NFS)")
+    add_queue_flags(shard_work)
+    shard_work.add_argument("--heartbeat", type=nonnegative_float,
+                            default=None, metavar="SECS",
+                            help="seconds between background lease renewals "
+                                 "while a manifest runs (default: "
+                                 "lease_ttl/3; 0 disables heartbeats)")
     shard_work.add_argument("--poll", type=nonnegative_float, default=1.0,
                             help="seconds between queue checks while peers "
                                  "hold leases (0 = exit when nothing is "
@@ -249,8 +292,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     shard_collect = shard_sub.add_parser(
         "collect", help="merge a broker's posted results into one report")
-    shard_collect.add_argument("--broker", metavar="DIR", required=True,
-                               help="broker queue directory (shared/NFS)")
+    add_queue_flags(shard_collect)
     shard_collect.add_argument("--poll", type=nonnegative_float, default=0.0,
                                help="wait for the queue to complete, checking "
                                     "every SECS seconds (0 = fail if "
@@ -500,30 +542,57 @@ def command_shard_merge(args) -> int:
 # ----------------------------------------------------------------------
 # shard submit / work / collect (the broker queue)
 # ----------------------------------------------------------------------
+def _queue_location(args) -> str:
+    """The broker's location for messages: whichever backend was chosen."""
+    return args.broker if args.broker is not None else args.store
+
+
+def _cli_broker(args) -> ShardBroker:
+    """The broker selected by --broker (directory) or --store (object
+    store); argparse guarantees exactly one was given."""
+    if args.store is not None:
+        return ObjectStoreBroker(FileSystemObjectStore(args.store),
+                                 lease_ttl=args.lease_ttl)
+    return LocalDirBroker(args.broker, lease_ttl=args.lease_ttl)
+
+
+def _check_heartbeat(args) -> None:
+    # Cross-flag validation argparse cannot express: a heartbeat interval
+    # at or above the TTL cannot keep a lease alive.
+    if getattr(args, "heartbeat", None) is not None \
+            and args.heartbeat != 0 and args.heartbeat >= args.lease_ttl:
+        raise SystemExit(
+            f"repro: --heartbeat ({args.heartbeat}) must be shorter than "
+            f"--lease-ttl ({args.lease_ttl}); use a fraction of the TTL "
+            "(default: lease_ttl/3) or 0 to disable heartbeats")
+
+
 def command_shard_submit(args) -> int:
     runner = BenchmarkRunner(BenchmarkConfig(trials=args.trials, seed=args.seed,
                                              tasks=_resolve_tasks(args.tasks)))
     try:
         plan = runner.shard_plan([setting_by_key(key) for key in args.settings],
                                  args.shards)
-        broker = LocalDirBroker(args.broker)
+        broker = _cli_broker(args)
         broker.submit(plan)
     except ShardError as error:
         raise SystemExit(f"repro: {error}")
     except OSError as error:
-        raise SystemExit(f"repro: cannot write to broker {args.broker!r}: "
-                         f"{error}")
+        raise SystemExit(f"repro: cannot write to broker "
+                         f"{_queue_location(args)!r}: {error}")
     total = sum(len(manifest.specs) for manifest in plan.manifests)
+    backend = "--broker" if args.broker is not None else "--store"
     print(f"submitted {plan.shard_count} shard manifest(s), {total} trial "
           f"specs total (seed {args.seed}, {args.trials} trial(s)/task) "
-          f"to broker {args.broker}")
-    print("Run 'repro shard work --broker DIR' on any number of machines, "
-          "then 'repro shard collect --broker DIR'.")
+          f"to broker {_queue_location(args)}")
+    print(f"Run 'repro shard work {backend} DIR' on any number of machines, "
+          f"then 'repro shard collect {backend} DIR'.")
     return 0
 
 
 def command_shard_work(args) -> int:
     _check_cache_dir(args.cache_dir)
+    _check_heartbeat(args)
 
     def on_manifest(lease: ShardLease, shard: ShardResults,
                     status: BrokerStatus) -> None:
@@ -532,18 +601,33 @@ def command_shard_work(args) -> int:
               f"{manifest.shard_index + 1}/{manifest.shard_count} "
               f"({len(shard.results)} results; {status.render()})")
 
+    def on_renew(lease: ShardLease, renewed: bool) -> None:
+        # Runs on the heartbeat thread; stderr like the trial progress.
+        if not args.progress:
+            return
+        manifest = lease.manifest
+        what = ("renewed lease on" if renewed
+                else "lost lease on (abandoning)")
+        print(f"{worker.worker_id}: {what} shard "
+              f"{manifest.shard_index + 1}/{manifest.shard_count}",
+              file=sys.stderr, flush=True)
+
     try:
-        broker = LocalDirBroker(args.broker)
+        broker = _cli_broker(args)
         executor = ManifestExecutor(jobs=args.jobs, cache_dir=args.cache_dir)
         worker = ShardWorker(broker, executor, worker_id=args.worker_id,
-                             poll=args.poll, max_manifests=args.max_manifests)
+                             poll=args.poll, max_manifests=args.max_manifests,
+                             heartbeat=args.heartbeat, on_renew=on_renew)
         completed = worker.run(progress=_progress(args),
                                on_manifest=on_manifest)
     except ShardError as error:
         raise SystemExit(f"repro: {error}")
     except OSError as error:
-        raise SystemExit(f"repro: broker {args.broker!r} I/O failed: {error}")
+        raise SystemExit(f"repro: broker {_queue_location(args)!r} I/O "
+                         f"failed: {error}")
     summary = f"{worker.worker_id}: {len(completed)} manifest(s) executed"
+    if worker.abandoned:
+        summary += f", {worker.abandoned} abandoned (lease lost)"
     stats = executor.cache_stats()
     if stats is not None:
         summary += (f"; cache {stats['hits']} hit(s), "
@@ -554,7 +638,7 @@ def command_shard_work(args) -> int:
 
 def command_shard_collect(args) -> int:
     try:
-        broker = LocalDirBroker(args.broker)
+        broker = _cli_broker(args)
         status = broker.status()
         while not status.complete and args.poll > 0:
             if args.progress:
@@ -563,17 +647,18 @@ def command_shard_collect(args) -> int:
             time.sleep(args.poll)
             status = broker.status()
         if not status.complete:
-            raise SystemExit(f"repro: broker {args.broker!r} is not complete: "
-                             f"{status.render()}; run more workers or wait "
-                             "with --poll")
+            raise SystemExit(f"repro: broker {_queue_location(args)!r} is "
+                             f"not complete: {status.render()}; run more "
+                             "workers or wait with --poll")
         shards = broker.collect()
         outcomes = merge_shard_results(shards)
     except ShardError as error:
         raise SystemExit(f"repro: {error}")
     except OSError as error:
-        raise SystemExit(f"repro: broker {args.broker!r} I/O failed: {error}")
+        raise SystemExit(f"repro: broker {_queue_location(args)!r} I/O "
+                         f"failed: {error}")
     _emit_merged(shards, outcomes, report=args.report, export=args.export,
-                 extra_config={"broker": str(args.broker)})
+                 extra_config={"broker": str(_queue_location(args))})
     return 0
 
 

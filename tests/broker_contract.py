@@ -1,0 +1,354 @@
+"""The broker-contract conformance suite: executable queue semantics.
+
+The :class:`~repro.bench.transport.ShardBroker` contract — submit / lease /
+renew / post / collect, lease expiry + reclaim, first-write-wins idempotent
+posts, :class:`~repro.bench.transport.BrokerStatus` accounting — is what
+keeps a distributed run bit-identical to serial, so it must hold for *every*
+backend, present and future.  This module turns the contract from prose into
+a reusable test suite: :class:`BrokerContractSuite` holds one test per
+clause, written only against the abstract contract, and a concrete test
+class runs the whole suite against each backend by inheriting it next to a
+``broker_kind`` fixture (see ``tests/test_broker_contract.py``, which covers
+all four shipped configurations: :class:`InMemoryBroker`,
+:class:`LocalDirBroker`, and :class:`ObjectStoreBroker` over both the
+in-memory and the filesystem object store).
+
+To keep the suite cheap across N backends, manifest executions are memoized
+on the (frozen, hashable) manifest: identical manifests produce identical
+results — that is the determinism the whole transport layer is built on —
+so each distinct manifest is executed once per test session no matter how
+many backends the suite runs against.
+
+Adding a broker backend?  Inherit the suite with your own ``broker_kind``
+and make it pass unchanged; extending :func:`make_broker` here enrolls the
+backend in every existing conformance run.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Tuple
+
+import pytest
+
+from repro.bench.runner import (
+    BenchmarkConfig,
+    BenchmarkRunner,
+    DEFAULT_SEED,
+    setting_by_key,
+)
+from repro.bench.shard import (
+    ManifestExecutor,
+    ShardError,
+    ShardManifest,
+    ShardResults,
+    merge_shard_results,
+    plan_shards,
+)
+from repro.bench.tasks import task_by_id
+from repro.bench.store import FileSystemObjectStore, InMemoryObjectStore
+from repro.bench.transport import (
+    BrokerStatus,
+    InMemoryBroker,
+    LocalDirBroker,
+    ObjectStoreBroker,
+    ShardBroker,
+)
+
+#: A small two-app grid that still exercises both interface stacks.
+TASKS = ("ppt-01-blue-background", "word-02-landscape")
+SETTINGS = ("gui-gpt5-medium", "dmi-gpt5-medium")
+
+#: Every shipped broker configuration; the conformance suite runs against
+#: each of these.
+ALL_BROKER_KINDS = ("memory", "dir", "store-memory", "store-fs")
+
+
+class FakeClock:
+    """A controllable clock so lease expiry needs no real sleeping."""
+
+    def __init__(self, now: float = 1000.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def small_plan(shards=2, seed=DEFAULT_SEED, trials=1):
+    return plan_shards(shards, seed=seed, trials=trials,
+                       setting_keys=SETTINGS, task_ids=TASKS)
+
+
+def make_broker(kind: str, tmp_path, **kwargs) -> ShardBroker:
+    """One broker of the given kind, backed by fresh state under tmp_path."""
+    if kind == "memory":
+        return InMemoryBroker(**kwargs)
+    if kind == "dir":
+        return LocalDirBroker(tmp_path / "broker", **kwargs)
+    if kind == "store-memory":
+        return ObjectStoreBroker(InMemoryObjectStore(), **kwargs)
+    if kind == "store-fs":
+        return ObjectStoreBroker(FileSystemObjectStore(tmp_path / "store"),
+                                 **kwargs)
+    raise ValueError(f"unknown broker kind {kind!r}")
+
+
+# ----------------------------------------------------------------------
+# memoized execution (manifests are frozen and deterministic)
+# ----------------------------------------------------------------------
+_MANIFEST_RESULTS: Dict[ShardManifest, ShardResults] = {}
+_SERIAL_REFERENCE: Dict[Tuple[int, int], Dict[str, object]] = {}
+
+
+def run_manifest(manifest: ShardManifest) -> ShardResults:
+    """Execute ``manifest`` (once per session; results are deterministic)."""
+    if manifest not in _MANIFEST_RESULTS:
+        _MANIFEST_RESULTS[manifest] = ManifestExecutor().run(manifest)
+    return _MANIFEST_RESULTS[manifest]
+
+
+def serial_reference(seed=DEFAULT_SEED, trials=1):
+    """The single-machine serial outcomes every broker path must match."""
+    key = (seed, trials)
+    if key not in _SERIAL_REFERENCE:
+        runner = BenchmarkRunner(BenchmarkConfig(
+            trials=trials, seed=seed,
+            tasks=[task_by_id(task_id) for task_id in TASKS]))
+        _SERIAL_REFERENCE[key] = runner.run_settings(
+            [setting_by_key(setting_key) for setting_key in SETTINGS])
+    return _SERIAL_REFERENCE[key]
+
+
+class BrokerContractSuite:
+    """One test per contract clause; backend-agnostic by construction.
+
+    Concrete classes provide a ``broker_kind`` fixture naming one of
+    :data:`ALL_BROKER_KINDS` (typically via ``@pytest.fixture(params=…)``).
+    """
+
+    @pytest.fixture
+    def fresh_broker(self, broker_kind, tmp_path):
+        def factory(**kwargs) -> ShardBroker:
+            return make_broker(broker_kind, tmp_path, **kwargs)
+
+        return factory
+
+    # ------------------------------------------------------------------
+    # submit / lease / post / collect
+    # ------------------------------------------------------------------
+    def test_submit_lease_post_collect_round_trip(self, fresh_broker):
+        broker = fresh_broker()
+        broker.submit(small_plan(shards=2))
+        assert broker.status() == BrokerStatus(queued=2, leased=0, done=0,
+                                               shard_count=2)
+        seen = []
+        while True:
+            lease = broker.lease("worker-a")
+            if lease is None:
+                break
+            seen.append(lease.manifest.shard_index)
+            assert lease.worker_id == "worker-a"
+            assert broker.post(lease, run_manifest(lease.manifest)) is True
+        assert sorted(seen) == [0, 1]
+        status = broker.status()
+        assert status == BrokerStatus(queued=0, leased=0, done=2,
+                                      shard_count=2)
+        assert status.complete and status.drained
+        merged = merge_shard_results(broker.collect())
+        reference = serial_reference()
+        for key in reference:
+            assert [r.as_dict() for r in reference[key].results] \
+                == [r.as_dict() for r in merged[key].results]
+
+    def test_collect_returns_shard_index_order(self, fresh_broker):
+        broker = fresh_broker()
+        broker.submit(small_plan(shards=3, trials=2))
+        leases = [broker.lease("worker-a") for _ in range(3)]
+        for lease in reversed(leases):  # post out of order on purpose
+            broker.post(lease, run_manifest(lease.manifest))
+        indexes = [shard.manifest.shard_index for shard in broker.collect()]
+        assert indexes == [0, 1, 2]
+
+    def test_lease_moves_work_in_flight(self, fresh_broker):
+        broker = fresh_broker()
+        broker.submit(small_plan(shards=2))
+        lease = broker.lease("worker-a")
+        assert lease is not None
+        assert broker.status() == BrokerStatus(queued=1, leased=1, done=0,
+                                               shard_count=2)
+        # The leased manifest is not offered to a second worker.
+        other = broker.lease("worker-b")
+        assert other is not None and other.manifest.shard_index \
+            != lease.manifest.shard_index
+        assert broker.lease("worker-c") is None
+
+    def test_refuses_second_plan_and_unsubmitted_use(self, fresh_broker):
+        broker = fresh_broker()
+        with pytest.raises(ShardError, match="no plan has been submitted"):
+            broker.lease("worker-a")
+        with pytest.raises(ShardError, match="no plan has been submitted"):
+            broker.status()
+        with pytest.raises(ShardError, match="no plan has been submitted"):
+            broker.collect()
+        broker.submit(small_plan(shards=2))
+        with pytest.raises(ShardError, match="already holds a plan"):
+            broker.submit(small_plan(shards=2))
+
+    def test_post_rejects_results_from_a_foreign_plan(self, fresh_broker):
+        broker = fresh_broker()
+        broker.submit(small_plan(shards=1))
+        lease = broker.lease("worker-a")
+        alien = small_plan(shards=1, seed=DEFAULT_SEED + 1)
+        with pytest.raises(ShardError, match="'seed'"):
+            broker.post(lease, run_manifest(alien.manifests[0]))
+
+    def test_post_rejects_out_of_range_shard_index(self, fresh_broker):
+        """Same plan identity but an impossible shard index: every backend
+        must refuse, or status() could report complete with a shard
+        missing."""
+        broker = fresh_broker()
+        broker.submit(small_plan(shards=1))
+        lease = broker.lease("worker-a")
+        shard = run_manifest(lease.manifest)
+        rogue = ShardResults(
+            manifest=dataclasses.replace(shard.manifest, shard_index=5),
+            results=shard.results)
+        with pytest.raises(ShardError, match="out of range"):
+            broker.post(lease, rogue)
+        assert broker.status().done == 0
+
+    # ------------------------------------------------------------------
+    # lease expiry + reclaim
+    # ------------------------------------------------------------------
+    def test_crashed_worker_lease_expires_and_is_reclaimed(self,
+                                                           fresh_broker):
+        clock = FakeClock()
+        broker = fresh_broker(lease_ttl=60.0, clock=clock)
+        broker.submit(small_plan(shards=1))
+        # worker-a leases the only manifest and "crashes" (never posts).
+        crashed = broker.lease("worker-a")
+        assert crashed is not None
+        assert broker.lease("worker-b") is None  # still leased, nothing free
+        assert broker.status().leased == 1
+        clock.advance(59.9)
+        assert broker.lease("worker-b") is None  # not expired yet
+        clock.advance(0.2)
+        reclaimed = broker.lease("worker-b")  # expired: reclaimed + re-leased
+        assert reclaimed is not None
+        assert reclaimed.manifest == crashed.manifest
+        assert reclaimed.worker_id == "worker-b"
+        broker.post(reclaimed, run_manifest(reclaimed.manifest))
+        assert broker.status().complete
+        assert list(merge_shard_results(broker.collect()))  # merges cleanly
+
+    def test_straggler_post_after_reclaim_is_harmless(self, fresh_broker):
+        """The crashed worker was only slow: it posts after its lease was
+        reclaimed and re-run.  First write wins; the queue still drains."""
+        clock = FakeClock()
+        broker = fresh_broker(lease_ttl=60.0, clock=clock)
+        broker.submit(small_plan(shards=1))
+        slow = broker.lease("worker-slow")
+        slow_results = run_manifest(slow.manifest)
+        clock.advance(61.0)
+        fast = broker.lease("worker-fast")
+        assert fast is not None
+        assert broker.post(slow, slow_results) is True  # straggler lands 1st
+        assert broker.post(fast, run_manifest(fast.manifest)) is False
+        status = broker.status()
+        assert status == BrokerStatus(queued=0, leased=0, done=1,
+                                      shard_count=1)
+        assert list(merge_shard_results(broker.collect()))
+
+    def test_duplicate_result_post_is_idempotent(self, fresh_broker):
+        broker = fresh_broker()
+        broker.submit(small_plan(shards=2))
+        lease = broker.lease("worker-a")
+        results = run_manifest(lease.manifest)
+        assert broker.post(lease, results) is True
+        assert broker.post(lease, results) is False  # duplicate: no-op
+        assert broker.status().done == 1
+        lease = broker.lease("worker-a")
+        broker.post(lease, run_manifest(lease.manifest))
+        merged = merge_shard_results(broker.collect())
+        for outcome in merged.values():
+            assert len(outcome.results) == len(TASKS)  # no double-counting
+
+    # ------------------------------------------------------------------
+    # renew (the heartbeat primitive)
+    # ------------------------------------------------------------------
+    def test_renew_extends_a_live_lease_past_its_ttl(self, fresh_broker):
+        clock = FakeClock()
+        broker = fresh_broker(lease_ttl=60.0, clock=clock)
+        broker.submit(small_plan(shards=1))
+        lease = broker.lease("worker-a")
+        for _ in range(3):  # keep renewing while the manifest "runs"
+            clock.advance(40.0)  # would have expired without the renewals
+            lease = broker.renew(lease)
+            assert lease is not None
+            assert lease.deadline == clock() + 60.0
+            assert broker.lease("worker-b") is None  # never reclaimable
+        assert broker.status().leased == 1
+        assert broker.post(lease, run_manifest(lease.manifest)) is True
+        assert broker.status().complete
+
+    def test_renew_after_reclaim_reports_the_lease_lost(self, fresh_broker):
+        clock = FakeClock()
+        broker = fresh_broker(lease_ttl=60.0, clock=clock)
+        broker.submit(small_plan(shards=1))
+        stale = broker.lease("worker-a")
+        clock.advance(61.0)  # worker-a's lease expires...
+        taken = broker.lease("worker-b")  # ...and worker-b reclaims it
+        assert taken is not None
+        assert broker.renew(stale) is None  # the original holder lost it
+        renewed = broker.renew(taken)  # the new holder renews fine
+        assert renewed is not None and renewed.worker_id == "worker-b"
+        broker.post(renewed, run_manifest(renewed.manifest))
+        assert broker.status().complete
+
+    def test_renew_after_post_reports_the_lease_gone(self, fresh_broker):
+        broker = fresh_broker()
+        broker.submit(small_plan(shards=1))
+        lease = broker.lease("worker-a")
+        broker.post(lease, run_manifest(lease.manifest))
+        assert broker.renew(lease) is None
+
+    def test_expired_but_unreclaimed_lease_can_still_be_revived(self,
+                                                                fresh_broker):
+        """A late heartbeat that beats every reclaimer keeps the lease: the
+        manifest was never taken by anyone else, so the work is not lost."""
+        clock = FakeClock()
+        broker = fresh_broker(lease_ttl=60.0, clock=clock)
+        broker.submit(small_plan(shards=1))
+        lease = broker.lease("worker-a")
+        clock.advance(61.0)  # expired, but nobody has reclaimed it yet
+        revived = broker.renew(lease)
+        assert revived is not None
+        assert broker.lease("worker-b") is None  # fresh deadline holds again
+        broker.post(revived, run_manifest(revived.manifest))
+        assert broker.status().complete
+
+    # ------------------------------------------------------------------
+    # status counters
+    # ------------------------------------------------------------------
+    def test_status_counters_track_the_full_lifecycle(self, fresh_broker):
+        broker = fresh_broker()
+        broker.submit(small_plan(shards=3, trials=2))
+        counts = [broker.status()]
+        leases = []
+        for _ in range(2):
+            leases.append(broker.lease("worker-a"))
+            counts.append(broker.status())
+        broker.post(leases[0], run_manifest(leases[0].manifest))
+        counts.append(broker.status())
+        assert [(s.queued, s.leased, s.done) for s in counts] == [
+            (3, 0, 0), (2, 1, 0), (1, 2, 0), (1, 1, 1)]
+        assert all(s.shard_count == 3 for s in counts)
+        assert not counts[-1].complete and not counts[-1].drained
+
+    def test_broker_rejects_nonpositive_lease_ttl(self, fresh_broker):
+        for ttl in (0, -5):
+            with pytest.raises(ShardError, match="lease_ttl"):
+                fresh_broker(lease_ttl=ttl)

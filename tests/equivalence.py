@@ -18,6 +18,11 @@ JSON export so tests can compare them byte-for-byte:
     PR 3's queue: :class:`~repro.bench.transport.LocalDirBroker` ``submit``
     → two sequential :class:`~repro.bench.transport.ShardWorker` pull loops
     → ``collect`` → ``merge_shard_results``.
+``store-broker``
+    PR 4's cloud-shaped queue: the same submit/work/collect flow through an
+    :class:`~repro.bench.transport.ObjectStoreBroker` over a
+    :class:`~repro.bench.store.FileSystemObjectStore` (CAS leases instead
+    of renames), with worker heartbeats left at their defaults.
 
 Use :func:`assert_paths_bit_identical` from a test, parametrized over seeds
 and shard counts; it returns the reference bytes for extra assertions.
@@ -43,7 +48,8 @@ from repro.bench.shard import (
     plan_shards,
 )
 from repro.bench.tasks import task_by_id
-from repro.bench.transport import LocalDirBroker, ShardWorker
+from repro.bench.store import FileSystemObjectStore
+from repro.bench.transport import LocalDirBroker, ObjectStoreBroker, ShardWorker
 from repro.cli import export_settings_payload
 
 #: A small two-app grid that still exercises both interface stacks.
@@ -120,10 +126,28 @@ def run_broker(seed: int, trials: int, setting_keys: Sequence[str],
     return outcomes_bytes(merged)
 
 
+def run_store_broker(seed: int, trials: int, setting_keys: Sequence[str],
+                     task_ids: Sequence[str], shard_count: int,
+                     work_dir: Path) -> bytes:
+    plan = plan_shards(shard_count, seed=seed, trials=trials,
+                       setting_keys=setting_keys, task_ids=task_ids)
+    broker = ObjectStoreBroker(FileSystemObjectStore(work_dir / "store"))
+    broker.submit(plan)
+    cache_dir = work_dir / "store-cache"
+    # Same two-worker shape as run_broker, with heartbeats at their default
+    # (lease_ttl / 3) so the background renewal thread rides along.
+    ShardWorker(broker, ManifestExecutor(cache_dir=cache_dir),
+                worker_id="equivalence-s0", poll=0, max_manifests=1).run()
+    ShardWorker(broker, ManifestExecutor(cache_dir=cache_dir),
+                worker_id="equivalence-s1", poll=0).run()
+    merged = merge_shard_results(broker.collect())
+    return outcomes_bytes(merged)
+
+
 def run_all_paths(seed: int, trials: int, setting_keys: Sequence[str],
                   task_ids: Sequence[str], shard_count: int,
                   work_dir: Path) -> Dict[str, bytes]:
-    """Execute the grid through all four paths; one bytes blob per path."""
+    """Execute the grid through all five paths; one bytes blob per path."""
     work_dir = Path(work_dir)
     return {
         "serial": run_serial(seed, trials, setting_keys, task_ids),
@@ -133,6 +157,9 @@ def run_all_paths(seed: int, trials: int, setting_keys: Sequence[str],
                                        shard_count, work_dir / "file-shards"),
         "broker": run_broker(seed, trials, setting_keys, task_ids,
                              shard_count, work_dir / "broker"),
+        "store-broker": run_store_broker(seed, trials, setting_keys,
+                                         task_ids, shard_count,
+                                         work_dir / "store-broker"),
     }
 
 

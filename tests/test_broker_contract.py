@@ -1,0 +1,23 @@
+"""Run the broker-contract conformance suite against every shipped backend.
+
+``tests/broker_contract.py`` holds the suite; this module enrolls all four
+broker configurations — :class:`~repro.bench.transport.InMemoryBroker`,
+:class:`~repro.bench.transport.LocalDirBroker`, and
+:class:`~repro.bench.transport.ObjectStoreBroker` over the in-memory and the
+filesystem object store — so every contract clause is asserted identically
+across backends.  Backend-specific behaviour (lease filenames, CAS races,
+on-disk corruption) lives in ``tests/test_transport.py`` instead.
+"""
+
+import pytest
+
+from broker_contract import ALL_BROKER_KINDS, BrokerContractSuite
+
+
+@pytest.fixture(params=ALL_BROKER_KINDS)
+def broker_kind(request) -> str:
+    return request.param
+
+
+class TestBrokerContract(BrokerContractSuite):
+    """All contract clauses × all shipped broker backends."""

@@ -337,3 +337,80 @@ def test_shard_merge_report_prints_figures(tmp_path, capsys):
     assert "Figure 5a" in output
     assert "Figure 6" in output
     assert "single core LLM call" in output
+
+
+# ----------------------------------------------------------------------
+# shard submit / work / collect over the object-store broker
+# ----------------------------------------------------------------------
+def test_shard_submit_work_collect_via_object_store_matches_single_run(
+        tmp_path, capsys):
+    store = tmp_path / "objstore"
+    cache = tmp_path / "cache"
+    assert main(["shard", "submit", "--store", str(store), "--shards", "2"]
+                + BROKER_GRID) == 0
+    submitted = capsys.readouterr().out
+    assert "submitted 2 shard manifest(s)" in submitted
+    assert "--store" in submitted  # the hint names the chosen backend
+    # Two sequential workers with explicit lease/heartbeat tuning.
+    assert main(["shard", "work", "--store", str(store), "--worker-id", "w1",
+                 "--lease-ttl", "120", "--heartbeat", "5",
+                 "--cache-dir", str(cache), "--max-manifests", "1"]) == 0
+    assert "w1: 1 manifest(s) executed" in capsys.readouterr().out
+    assert main(["shard", "work", "--store", str(store), "--worker-id", "w2",
+                 "--heartbeat", "0", "--cache-dir", str(cache)]) == 0
+    assert "w2: 1 manifest(s) executed" in capsys.readouterr().out
+    merged = tmp_path / "merged.json"
+    assert main(["shard", "collect", "--store", str(store),
+                 "--export", str(merged)]) == 0
+    capsys.readouterr()
+    single = tmp_path / "single.json"
+    assert main(["run", *BROKER_GRID, "--export", str(single)]) == 0
+    capsys.readouterr()
+    merged_payload = json.loads(merged.read_text())
+    assert merged_payload["settings"] == json.loads(single.read_text())["settings"]
+    assert merged_payload["config"]["broker"] == str(store)
+
+
+def test_shard_queue_commands_require_exactly_one_backend(tmp_path):
+    for command in (["shard", "submit", "--shards", "1"],
+                    ["shard", "work"], ["shard", "collect"]):
+        with pytest.raises(SystemExit):  # neither --broker nor --store
+            build_parser().parse_args(command)
+        with pytest.raises(SystemExit):  # both at once
+            build_parser().parse_args(command + ["--broker", "a",
+                                                 "--store", "b"])
+
+
+def test_shard_queue_commands_reject_nonpositive_lease_ttl():
+    for value in ("0", "-5", "nan", "inf"):
+        for command in (["shard", "submit", "--shards", "1"],
+                        ["shard", "work"], ["shard", "collect"]):
+            with pytest.raises(SystemExit):
+                build_parser().parse_args(command + ["--broker", "q",
+                                                     "--lease-ttl", value])
+
+
+def test_shard_work_rejects_heartbeat_at_or_above_lease_ttl(tmp_path):
+    with pytest.raises(SystemExit, match="shorter than") as excinfo:
+        main(["shard", "work", "--broker", str(tmp_path / "q"),
+              "--lease-ttl", "30", "--heartbeat", "30"])
+    assert "--lease-ttl" in str(excinfo.value)  # names both flags
+    with pytest.raises(SystemExit, match="shorter than"):
+        main(["shard", "work", "--broker", str(tmp_path / "q"),
+              "--heartbeat", "1000"])  # >= the default 900s ttl
+    with pytest.raises(SystemExit):  # negative: rejected by argparse
+        build_parser().parse_args(["shard", "work", "--broker", "q",
+                                   "--heartbeat", "-1"])
+
+
+def test_shard_work_progress_prints_heartbeat_renewals(tmp_path, capsys):
+    store = tmp_path / "objstore"
+    main(["shard", "submit", "--store", str(store), "--shards", "1"]
+         + BROKER_GRID)
+    capsys.readouterr()
+    assert main(["shard", "work", "--store", str(store), "--worker-id", "hb",
+                 "--lease-ttl", "60", "--heartbeat", "0.02",
+                 "--progress"]) == 0
+    captured = capsys.readouterr()
+    assert "hb: renewed lease on shard 1/1" in captured.err
+    assert "posted shard 1/1" in captured.out

@@ -1,9 +1,10 @@
 """The equivalence harness as a tier-1 test (the acceptance-criteria gate).
 
 Every execution path the codebase offers — serial, process-pool parallel,
-file-based shard plan/run/merge, and the broker work queue — must export
-byte-identical JSON for the same (seed, grid).  ``tests/equivalence.py``
-does the running; these tests parametrize it over seeds and shard counts.
+file-based shard plan/run/merge, the directory-broker work queue, and the
+object-store broker — must export byte-identical JSON for the same
+(seed, grid).  ``tests/equivalence.py`` does the running; these tests
+parametrize it over seeds and shard counts.
 """
 
 import json
@@ -43,6 +44,11 @@ def test_different_seeds_actually_change_the_export(tmp_path):
         for seed in (DEFAULT_SEED, 1097)
     }
     assert exports[DEFAULT_SEED]["serial"] != exports[1097]["serial"]
+    # Guard against an execution path silently dropping out of the harness:
+    # both broker families (atomic-rename dir and CAS object store) run.
+    assert set(exports[DEFAULT_SEED]) == {"serial", "parallel",
+                                          "file-shards", "broker",
+                                          "store-broker"}
 
 
 def test_outcomes_bytes_is_deterministic_for_equal_outcomes():

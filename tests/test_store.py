@@ -1,0 +1,267 @@
+"""Unit tests for the object-store abstraction (conditional-write contract).
+
+Both backends must agree on the semantics the broker is built on —
+create-if-absent and compare-and-swap where exactly one racer wins — and
+the filesystem backend must additionally survive its own emulation details:
+stale etags from arbitrarily far back, persistence across instances, and
+concurrent writers.
+"""
+
+import json
+import threading
+from urllib.parse import quote
+
+import pytest
+
+from repro.bench.shard import ShardError
+from repro.bench.store import FileSystemObjectStore, InMemoryObjectStore
+
+STORE_KINDS = ("memory", "fs")
+
+
+def make_store(kind, tmp_path):
+    if kind == "memory":
+        return InMemoryObjectStore()
+    return FileSystemObjectStore(tmp_path / "store")
+
+
+@pytest.fixture(params=STORE_KINDS)
+def store(request, tmp_path):
+    return make_store(request.param, tmp_path)
+
+
+# ----------------------------------------------------------------------
+# the conditional-write contract (both backends)
+# ----------------------------------------------------------------------
+def test_put_if_absent_creates_exactly_once(store):
+    assert store.get("a") is None
+    assert store.put_if_absent("a", b"one") is True
+    assert store.put_if_absent("a", b"two") is False  # already exists
+    data, etag = store.get("a")
+    assert data == b"one" and etag
+
+
+def test_put_if_match_swaps_only_against_the_current_etag(store):
+    store.put_if_absent("a", b"one")
+    _, etag = store.get("a")
+    assert store.put_if_match("a", b"two", etag) is True
+    data, new_etag = store.get("a")
+    assert data == b"two" and new_etag != etag
+    # The superseded etag never wins again.
+    assert store.put_if_match("a", b"three", etag) is False
+    assert store.get("a")[0] == b"two"
+
+
+def test_stale_etag_from_arbitrarily_far_back_still_fails(store):
+    """Regression for the filesystem emulation: superseded generations must
+    keep blocking CAS attempts no matter how many swaps ago they were."""
+    store.put_if_absent("a", b"v0")
+    etags = [store.get("a")[1]]
+    for index in range(1, 5):
+        assert store.put_if_match("a", b"v%d" % index, etags[-1]) is True
+        etags.append(store.get("a")[1])
+    for stale in etags[:-1]:
+        assert store.put_if_match("a", b"rogue", stale) is False
+    assert store.get("a")[0] == b"v4"
+
+
+def test_put_if_match_on_missing_key_fails(store):
+    store.put_if_absent("a", b"one")
+    _, etag = store.get("a")
+    store.delete("a")
+    assert store.put_if_match("a", b"two", etag) is False
+    assert store.get("a") is None
+
+
+def test_delete_and_recreate(store):
+    store.put_if_absent("a", b"one")
+    assert store.delete("a") is True
+    assert store.get("a") is None
+    assert store.delete("a") is False  # already gone
+    assert store.put_if_absent("a", b"fresh") is True
+    assert store.get("a")[0] == b"fresh"
+
+
+def test_list_prefix_filters_and_sorts(store):
+    for key in ("lease/shard-001", "lease/shard-000", "result/shard-000",
+                "plan.json"):
+        store.put_if_absent(key, b"x")
+    assert store.list_prefix("lease/") == ["lease/shard-000",
+                                           "lease/shard-001"]
+    assert store.list_prefix("result/") == ["result/shard-000"]
+    assert store.list_prefix("") == ["lease/shard-000", "lease/shard-001",
+                                     "plan.json", "result/shard-000"]
+    store.delete("lease/shard-000")
+    assert store.list_prefix("lease/") == ["lease/shard-001"]
+
+
+def test_keys_with_slashes_and_odd_characters_round_trip(store):
+    key = "lease/shard 01:of#02.json"
+    store.put_if_absent(key, b"data")
+    assert store.get(key)[0] == b"data"
+    assert store.list_prefix("lease/") == [key]
+
+
+def test_empty_and_non_bytes_values_are_rejected(store):
+    with pytest.raises(ShardError, match="non-empty"):
+        store.put_if_absent("a", b"")
+    with pytest.raises(ShardError, match="bytes"):
+        store.put_if_absent("a", "text")
+    store.put_if_absent("a", b"one")
+    with pytest.raises(ShardError, match="non-empty"):
+        store.put_if_match("a", b"", store.get("a")[1])
+
+
+def test_concurrent_cas_increments_lose_no_updates(store):
+    """N threads × M read-modify-write increments through the CAS retry
+    loop: every update lands exactly once on both backends."""
+    store.put_if_absent("counter", b"0")
+    threads, increments = 4, 25
+
+    def bump():
+        for _ in range(increments):
+            while True:
+                data, etag = store.get("counter")
+                value = int(data.decode("ascii")) + 1
+                if store.put_if_match("counter", str(value).encode("ascii"),
+                                      etag):
+                    break
+
+    workers = [threading.Thread(target=bump) for _ in range(threads)]
+    for worker in workers:
+        worker.start()
+    for worker in workers:
+        worker.join()
+    assert int(store.get("counter")[0]) == threads * increments
+
+
+# ----------------------------------------------------------------------
+# filesystem-backend specifics
+# ----------------------------------------------------------------------
+def test_fs_store_persists_across_instances(tmp_path):
+    first = FileSystemObjectStore(tmp_path / "store")
+    first.put_if_absent("plan.json", b'{"kind": "x"}')
+    _, etag = first.get("plan.json")
+    second = FileSystemObjectStore(tmp_path / "store")
+    data, same_etag = second.get("plan.json")
+    assert data == b'{"kind": "x"}' and same_etag == etag
+    # CAS through the second instance invalidates the first's etag.
+    assert second.put_if_match("plan.json", b'{"kind": "y"}', etag)
+    assert first.put_if_match("plan.json", b"rogue", etag) is False
+
+
+def test_fs_store_rejects_malformed_etag(tmp_path):
+    store = FileSystemObjectStore(tmp_path / "store")
+    store.put_if_absent("a", b"one")
+    with pytest.raises(ShardError, match="malformed etag"):
+        store.put_if_match("a", b"two", "soon")
+
+
+def test_fs_store_rejects_empty_key(tmp_path):
+    store = FileSystemObjectStore(tmp_path / "store")
+    with pytest.raises(ShardError, match="non-empty"):
+        store.get("")
+
+
+def test_fs_store_leaves_no_temp_files_behind(tmp_path):
+    store = FileSystemObjectStore(tmp_path / "store")
+    store.put_if_absent("a", b"one")
+    store.put_if_match("a", b"two", store.get("a")[1])
+    store.put_if_match("a", b"rogue", "g0000000000")  # failed CAS
+    leftovers = [path.name for path in (store.root / quote("a", safe="")).iterdir()
+                 if path.name.startswith(".tmp")]
+    assert leftovers == []
+
+
+def test_fs_store_layout_is_flat_and_quoted(tmp_path):
+    """The on-disk layout is part of the deployable contract: one quoted
+    directory per key, generation files inside."""
+    store = FileSystemObjectStore(tmp_path / "store")
+    store.put_if_absent("lease/shard-000.json", b'{"state": "queued"}')
+    key_dir = store.root / quote("lease/shard-000.json", safe="")
+    assert key_dir.is_dir()
+    assert [path.name for path in key_dir.iterdir()] == ["g0000000000"]
+    payload = json.loads((key_dir / "g0000000000").read_text())
+    assert payload == {"state": "queued"}
+
+
+def test_fs_store_prunes_superseded_generations_on_hot_keys(tmp_path):
+    """Regression: a heartbeat-renewed lease key must not grow one file per
+    renewal forever — old generations are pruned behind the floor marker."""
+    store = FileSystemObjectStore(tmp_path / "store")
+    store.put_if_absent("lease", b"v0")
+    for index in range(1, 201):
+        data, etag = store.get("lease")
+        assert store.put_if_match("lease", b"v%d" % index, etag) is True
+    assert store.get("lease")[0] == b"v200"
+    entries = list((store.root / quote("lease", safe="")).iterdir())
+    # Bounded by the keep-window plus the floor marker, not by 200 writes.
+    assert len(entries) <= 2 * 16 + 2
+
+
+def test_fs_store_pruned_ancestry_etags_still_lose(tmp_path):
+    """Every historical etag — kept, truncated, or pruned away — must keep
+    failing CAS after hundreds of swaps, and must not disturb the value."""
+    store = FileSystemObjectStore(tmp_path / "store")
+    store.put_if_absent("lease", b"v0")
+    etags = [store.get("lease")[1]]
+    for index in range(1, 101):
+        assert store.put_if_match("lease", b"v%d" % index, etags[-1])
+        etags.append(store.get("lease")[1])
+    for stale in etags[:-1]:  # includes generations the floor pruned
+        assert store.put_if_match("lease", b"rogue", stale) is False
+        assert store.get("lease")[0] == b"v100"
+    # The current etag still works after all those failed attempts.
+    assert store.put_if_match("lease", b"v101", etags[-1]) is True
+    assert store.get("lease")[0] == b"v101"
+
+
+def test_pre_delete_etags_never_match_after_recreation(store):
+    """ABA regression: an etag read before a delete must keep losing after
+    the key is re-created, on both backends identically."""
+    store.put_if_absent("k", b"first")
+    _, before_delete = store.get("k")
+    assert store.delete("k") is True
+    assert store.put_if_absent("k", b"second") is True
+    assert store.put_if_match("k", b"rogue", before_delete) is False
+    data, fresh = store.get("k")
+    assert data == b"second" and fresh != before_delete
+    assert store.put_if_match("k", b"third", fresh) is True
+
+
+def test_delete_vs_cas_race_exactly_one_wins(store):
+    """A delete and a CAS holding the current etag race: whichever lands
+    first wins and the loser reports failure."""
+    store.put_if_absent("k", b"v0")
+    _, etag = store.get("k")
+    assert store.delete("k") is True  # delete lands first
+    assert store.put_if_match("k", b"v1", etag) is False
+    assert store.get("k") is None
+    # And the other order: CAS lands first, delete still works after.
+    store.put_if_absent("k", b"w0")
+    _, etag = store.get("k")
+    assert store.put_if_match("k", b"w1", etag) is True
+    assert store.delete("k") is True
+    assert store.delete("k") is False  # idempotent second delete
+
+
+def test_fs_list_prefix_retries_when_a_cas_lands_mid_check(tmp_path,
+                                                           monkeypatch):
+    """Regression: a heartbeat CAS truncating the generation list_prefix
+    just statted must not make the (live) key vanish from the listing."""
+    store = FileSystemObjectStore(tmp_path / "store")
+    store.put_if_absent("k", b"v0")
+    store.put_if_match("k", b"v1", store.get("k")[1])  # g0 truncated, g1 live
+    key_dir = store.root / quote("k", safe="")
+    real = store._generations
+    calls = {"n": 0}
+
+    def stale_once(directory):
+        calls["n"] += 1
+        if calls["n"] == 1:  # the pre-CAS view: only the now-empty g0
+            return [key_dir / "g0000000000"]
+        return real(directory)
+
+    monkeypatch.setattr(store, "_generations", stale_once)
+    assert store.list_prefix("") == ["k"]
+    assert calls["n"] > 2  # the stale verdict was re-examined, not trusted

@@ -1,245 +1,315 @@
-"""Tests for the broker/worker shard transport.
+"""Backend-specific transport tests: everything the conformance suite isn't.
 
-Covers the queue contract on both backends, the failure modes a distributed
-deployment actually hits — worker crash mid-lease (lease expiry + reclaim),
-duplicate result posts, corrupt files in the broker directory — and the
-ArtifactCache hit/miss accounting of the worker loop.
+The cross-backend queue contract (submit/lease/renew/post/collect, expiry +
+reclaim, first-write-wins, status counters) lives in
+``tests/broker_contract.py`` and runs against every backend via
+``tests/test_broker_contract.py``.  This module covers what is specific to
+one backend or one component: the worker pull loop and its heartbeat
+thread, lease-loss abandonment, CAS races on the object-store broker,
+corrupt files/objects in each backend's storage, and the ArtifactCache
+accounting of the worker loop.
 """
 
 import json
+import time
+from urllib.parse import quote
 
 import pytest
 
-from repro.bench.metrics import aggregate
-from repro.bench.runner import (
-    BenchmarkConfig,
-    BenchmarkRunner,
-    DEFAULT_SEED,
-    setting_by_key,
+from broker_contract import (
+    FakeClock,
+    SETTINGS,
+    TASKS,
+    run_manifest,
+    serial_reference,
+    small_plan,
 )
 from repro.bench.shard import (
     ManifestExecutor,
     ShardError,
-    ShardResults,
     merge_shard_results,
-    plan_shards,
+    shard_file_name,
 )
-from repro.bench.tasks import task_by_id
+from repro.bench.store import FileSystemObjectStore
 from repro.bench.transport import (
     DEFAULT_LEASE_TTL,
-    BrokerStatus,
+    LeaseHeartbeat,
     InMemoryBroker,
     LocalDirBroker,
+    ObjectStoreBroker,
     ShardWorker,
 )
 
-TASKS = ("ppt-01-blue-background", "word-02-landscape")
-SETTINGS = ("gui-gpt5-medium", "dmi-gpt5-medium")
+
+class StubExecutor(ManifestExecutor):
+    """Returns memoized results instantly; ``before`` hooks run first.
+
+    The hook is how tests orchestrate "mid-run" events deterministically:
+    advance a fake clock, steal a lease, or wait for a heartbeat tick while
+    the manifest is "executing".
+    """
+
+    def __init__(self, before=None) -> None:
+        super().__init__()
+        self._before = before
+
+    def run(self, manifest, progress=None):
+        if self._before is not None:
+            self._before(manifest)
+        return run_manifest(manifest)
 
 
-class FakeClock:
-    """A controllable clock so lease expiry needs no real sleeping."""
-
-    def __init__(self, now: float = 1000.0) -> None:
-        self.now = now
-
-    def __call__(self) -> float:
-        return self.now
-
-    def advance(self, seconds: float) -> None:
-        self.now += seconds
-
-
-def small_plan(shards=2, seed=DEFAULT_SEED, trials=1):
-    return plan_shards(shards, seed=seed, trials=trials,
-                       setting_keys=SETTINGS, task_ids=TASKS)
-
-
-def make_broker(kind, tmp_path, **kwargs):
-    if kind == "memory":
-        return InMemoryBroker(**kwargs)
-    return LocalDirBroker(tmp_path / "broker", **kwargs)
-
-
-BROKER_KINDS = ("memory", "dir")
+def wait_until(condition, timeout=5.0):
+    deadline = time.time() + timeout
+    while not condition() and time.time() < deadline:
+        time.sleep(0.005)
+    assert condition(), "timed out waiting for a background event"
 
 
 # ----------------------------------------------------------------------
-# the queue contract (both backends)
+# worker heartbeats: long manifests outlive lease_ttl
 # ----------------------------------------------------------------------
-@pytest.mark.parametrize("kind", BROKER_KINDS)
-def test_submit_lease_post_collect_round_trip(kind, tmp_path):
-    broker = make_broker(kind, tmp_path)
-    plan = small_plan(shards=2)
-    broker.submit(plan)
-    assert broker.status() == BrokerStatus(queued=2, leased=0, done=0,
-                                           shard_count=2)
-    executor = ManifestExecutor()
-    seen = []
-    while True:
-        lease = broker.lease("worker-a")
-        if lease is None:
-            break
-        seen.append(lease.manifest.shard_index)
-        assert lease.worker_id == "worker-a"
-        assert broker.post(lease, executor.run(lease.manifest)) is True
-    assert sorted(seen) == [0, 1]
-    status = broker.status()
-    assert status == BrokerStatus(queued=0, leased=0, done=2, shard_count=2)
-    assert status.complete and status.drained
-    merged = merge_shard_results(broker.collect())
-    reference = BenchmarkRunner(BenchmarkConfig(
-        trials=1, tasks=[task_by_id(t) for t in TASKS])).run_settings(
-            [setting_by_key(k) for k in SETTINGS])
-    for key in reference:
-        assert [r.as_dict() for r in reference[key].results] \
-            == [r.as_dict() for r in merged[key].results]
-
-
-@pytest.mark.parametrize("kind", BROKER_KINDS)
-def test_lease_moves_work_in_flight(kind, tmp_path):
-    broker = make_broker(kind, tmp_path)
-    broker.submit(small_plan(shards=2))
-    lease = broker.lease("worker-a")
-    assert lease is not None
-    assert broker.status() == BrokerStatus(queued=1, leased=1, done=0,
-                                           shard_count=2)
-    # The leased manifest is not offered to a second worker.
-    other = broker.lease("worker-b")
-    assert other is not None and other.manifest.shard_index \
-        != lease.manifest.shard_index
-    assert broker.lease("worker-c") is None
-
-
-@pytest.mark.parametrize("kind", BROKER_KINDS)
-def test_broker_refuses_second_plan_and_unsubmitted_use(kind, tmp_path):
-    broker = make_broker(kind, tmp_path)
-    with pytest.raises(ShardError, match="no plan has been submitted"):
-        broker.lease("worker-a")
-    with pytest.raises(ShardError, match="no plan has been submitted"):
-        broker.status()
-    with pytest.raises(ShardError, match="no plan has been submitted"):
-        broker.collect()
-    broker.submit(small_plan(shards=2))
-    with pytest.raises(ShardError, match="already holds a plan"):
-        broker.submit(small_plan(shards=2))
-
-
-@pytest.mark.parametrize("kind", BROKER_KINDS)
-def test_post_rejects_results_from_a_foreign_plan(kind, tmp_path):
-    broker = make_broker(kind, tmp_path)
-    broker.submit(small_plan(shards=1))
-    lease = broker.lease("worker-a")
-    alien = small_plan(shards=1, seed=DEFAULT_SEED + 1)
-    foreign = ManifestExecutor().run(alien.manifests[0])
-    with pytest.raises(ShardError, match="'seed'"):
-        broker.post(lease, foreign)
-
-
-@pytest.mark.parametrize("kind", BROKER_KINDS)
-def test_post_rejects_out_of_range_shard_index(kind, tmp_path):
-    """Same plan identity but an impossible shard index: both backends must
-    refuse, or status() could report complete with a real shard missing."""
-    import dataclasses
-
-    broker = make_broker(kind, tmp_path)
-    broker.submit(small_plan(shards=1))
-    lease = broker.lease("worker-a")
-    shard = ManifestExecutor().run(lease.manifest)
-    rogue = ShardResults(
-        manifest=dataclasses.replace(shard.manifest, shard_index=5),
-        results=shard.results)
-    with pytest.raises(ShardError, match="out of range"):
-        broker.post(lease, rogue)
-    assert broker.status().done == 0
-
-
-# ----------------------------------------------------------------------
-# failure injection: worker crash mid-lease (expiry + reclaim)
-# ----------------------------------------------------------------------
-@pytest.mark.parametrize("kind", BROKER_KINDS)
-def test_crashed_worker_lease_expires_and_is_reclaimed(kind, tmp_path):
+def test_heartbeat_keeps_a_long_manifest_alive(tmp_path):
+    """Acceptance: a manifest that runs far past lease_ttl finishes and
+    posts without being reclaimed when heartbeats are on."""
     clock = FakeClock()
-    broker = make_broker(kind, tmp_path, lease_ttl=60.0, clock=clock)
+    broker = LocalDirBroker(tmp_path / "queue", lease_ttl=60.0, clock=clock)
     broker.submit(small_plan(shards=1))
-    # worker-a leases the only manifest and "crashes" (never posts).
-    crashed = broker.lease("worker-a")
-    assert crashed is not None
-    assert broker.lease("worker-b") is None  # still leased, nothing free
-    assert broker.status().leased == 1
-    clock.advance(59.9)
-    assert broker.lease("worker-b") is None  # not expired yet
-    clock.advance(0.2)
-    reclaimed = broker.lease("worker-b")  # expired: reclaimed and re-leased
-    assert reclaimed is not None
-    assert reclaimed.manifest == crashed.manifest
-    assert reclaimed.worker_id == "worker-b"
-    broker.post(reclaimed, ManifestExecutor().run(reclaimed.manifest))
+    renewals = []
+
+    def long_run(_manifest):
+        clock.advance(100.0)  # the manifest "runs" far past the 60s ttl
+        wait_until(lambda: len(renewals) >= 2)  # heartbeats fire meanwhile
+        assert broker.lease("rival") is None  # renewed: nothing to reclaim
+
+    worker = ShardWorker(broker, StubExecutor(before=long_run),
+                         worker_id="slow-but-alive", poll=0, heartbeat=0.02,
+                         on_renew=lambda lease, ok: renewals.append(ok))
+    completed = worker.run()
+    assert len(completed) == 1 and worker.abandoned == 0
+    assert renewals and all(renewals)
     assert broker.status().complete
-    assert list(merge_shard_results(broker.collect()))  # merges cleanly
-
-
-@pytest.mark.parametrize("kind", BROKER_KINDS)
-def test_straggler_post_after_reclaim_is_harmless(kind, tmp_path):
-    """The crashed worker was only slow: it posts after its lease was
-    reclaimed and re-run.  First write wins; the queue still drains."""
-    clock = FakeClock()
-    broker = make_broker(kind, tmp_path, lease_ttl=60.0, clock=clock)
-    broker.submit(small_plan(shards=1))
-    executor = ManifestExecutor()
-    slow = broker.lease("worker-slow")
-    slow_results = executor.run(slow.manifest)
-    clock.advance(61.0)
-    fast = broker.lease("worker-fast")
-    assert fast is not None
-    assert broker.post(slow, slow_results) is True  # straggler lands first
-    assert broker.post(fast, executor.run(fast.manifest)) is False  # no-op
-    status = broker.status()
-    assert status == BrokerStatus(queued=0, leased=0, done=1, shard_count=1)
     assert list(merge_shard_results(broker.collect()))
 
 
-@pytest.mark.parametrize("kind", BROKER_KINDS)
-def test_duplicate_result_post_is_idempotent(kind, tmp_path):
-    broker = make_broker(kind, tmp_path)
-    broker.submit(small_plan(shards=2))
-    executor = ManifestExecutor()
-    lease = broker.lease("worker-a")
-    results = executor.run(lease.manifest)
-    assert broker.post(lease, results) is True
-    assert broker.post(lease, results) is False  # duplicate: no-op
-    assert broker.status().done == 1
-    lease = broker.lease("worker-a")
-    broker.post(lease, executor.run(lease.manifest))
-    merged = merge_shard_results(broker.collect())
-    for outcome in merged.values():
-        assert len(outcome.results) == len(TASKS)  # nothing double-counted
-
-
-def test_worker_crash_between_two_real_workers_still_bit_identical(tmp_path):
-    """End-to-end reclaim on the directory broker: a worker leases shard 0
-    and dies; after expiry a healthy worker drains everything; the collected
-    merge is still bit-identical to serial."""
+def test_without_heartbeats_a_long_manifest_is_reclaimed_mid_run(tmp_path):
+    """The control for the test above: same long manifest, heartbeats off —
+    a rival reclaims the expired lease mid-run (the pre-heartbeat PR 3
+    behaviour, still safe because posting is first-write-wins)."""
     clock = FakeClock()
-    broker = LocalDirBroker(tmp_path / "broker", lease_ttl=30.0, clock=clock)
-    broker.submit(small_plan(shards=2))
-    assert broker.lease("doomed") is not None  # crashes here
-    clock.advance(31.0)
-    worker = ShardWorker(broker, ManifestExecutor(), worker_id="healthy",
-                         poll=0)
+    broker = LocalDirBroker(tmp_path / "queue", lease_ttl=60.0, clock=clock)
+    broker.submit(small_plan(shards=1))
+    rival = {}
+
+    def long_run(_manifest):
+        clock.advance(100.0)
+        rival["lease"] = broker.lease("rival")
+
+    worker = ShardWorker(broker, StubExecutor(before=long_run),
+                         worker_id="slow-and-stale", poll=0, heartbeat=0)
     completed = worker.run()
-    assert len(completed) == 2
+    assert rival["lease"] is not None  # the expired lease was reclaimed
+    assert len(completed) == 1  # the straggler still posted first
+    assert broker.post(rival["lease"],
+                       run_manifest(rival["lease"].manifest)) is False
+
+
+def test_worker_abandons_manifest_when_heartbeat_loses_the_lease(tmp_path):
+    """Fault injection: the lease is reclaimed while the manifest runs; the
+    heartbeat detects the loss and the worker abandons the manifest —
+    nothing posted, the thief owns the shard."""
+    clock = FakeClock()
+    broker = LocalDirBroker(tmp_path / "queue", lease_ttl=60.0, clock=clock)
+    broker.submit(small_plan(shards=1))
+    renewals, thief = [], {}
+
+    def stolen_mid_run(_manifest):
+        clock.advance(61.0)  # victim's lease expires mid-run...
+        thief["lease"] = broker.lease("thief")  # ...and a thief reclaims it
+        assert thief["lease"] is not None
+        wait_until(lambda: renewals)  # heartbeat discovers the loss
+
+    worker = ShardWorker(broker, StubExecutor(before=stolen_mid_run),
+                         worker_id="victim", poll=0, heartbeat=0.02,
+                         on_renew=lambda lease, ok: renewals.append(ok))
+    completed = worker.run()
+    assert completed == [] and worker.abandoned == 1
+    assert renewals[0] is False
+    assert broker.status().done == 0  # the victim posted nothing
+    broker.post(thief["lease"], run_manifest(thief["lease"].manifest))
+    assert broker.status().complete
+    assert list(merge_shard_results(broker.collect()))
+
+
+def test_crash_mid_heartbeat_is_recovered_by_reclaim(tmp_path):
+    """Acceptance: a worker that dies *between* heartbeats stops renewing;
+    its lease expires one ttl after the last renewal and reclaim recovers
+    the manifest, bit-identical to serial."""
+    clock = FakeClock()
+    broker = LocalDirBroker(tmp_path / "queue", lease_ttl=60.0, clock=clock)
+    broker.submit(small_plan(shards=1))
+    renewals = []
+    doomed = broker.lease("doomed")
+    beat = LeaseHeartbeat(broker, doomed, interval=0.02,
+                          on_renew=lambda lease, ok: renewals.append(ok))
+    beat.start()
+    wait_until(lambda: len(renewals) >= 2)  # heartbeats were flowing...
+    beat.stop()  # ...then the worker process dies mid-heartbeat
+    assert all(renewals) and not beat.lost
+    clock.advance(59.9)
+    assert broker.lease("healthy") is None  # last renewal still protects it
+    clock.advance(0.2)
+    healthy = ShardWorker(broker, StubExecutor(), worker_id="healthy", poll=0)
+    assert len(healthy.run()) == 1
     merged = merge_shard_results(broker.collect())
-    reference = BenchmarkRunner(BenchmarkConfig(
-        trials=1, tasks=[task_by_id(t) for t in TASKS])).run_settings(
-            [setting_by_key(k) for k in SETTINGS])
+    reference = serial_reference()
     for key in reference:
         assert [r.as_dict() for r in reference[key].results] \
             == [r.as_dict() for r in merged[key].results]
 
 
+def test_worker_heartbeat_configuration_is_validated(tmp_path):
+    broker = LocalDirBroker(tmp_path / "broker", lease_ttl=60.0)
+    with pytest.raises(ShardError, match="heartbeat .*shorter than"):
+        ShardWorker(broker, heartbeat=60.0)  # >= lease_ttl
+    with pytest.raises(ShardError, match="heartbeat"):
+        ShardWorker(broker, heartbeat=-1)
+    with pytest.raises(ShardError, match="heartbeat"):
+        ShardWorker(broker, heartbeat=float("nan"))
+    assert ShardWorker(broker).heartbeat == 20.0  # defaults to lease_ttl/3
+    assert ShardWorker(broker, heartbeat=0).heartbeat == 0  # disabled
+    with pytest.raises(ShardError, match="heartbeat interval"):
+        LeaseHeartbeat(broker, None, interval=0)
+
+
 # ----------------------------------------------------------------------
-# failure injection: corrupt files in the broker directory
+# object-store broker: CAS races and shared-store handles
+# ----------------------------------------------------------------------
+def store_broker(tmp_path, **kwargs):
+    store = FileSystemObjectStore(tmp_path / "store")
+    return store, ObjectStoreBroker(store, **kwargs)
+
+
+def test_two_workers_racing_a_stale_cas_lease_exactly_one_wins(tmp_path):
+    """Fault injection: two workers observe the same expired lease object
+    and race to reclaim it from the same etag — the CAS lets exactly one
+    win."""
+    clock = FakeClock()
+    store, broker = store_broker(tmp_path, lease_ttl=60.0, clock=clock)
+    broker.submit(small_plan(shards=1))
+    assert broker.lease("crasher") is not None
+    clock.advance(61.0)  # the crasher's lease object is now stale
+    key = "lease/" + shard_file_name(0, 1)
+    data, etag = store.get(key)
+    stale = json.loads(data)
+    assert stale["state"] == "leased" and stale["worker"] == "crasher"
+    outcomes = []
+    for racer in ("racer-a", "racer-b"):  # both hold the same observed etag
+        claim = dict(stale, worker=racer, grant=stale["grant"] + 1,
+                     deadline_ms=int((clock() + 60.0) * 1000))
+        outcomes.append(store.put_if_match(
+            key, json.dumps(claim).encode("utf-8"), etag))
+    assert sorted(outcomes) == [False, True]
+    winner = json.loads(store.get(key)[0])
+    assert winner["worker"] == "racer-a"  # first CAS won, second bounced
+
+
+def test_broker_level_reclaim_race_hands_the_lease_to_one_worker(tmp_path):
+    clock = FakeClock()
+    store, coordinator = store_broker(tmp_path, lease_ttl=60.0, clock=clock)
+    coordinator.submit(small_plan(shards=1))
+    # Three machines = three broker handles over one shared store.
+    handles = [ObjectStoreBroker(store, lease_ttl=60.0, clock=clock)
+               for _ in range(3)]
+    assert handles[0].lease("crasher") is not None
+    clock.advance(61.0)
+    leases = [handle.lease(f"worker-{index}")
+              for index, handle in enumerate(handles)]
+    taken = [lease for lease in leases if lease is not None]
+    assert len(taken) == 1  # exactly one handle reclaimed the stale lease
+    assert taken[0].worker_id == "worker-0"  # the first caller won
+    handles[1].post(taken[0], run_manifest(taken[0].manifest))
+    assert coordinator.status().complete  # visible through every handle
+    assert list(merge_shard_results(coordinator.collect()))
+
+
+def test_store_broker_does_not_release_a_done_shard(tmp_path):
+    """After a straggler posts, the shard's results exist even though its
+    lease object may still read queued/leased — lease() must skip it."""
+    clock = FakeClock()
+    store, broker = store_broker(tmp_path, lease_ttl=60.0, clock=clock)
+    broker.submit(small_plan(shards=1))
+    slow = broker.lease("slow")
+    clock.advance(61.0)
+    # The straggler posts after expiry; the lease object goes back to a
+    # stale "leased" state from the reclaim's perspective.
+    assert broker.post(slow, run_manifest(slow.manifest)) is True
+    assert broker.lease("eager") is None  # done: nothing to re-run
+    status = broker.status()
+    assert status.done == 1 and status.queued == 0 and status.complete
+
+
+# ----------------------------------------------------------------------
+# fault injection: corrupt objects in the store
+# ----------------------------------------------------------------------
+def corrupt_object(store: FileSystemObjectStore, key: str, text: str) -> None:
+    """Overwrite the current generation of ``key`` on disk, bypassing the
+    store API — what a torn upload or bit rot would leave behind."""
+    key_dir = store.root / quote(key, safe="")
+    generations = sorted(path for path in key_dir.iterdir()
+                         if path.name.startswith("g"))
+    generations[-1].write_text(text, encoding="utf-8")
+
+
+def test_corrupt_plan_object_raises_clean_shard_error(tmp_path):
+    store, broker = store_broker(tmp_path)
+    broker.submit(small_plan(shards=1))
+    corrupt_object(store, "plan.json", "{truncated")
+    with pytest.raises(ShardError, match="not valid JSON") as excinfo:
+        broker.status()
+    assert "'plan.json'" in str(excinfo.value)  # names the offending key
+
+
+def test_corrupt_manifest_object_raises_clean_shard_error(tmp_path):
+    store, broker = store_broker(tmp_path)
+    broker.submit(small_plan(shards=1))
+    key = "manifest/" + shard_file_name(0, 1)
+    corrupt_object(store, key, json.dumps({"kind": "wrong-kind"}))
+    with pytest.raises(ShardError, match="field 'kind'") as excinfo:
+        broker.lease("worker-a")
+    assert repr(key) in str(excinfo.value)
+
+
+def test_truncated_result_object_raises_clean_shard_error(tmp_path):
+    store, broker = store_broker(tmp_path)
+    broker.submit(small_plan(shards=1))
+    lease = broker.lease("worker-a")
+    broker.post(lease, run_manifest(lease.manifest))
+    key = "result/" + shard_file_name(0, 1)
+    payload = json.loads(store.get(key)[0])
+    payload["results"] = payload["results"][:-1]  # drop one trial's result
+    corrupt_object(store, key, json.dumps(payload))
+    with pytest.raises(ShardError, match="specs but") as excinfo:
+        broker.collect()
+    assert repr(key) in str(excinfo.value)
+
+
+def test_lease_object_missing_state_field_raises_clean_shard_error(tmp_path):
+    store, broker = store_broker(tmp_path)
+    broker.submit(small_plan(shards=1))
+    key = "lease/" + shard_file_name(0, 1)
+    corrupt_object(store, key, "{}")
+    with pytest.raises(ShardError,
+                       match="missing required field 'state'") as excinfo:
+        broker.status()
+    assert repr(key) in str(excinfo.value)
+    corrupt_object(store, key, json.dumps({"state": "limbo"}))
+    with pytest.raises(ShardError, match="expected one of"):
+        broker.lease("worker-a")
+
+
+# ----------------------------------------------------------------------
+# fault injection: corrupt files in the directory broker
 # ----------------------------------------------------------------------
 def test_corrupt_queued_manifest_raises_clean_shard_error(tmp_path):
     broker = LocalDirBroker(tmp_path / "broker")
@@ -255,7 +325,7 @@ def test_truncated_done_results_raise_clean_shard_error(tmp_path):
     broker = LocalDirBroker(tmp_path / "broker")
     broker.submit(small_plan(shards=1))
     lease = broker.lease("worker-a")
-    broker.post(lease, ManifestExecutor().run(lease.manifest))
+    broker.post(lease, run_manifest(lease.manifest))
     done_path = next((tmp_path / "broker" / "done").glob("shard-*.json"))
     payload = json.loads(done_path.read_text())
     payload["results"] = payload["results"][:-1]
@@ -290,6 +360,61 @@ def test_malformed_lease_filename_raises_clean_shard_error(tmp_path):
 
 
 # ----------------------------------------------------------------------
+# directory-broker lease mechanics
+# ----------------------------------------------------------------------
+def test_dir_renew_moves_the_deadline_into_the_lease_filename(tmp_path):
+    clock = FakeClock()
+    broker = LocalDirBroker(tmp_path / "broker", lease_ttl=60.0, clock=clock)
+    broker.submit(small_plan(shards=1))
+    lease = broker.lease("worker-a")
+    clock.advance(10.0)
+    renewed = broker.renew(lease)
+    assert renewed is not None and renewed.token != lease.token
+    assert renewed.deadline == clock() + 60.0
+    leased_files = [path.name
+                    for path in (tmp_path / "broker" / "leased").iterdir()]
+    assert leased_files == [renewed.token]  # old filename gone, exactly one
+    assert str(int(renewed.deadline * 1000)) in renewed.token
+
+
+def test_dir_lease_skips_done_manifest_with_stale_queued_copy(tmp_path):
+    """Regression: if a reclaim re-queued a manifest whose results were
+    posted by a straggler, the queued copy must be skipped and cleaned, not
+    pointlessly re-run."""
+    broker = LocalDirBroker(tmp_path / "broker")
+    broker.submit(small_plan(shards=1))
+    lease = broker.lease("worker-a")
+    broker.post(lease, run_manifest(lease.manifest))
+    name = shard_file_name(0, 1)
+    stale_copy = tmp_path / "broker" / "queued" / name
+    lease.manifest.save(stale_copy)  # simulate the reclaim/straggler race
+    assert broker.lease("worker-b") is None
+    assert not stale_copy.exists()  # cleaned up in passing
+    status = broker.status()
+    assert status.done == 1 and status.queued == 0 and status.complete
+
+
+def test_worker_crash_between_two_real_workers_still_bit_identical(tmp_path):
+    """End-to-end reclaim on the directory broker: a worker leases shard 0
+    and dies; after expiry a healthy worker drains everything; the collected
+    merge is still bit-identical to serial."""
+    clock = FakeClock()
+    broker = LocalDirBroker(tmp_path / "broker", lease_ttl=30.0, clock=clock)
+    broker.submit(small_plan(shards=2))
+    assert broker.lease("doomed") is not None  # crashes here
+    clock.advance(31.0)
+    worker = ShardWorker(broker, ManifestExecutor(), worker_id="healthy",
+                         poll=0)
+    completed = worker.run()
+    assert len(completed) == 2
+    merged = merge_shard_results(broker.collect())
+    reference = serial_reference()
+    for key in reference:
+        assert [r.as_dict() for r in reference[key].results] \
+            == [r.as_dict() for r in merged[key].results]
+
+
+# ----------------------------------------------------------------------
 # the worker pull loop
 # ----------------------------------------------------------------------
 def test_worker_drains_queue_and_respects_max_manifests(tmp_path):
@@ -320,7 +445,7 @@ def test_worker_polls_while_a_peer_holds_a_lease(tmp_path):
         clock.advance(6.0)  # two sleeps push past the 10s ttl
 
     worker = ShardWorker(broker, ManifestExecutor(), worker_id="patient",
-                         poll=2.5, sleep=fake_sleep)
+                         poll=2.5, heartbeat=0, sleep=fake_sleep)
     completed = worker.run()
     assert len(completed) == 1  # reclaimed the peer's manifest and ran it
     assert sleeps and all(s == 2.5 for s in sleeps)
@@ -407,3 +532,66 @@ def test_cache_counters_aggregate_across_manifests_of_one_worker(tmp_path):
 
 def test_executor_without_cache_dir_reports_no_stats():
     assert ManifestExecutor().cache_stats() is None
+
+
+class FlakyRenewBroker:
+    """Delegates to a real broker, but renew() raises for a while first."""
+
+    def __init__(self, inner, failures):
+        self._inner = inner
+        self._failures = failures
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+    def renew(self, lease):
+        if self._failures > 0:
+            self._failures -= 1
+            raise ShardError("transient storage blip")
+        return self._inner.renew(lease)
+
+
+def test_heartbeat_survives_transient_renew_errors(tmp_path):
+    """Regression: a storage blip during one renewal must not abandon the
+    manifest — the lease has ttl/3 slack, so the heartbeat retries."""
+    clock = FakeClock()
+    inner = LocalDirBroker(tmp_path / "queue", lease_ttl=60.0, clock=clock)
+    inner.submit(small_plan(shards=1))
+    broker = FlakyRenewBroker(inner, failures=2)
+    renewals = []
+
+    def long_run(_manifest):
+        clock.advance(100.0)
+        wait_until(lambda: renewals)  # a renewal after the blips
+
+    worker = ShardWorker(broker, StubExecutor(before=long_run),
+                         worker_id="steady", poll=0, heartbeat=0.02,
+                         on_renew=lambda lease, ok: renewals.append(ok))
+    completed = worker.run()
+    assert len(completed) == 1 and worker.abandoned == 0
+    assert renewals and all(renewals)  # the blips never surfaced as losses
+    assert inner.status().complete
+
+
+def test_abandoned_manifests_count_toward_max_manifests(tmp_path):
+    """Regression: --max-manifests bounds *executions*; an abandoned
+    manifest must consume the budget, not extend it."""
+    clock = FakeClock()
+    broker = LocalDirBroker(tmp_path / "queue", lease_ttl=60.0, clock=clock)
+    broker.submit(small_plan(shards=2))
+    renewals, thief = [], {}
+
+    def stolen_mid_run(manifest):
+        clock.advance(61.0)
+        thief.setdefault("lease", broker.lease("thief"))
+        wait_until(lambda: renewals)
+
+    worker = ShardWorker(broker, StubExecutor(before=stolen_mid_run),
+                         worker_id="capped", poll=0, heartbeat=0.02,
+                         max_manifests=1,
+                         on_renew=lambda lease, ok: renewals.append(ok))
+    completed = worker.run()
+    # One execution happened (and was abandoned); the cap stops the worker
+    # from taking the second shard even though it posted nothing.
+    assert completed == [] and worker.abandoned == 1
+    assert broker.status().done == 0
