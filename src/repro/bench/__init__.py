@@ -7,6 +7,30 @@ Table 3 with three trials per task and a 30-step cap, plus the metric and
 report generators behind every table and figure in the evaluation section.
 """
 
+from repro.bench.telemetry import (
+    AggregatingSink,
+    EventSink,
+    JsonlSink,
+    NullSink,
+    TeeSink,
+    TelemetryError,
+    TelemetryEvent,
+    read_jsonl_events,
+    set_default_sink,
+    use_sink,
+)
+from repro.bench.registry import (
+    RegistryError,
+    RunRecord,
+    RunRegistry,
+    build_run_record,
+)
+from repro.bench.trajectory import (
+    FailIf,
+    diff_runs,
+    export_bench,
+    flatten_metrics,
+)
 from repro.bench.tasks import all_tasks, tasks_for_app
 from repro.bench.engine import (
     Executor,
@@ -62,26 +86,34 @@ from repro.bench.failures import failure_distribution, failure_breakdown
 from repro.bench import reporting
 
 __all__ = [
+    "AggregatingSink",
     "BenchmarkConfig",
     "BenchmarkRunner",
     "BrokerStatus",
     "DEFAULT_LEASE_TTL",
     "DEFAULT_SEED",
     "EvaluationSetting",
+    "EventSink",
     "Executor",
+    "FailIf",
     "FileSystemObjectStore",
     "InMemoryBroker",
     "InMemoryObjectStore",
+    "JsonlSink",
     "LeaseHeartbeat",
     "LocalDirBroker",
     "MANIFEST_FORMAT_VERSION",
     "ManifestExecutor",
     "MetricSummary",
+    "NullSink",
     "ObjectStore",
     "ObjectStoreBroker",
     "ParallelExecutor",
     "ProgressEvent",
+    "RegistryError",
     "RunOutcome",
+    "RunRecord",
+    "RunRegistry",
     "SerialExecutor",
     "ShardBroker",
     "ShardError",
@@ -90,19 +122,29 @@ __all__ = [
     "ShardPlan",
     "ShardResults",
     "ShardWorker",
+    "TeeSink",
+    "TelemetryError",
+    "TelemetryEvent",
     "TrialSpec",
     "aggregate",
     "all_tasks",
+    "build_run_record",
+    "diff_runs",
     "expand_trial_specs",
+    "export_bench",
     "failure_breakdown",
     "failure_distribution",
+    "flatten_metrics",
     "merge_shard_results",
     "normalized_core_steps",
     "one_shot_rate",
     "plan_shards",
+    "read_jsonl_events",
     "reporting",
+    "set_default_sink",
     "shard_file_name",
     "success_rate",
     "tasks_for_app",
     "trial_seed",
+    "use_sink",
 ]

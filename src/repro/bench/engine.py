@@ -35,6 +35,8 @@ from typing import Callable, Dict, List, Optional, Sequence, TYPE_CHECKING
 import zlib
 
 from repro.agent.session import SessionResult
+from repro.bench import telemetry
+from repro.bench.telemetry import TrialFinished, TrialStarted, phases_from_result
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (runner imports us)
     from repro.bench.runner import BenchmarkRunner
@@ -132,12 +134,19 @@ class SerialExecutor(Executor):
 _WORKER_RUNNER: Optional["BenchmarkRunner"] = None
 
 
-def _worker_init(trials: int, seed: int, dmi_config, cache_dir: str) -> None:
+def _worker_init(trials: int, seed: int, dmi_config, cache_dir: str,
+                 cache_max_entries: Optional[int] = None) -> None:
     global _WORKER_RUNNER
     from repro.bench.runner import BenchmarkConfig, BenchmarkRunner
 
+    # On fork-start platforms the child inherits the parent's process-default
+    # sink (including any open JsonlSink file descriptor); the parent already
+    # emits every trial's events itself, so a worker emitting too would
+    # double-count each trial.  Telemetry is parent-side only in pool runs.
+    telemetry.set_default_sink(None)
     _WORKER_RUNNER = BenchmarkRunner(BenchmarkConfig(
-        trials=trials, seed=seed, dmi=dmi_config, cache_dir=cache_dir))
+        trials=trials, seed=seed, dmi=dmi_config, cache_dir=cache_dir,
+        cache_max_entries=cache_max_entries))
 
 
 def _worker_run(payload: Dict[str, object]) -> Dict[str, object]:
@@ -205,7 +214,9 @@ class ParallelExecutor(Executor):
             else:
                 scratch = tempfile.TemporaryDirectory(prefix="repro-cache-")
                 cache_dir = scratch.name
-                cache = ArtifactCache(cache_dir, runner.config.dmi)
+                cache = ArtifactCache(
+                    cache_dir, runner.config.dmi,
+                    max_entries=runner.config.cache_max_entries)
             # Pre-warm the on-disk cache from the parent so the rip phase
             # runs (at most) once per app instead of once per worker.  The
             # pre-warm goes through the cache's own load_or_build so warm
@@ -220,18 +231,39 @@ class ParallelExecutor(Executor):
                 else:
                     runner._artifacts[app_name] = cache.load_or_build(app_name)
             results: List[Optional[SessionResult]] = [None] * len(specs)
+            # Trials execute in worker processes whose default sinks are
+            # reset to null by _worker_init, so the parent emits the trial
+            # events: started at submit, finished per completion.  Real
+            # per-trial seconds are unknown here (the worker ran them) and
+            # reported as None so the trial_seconds timer stays honest; the
+            # simulated wall clock and plan/act phases come from the result
+            # and match what a serial run would have emitted.
+            sink = telemetry.resolve(runner.sink)
             with ProcessPoolExecutor(
                     max_workers=self.jobs, initializer=_worker_init,
                     initargs=(runner.config.trials, runner.config.seed,
-                              runner.config.dmi, str(cache_dir))) as pool:
-                futures = {pool.submit(_worker_run, spec.as_dict()): index
-                           for index, spec in enumerate(specs)}
+                              runner.config.dmi, str(cache_dir),
+                              runner.config.cache_max_entries)) as pool:
+                futures = {}
+                for index, spec in enumerate(specs):
+                    if sink:
+                        sink.emit(TrialStarted(task_id=spec.task_id,
+                                               setting_key=spec.setting_key,
+                                               trial=spec.trial))
+                    futures[pool.submit(_worker_run, spec.as_dict())] = index
                 completed = 0
                 for future in as_completed(futures):
                     index = futures[future]
                     result = SessionResult.from_dict(future.result())
                     results[index] = result
                     completed += 1
+                    if sink:
+                        spec = specs[index]
+                        sink.emit(TrialFinished(
+                            task_id=spec.task_id, setting_key=spec.setting_key,
+                            trial=spec.trial, success=result.success,
+                            seconds=None, wall_s=result.wall_time_s,
+                            phases=phases_from_result(result)))
                     if progress is not None:
                         progress(ProgressEvent(completed=completed, total=len(specs),
                                                spec=specs[index], result=result))

@@ -18,6 +18,7 @@ With ``cache_dir`` set, offline models are loaded from the content-addressed
 from __future__ import annotations
 
 import random
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Union
@@ -34,7 +35,9 @@ from repro.bench.engine import (
     expand_trial_specs,
     trial_seed,
 )
+from repro.bench import telemetry
 from repro.bench.tasks import all_tasks, task_by_id
+from repro.bench.telemetry import TrialFinished, TrialStarted, phases_from_result
 from repro.dmi.cache import ArtifactCache
 from repro.dmi.interface import DMI, DMIConfig, OfflineArtifacts, build_offline_artifacts
 from repro.llm.profiles import GPT5_MEDIUM, GPT5_MINI, GPT5_MINIMAL, ModelProfile
@@ -97,6 +100,9 @@ class BenchmarkConfig:
     jobs: int = 1
     #: Directory for the offline-model cache (None = rip in-process).
     cache_dir: Optional[Union[str, Path]] = None
+    #: LRU bound on the cache directory (None = unbounded); see
+    #: :class:`~repro.dmi.cache.ArtifactCache`.
+    cache_max_entries: Optional[int] = None
 
 
 @dataclass
@@ -126,8 +132,12 @@ class BenchmarkRunner:
         self._artifacts: Dict[str, OfflineArtifacts] = {}
         self._settings: Dict[str, EvaluationSetting] = {}
         self._tasks: Dict[str, TaskSpec] = {}
+        #: Telemetry sink for trial events (None = the process default at
+        #: emit time; see :mod:`repro.bench.telemetry`).
+        self.sink: Optional[telemetry.EventSink] = None
         self.cache: Optional[ArtifactCache] = (
-            ArtifactCache(self.config.cache_dir, self.config.dmi)
+            ArtifactCache(self.config.cache_dir, self.config.dmi,
+                          max_entries=self.config.cache_max_entries)
             if self.config.cache_dir is not None else None)
 
     # ------------------------------------------------------------------
@@ -172,19 +182,47 @@ class BenchmarkRunner:
     # online phase
     # ------------------------------------------------------------------
     def run_spec(self, spec: TrialSpec) -> SessionResult:
-        """Run the single work unit described by ``spec``."""
+        """Run the single work unit described by ``spec``.
+
+        Instrumented: emits :class:`~repro.bench.telemetry.TrialStarted` /
+        :class:`~repro.bench.telemetry.TrialFinished` (with the measured
+        rip/build and simulated plan/act phase breakdown) to the runner's
+        sink.  With the default :class:`~repro.bench.telemetry.NullSink`
+        even the ``perf_counter`` reads are skipped, so the hot path pays
+        only the truthiness checks.
+        """
+        sink = telemetry.resolve(self.sink)
+        measuring = bool(sink)
+        if measuring:
+            sink.emit(TrialStarted(task_id=spec.task_id,
+                                   setting_key=spec.setting_key,
+                                   trial=spec.trial))
+            started = time.perf_counter()
         task = self._resolve_task(spec.task_id)
         setting = self._resolve_setting(spec.setting_key)
         rng = random.Random(spec.seed)
         app = APP_FACTORIES[task.app]()
+        rip_started = time.perf_counter() if measuring else 0.0
         artifacts = self.offline_artifacts(task.app)
+        build_started = time.perf_counter() if measuring else 0.0
         profile = setting.profile
         if setting.knowledge == "Nav.forest" and not setting.interface.uses_dmi:
             # The ablation provides the forest as prose knowledge only.
             profile = profile.with_knowledge(True)
         host = HostAgent(profile, setting.interface, rng=rng)
         dmi = DMI(app, artifacts, self.config.dmi) if setting.interface.uses_dmi else None
-        return host.run_task(task, app, artifacts.forest, core=artifacts.core, dmi=dmi)
+        act_started = time.perf_counter() if measuring else 0.0
+        result = host.run_task(task, app, artifacts.forest, core=artifacts.core, dmi=dmi)
+        if measuring:
+            finished = time.perf_counter()
+            sink.emit(TrialFinished(
+                task_id=spec.task_id, setting_key=spec.setting_key,
+                trial=spec.trial, success=result.success,
+                seconds=finished - started, wall_s=result.wall_time_s,
+                phases=phases_from_result(
+                    result, rip_s=build_started - rip_started,
+                    build_s=act_started - build_started)))
+        return result
 
     def run_trial(self, task: TaskSpec, setting: EvaluationSetting, trial: int) -> SessionResult:
         """Run one trial of one task under one setting."""

@@ -308,11 +308,14 @@ class ShardResults:
 
     ``results[i]`` is the outcome of ``manifest.specs[i]``; the manifest is
     embedded verbatim so the merge step can validate provenance from the
-    results file alone.
+    results file alone.  ``source`` remembers where the results were loaded
+    from (a file path, or an object-store key) purely for error messages —
+    it is not serialized and never participates in equality.
     """
 
     manifest: ShardManifest
     results: List[SessionResult] = field(default_factory=list)
+    source: Optional[str] = field(default=None, compare=False, repr=False)
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -373,7 +376,7 @@ class ShardResults:
                     f"{position} is for setting {spec.setting_key!r} "
                     f"{expected!r}; the results array is misaligned with "
                     "the manifest's specs")
-        return cls(manifest=manifest, results=results)
+        return cls(manifest=manifest, results=results, source=source)
 
     def save(self, path: Union[str, Path]) -> Path:
         target = Path(path)
@@ -399,16 +402,23 @@ class ManifestExecutor:
 
     def __init__(self, jobs: int = 1,
                  cache_dir: Optional[Union[str, Path]] = None,
-                 dmi_config: Optional[DMIConfig] = None) -> None:
+                 dmi_config: Optional[DMIConfig] = None,
+                 cache_max_entries: Optional[int] = None,
+                 sink=None) -> None:
         if jobs < 1:
             raise ShardError(f"jobs must be >= 1, got {jobs}")
         self.jobs = jobs
         self.cache_dir = cache_dir
         self.dmi_config = dmi_config or DMIConfig()
+        self.cache_max_entries = cache_max_entries
+        #: Telemetry sink handed to the runner and cache of every manifest
+        #: this executor runs (None = the process default at emit time).
+        self.sink = sink
         #: One cache shared across every manifest this executor runs, so
         #: hit/miss counters aggregate over a whole worker session.
         self.cache: Optional[ArtifactCache] = (
-            ArtifactCache(cache_dir, self.dmi_config)
+            ArtifactCache(cache_dir, self.dmi_config,
+                          max_entries=cache_max_entries, sink=sink)
             if cache_dir is not None else None)
 
     def cache_stats(self) -> Optional[Dict[str, object]]:
@@ -427,7 +437,9 @@ class ManifestExecutor:
                 "results would not merge with the plan's other shards")
         runner = BenchmarkRunner(BenchmarkConfig(
             trials=manifest.trials, seed=manifest.seed, dmi=self.dmi_config,
-            jobs=self.jobs, cache_dir=self.cache_dir))
+            jobs=self.jobs, cache_dir=self.cache_dir,
+            cache_max_entries=self.cache_max_entries))
+        runner.sink = self.sink
         if self.cache is not None:
             # Share the executor-lifetime cache (and its counters) instead
             # of the runner's per-run instance.
@@ -452,6 +464,11 @@ class ManifestExecutor:
 # ----------------------------------------------------------------------
 # merging
 # ----------------------------------------------------------------------
+def _describe_results(shard: ShardResults) -> str:
+    """Where one ShardResults came from, for merge error messages."""
+    return shard.source if shard.source else "<in-memory ShardResults>"
+
+
 def merge_shard_results(shards: Sequence[ShardResults]) -> Dict[str, "RunOutcome"]:
     """Validate ``shards`` and reassemble them into per-setting outcomes.
 
@@ -475,7 +492,13 @@ def merge_shard_results(shards: Sequence[ShardResults]) -> Dict[str, "RunOutcome
     for shard in shards:
         index = shard.manifest.shard_index
         if index in seen:
-            raise ShardError(f"shard {index} appears more than once")
+            # Name both offending results files: "shard 3 twice" is not
+            # actionable when ten result paths were globbed onto the
+            # command line.
+            raise ShardError(
+                f"shard {index} appears more than once "
+                f"(first: {_describe_results(seen[index])}, "
+                f"duplicate: {_describe_results(shard)})")
         if not 0 <= index < reference.shard_count:
             raise ShardError(f"shard index {index} out of range for a "
                              f"{reference.shard_count}-shard plan")

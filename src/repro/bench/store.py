@@ -44,7 +44,9 @@ from pathlib import Path
 from typing import Dict, List, Optional, Tuple, Union
 from urllib.parse import quote, unquote
 
+from repro.bench import telemetry
 from repro.bench.shard import ShardError
+from repro.bench.telemetry import CasRetry, EventSink
 
 #: (value, etag) as returned by :meth:`ObjectStore.get`.
 StoredObject = Tuple[bytes, str]
@@ -103,10 +105,20 @@ def _check_value(key: str, data: bytes) -> None:
                          "(zero bytes marks a superseded generation)")
 
 
+def _emit_cas_lost(sink: Optional[EventSink], key: str) -> None:
+    """A conditional swap lost its race: the caller will re-read and retry
+    (or, for a lease renewal, treat the lease as gone).  Counting these is
+    how lease contention becomes visible in a run's telemetry."""
+    resolved = telemetry.resolve(sink)
+    if resolved:
+        resolved.emit(CasRetry(key=key, op="put_if_match"))
+
+
 class InMemoryObjectStore(ObjectStore):
     """The reference semantics over a dict; thread-safe, in-process only."""
 
-    def __init__(self) -> None:
+    def __init__(self, sink: Optional[EventSink] = None) -> None:
+        self.sink = sink
         self._lock = threading.Lock()
         self._objects: Dict[str, StoredObject] = {}
         self._version = 0
@@ -127,10 +139,11 @@ class InMemoryObjectStore(ObjectStore):
         _check_value(key, data)
         with self._lock:
             current = self._objects.get(key)
-            if current is None or current[1] != etag:
-                return False
-            self._objects[key] = (bytes(data), self._next_etag())
-            return True
+            if current is not None and current[1] == etag:
+                self._objects[key] = (bytes(data), self._next_etag())
+                return True
+        _emit_cas_lost(self.sink, key)
+        return False
 
     def get(self, key: str) -> Optional[StoredObject]:
         with self._lock:
@@ -207,9 +220,11 @@ class FileSystemObjectStore(ObjectStore):
     #: giving up; in practice one retry is already rare.
     READ_ATTEMPTS = 8
 
-    def __init__(self, root: Union[str, Path]) -> None:
+    def __init__(self, root: Union[str, Path],
+                 sink: Optional[EventSink] = None) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        self.sink = sink
         self._tmp_counter = 0
         self._tmp_lock = threading.Lock()
 
@@ -334,6 +349,12 @@ class FileSystemObjectStore(ObjectStore):
         return True
 
     def put_if_match(self, key: str, data: bytes, etag: str) -> bool:
+        swapped = self._put_if_match(key, data, etag)
+        if not swapped:
+            _emit_cas_lost(self.sink, key)
+        return swapped
+
+    def _put_if_match(self, key: str, data: bytes, etag: str) -> bool:
         _check_value(key, data)
         generation = self._parse_etag(key, etag)
         key_dir = self._key_dir(key)

@@ -51,6 +51,7 @@ from __future__ import annotations
 import json
 import math
 import os
+import random
 import re
 import socket
 import threading
@@ -80,6 +81,17 @@ from repro.bench.shard import (
 )
 from repro.bench.engine import ProgressCallback
 from repro.bench.store import ObjectStore
+from repro.bench import telemetry
+from repro.bench.telemetry import (
+    EventSink,
+    LeaseAcquired,
+    LeaseLost,
+    LeaseRenewed,
+    ManifestAbandoned,
+    ShardCollected,
+    ShardPosted,
+    WorkerIdle,
+)
 
 #: Seconds a lease stays valid before any worker may reclaim the manifest.
 #: Generous by default: reclaim exists for crashed workers, not slow ones
@@ -89,6 +101,15 @@ DEFAULT_LEASE_TTL = 900.0
 #: Fraction of ``lease_ttl`` between heartbeat renewals when no explicit
 #: interval is configured: three chances to renew before the lease expires.
 DEFAULT_HEARTBEAT_FRACTION = 3.0
+
+#: First idle-poll sleep of a :class:`ShardWorker`'s exponential backoff;
+#: doubles per consecutive empty poll, so a worker that just lost a lease
+#: race re-checks quickly but an idle fleet quiets down fast.
+IDLE_BACKOFF_BASE = 0.05
+
+#: Hard ceiling on one idle-poll sleep regardless of how high ``--poll``
+#: is set — crashed-peer reclaim latency stays bounded.
+IDLE_BACKOFF_CAP = 30.0
 
 _PLAN_KIND = "repro-broker-plan"
 
@@ -140,6 +161,13 @@ def _check_posted_results(reference: Tuple[object, ...],
         raise ShardError(f"{source} carry shard index "
                          f"{manifest.shard_index}, out of range for a "
                          f"{manifest.shard_count}-shard plan")
+
+
+def _emit_collected(sink: EventSink, collected: List[ShardResults]) -> None:
+    """One :class:`~repro.bench.telemetry.ShardCollected` per gathered shard."""
+    if sink:
+        for shard in collected:
+            sink.emit(ShardCollected(shard_index=shard.manifest.shard_index))
 
 
 @dataclass(frozen=True)
@@ -237,10 +265,12 @@ class InMemoryBroker(ShardBroker):
     """
 
     def __init__(self, lease_ttl: float = DEFAULT_LEASE_TTL,
-                 clock: Clock = time.monotonic) -> None:
+                 clock: Clock = time.monotonic,
+                 sink: Optional[EventSink] = None) -> None:
         if lease_ttl <= 0:
             raise ShardError(f"lease_ttl must be > 0, got {lease_ttl}")
         self.lease_ttl = lease_ttl
+        self.sink = sink
         self._clock = clock
         self._lock = threading.Lock()
         self._identity: Optional[Tuple[object, ...]] = None
@@ -317,7 +347,9 @@ class InMemoryBroker(ShardBroker):
     def collect(self) -> List[ShardResults]:
         with self._lock:
             self._require_plan()
-            return [self._done[index] for index in sorted(self._done)]
+            collected = [self._done[index] for index in sorted(self._done)]
+        _emit_collected(telemetry.resolve(self.sink), collected)
+        return collected
 
     def status(self) -> BrokerStatus:
         with self._lock:
@@ -364,11 +396,13 @@ class LocalDirBroker(ShardBroker):
 
     def __init__(self, root: Union[str, Path],
                  lease_ttl: float = DEFAULT_LEASE_TTL,
-                 clock: Clock = time.time) -> None:
+                 clock: Clock = time.time,
+                 sink: Optional[EventSink] = None) -> None:
         if lease_ttl <= 0:
             raise ShardError(f"lease_ttl must be > 0, got {lease_ttl}")
         self.root = Path(root)
         self.lease_ttl = lease_ttl
+        self.sink = sink
         self._clock = clock
 
     # ------------------------------------------------------------------
@@ -513,8 +547,10 @@ class LocalDirBroker(ShardBroker):
 
     def collect(self) -> List[ShardResults]:
         self._identity()
-        return [ShardResults.load(path)
-                for path in sorted(self._done_dir.glob("shard-*.json"))]
+        collected = [ShardResults.load(path)
+                     for path in sorted(self._done_dir.glob("shard-*.json"))]
+        _emit_collected(telemetry.resolve(self.sink), collected)
+        return collected
 
     def status(self) -> BrokerStatus:
         identity = self._identity()
@@ -568,11 +604,13 @@ class ObjectStoreBroker(ShardBroker):
 
     def __init__(self, store: ObjectStore,
                  lease_ttl: float = DEFAULT_LEASE_TTL,
-                 clock: Clock = time.time) -> None:
+                 clock: Clock = time.time,
+                 sink: Optional[EventSink] = None) -> None:
         if lease_ttl <= 0:
             raise ShardError(f"lease_ttl must be > 0, got {lease_ttl}")
         self.store = store
         self.lease_ttl = lease_ttl
+        self.sink = sink
         self._clock = clock
 
     # ------------------------------------------------------------------
@@ -728,6 +766,7 @@ class ObjectStoreBroker(ShardBroker):
                 continue  # deleted mid-listing
             collected.append(ShardResults.from_dict(
                 found[0], source=self._source(key)))
+        _emit_collected(telemetry.resolve(self.sink), collected)
         return collected
 
     def status(self) -> BrokerStatus:
@@ -782,13 +821,15 @@ class LeaseHeartbeat:
 
     def __init__(self, broker: ShardBroker, lease: ShardLease,
                  interval: float,
-                 on_renew: Optional[RenewCallback] = None) -> None:
+                 on_renew: Optional[RenewCallback] = None,
+                 sink: Optional[EventSink] = None) -> None:
         if not math.isfinite(interval) or interval <= 0:
             raise ShardError(f"heartbeat interval must be a finite number "
                              f"> 0, got {interval}")
         self.broker = broker
         self.interval = interval
         self.on_renew = on_renew
+        self.sink = sink
         self._lease = lease
         self._lock = threading.Lock()
         self._stop = threading.Event()
@@ -824,12 +865,20 @@ class LeaseHeartbeat:
                 # further chances before expiry, and a lease that really
                 # was reclaimed shows up as renew() -> None next tick.
                 continue
+            sink = telemetry.resolve(self.sink)
             if renewed is None:
                 self._lost.set()
+                if sink:
+                    lease = self.lease
+                    sink.emit(LeaseLost(shard_index=lease.manifest.shard_index,
+                                        worker_id=lease.worker_id))
                 self._notify(self.lease, False)
                 return
             with self._lock:
                 self._lease = renewed
+            if sink:
+                sink.emit(LeaseRenewed(shard_index=renewed.manifest.shard_index,
+                                       worker_id=renewed.worker_id))
             self._notify(renewed, True)
 
     def _notify(self, lease: ShardLease, renewed: bool) -> None:
@@ -846,10 +895,14 @@ class LeaseHeartbeat:
 class ShardWorker:
     """Pull loop: lease → heartbeat + execute → post, until the queue drains.
 
-    ``poll`` is the sleep between queue checks while other workers still
-    hold leases (their lease may expire and become ours to reclaim); with
-    ``poll=0`` the worker exits as soon as nothing is leasable.
-    ``max_manifests`` caps how many manifests this worker will execute.
+    ``poll`` is the *maximum* sleep between queue checks while other
+    workers still hold leases (their lease may expire and become ours to
+    reclaim): idle polling backs off exponentially with jitter from
+    :data:`IDLE_BACKOFF_BASE` up to ``min(poll, IDLE_BACKOFF_CAP)``, so
+    hundreds of idle workers don't hammer one store with ``list_prefix``
+    calls in lock-step.  With ``poll=0`` the worker exits as soon as
+    nothing is leasable.  ``max_manifests`` caps how many manifests this
+    worker will execute.
 
     ``heartbeat`` is the seconds between background lease renewals while a
     manifest runs: ``None`` (the default) derives ``lease_ttl / 3`` from
@@ -867,7 +920,8 @@ class ShardWorker:
                  max_manifests: Optional[int] = None,
                  heartbeat: Optional[float] = None,
                  on_renew: Optional[RenewCallback] = None,
-                 sleep: Callable[[float], None] = time.sleep) -> None:
+                 sleep: Callable[[float], None] = time.sleep,
+                 sink: Optional[EventSink] = None) -> None:
         if not math.isfinite(poll) or poll < 0:
             raise ShardError(f"poll must be a finite number >= 0, got {poll}")
         if max_manifests is not None and max_manifests < 1:
@@ -891,9 +945,14 @@ class ShardWorker:
         self.max_manifests = max_manifests
         self.heartbeat = heartbeat
         self.on_renew = on_renew
+        self.sink = sink
         #: Manifests whose lease was lost mid-run and were dropped unposted.
         self.abandoned = 0
         self._sleep = sleep
+        #: Jitter source for idle backoff, seeded from the worker id so a
+        #: test fleet's sleep schedule is reproducible while real fleets
+        #: (unique hostname-pid ids) still decorrelate.
+        self._backoff_rng = random.Random(f"idle-backoff:{self.worker_id}")
 
     def run(self, progress: Optional[ProgressCallback] = None,
             on_manifest: Optional[ManifestCallback] = None) -> List[ShardResults]:
@@ -904,7 +963,9 @@ class ShardWorker:
         """
         completed: List[ShardResults] = []
         executed = 0
+        idle_streak = 0
         while self.max_manifests is None or executed < self.max_manifests:
+            sink = telemetry.resolve(self.sink)
             lease = self.broker.lease(self.worker_id)
             if lease is None:
                 snapshot = self.broker.status()
@@ -912,12 +973,19 @@ class ShardWorker:
                     continue  # lost a lease race; try again immediately
                 if snapshot.leased == 0 or self.poll <= 0:
                     break  # drained (or not polling for reclaims)
-                self._sleep(self.poll)
+                self._idle_sleep(idle_streak, sink)
+                idle_streak += 1
                 continue
+            idle_streak = 0
+            if sink:
+                sink.emit(LeaseAcquired(
+                    shard_index=lease.manifest.shard_index,
+                    worker_id=self.worker_id))
             beat = None
             if self.heartbeat > 0:
                 beat = LeaseHeartbeat(self.broker, lease, self.heartbeat,
-                                      on_renew=self.on_renew).start()
+                                      on_renew=self.on_renew,
+                                      sink=self.sink).start()
             try:
                 results = self.executor.run(lease.manifest, progress=progress)
             finally:
@@ -929,10 +997,32 @@ class ShardWorker:
                     # Reclaimed out from under us: a peer owns the shard
                     # and will post identical bytes.  Drop ours unposted.
                     self.abandoned += 1
+                    if sink:
+                        sink.emit(ManifestAbandoned(
+                            shard_index=lease.manifest.shard_index,
+                            worker_id=self.worker_id))
                     continue
                 lease = beat.lease  # renewals may have re-tokened it
-            self.broker.post(lease, results)
+            first_post = self.broker.post(lease, results)
             completed.append(results)
+            if sink:
+                sink.emit(ShardPosted(
+                    shard_index=lease.manifest.shard_index,
+                    worker_id=self.worker_id, results=len(results.results),
+                    first_post=first_post))
             if on_manifest is not None:
                 on_manifest(lease, results, self.broker.status())
         return completed
+
+    def _idle_sleep(self, streak: int, sink: EventSink) -> None:
+        """One backoff sleep: ``base * 2^streak`` jittered, capped by
+        ``min(poll, IDLE_BACKOFF_CAP)``."""
+        cap = min(self.poll, IDLE_BACKOFF_CAP)
+        delay = min(cap, IDLE_BACKOFF_BASE * (2.0 ** min(streak, 32)))
+        # Jitter into [0.5, 1.0) of the nominal delay so a fleet of workers
+        # that went idle together doesn't re-poll in lock-step.
+        delay *= 0.5 + 0.5 * self._backoff_rng.random()
+        if sink:
+            sink.emit(WorkerIdle(worker_id=self.worker_id, slept_s=delay,
+                                 streak=streak))
+        self._sleep(delay)

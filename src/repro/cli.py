@@ -43,6 +43,16 @@ Five subcommands cover the common workflows without writing any code:
     reclaimed; live workers renew their lease in the background every
     ``--heartbeat SECS`` (default ``lease_ttl/3``; ``0`` disables), so
     manifests may run arbitrarily long without an oversized TTL.
+``runs``
+    Inspect the persistent run registry.  ``run``, ``shard run`` and
+    ``shard work``/``collect`` all append a :class:`RunRecord` (grid
+    identity, execution path, wall clock, telemetry counters and the
+    Table 3 aggregates) when ``--registry DIR`` (or ``$REPRO_REGISTRY``)
+    is set; ``runs list`` / ``runs show ID`` browse them,
+    ``runs diff A B`` prints the per-metric delta table and exits nonzero
+    when a ``--fail-if wall_clock>+10%`` style regression threshold trips,
+    and ``runs export --bench BENCH_5.json`` emits the repository's
+    benchmark-trajectory JSON so perf history accumulates PR over PR.
 ``tasks``
     List the benchmark task suite.
 
@@ -55,7 +65,13 @@ Execution-engine flags (``run``, ``report`` and ``shard run``):
 ``--cache-dir PATH``
     Content-addressed cache of offline navigation models.  The first run
     rips each application once and persists the UNG; later runs (and every
-    parallel worker) load instead of re-ripping.
+    parallel worker) load instead of re-ripping.  ``--cache-max-entries N``
+    bounds the directory (LRU by last-load time; evictions are counted).
+``--registry DIR`` / ``--events FILE``
+    Telemetry: record a RunRecord for ``repro runs`` in DIR (default:
+    ``$REPRO_REGISTRY``), and/or stream every telemetry event to FILE as
+    JSON lines.  With neither flag the default NullSink keeps the
+    instrumented hot paths at zero overhead.
 ``--export FILE``
     Write all per-trial results and aggregate summaries to a JSON file
     (``run``, ``report`` and ``shard merge``).
@@ -89,6 +105,11 @@ Examples::
         --heartbeat 30 --jobs 4         # object-store broker + heartbeats
     python -m repro shard collect --store /mnt/objstore --poll 5 \\
         --export merged.json
+    python -m repro run --registry runs/ --events run.jsonl --trials 1
+    python -m repro runs list --registry runs/
+    python -m repro runs diff 20260726-1 20260726-2 --registry runs/ \\
+        --fail-if 'wall_clock>+10%' --fail-if 'cache_miss>+0'
+    python -m repro runs export --registry runs/ --bench BENCH_5.json
 """
 
 from __future__ import annotations
@@ -96,6 +117,7 @@ from __future__ import annotations
 import argparse
 import json
 import math
+import os
 import sys
 import time
 from pathlib import Path
@@ -105,6 +127,25 @@ from repro.apps import APP_FACTORIES
 from repro.bench import reporting
 from repro.bench.engine import ProgressCallback, ProgressEvent
 from repro.bench.metrics import aggregate
+from repro.bench.registry import (
+    RegistryError,
+    RunRegistry,
+    build_run_record,
+)
+from repro.bench.telemetry import (
+    AggregatingSink,
+    EventSink,
+    JsonlSink,
+    TeeSink,
+    set_default_sink,
+)
+from repro.bench.trajectory import (
+    FailIf,
+    check_fail_ifs,
+    diff_runs,
+    export_bench,
+    render_diff,
+)
 from repro.bench.shard import (
     ManifestExecutor,
     ShardError,
@@ -132,6 +173,7 @@ from repro.bench.runner import (
     setting_by_key,
 )
 from repro.bench.tasks import all_tasks, task_by_id
+from repro.dmi.cache import config_fingerprint
 from repro.dmi.interface import build_offline_artifacts, rebuild_offline_artifacts
 from repro.topology.persistence import load_model, save_ung
 
@@ -178,13 +220,29 @@ def build_parser() -> argparse.ArgumentParser:
                          help="stream '[completed/total] task setting trial' "
                               "lines to stderr as trials finish")
 
+    def add_cache_bound_flag(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--cache-max-entries", type=positive_int,
+                         default=None, metavar="N",
+                         help="bound the cache directory to N entries "
+                              "(LRU by last-load time; default: unbounded)")
+
+    def add_telemetry_flags(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--registry", metavar="DIR", default=None,
+                         help="run-registry directory: append a RunRecord "
+                              "for 'repro runs' (default: $REPRO_REGISTRY)")
+        sub.add_argument("--events", metavar="FILE", default=None,
+                         help="append every telemetry event to FILE as "
+                              "JSON lines")
+
     def add_engine_flags(sub: argparse.ArgumentParser) -> None:
         sub.add_argument("--jobs", type=positive_int, default=1,
                          help="worker processes (1 = serial; >1 = process pool)")
         sub.add_argument("--cache-dir", metavar="PATH", default=None,
                          help="on-disk cache for offline navigation models")
+        add_cache_bound_flag(sub)
         sub.add_argument("--export", metavar="FILE", default=None,
                          help="write per-trial results and summaries to a JSON file")
+        add_telemetry_flags(sub)
         add_progress_flag(sub)
 
     def add_grid_flags(sub: argparse.ArgumentParser) -> None:
@@ -230,6 +288,8 @@ def build_parser() -> argparse.ArgumentParser:
                            help="worker processes (1 = serial; >1 = process pool)")
     shard_run.add_argument("--cache-dir", metavar="PATH", default=None,
                            help="on-disk cache for offline navigation models")
+    add_cache_bound_flag(shard_run)
+    add_telemetry_flags(shard_run)
     add_progress_flag(shard_run)
 
     shard_merge = shard_sub.add_parser(
@@ -288,6 +348,8 @@ def build_parser() -> argparse.ArgumentParser:
                             help="worker processes (1 = serial; >1 = process pool)")
     shard_work.add_argument("--cache-dir", metavar="PATH", default=None,
                             help="on-disk cache for offline navigation models")
+    add_cache_bound_flag(shard_work)
+    add_telemetry_flags(shard_work)
     add_progress_flag(shard_work)
 
     shard_collect = shard_sub.add_parser(
@@ -302,7 +364,47 @@ def build_parser() -> argparse.ArgumentParser:
     shard_collect.add_argument("--export", metavar="FILE", default=None,
                                help="write merged results and summaries to a "
                                     "JSON file")
+    add_telemetry_flags(shard_collect)
     add_progress_flag(shard_collect)
+
+    runs = subparsers.add_parser(
+        "runs", help="inspect and compare runs recorded with --registry")
+    runs_sub = runs.add_subparsers(dest="runs_command", required=True)
+
+    def add_registry_flag(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--registry", metavar="DIR", default=None,
+                         help="run-registry directory "
+                              "(default: $REPRO_REGISTRY)")
+
+    runs_list = runs_sub.add_parser("list", help="list recorded runs")
+    add_registry_flag(runs_list)
+    runs_list.add_argument("--ids", action="store_true",
+                           help="print bare run ids only (for scripting)")
+
+    runs_show = runs_sub.add_parser("show", help="print one run record")
+    add_registry_flag(runs_show)
+    runs_show.add_argument("run_id", help="run id (or unique prefix)")
+
+    runs_diff = runs_sub.add_parser(
+        "diff", help="per-metric delta table between two recorded runs")
+    add_registry_flag(runs_diff)
+    runs_diff.add_argument("before", help="baseline run id (or prefix)")
+    runs_diff.add_argument("after", help="candidate run id (or prefix)")
+    runs_diff.add_argument("--fail-if", action="append", default=[],
+                           metavar="SPEC",
+                           help="exit nonzero when a metric regresses past "
+                                "SPEC, e.g. 'wall_clock>+10%%' or "
+                                "'cache_hit<-2' (repeatable)")
+
+    runs_export = runs_sub.add_parser(
+        "export", help="emit the BENCH_*.json benchmark-trajectory file")
+    add_registry_flag(runs_export)
+    runs_export.add_argument("--bench", metavar="FILE", required=True,
+                             help="trajectory file to write "
+                                  "(conventionally BENCH_<pr>.json)")
+    runs_export.add_argument("--pr", type=int, default=None,
+                             help="PR number to tag the trajectory with "
+                                  "(default: inferred from the file name)")
 
     tasks = subparsers.add_parser("tasks", help="list the benchmark tasks")
     tasks.add_argument("--app", choices=sorted(APP_FACTORIES), default=None)
@@ -333,9 +435,110 @@ def _check_cache_dir(cache_dir: Optional[str]) -> None:
 
 def _runner(args) -> BenchmarkRunner:
     _check_cache_dir(args.cache_dir)
-    return BenchmarkRunner(BenchmarkConfig(trials=args.trials, seed=args.seed,
-                                           tasks=_resolve_tasks(args.tasks),
-                                           jobs=args.jobs, cache_dir=args.cache_dir))
+    return BenchmarkRunner(BenchmarkConfig(
+        trials=args.trials, seed=args.seed, tasks=_resolve_tasks(args.tasks),
+        jobs=args.jobs, cache_dir=args.cache_dir,
+        cache_max_entries=getattr(args, "cache_max_entries", None)))
+
+
+class _RunTelemetry:
+    """Telemetry/registry plumbing for one CLI command.
+
+    When ``--registry`` (or ``$REPRO_REGISTRY``) or ``--events`` is in
+    play, installs an :class:`AggregatingSink` (plus a :class:`JsonlSink`)
+    as the process-default sink for the ``with`` block, measures wall
+    clock, and :meth:`record` appends the finished run to the registry.
+    With neither flag this is a no-op and the default NullSink keeps the
+    instrumented hot paths at zero overhead.
+    """
+
+    def __init__(self, args) -> None:
+        self.registry = RunRegistry.from_env(getattr(args, "registry", None))
+        events = getattr(args, "events", None)
+        self.aggregating: Optional[AggregatingSink] = None
+        self._jsonl: Optional[JsonlSink] = None
+        self._sink: Optional[EventSink] = None
+        self._installed = False
+        self._previous: Optional[EventSink] = None
+        if self.registry is not None or events is not None:
+            self.aggregating = AggregatingSink()
+            sinks: List[EventSink] = [self.aggregating]
+            if events is not None:
+                try:
+                    self._jsonl = JsonlSink(events)
+                except OSError as error:
+                    raise SystemExit(f"repro: cannot open events file "
+                                     f"{events!r}: {error}")
+                sinks.append(self._jsonl)
+            self._sink = TeeSink(sinks)
+        self._started = time.perf_counter()
+
+    def __enter__(self) -> "_RunTelemetry":
+        if self._sink is not None:
+            self._previous = set_default_sink(self._sink)
+            self._installed = True
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        if self._installed:
+            set_default_sink(self._previous)
+        if self._jsonl is not None:
+            self._jsonl.close()
+
+    def record(self, *, executor: str, seed: int, trials: int, jobs: int,
+               setting_keys: Sequence[str], task_ids: Sequence[str],
+               results_by_setting: Dict[str, list], fingerprint: str,
+               context: Optional[Dict[str, object]] = None,
+               subset: Optional[str] = None) -> None:
+        if self.registry is None:
+            return
+        record = build_run_record(
+            self.registry.new_run_id(), executor=executor, seed=seed,
+            trials=trials, jobs=jobs, setting_keys=setting_keys,
+            task_ids=task_ids, fingerprint=fingerprint,
+            results_by_setting=results_by_setting,
+            wall_clock_s=time.perf_counter() - self._started,
+            sink=self.aggregating, context=context, subset=subset)
+        try:
+            self.registry.record(record)
+        except (RegistryError, OSError) as error:
+            raise SystemExit(f"repro: cannot record run in registry "
+                             f"{self.registry.root}: {error}")
+        print(f"recorded run {record.run_id} "
+              f"({record.trial_count} trials, {record.executor}) "
+              f"in registry {self.registry.root}")
+
+
+def _record_grid_run(tele: _RunTelemetry, args, runner: BenchmarkRunner,
+                     outcomes: Dict[str, RunOutcome]) -> None:
+    """The shared `run`/`report` record epilogue."""
+    tele.record(
+        executor="parallel" if args.jobs > 1 else "serial",
+        seed=args.seed, trials=args.trials, jobs=args.jobs,
+        setting_keys=list(outcomes),
+        task_ids=[task.task_id for task in runner.tasks()],
+        results_by_setting={key: outcome.results
+                            for key, outcome in outcomes.items()},
+        fingerprint=config_fingerprint(runner.config.dmi))
+
+
+def _results_by_setting(shards: Sequence[ShardResults]) -> Dict[str, list]:
+    """Group shard results by setting key (spec order within each shard)."""
+    grouped: Dict[str, list] = {}
+    for shard in shards:
+        for spec, result in zip(shard.manifest.specs, shard.results):
+            grouped.setdefault(spec.setting_key, []).append(result)
+    return grouped
+
+
+def _shard_subset(indices: Sequence[int], shard_count: int) -> str:
+    """The canonical grid-subset marker for shard-level run records.
+
+    One format for every entry point, so the same slice of a plan gets the
+    same config_key whether it ran via `shard run` or a broker worker.
+    """
+    return (f"shards-{','.join(map(str, sorted(indices)))}"
+            f"-of-{shard_count}")
 
 
 def _progress_printer(stream: Optional[TextIO] = None) -> ProgressCallback:
@@ -425,30 +628,34 @@ def _print_run_summary(outcomes: Dict[str, RunOutcome]) -> None:
 
 def command_run(args) -> int:
     runner = _runner(args)
-    outcomes = runner.run_settings([setting_by_key(key) for key in args.settings],
-                                   progress=_progress(args))
-    _print_run_summary(outcomes)
-    if args.export:
-        _export_outcomes(args.export, _runner_config_payload(runner), outcomes)
+    with _RunTelemetry(args) as tele:
+        outcomes = runner.run_settings([setting_by_key(key) for key in args.settings],
+                                       progress=_progress(args))
+        _print_run_summary(outcomes)
+        if args.export:
+            _export_outcomes(args.export, _runner_config_payload(runner), outcomes)
+        _record_grid_run(tele, args, runner, outcomes)
     return 0
 
 
 def command_report(args) -> int:
     runner = _runner(args)
-    outcomes = runner.run_settings([setting_by_key(key) for key in CORE_SETTING_KEYS],
-                                   progress=_progress(args))
-    print(reporting.render_table3(outcomes))
-    print()
-    print(reporting.render_figure5a(outcomes))
-    print()
-    print(reporting.render_figure5b(outcomes, groups=[list(CORE_SETTING_KEYS)]))
-    print()
-    print(reporting.render_figure6(outcomes["dmi-gpt5-medium"].results,
-                                   outcomes["gui-gpt5-medium"].results))
-    print()
-    print(reporting.render_one_shot(outcomes, "dmi-gpt5-medium"))
-    if args.export:
-        _export_outcomes(args.export, _runner_config_payload(runner), outcomes)
+    with _RunTelemetry(args) as tele:
+        outcomes = runner.run_settings([setting_by_key(key) for key in CORE_SETTING_KEYS],
+                                       progress=_progress(args))
+        print(reporting.render_table3(outcomes))
+        print()
+        print(reporting.render_figure5a(outcomes))
+        print()
+        print(reporting.render_figure5b(outcomes, groups=[list(CORE_SETTING_KEYS)]))
+        print()
+        print(reporting.render_figure6(outcomes["dmi-gpt5-medium"].results,
+                                       outcomes["gui-gpt5-medium"].results))
+        print()
+        print(reporting.render_one_shot(outcomes, "dmi-gpt5-medium"))
+        if args.export:
+            _export_outcomes(args.export, _runner_config_payload(runner), outcomes)
+        _record_grid_run(tele, args, runner, outcomes)
     return 0
 
 
@@ -477,17 +684,34 @@ def command_shard_plan(args) -> int:
 
 def command_shard_run(args) -> int:
     _check_cache_dir(args.cache_dir)
-    try:
-        manifest = ShardManifest.load(args.manifest)
-        executor = ManifestExecutor(jobs=args.jobs, cache_dir=args.cache_dir)
-        shard = executor.run(manifest, progress=_progress(args))
-        path = shard.save(args.results)
-    except ShardError as error:
-        raise SystemExit(f"repro: {error}")
-    except OSError as error:
-        raise SystemExit(f"repro: cannot write results {args.results!r}: {error}")
-    print(f"shard {manifest.shard_index + 1}/{manifest.shard_count}: "
-          f"{len(shard.results)} results -> {path}")
+    with _RunTelemetry(args) as tele:
+        try:
+            manifest = ShardManifest.load(args.manifest)
+            executor = ManifestExecutor(jobs=args.jobs,
+                                        cache_dir=args.cache_dir,
+                                        cache_max_entries=args.cache_max_entries)
+            shard = executor.run(manifest, progress=_progress(args))
+            path = shard.save(args.results)
+        except ShardError as error:
+            raise SystemExit(f"repro: {error}")
+        except OSError as error:
+            raise SystemExit(f"repro: cannot write results {args.results!r}: {error}")
+        print(f"shard {manifest.shard_index + 1}/{manifest.shard_count}: "
+              f"{len(shard.results)} results -> {path}")
+        tele.record(
+            executor="file-shard", seed=manifest.seed,
+            trials=manifest.trials, jobs=args.jobs,
+            setting_keys=manifest.setting_keys, task_ids=manifest.task_ids,
+            results_by_setting=_results_by_setting([shard]),
+            fingerprint=manifest.fingerprint,
+            # One shard is a slice of the grid: the subset marker keeps its
+            # config_key from matching (and diffing silently against) a
+            # full run of the same plan.
+            subset=_shard_subset([manifest.shard_index],
+                                 manifest.shard_count),
+            context={"manifest": str(args.manifest),
+                     "shard_index": manifest.shard_index,
+                     "shard_count": manifest.shard_count})
     return 0
 
 
@@ -612,53 +836,100 @@ def command_shard_work(args) -> int:
               f"{manifest.shard_index + 1}/{manifest.shard_count}",
               file=sys.stderr, flush=True)
 
-    try:
-        broker = _cli_broker(args)
-        executor = ManifestExecutor(jobs=args.jobs, cache_dir=args.cache_dir)
-        worker = ShardWorker(broker, executor, worker_id=args.worker_id,
-                             poll=args.poll, max_manifests=args.max_manifests,
-                             heartbeat=args.heartbeat, on_renew=on_renew)
-        completed = worker.run(progress=_progress(args),
-                               on_manifest=on_manifest)
-    except ShardError as error:
-        raise SystemExit(f"repro: {error}")
-    except OSError as error:
-        raise SystemExit(f"repro: broker {_queue_location(args)!r} I/O "
-                         f"failed: {error}")
-    summary = f"{worker.worker_id}: {len(completed)} manifest(s) executed"
-    if worker.abandoned:
-        summary += f", {worker.abandoned} abandoned (lease lost)"
-    stats = executor.cache_stats()
-    if stats is not None:
-        summary += (f"; cache {stats['hits']} hit(s), "
-                    f"{stats['misses']} miss(es)")
-    print(summary)
+    with _RunTelemetry(args) as tele:
+        try:
+            broker = _cli_broker(args)
+            executor = ManifestExecutor(jobs=args.jobs,
+                                        cache_dir=args.cache_dir,
+                                        cache_max_entries=args.cache_max_entries)
+            worker = ShardWorker(broker, executor, worker_id=args.worker_id,
+                                 poll=args.poll, max_manifests=args.max_manifests,
+                                 heartbeat=args.heartbeat, on_renew=on_renew)
+            completed = worker.run(progress=_progress(args),
+                                   on_manifest=on_manifest)
+        except ShardError as error:
+            raise SystemExit(f"repro: {error}")
+        except OSError as error:
+            raise SystemExit(f"repro: broker {_queue_location(args)!r} I/O "
+                             f"failed: {error}")
+        summary = f"{worker.worker_id}: {len(completed)} manifest(s) executed"
+        if worker.abandoned:
+            summary += f", {worker.abandoned} abandoned (lease lost)"
+        stats = executor.cache_stats()
+        if stats is not None:
+            summary += (f"; cache {stats['hits']} hit(s), "
+                        f"{stats['misses']} miss(es)")
+            if stats["evictions"]:
+                summary += f", {stats['evictions']} evicted"
+        print(summary)
+        if completed:
+            reference = completed[0].manifest
+            indices = sorted(shard.manifest.shard_index
+                             for shard in completed)
+            subset = None
+            if len(indices) < reference.shard_count:
+                # This worker executed a (race-dependent) slice of the
+                # plan; mark which shards so the record only compares
+                # against the identical slice, never a full run.
+                subset = _shard_subset(indices, reference.shard_count)
+            tele.record(
+                executor="store-broker" if args.store is not None
+                else "dir-broker",
+                seed=reference.seed, trials=reference.trials, jobs=args.jobs,
+                setting_keys=reference.setting_keys,
+                task_ids=reference.task_ids,
+                results_by_setting=_results_by_setting(completed),
+                fingerprint=reference.fingerprint,
+                subset=subset,
+                context={"broker": str(_queue_location(args)),
+                         "worker_id": worker.worker_id,
+                         "manifests": len(completed),
+                         "abandoned": worker.abandoned})
+        elif tele.registry is not None:
+            print("no manifests executed; nothing recorded in the registry")
     return 0
 
 
 def command_shard_collect(args) -> int:
-    try:
-        broker = _cli_broker(args)
-        status = broker.status()
-        while not status.complete and args.poll > 0:
-            if args.progress:
-                print(f"[{status.done}/{status.shard_count}] waiting: "
-                      f"{status.render()}", file=sys.stderr, flush=True)
-            time.sleep(args.poll)
+    with _RunTelemetry(args) as tele:
+        try:
+            broker = _cli_broker(args)
             status = broker.status()
-        if not status.complete:
-            raise SystemExit(f"repro: broker {_queue_location(args)!r} is "
-                             f"not complete: {status.render()}; run more "
-                             "workers or wait with --poll")
-        shards = broker.collect()
-        outcomes = merge_shard_results(shards)
-    except ShardError as error:
-        raise SystemExit(f"repro: {error}")
-    except OSError as error:
-        raise SystemExit(f"repro: broker {_queue_location(args)!r} I/O "
-                         f"failed: {error}")
-    _emit_merged(shards, outcomes, report=args.report, export=args.export,
-                 extra_config={"broker": str(_queue_location(args))})
+            while not status.complete and args.poll > 0:
+                if args.progress:
+                    print(f"[{status.done}/{status.shard_count}] waiting: "
+                          f"{status.render()}", file=sys.stderr, flush=True)
+                time.sleep(args.poll)
+                status = broker.status()
+            if not status.complete:
+                raise SystemExit(f"repro: broker {_queue_location(args)!r} is "
+                                 f"not complete: {status.render()}; run more "
+                                 "workers or wait with --poll")
+            shards = broker.collect()
+            outcomes = merge_shard_results(shards)
+        except ShardError as error:
+            raise SystemExit(f"repro: {error}")
+        except OSError as error:
+            raise SystemExit(f"repro: broker {_queue_location(args)!r} I/O "
+                             f"failed: {error}")
+        _emit_merged(shards, outcomes, report=args.report, export=args.export,
+                     extra_config={"broker": str(_queue_location(args))})
+        reference = shards[0].manifest
+        tele.record(
+            executor="store-broker" if args.store is not None
+            else "dir-broker",
+            seed=reference.seed, trials=reference.trials, jobs=1,
+            setting_keys=reference.setting_keys, task_ids=reference.task_ids,
+            results_by_setting={key: outcome.results
+                                for key, outcome in outcomes.items()},
+            fingerprint=reference.fingerprint,
+            # A collect record carries the full grid's *results* but its
+            # wall clock measured only the coordinator's poll/merge, not
+            # trial execution; the marker keeps it from silently diffing
+            # as "same work" against records that actually ran trials.
+            subset="collect",
+            context={"broker": str(_queue_location(args)), "role": "collect",
+                     "shards": reference.shard_count})
     return 0
 
 
@@ -672,6 +943,113 @@ def command_shard(args) -> int:
         "collect": command_shard_collect,
     }
     return handlers[args.shard_command](args)
+
+
+# ----------------------------------------------------------------------
+# runs list / show / diff / export (the run registry)
+# ----------------------------------------------------------------------
+def _silence_stdout() -> None:
+    """Point stdout at devnull after a BrokenPipeError, so the
+    interpreter's exit-time flush doesn't raise again."""
+    os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+
+
+def _open_registry(args) -> RunRegistry:
+    registry = RunRegistry.from_env(args.registry)
+    if registry is None:
+        raise SystemExit("repro: no run registry selected: pass "
+                         "--registry DIR or set $REPRO_REGISTRY")
+    return registry
+
+
+def _load_registry_tolerant(registry: RunRegistry):
+    """Readable records, with one stderr warning per skipped bad file."""
+    records, problems = registry.load_all_tolerant()
+    for problem in problems:
+        print(f"repro: skipping unreadable run record: {problem}",
+              file=sys.stderr)
+    return records
+
+
+def command_runs_list(args) -> int:
+    registry = _open_registry(args)
+    records = _load_registry_tolerant(registry)
+    if args.ids:
+        for record in records:
+            print(record.run_id)
+        return 0
+    if not records:
+        print(f"no runs recorded in {registry.root}")
+        return 0
+    # Width fits new_run_id()'s 29-char "YYYYMMDD-HHMMSS.ffffff-xxxxxx".
+    header = (f"{'run id':<29s} {'created (UTC)':<21s} {'executor':<13s} "
+              f"{'trials':>6s} {'wall s':>9s} settings")
+    print(header)
+    print("-" * len(header))
+    for record in records:
+        print(f"{record.run_id:<29s} {record.created_at:<21s} "
+              f"{record.executor:<13s} {record.trial_count:>6d} "
+              f"{record.wall_clock_s:>9.2f} {','.join(record.setting_keys)}")
+    return 0
+
+
+def command_runs_show(args) -> int:
+    registry = _open_registry(args)
+    try:
+        record = registry.resolve(args.run_id)
+    except RegistryError as error:
+        raise SystemExit(f"repro: {error}")
+    print(json.dumps(record.as_dict(), indent=2, ensure_ascii=False))
+    return 0
+
+
+def command_runs_diff(args) -> int:
+    registry = _open_registry(args)
+    try:
+        specs = [FailIf.parse(text) for text in args.fail_if]
+        before = registry.resolve(args.before)
+        after = registry.resolve(args.after)
+    except RegistryError as error:
+        raise SystemExit(f"repro: {error}")
+    rows = diff_runs(before, after)
+    violations = check_fail_ifs(rows, specs)
+    # This command is a CI gate: its exit code must survive a downstream
+    # `| head` closing stdout mid-table, so the violations are computed
+    # first and the pipe error is absorbed *here* (main()'s catch-all
+    # would turn the exit code into 0).
+    try:
+        print(render_diff(before, after, rows))
+    except BrokenPipeError:
+        _silence_stdout()
+    for message in violations:
+        print(f"repro: regression: {message}", file=sys.stderr)
+    return 1 if violations else 0
+
+
+def command_runs_export(args) -> int:
+    registry = _open_registry(args)
+    try:
+        payload = export_bench(_load_registry_tolerant(registry), args.bench,
+                               pr=args.pr)
+    except RegistryError as error:
+        raise SystemExit(f"repro: {error}")
+    except OSError as error:
+        raise SystemExit(f"repro: cannot write trajectory {args.bench!r}: "
+                         f"{error}")
+    tagged = f" (PR {payload['pr']})" if payload["pr"] is not None else ""
+    print(f"wrote {len(payload['datapoints'])} datapoint(s) to "
+          f"{args.bench}{tagged}")
+    return 0
+
+
+def command_runs(args) -> int:
+    handlers = {
+        "list": command_runs_list,
+        "show": command_runs_show,
+        "diff": command_runs_diff,
+        "export": command_runs_export,
+    }
+    return handlers[args.runs_command](args)
 
 
 def command_tasks(args) -> int:
@@ -689,9 +1067,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         "run": command_run,
         "report": command_report,
         "shard": command_shard,
+        "runs": command_runs,
         "tasks": command_tasks,
     }
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except BrokenPipeError:
+        # A downstream pager/head closed our stdout (e.g. `repro runs list
+        # --ids | head -1`): exit cleanly.  Commands whose exit code *is*
+        # the product (`runs diff --fail-if`) absorb the pipe error
+        # themselves so it can't mask their verdict.
+        _silence_stdout()
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -26,8 +26,9 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
+import os
 from pathlib import Path
-from typing import Callable, Dict, Optional, Union
+from typing import Callable, Dict, List, Optional, Union
 
 from repro.apps import APP_FACTORIES
 from repro.apps.base import Application
@@ -38,6 +39,20 @@ from repro.dmi.interface import (
     rebuild_offline_artifacts,
 )
 from repro.topology.persistence import FORMAT_VERSION, load_model, save_ung
+
+#: Lazily bound telemetry module.  ``repro.bench.runner`` imports this
+#: module, so a top-level ``repro.bench.telemetry`` import here would be a
+#: cycle; the first emit resolves it instead (a cached module reference —
+#: no per-call import machinery after that).
+_telemetry = None
+
+
+def _events():
+    global _telemetry
+    if _telemetry is None:
+        from repro.bench import telemetry
+        _telemetry = telemetry
+    return _telemetry
 
 
 def config_fingerprint(config: DMIConfig) -> str:
@@ -51,16 +66,33 @@ def config_fingerprint(config: DMIConfig) -> str:
 
 
 class ArtifactCache:
-    """Loads offline artefacts from disk, building (and storing) on miss."""
+    """Loads offline artefacts from disk, building (and storing) on miss.
+
+    ``max_entries`` bounds the cache directory (LRU by last-*load* time:
+    every served hit refreshes its entry's mtime, and after each insert the
+    oldest entries beyond the bound are evicted), so long-lived workers
+    cycling through many app×config fingerprints don't grow the directory
+    without limit.  Hits, misses and evictions are counted on the instance
+    and emitted as telemetry events (``sink``; default: the process-wide
+    sink from :mod:`repro.bench.telemetry`).
+    """
 
     def __init__(self, cache_dir: Union[str, Path],
-                 config: Optional[DMIConfig] = None) -> None:
+                 config: Optional[DMIConfig] = None, *,
+                 max_entries: Optional[int] = None,
+                 sink=None) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
         self.cache_dir = Path(cache_dir)
         self.config = config or DMIConfig()
+        self.max_entries = max_entries
+        self.sink = sink
         #: Entries served from disk without ripping.
         self.hits = 0
         #: Entries that required a fresh offline build.
         self.misses = 0
+        #: Entries removed by the ``max_entries`` LRU bound.
+        self.evictions = 0
 
     # ------------------------------------------------------------------
     # addressing
@@ -88,9 +120,16 @@ class ArtifactCache:
         return rebuild_offline_artifacts(ung, self.config, rip_report=report)
 
     def store(self, app_name: str, artifacts: OfflineArtifacts) -> Path:
-        """Persist already-built artefacts (only the UNG + rip report)."""
-        return save_ung(artifacts.ung, self.path_for(app_name),
+        """Persist already-built artefacts (only the UNG + rip report).
+
+        Inserting may push the directory over ``max_entries``; the oldest
+        entries (by last-load time) are evicted right after the insert, so
+        the bound holds between calls.
+        """
+        path = save_ung(artifacts.ung, self.path_for(app_name),
                         report=artifacts.rip_report)
+        self._evict_over_limit(keep=path)
+        return path
 
     # ------------------------------------------------------------------
     # the main entry point
@@ -102,13 +141,67 @@ class ArtifactCache:
         cached = self.get(app_name)
         if cached is not None:
             self.hits += 1
+            if self.max_entries is not None:
+                # LRU recency is last *load*; without a bound there is no
+                # LRU, so the unbounded hot path skips the utime syscall.
+                self._touch(self.path_for(app_name))
+            sink = _events().resolve(self.sink)
+            if sink:
+                sink.emit(_events().CacheHit(app=app_name))
             return cached
         self.misses += 1
+        sink = _events().resolve(self.sink)
+        if sink:
+            sink.emit(_events().CacheMiss(app=app_name))
         factory = factory or APP_FACTORIES[app_name]
         artifacts = build_offline_artifacts(factory(), self.config)
         self.store(app_name, artifacts)
         return artifacts
 
+    # ------------------------------------------------------------------
+    # the max_entries LRU bound
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _touch(path: Path) -> None:
+        """Refresh an entry's mtime: LRU age is time since last *load*."""
+        try:
+            os.utime(path)
+        except OSError:
+            pass  # entry raced away (another process evicted it)
+
+    def _entries_oldest_first(self) -> List[Path]:
+        aged = []
+        for path in self.cache_dir.glob("*.json"):
+            try:
+                aged.append((path.stat().st_mtime, path.name, path))
+            except OSError:
+                continue  # deleted under us
+        return [path for _, _, path in sorted(aged)]
+
+    def _evict_over_limit(self, keep: Path) -> None:
+        if self.max_entries is None:
+            return
+        entries = self._entries_oldest_first()
+        excess = len(entries) - self.max_entries
+        for victim in entries:
+            if excess <= 0:
+                break
+            if victim == keep:
+                continue  # never evict the entry just inserted/served
+            try:
+                victim.unlink()
+            except FileNotFoundError:
+                excess -= 1  # already gone: the directory shrank without us
+                continue
+            except OSError:
+                continue  # unreadable entry; try the next victim
+            excess -= 1
+            self.evictions += 1
+            sink = _events().resolve(self.sink)
+            if sink:
+                sink.emit(_events().CacheEvicted(entry=victim.name))
+
     def stats(self) -> Dict[str, object]:
         return {"cache_dir": str(self.cache_dir), "hits": self.hits,
-                "misses": self.misses}
+                "misses": self.misses, "evictions": self.evictions,
+                "max_entries": self.max_entries}

@@ -26,13 +26,22 @@ JSON export so tests can compare them byte-for-byte:
 
 Use :func:`assert_paths_bit_identical` from a test, parametrized over seeds
 and shard counts; it returns the reference bytes for extra assertions.
+
+Since PR 5 every path also runs under its own
+:class:`~repro.bench.telemetry.AggregatingSink`, and
+:func:`assert_paths_bit_identical` extends the guarantee from "same bytes"
+to "same bytes, and the telemetry agrees": every path must report the same
+number of started/finished trials and the same total simulated wall clock
+(the *events* differ — cache/lease/backoff traffic is path-specific — but
+the trial aggregates must not).
 """
 
 from __future__ import annotations
 
 import json
+import math
 from pathlib import Path
-from typing import Dict, Sequence
+from typing import Callable, Dict, Sequence, Tuple
 
 from repro.bench.runner import (
     BenchmarkConfig,
@@ -49,6 +58,7 @@ from repro.bench.shard import (
 )
 from repro.bench.tasks import task_by_id
 from repro.bench.store import FileSystemObjectStore
+from repro.bench.telemetry import AggregatingSink, use_sink
 from repro.bench.transport import LocalDirBroker, ObjectStoreBroker, ShardWorker
 from repro.cli import export_settings_payload
 
@@ -144,35 +154,84 @@ def run_store_broker(seed: int, trials: int, setting_keys: Sequence[str],
     return outcomes_bytes(merged)
 
 
+def run_all_paths_with_telemetry(
+        seed: int, trials: int, setting_keys: Sequence[str],
+        task_ids: Sequence[str], shard_count: int,
+        work_dir: Path) -> Dict[str, Tuple[bytes, AggregatingSink]]:
+    """Execute the grid through all five paths, each under a fresh
+    :class:`AggregatingSink` installed as the process default; returns
+    ``(export bytes, sink)`` per path."""
+    work_dir = Path(work_dir)
+    paths: Dict[str, Callable[[], bytes]] = {
+        "serial": lambda: run_serial(seed, trials, setting_keys, task_ids),
+        "parallel": lambda: run_parallel(seed, trials, setting_keys,
+                                         task_ids, work_dir / "parallel"),
+        "file-shards": lambda: run_file_shards(
+            seed, trials, setting_keys, task_ids, shard_count,
+            work_dir / "file-shards"),
+        "broker": lambda: run_broker(seed, trials, setting_keys, task_ids,
+                                     shard_count, work_dir / "broker"),
+        "store-broker": lambda: run_store_broker(
+            seed, trials, setting_keys, task_ids, shard_count,
+            work_dir / "store-broker"),
+    }
+    out: Dict[str, Tuple[bytes, AggregatingSink]] = {}
+    for name, thunk in paths.items():
+        with use_sink(AggregatingSink()) as sink:
+            out[name] = (thunk(), sink)
+    return out
+
+
 def run_all_paths(seed: int, trials: int, setting_keys: Sequence[str],
                   task_ids: Sequence[str], shard_count: int,
                   work_dir: Path) -> Dict[str, bytes]:
     """Execute the grid through all five paths; one bytes blob per path."""
-    work_dir = Path(work_dir)
-    return {
-        "serial": run_serial(seed, trials, setting_keys, task_ids),
-        "parallel": run_parallel(seed, trials, setting_keys, task_ids,
-                                 work_dir / "parallel"),
-        "file-shards": run_file_shards(seed, trials, setting_keys, task_ids,
-                                       shard_count, work_dir / "file-shards"),
-        "broker": run_broker(seed, trials, setting_keys, task_ids,
-                             shard_count, work_dir / "broker"),
-        "store-broker": run_store_broker(seed, trials, setting_keys,
+    return {name: blob for name, (blob, _) in
+            run_all_paths_with_telemetry(seed, trials, setting_keys,
                                          task_ids, shard_count,
-                                         work_dir / "store-broker"),
-    }
+                                         work_dir).items()}
+
+
+def assert_telemetry_parity(sinks: Dict[str, AggregatingSink],
+                            expected_trials: int) -> None:
+    """Every path reported the same trial counts and simulated totals.
+
+    Real timings (``trial_seconds``, rip/build phases) are path-specific
+    and not compared; the deterministic aggregates — how many trials ran,
+    and their total simulated wall clock / plan / act — must agree
+    (tolerance: float summation order differs between completion orders).
+    """
+    reference = sinks["serial"]
+    expected_wall = reference.timer("trial_wall_s").total
+    for name, sink in sinks.items():
+        for counter in ("trial_started", "trial_finished"):
+            assert sink.count(counter) == expected_trials, (
+                f"path {name!r} reported {sink.count(counter)} "
+                f"{counter} events; expected {expected_trials}")
+        for timer_name in ("trial_wall_s", "phase_plan", "phase_act"):
+            timer = sink.timer(timer_name)
+            assert timer is not None and timer.count == expected_trials, (
+                f"path {name!r} is missing {timer_name} observations")
+        total = sink.timer("trial_wall_s").total
+        assert math.isclose(total, expected_wall, rel_tol=1e-9), (
+            f"path {name!r} total simulated wall clock {total} diverged "
+            f"from serial's {expected_wall}")
 
 
 def assert_paths_bit_identical(seed: int, trials: int,
                                setting_keys: Sequence[str],
                                task_ids: Sequence[str], shard_count: int,
                                work_dir: Path) -> bytes:
-    """Assert all four exports are byte-identical; returns the reference."""
-    exports = run_all_paths(seed, trials, setting_keys, task_ids,
-                            shard_count, work_dir)
-    reference = exports["serial"]
-    for name, blob in exports.items():
+    """Assert all five exports are byte-identical (and their telemetry
+    trial aggregates agree); returns the reference bytes."""
+    exports = run_all_paths_with_telemetry(seed, trials, setting_keys,
+                                           task_ids, shard_count, work_dir)
+    reference = exports["serial"][0]
+    for name, (blob, _) in exports.items():
         assert blob == reference, (
             f"execution path {name!r} diverged from serial for seed={seed}, "
             f"shards={shard_count} ({len(blob)} vs {len(reference)} bytes)")
+    assert_telemetry_parity(
+        {name: sink for name, (_, sink) in exports.items()},
+        expected_trials=trials * len(setting_keys) * len(task_ids))
     return reference

@@ -184,6 +184,22 @@ def test_parallel_executor_skips_scratch_dir_with_persistent_cache(tmp_path, mon
     assert len(outcome.results) == 1
 
 
+def test_worker_init_forwards_the_cache_bound(tmp_path, monkeypatch):
+    """Regression: --cache-max-entries was dropped on the pool-worker side,
+    so worker-side cache inserts were unbounded and the documented LRU
+    bound did not hold for parallel runs."""
+    import repro.bench.engine as engine
+
+    monkeypatch.setattr(engine, "_WORKER_RUNNER", None)
+    engine._worker_init(1, 11, DMIConfig(), str(tmp_path / "cache"), 3)
+    assert engine._WORKER_RUNNER.cache.max_entries == 3
+    # And workers reset the fork-inherited default sink to null, so the
+    # parent's events file never receives duplicate trial events.
+    from repro.bench import telemetry
+
+    assert telemetry.default_sink() is telemetry.NULL_SINK
+
+
 def test_parallel_prewarm_counts_cache_hits_and_misses(tmp_path):
     """Regression: the pre-warm path bypassed ArtifactCache.load_or_build, so
     hits/misses under-counted (a warm parallel run reported 0 hits)."""

@@ -395,6 +395,28 @@ def test_merge_rejects_missing_duplicate_and_empty_shards():
         merge_shard_results([shards[0], shards[0]])
 
 
+def test_merge_duplicate_error_names_both_results_files(tmp_path):
+    """PR 5 bugfix: the duplicate-shard error names the two offending
+    results *files*, not just the shard index — 'shard 0 twice' is not
+    actionable when ten result paths were globbed onto a command line."""
+    shard = run_plan(small_plan(shards=2, trials=1))[0]
+    first_path = tmp_path / "results-from-host-a.json"
+    duplicate_path = tmp_path / "results-from-host-b.json"
+    shard.save(first_path)
+    shard.save(duplicate_path)
+    loaded = [ShardResults.load(first_path), ShardResults.load(duplicate_path)]
+    with pytest.raises(ShardError) as excinfo:
+        merge_shard_results(loaded)
+    message = str(excinfo.value)
+    assert "shard 0 appears more than once" in message
+    assert str(first_path) in message
+    assert str(duplicate_path) in message
+    # In-memory duplicates (no file behind them) degrade gracefully.
+    with pytest.raises(ShardError, match="in-memory ShardResults"):
+        merge_shard_results([ShardResults(shard.manifest, shard.results),
+                             ShardResults(shard.manifest, shard.results)])
+
+
 def test_merge_rejects_specs_outside_the_plan_grid():
     shards = run_plan(small_plan(shards=2, trials=1))
     donor = run_plan(plan_shards(1, seed=DEFAULT_SEED, trials=1,

@@ -31,8 +31,10 @@ from repro.bench.shard import (
     shard_file_name,
 )
 from repro.bench.store import FileSystemObjectStore
+from repro.bench.telemetry import AggregatingSink, use_sink
 from repro.bench.transport import (
     DEFAULT_LEASE_TTL,
+    IDLE_BACKOFF_BASE,
     LeaseHeartbeat,
     InMemoryBroker,
     LocalDirBroker,
@@ -433,7 +435,8 @@ def test_worker_drains_queue_and_respects_max_manifests(tmp_path):
 
 def test_worker_polls_while_a_peer_holds_a_lease(tmp_path):
     """queued=0 but leased>0: a polling worker waits (the peer may crash and
-    its lease becomes reclaimable) instead of exiting early."""
+    its lease becomes reclaimable) instead of exiting early.  Idle sleeps
+    back off exponentially with --poll as the ceiling."""
     clock = FakeClock()
     broker = LocalDirBroker(tmp_path / "broker", lease_ttl=10.0, clock=clock)
     broker.submit(small_plan(shards=1))
@@ -448,8 +451,117 @@ def test_worker_polls_while_a_peer_holds_a_lease(tmp_path):
                          poll=2.5, heartbeat=0, sleep=fake_sleep)
     completed = worker.run()
     assert len(completed) == 1  # reclaimed the peer's manifest and ran it
-    assert sleeps and all(s == 2.5 for s in sleeps)
+    assert sleeps and all(0 < s <= 2.5 for s in sleeps)
+    # The first idle sleep starts at the backoff base, not at --poll.
+    assert sleeps[0] <= IDLE_BACKOFF_BASE
     assert broker.status().complete
+
+
+def test_idle_polling_backs_off_exponentially_up_to_poll(tmp_path):
+    """Satellite acceptance: idle sleeps grow from IDLE_BACKOFF_BASE toward
+    --poll (never past it), carry jitter, and emit one WorkerIdle event per
+    sleep.  Hundreds of idle workers must not hammer the store in
+    lock-step at a fixed --poll cadence."""
+    clock = FakeClock()
+    broker = LocalDirBroker(tmp_path / "broker", lease_ttl=3600.0,
+                            clock=clock)
+    broker.submit(small_plan(shards=1))
+    peer_lease = broker.lease("peer")
+    assert peer_lease is not None
+    sleeps = []
+
+    def fake_sleep(seconds):
+        sleeps.append(seconds)
+        if len(sleeps) == 12:  # the peer finally posts; the queue drains
+            broker.post(peer_lease, run_manifest(peer_lease.manifest))
+
+    sink = AggregatingSink()
+    worker = ShardWorker(broker, ManifestExecutor(), worker_id="idler",
+                         poll=1.0, heartbeat=0, sleep=fake_sleep, sink=sink)
+    assert worker.run() == []  # the peer posted; nothing left to execute
+    assert len(sleeps) == 12
+    # Jittered exponential growth: while the nominal delay (base * 2^n) is
+    # still below the --poll cap it doubles each round, and jitter within
+    # [0.5, 1.0) cannot undo a doubling — so that prefix is nondecreasing.
+    below_cap = [s for n, s in enumerate(sleeps)
+                 if IDLE_BACKOFF_BASE * (2.0 ** n) < 1.0]
+    assert len(below_cap) >= 4
+    for earlier, later in zip(below_cap, below_cap[1:]):
+        assert later >= earlier
+    # Starts at the base, never exceeds min(poll, IDLE_BACKOFF_CAP), and
+    # actually grows an order of magnitude before settling at the cap.
+    assert sleeps[0] <= IDLE_BACKOFF_BASE
+    assert all(s <= 1.0 for s in sleeps)
+    assert max(sleeps) > 10 * sleeps[0]
+    # Distinct workers jitter differently (decorrelated fleets).
+    other = ShardWorker(broker, ManifestExecutor(), worker_id="other",
+                        poll=1.0, heartbeat=0)
+    assert worker._backoff_rng.random() != other._backoff_rng.random()
+    # One WorkerIdle telemetry event per backoff sleep, with the durations.
+    assert sink.count("worker_idle") == 12
+    idle = sink.timer("idle_sleep_s")
+    assert idle is not None and idle.count == 12
+    assert idle.total == pytest.approx(sum(sleeps))
+
+
+def test_worker_loop_emits_lease_lifecycle_telemetry(tmp_path):
+    """LeaseAcquired / LeaseRenewed / ShardPosted flow from a live worker;
+    a stolen lease adds LeaseLost + ManifestAbandoned."""
+    broker = LocalDirBroker(tmp_path / "queue", lease_ttl=60.0)
+    broker.submit(small_plan(shards=2))
+    renewed_by_shard = {}
+
+    def note_renewal(lease, ok):
+        renewed_by_shard.setdefault(lease.manifest.shard_index,
+                                    []).append(ok)
+
+    def wait_for_renewal(manifest):
+        # Wait for a renewal of *this* manifest's lease, so every shard is
+        # guaranteed at least one heartbeat even when execution is instant.
+        wait_until(lambda: renewed_by_shard.get(manifest.shard_index))
+
+    sink = AggregatingSink()
+    with use_sink(sink):
+        worker = ShardWorker(broker, StubExecutor(before=wait_for_renewal),
+                             worker_id="steady-counted", poll=0,
+                             heartbeat=0.02, on_renew=note_renewal)
+        completed = worker.run()
+    assert len(completed) == 2
+    assert sink.count("lease_acquired") == 2
+    assert sink.count("shard_posted") == 2
+    assert sink.count("lease_renewed") >= 2  # one wait per manifest
+    assert sink.count("lease_lost") == 0
+    assert sink.count("manifest_abandoned") == 0
+    assert sink.count("shard_collected") == 0  # nobody collected yet
+    broker.collect()
+    assert sink.count("shard_collected") == 0  # broker has its own sink...
+    with use_sink(sink):
+        broker.collect()
+    assert sink.count("shard_collected") == 2  # ...resolved at collect time
+
+
+def test_lost_lease_emits_lease_lost_and_manifest_abandoned(tmp_path):
+    clock = FakeClock()
+    broker = LocalDirBroker(tmp_path / "queue", lease_ttl=60.0, clock=clock)
+    broker.submit(small_plan(shards=1))
+    lost = []
+
+    def steal(_manifest):
+        clock.advance(100.0)  # the lease expires mid-run
+        assert broker.lease("thief") is not None
+        wait_until(lambda: len(lost) >= 1)  # heartbeat notices the theft
+
+    sink = AggregatingSink()
+    worker = ShardWorker(broker, StubExecutor(before=steal),
+                         worker_id="victim-counted", poll=0, heartbeat=0.02,
+                         on_renew=lambda lease, ok: lost.append(ok)
+                         if not ok else None, sink=sink)
+    completed = worker.run()
+    assert completed == [] and worker.abandoned == 1
+    assert sink.count("lease_acquired") == 1
+    assert sink.count("lease_lost") == 1
+    assert sink.count("manifest_abandoned") == 1
+    assert sink.count("shard_posted") == 0
 
 
 def test_worker_with_zero_poll_exits_when_nothing_is_leasable(tmp_path):
