@@ -1,0 +1,130 @@
+"""Incremental ripping micro-benchmark: rip cost vs fraction of UI mutated.
+
+PR 6's tentpole claim, measured: after a scoped mutation, the event-driven
+incremental ripper re-explores only the dirty subtrees and replays the rest
+from the prior trace.  The bench rips :class:`MutableDemoApp` from scratch,
+applies mutations of increasing blast radius (one dialog-spec row, one
+main-window widget, several main-window widgets), re-rips incrementally,
+and records live-visit counts against the full-rip baseline.
+
+Asserted, not just recorded (the ISSUE acceptance bar):
+
+* a single-dialog mutation visits **< 20 %** of the nodes a full rip
+  activates — checked through the ``rip_incremental`` telemetry event, not
+  just the report;
+* every incremental rip activates strictly fewer nodes live than a full
+  re-rip of the same build would;
+* every spliced graph is byte-identical to a scratch rip of a fresh,
+  identically mutated instance.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.apps.mutable import MutableDemoApp
+from repro.bench.telemetry import AggregatingSink, use_sink
+from repro.ripping.ripper import GuiRipper
+from repro.topology.persistence import ung_to_dict
+
+#: Mutation scenarios, smallest blast radius first.  Each value mutates the
+#: app in place; a fresh twin gets the identical treatment to provide the
+#: byte-identity reference.
+SCENARIOS = {
+    "dialog-row": lambda app: app.mutate_dialog_spec("checkbox", "Bench Row"),
+    "main-widget": lambda app: app.add_quick_button("Bench Button"),
+    "main-spread": lambda app: (app.add_quick_button("Bench A"),
+                                app.add_quick_button("Bench B"),
+                                app.set_status_line("bench"),
+                                app.toggle_tab()),
+}
+
+
+class _CaptureSink(AggregatingSink):
+    """AggregatingSink that also keeps the event objects themselves."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.events = []
+
+    def emit(self, event) -> None:
+        super().emit(event)
+        self.events.append(event)
+
+
+def _ung_bytes(ung) -> bytes:
+    return json.dumps(ung_to_dict(ung), indent=1,
+                      ensure_ascii=False).encode("utf-8")
+
+
+def _scenario_cost(name):
+    """Full rip, mutate, incremental rip; return accounting + identity."""
+    app = MutableDemoApp()
+    recorder = GuiRipper(app)
+    recorder.rip()
+    SCENARIOS[name](app)
+    sink = _CaptureSink()
+    with use_sink(sink):
+        replayer = GuiRipper(app)
+        spliced = replayer.rip_incremental(recorder.ung, recorder.trace)
+    assert replayer.report.mode == "incremental", (
+        f"{name}: fell back: {replayer.report.fallback_reason}")
+    events = [e for e in sink.events if e.name == "rip_incremental"]
+    assert len(events) == 1
+
+    twin = MutableDemoApp()
+    SCENARIOS[name](twin)
+    reference = GuiRipper(twin)
+    scratch = reference.rip()
+    assert _ung_bytes(spliced) == _ung_bytes(scratch), (
+        f"{name}: incremental splice is not byte-identical to a full re-rip")
+    return {
+        "visited": events[0].nodes_visited,
+        "reused": events[0].nodes_reused,
+        "patched": events[0].nodes_patched,
+        "reuse_fraction": round(events[0].reuse_fraction, 4),
+        "seconds": round(replayer.report.duration_seconds, 4),
+        "full_rerip_visits": reference.report.nodes_visited,
+        "full_rerip_seconds": round(reference.report.duration_seconds, 4),
+    }
+
+
+def test_incremental_rip_cost_scales_with_mutated_fraction(benchmark):
+    baseline = GuiRipper(MutableDemoApp())
+    baseline.rip()
+    full_visits = baseline.report.nodes_visited
+
+    costs = {name: _scenario_cost(name) for name in SCENARIOS}
+
+    # Acceptance: a single-dialog mutation re-explores < 20 % of the UI.
+    dialog = costs["dialog-row"]
+    assert dialog["visited"] < 0.2 * full_visits, (
+        f"dialog mutation visited {dialog['visited']} of {full_visits}")
+    # Incremental always beats a full re-rip on live activations, and the
+    # cost ordering follows the mutation's blast radius.
+    for name, cost in costs.items():
+        assert cost["visited"] < cost["full_rerip_visits"], name
+        assert cost["visited"] < full_visits, name
+    assert (costs["dialog-row"]["visited"]
+            < costs["main-widget"]["visited"]
+            <= costs["main-spread"]["visited"])
+
+    # The timed figure: the cheapest (dialog-only) incremental re-rip.
+    def rip_dialog_mutation():
+        app = MutableDemoApp()
+        recorder = GuiRipper(app)
+        recorder.rip()
+        SCENARIOS["dialog-row"](app)
+        replayer = GuiRipper(app)
+        replayer.rip_incremental(recorder.ung, recorder.trace)
+        return replayer
+
+    timed = benchmark.pedantic(rip_dialog_mutation, rounds=1, iterations=1)
+    assert timed.report.mode == "incremental"
+
+    benchmark.extra_info.update({
+        "full_rip_visits": full_visits,
+        "full_rip_seconds": round(baseline.report.duration_seconds, 4),
+        **{f"{name}/{key}": value
+           for name, cost in costs.items() for key, value in cost.items()},
+    })

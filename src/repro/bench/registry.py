@@ -34,9 +34,10 @@ RUN_RECORD_FORMAT_VERSION = 1
 
 _RECORD_KIND = "repro-run-record"
 
-#: The execution paths a record may claim (the five equivalence paths).
+#: The execution paths a record may claim: the five equivalence paths, plus
+#: the maintenance paths recorded by ``repro cache gc`` and incremental rips.
 EXECUTOR_PATHS = ("serial", "parallel", "file-shard", "dir-broker",
-                  "store-broker")
+                  "store-broker", "cache-gc", "incremental-rip")
 
 #: Environment variable consulted when no ``--registry`` flag is given.
 REGISTRY_ENV_VAR = "REPRO_REGISTRY"

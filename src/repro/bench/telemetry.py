@@ -156,6 +156,59 @@ class CacheEvicted(TelemetryEvent):
 
 
 @dataclass(frozen=True)
+class CacheGc(TelemetryEvent):
+    """One ``ArtifactCache.gc()`` sweep finished (age + size bounds)."""
+
+    name: ClassVar[str] = "cache_gc"
+    evicted: int
+    reclaimed_bytes: int
+    remaining_entries: int
+    remaining_bytes: int
+    seconds: float
+
+    def timings(self) -> Dict[str, float]:
+        return {"cache_gc_s": self.seconds}
+
+
+@dataclass(frozen=True)
+class RipFull(TelemetryEvent):
+    """A full GUI rip ran (cold model build, or incremental fallback)."""
+
+    name: ClassVar[str] = "rip_full"
+    app: str
+    #: Live control activations performed (the rip's dominant cost).
+    nodes_visited: int
+    nodes: int
+    seconds: float
+    #: Why an *intended* incremental rip fell back ("" for plain full rips).
+    reason: str = ""
+
+    def timings(self) -> Dict[str, float]:
+        return {"rip_full_s": self.seconds}
+
+
+@dataclass(frozen=True)
+class RipIncremental(TelemetryEvent):
+    """An incremental re-rip spliced dirty subtrees into a prior UNG."""
+
+    name: ClassVar[str] = "rip_incremental"
+    app: str
+    #: Live control activations (only dirty subtrees are re-explored).
+    nodes_visited: int
+    #: Activations replayed from the prior rip's trace instead of performed.
+    nodes_reused: int
+    #: Distinct nodes spliced into the UNG by live re-exploration.
+    nodes_patched: int
+    #: nodes_reused / (nodes_reused + nodes_visited); 1.0 = nothing re-done.
+    reuse_fraction: float
+    dirty_windows: int
+    seconds: float
+
+    def timings(self) -> Dict[str, float]:
+        return {"rip_incremental_s": self.seconds}
+
+
+@dataclass(frozen=True)
 class LeaseAcquired(TelemetryEvent):
     """A worker leased one shard manifest off the broker queue."""
 
@@ -238,7 +291,8 @@ class WorkerIdle(TelemetryEvent):
 #: "missing" just because a run had no misses) seed their counters from
 #: this list.
 EVENT_NAMES: tuple = tuple(sorted(event.name for event in (
-    TrialStarted, TrialFinished, CacheHit, CacheMiss, CacheEvicted,
+    TrialStarted, TrialFinished, CacheHit, CacheMiss, CacheEvicted, CacheGc,
+    RipFull, RipIncremental,
     LeaseAcquired, LeaseRenewed, LeaseLost, ManifestAbandoned, ShardPosted,
     ShardCollected, CasRetry, WorkerIdle)))
 

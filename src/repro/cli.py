@@ -53,6 +53,16 @@ Five subcommands cover the common workflows without writing any code:
     when a ``--fail-if wall_clock>+10%`` style regression threshold trips,
     and ``runs export --bench BENCH_5.json`` emits the repository's
     benchmark-trajectory JSON so perf history accumulates PR over PR.
+``cache``
+    Maintain an offline-model cache directory.  ``cache stats --cache-dir
+    DIR`` lists the entries with sizes and last-load ages (from the
+    nanosecond-resolution recency index); ``cache gc --cache-dir DIR
+    --max-age-s SECS --max-bytes N`` evicts entries older than the age
+    bound and then the oldest entries until the directory fits the byte
+    budget.  ``gc`` emits a ``cache_gc`` telemetry event and, with
+    ``--registry``, records a ``cache-gc`` run so sweeps show up in
+    ``repro runs list``/``show`` next to the benchmark runs they pruned
+    for.
 ``tasks``
     List the benchmark task suite.
 
@@ -109,7 +119,10 @@ Examples::
     python -m repro runs list --registry runs/
     python -m repro runs diff 20260726-1 20260726-2 --registry runs/ \\
         --fail-if 'wall_clock>+10%' --fail-if 'cache_miss>+0'
-    python -m repro runs export --registry runs/ --bench BENCH_5.json
+    python -m repro runs export --registry runs/ --bench BENCH_6.json
+    python -m repro cache stats --cache-dir .dmi-cache
+    python -m repro cache gc --cache-dir .dmi-cache --max-age-s 604800 \\
+        --max-bytes 10000000 --registry runs/
 """
 
 from __future__ import annotations
@@ -173,8 +186,12 @@ from repro.bench.runner import (
     setting_by_key,
 )
 from repro.bench.tasks import all_tasks, task_by_id
-from repro.dmi.cache import config_fingerprint
-from repro.dmi.interface import build_offline_artifacts, rebuild_offline_artifacts
+from repro.dmi.cache import ArtifactCache, config_fingerprint
+from repro.dmi.interface import (
+    DMIConfig,
+    build_offline_artifacts,
+    rebuild_offline_artifacts,
+)
 from repro.topology.persistence import load_model, save_ung
 
 
@@ -405,6 +422,35 @@ def build_parser() -> argparse.ArgumentParser:
     runs_export.add_argument("--pr", type=int, default=None,
                              help="PR number to tag the trajectory with "
                                   "(default: inferred from the file name)")
+
+    def nonnegative_int(text: str) -> int:
+        value = int(text)
+        if value < 0:
+            raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
+        return value
+
+    cache = subparsers.add_parser(
+        "cache", help="inspect and garbage-collect an offline-model cache")
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+
+    cache_stats = cache_sub.add_parser(
+        "stats", help="list cache entries with sizes and last-load ages")
+    cache_stats.add_argument("--cache-dir", metavar="PATH", required=True,
+                             help="cache directory to inspect")
+
+    cache_gc = cache_sub.add_parser(
+        "gc", help="evict cache entries past an age or total-size bound")
+    cache_gc.add_argument("--cache-dir", metavar="PATH", required=True,
+                          help="cache directory to sweep")
+    cache_gc.add_argument("--max-age-s", type=nonnegative_float, default=None,
+                          metavar="SECS",
+                          help="evict entries whose last load is older than "
+                               "SECS seconds")
+    cache_gc.add_argument("--max-bytes", type=nonnegative_int, default=None,
+                          metavar="N",
+                          help="evict oldest entries until the directory "
+                               "holds at most N bytes")
+    add_telemetry_flags(cache_gc)
 
     tasks = subparsers.add_parser("tasks", help="list the benchmark tasks")
     tasks.add_argument("--app", choices=sorted(APP_FACTORIES), default=None)
@@ -1052,6 +1098,71 @@ def command_runs(args) -> int:
     return handlers[args.runs_command](args)
 
 
+# ----------------------------------------------------------------------
+# cache stats / gc (offline-model cache maintenance)
+# ----------------------------------------------------------------------
+def _open_cache(cache_dir: str) -> ArtifactCache:
+    path = Path(cache_dir)
+    if not path.is_dir():
+        raise SystemExit(f"repro: --cache-dir {cache_dir!r} is not a "
+                         "directory")
+    return ArtifactCache(path, DMIConfig())
+
+
+def command_cache_stats(args) -> int:
+    cache = _open_cache(args.cache_dir)
+    rows = cache.inventory()
+    if not rows:
+        print(f"cache {args.cache_dir} is empty")
+        return 0
+    width = max(len(str(row["entry"])) for row in rows)
+    print(f"{'entry':<{width}s} {'bytes':>10s} {'last load age':>14s}")
+    for row in rows:
+        print(f"{row['entry']:<{width}s} {row['bytes']:>10d} "
+              f"{row['age_s']:>13.1f}s")
+    total = sum(int(row["bytes"]) for row in rows)
+    print(f"{len(rows)} entr{'y' if len(rows) == 1 else 'ies'}, "
+          f"{total} bytes total in {args.cache_dir}")
+    return 0
+
+
+def command_cache_gc(args) -> int:
+    cache = _open_cache(args.cache_dir)
+    if args.max_age_s is None and args.max_bytes is None:
+        print("repro: no --max-age-s or --max-bytes bound given; "
+              "nothing to evict (use 'cache stats' to inspect)",
+              file=sys.stderr)
+    with _RunTelemetry(args) as tele:
+        stats = cache.gc(max_age_s=args.max_age_s,
+                         max_total_bytes=args.max_bytes)
+        print(f"evicted {stats['evicted']} entr"
+              f"{'y' if stats['evicted'] == 1 else 'ies'} "
+              f"({stats['reclaimed_bytes']} bytes); "
+              f"{stats['remaining_entries']} remaining "
+              f"({stats['remaining_bytes']} bytes) in {args.cache_dir}")
+        tele.record(
+            executor="cache-gc", seed=0, trials=0, jobs=1,
+            setting_keys=[], task_ids=[], results_by_setting={},
+            fingerprint=config_fingerprint(cache.config),
+            subset="cache-gc",
+            context={"cache_dir": str(args.cache_dir),
+                     "max_age_s": args.max_age_s,
+                     "max_bytes": args.max_bytes,
+                     "evicted": stats["evicted"],
+                     "reclaimed_bytes": stats["reclaimed_bytes"],
+                     "remaining_entries": stats["remaining_entries"],
+                     "remaining_bytes": stats["remaining_bytes"]})
+    return 0
+
+
+def command_cache(args) -> int:
+    handlers = {
+        "stats": command_cache_stats,
+        "gc": command_cache_gc,
+    }
+    return handlers[args.cache_command](args)
+
+
 def command_tasks(args) -> int:
     for task in all_tasks():
         if args.app and task.app != args.app:
@@ -1068,6 +1179,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "report": command_report,
         "shard": command_shard,
         "runs": command_runs,
+        "cache": command_cache,
         "tasks": command_tasks,
     }
     try:

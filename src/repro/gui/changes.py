@@ -1,0 +1,123 @@
+"""The UI-change event bus behind incremental ripping.
+
+Real accessibility stacks do not re-walk an application's widget tree to
+find out what changed — they subscribe to change events (UIA property /
+structure-changed events; NVDA's PowerPoint module hooks the application's
+``EApplication`` sink the same way).  This module is the reproduction's
+equivalent: a bounded, monotonic log of *scoped* change notifications that
+the incremental ripper consumes to decide which windows are dirty.
+
+Contract
+--------
+* Every structural or behavioural UI mutation publishes a :class:`UIChange`
+  carrying the *kind* of change, the title of the owning *window* (the dirt
+  scope the ripper re-explores), and the mutated control's primary id.
+* Each publish bumps a monotonic ``revision``; the application exposes it as
+  ``Application.ui_revision``.
+* ``drain()`` atomically hands the accumulated batch to the caller and
+  resets the log.  A batch knows the revision range it covers
+  (``from_revision`` .. ``to_revision``), so a consumer holding a trace
+  stamped with an older revision can detect that events were lost to an
+  intervening drain and fall back to a full rip.
+* The log is bounded (``capacity``).  Overflow never drops the *flag*: the
+  batch is marked ``overflowed`` and consumers must treat the whole UI as
+  dirty (i.e. full-rip fallback).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+#: Default bound on buffered changes between drains.  Mutation bursts larger
+#: than this overflow the log, which simply downgrades the next incremental
+#: rip to a full rip — correctness never depends on the bound.
+DEFAULT_CAPACITY = 256
+
+
+@dataclass(frozen=True)
+class UIChange:
+    """One scoped change notification."""
+
+    #: What happened: ``widget_added``, ``widget_removed``, ``tab_activated``,
+    #: ``property_changed``, ``window_opened``, ``window_closed``, or an
+    #: application-defined kind.
+    kind: str
+    #: Title of the window the change is scoped to ("" if unknown — treated
+    #: as global by consumers).
+    window: str
+    #: Primary id of the mutated control (may be empty).
+    identifier: str
+    #: The log revision this change was published at.
+    revision: int
+
+
+@dataclass(frozen=True)
+class UIChangeBatch:
+    """Everything published between two drains.
+
+    Covers revisions ``from_revision`` (exclusive) to ``to_revision``
+    (inclusive).  ``overflowed`` means changes beyond ``capacity`` were
+    discarded and only the revision counter is trustworthy.
+    """
+
+    changes: Tuple[UIChange, ...]
+    overflowed: bool
+    from_revision: int
+    to_revision: int
+
+    def dirty_windows(self) -> Tuple[str, ...]:
+        """Distinct window titles touched by this batch, in publish order."""
+        seen: List[str] = []
+        for change in self.changes:
+            if change.window not in seen:
+                seen.append(change.window)
+        return tuple(seen)
+
+
+class UIChangeLog:
+    """Bounded monotonic log of UI changes for one application."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._changes: List[UIChange] = []
+        self._revision = 0
+        self._drained_revision = 0
+        self._overflowed = False
+
+    @property
+    def revision(self) -> int:
+        """Monotonic count of changes ever published."""
+        return self._revision
+
+    def pending(self) -> int:
+        """Number of changes buffered since the last drain."""
+        return len(self._changes)
+
+    def publish(self, kind: str, window: str = "", identifier: str = "") -> UIChange:
+        """Record one change and return it (revision already assigned)."""
+        self._revision += 1
+        change = UIChange(kind=kind, window=window, identifier=identifier,
+                          revision=self._revision)
+        if len(self._changes) >= self.capacity:
+            # Keep memory bounded; the revision counter still advances, so
+            # the next drain reports the loss via ``overflowed``.
+            self._overflowed = True
+        else:
+            self._changes.append(change)
+        return change
+
+    def drain(self) -> UIChangeBatch:
+        """Hand over everything buffered since the last drain and reset."""
+        batch = UIChangeBatch(
+            changes=tuple(self._changes),
+            overflowed=self._overflowed,
+            from_revision=self._drained_revision,
+            to_revision=self._revision,
+        )
+        self._changes = []
+        self._overflowed = False
+        self._drained_revision = self._revision
+        return batch

@@ -14,6 +14,7 @@ transformation code.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from pathlib import Path
 from typing import Dict, Optional, Tuple, Union
@@ -49,6 +50,19 @@ def ung_to_dict(ung: NavigationGraph, report: Optional[RipReport] = None) -> Dic
     if report is not None:
         payload["rip_report"] = report.as_dict()
     return payload
+
+
+def ung_digest(ung: NavigationGraph) -> str:
+    """Short content digest of a UNG's canonical serialized form.
+
+    Two UNGs with the same digest serialize to the same bytes (modulo the
+    rip report, which is intentionally excluded: its timings differ between
+    otherwise identical rips).  Used by the incremental pipeline to decide
+    whether downstream artefacts (forest, core) can be reused as-is.
+    """
+    encoded = json.dumps(ung_to_dict(ung), sort_keys=True,
+                         ensure_ascii=False).encode("utf-8")
+    return hashlib.sha256(encoded).hexdigest()[:16]
 
 
 def ung_from_dict(payload: Dict) -> NavigationGraph:

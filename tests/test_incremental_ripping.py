@@ -1,0 +1,449 @@
+"""Tests for event-driven incremental ripping.
+
+Covers the PR 6 tentpole end to end: the UI-change event bus
+(:mod:`repro.gui.changes`) and its wiring through the widget layer, the
+trace-recording full rip, replay-based incremental rips (byte-identical
+splicing, reuse accounting, every fallback reason), the ``rip_full`` /
+``rip_incremental`` telemetry events, the artifact-refresh fast path, and a
+property-based sweep of random mutation sequences on
+:class:`~repro.apps.mutable.MutableDemoApp`.
+"""
+
+import json
+
+import pytest
+
+from repro.apps.mutable import MutableDemoApp
+from repro.bench.telemetry import AggregatingSink, use_sink
+from repro.dmi.interface import (
+    DMIConfig,
+    build_offline_artifacts,
+    refresh_offline_artifacts,
+)
+from repro.gui.changes import UIChangeLog
+from repro.gui.widgets import Button
+from repro.ripping.ripper import (
+    GuiRipper,
+    RipperConfig,
+    rip_application,
+    rip_application_incremental,
+)
+from repro.topology.persistence import ung_digest, ung_to_dict
+from repro.topology.serialize import serialize_forest
+
+
+def ung_bytes(ung) -> bytes:
+    """The exact bytes ``save_ung`` would write (modulo the rip report)."""
+    return json.dumps(ung_to_dict(ung), indent=1,
+                      ensure_ascii=False).encode("utf-8")
+
+
+def traced_rip(app):
+    """Full rip returning (ung, report, trace)."""
+    ripper = GuiRipper(app)
+    ung = ripper.rip()
+    return ung, ripper.report, ripper.trace
+
+
+# ----------------------------------------------------------------------
+# UIChangeLog
+# ----------------------------------------------------------------------
+def test_change_log_revisions_are_monotonic():
+    log = UIChangeLog()
+    assert log.revision == 0
+    log.publish("widget_added", window="Main", identifier="a")
+    log.publish("widget_removed", window="Main", identifier="b")
+    assert log.revision == 2
+    assert log.pending() == 2
+    assert [c.revision for c in log.drain().changes] == [1, 2]
+
+
+def test_change_log_drain_covers_revisions_and_resets():
+    log = UIChangeLog()
+    log.publish("x", window="A")
+    log.publish("y", window="B")
+    batch = log.drain()
+    assert (batch.from_revision, batch.to_revision) == (0, 2)
+    assert [c.kind for c in batch.changes] == ["x", "y"]
+    assert not batch.overflowed
+    assert log.pending() == 0
+    # The next batch starts where the last one ended.
+    log.publish("z", window="A")
+    batch2 = log.drain()
+    assert (batch2.from_revision, batch2.to_revision) == (2, 3)
+
+
+def test_change_log_dirty_windows_distinct_in_publish_order():
+    log = UIChangeLog()
+    for window in ("B", "A", "B", "C", "A"):
+        log.publish("k", window=window)
+    assert log.drain().dirty_windows() == ("B", "A", "C")
+
+
+def test_change_log_overflow_drops_changes_but_keeps_revisions():
+    log = UIChangeLog(capacity=2)
+    for i in range(5):
+        log.publish("k", window="W", identifier=str(i))
+    batch = log.drain()
+    assert batch.overflowed
+    assert len(batch.changes) == 2
+    assert batch.to_revision == 5          # revisions never stop counting
+    assert not log.drain().overflowed      # drain resets the overflow flag
+
+
+# ----------------------------------------------------------------------
+# event wiring through the widget layer
+# ----------------------------------------------------------------------
+def test_widget_add_remove_publish_scoped_changes(mini_app):
+    home = mini_app.window.children[0]
+    before = mini_app.ui_revision
+    button = home.add_child(Button("Extra", automation_id="Mini.Extra"))
+    home.remove_child(button)
+    batch = mini_app.ui_changes.drain()
+    kinds = [c.kind for c in batch.changes]
+    assert "widget_added" in kinds and "widget_removed" in kinds
+    assert mini_app.ui_revision >= before + 2
+    # Changes are scoped to the main window's title.
+    assert set(batch.dirty_windows()) == {mini_app.window.name}
+
+
+def test_edit_set_text_publishes_property_change(mini_app):
+    edit = next(e for e in mini_app.window.iter_subtree()
+                if e.name == "Name Field")
+    mini_app.ui_changes.drain()
+    edit.set_text("hello")
+    kinds = [c.kind for c in mini_app.ui_changes.drain().changes]
+    assert kinds == ["property_changed"]
+
+
+def test_tab_activation_publishes_change():
+    app = MutableDemoApp()
+    app.ui_changes.drain()
+    app.toggle_tab()
+    kinds = [c.kind for c in app.ui_changes.drain().changes]
+    assert "tab_activated" in kinds
+
+
+def test_dialog_open_close_publish_window_events(mini_app):
+    mini_app.ui_changes.drain()
+    mini_app._open_settings()
+    mini_app.close_all_dialogs()
+    kinds = [c.kind for c in mini_app.ui_changes.drain().changes]
+    assert "window_opened" in kinds and "window_closed" in kinds
+
+
+def test_build_ui_publishes_nothing():
+    assert MutableDemoApp().ui_revision == 0
+
+
+# ----------------------------------------------------------------------
+# trace recording + replay
+# ----------------------------------------------------------------------
+def test_full_rip_records_a_replayable_trace(mini_app):
+    ung, report, trace = traced_rip(mini_app)
+    assert report.mode == "full"
+    assert report.nodes_visited == report.clicks > 0
+    assert trace.app_name == mini_app.APP_NAME
+    assert trace.app_version == mini_app.APP_VERSION
+    activated = [r for r in trace.records.values() if r.outcome == "activated"]
+    assert len(activated) == report.clicks
+
+
+def test_zero_mutation_incremental_rip_replays_everything(mini_app):
+    ung, report, trace = traced_rip(mini_app)
+    ripper = GuiRipper(mini_app)
+    ung2 = ripper.rip_incremental(ung, trace)
+    assert ripper.report.mode == "incremental"
+    assert ripper.report.nodes_visited == 0
+    assert ripper.report.nodes_reused == report.clicks
+    assert ripper.report.clicks == report.clicks  # virtual-click parity
+    assert ung_bytes(ung2) == ung_bytes(ung)
+
+
+def test_incremental_rip_chains_across_traces(mini_app):
+    ung, _, trace = traced_rip(mini_app)
+    for _ in range(3):
+        ripper = GuiRipper(mini_app)
+        ung2 = ripper.rip_incremental(ung, trace)
+        assert ripper.report.mode == "incremental"
+        assert ung_bytes(ung2) == ung_bytes(ung)
+        ung, trace = ung2, ripper.trace
+
+
+def test_dialog_mutation_rips_incrementally_and_byte_identically():
+    app = MutableDemoApp()
+    ung, full_report, trace = traced_rip(app)
+    app.mutate_dialog_spec("checkbox", "Night mode")
+    ripper = GuiRipper(app)
+    ung2 = ripper.rip_incremental(ung, trace)
+    report = ripper.report
+    assert report.mode == "incremental" and report.fallback_reason == ""
+    # Tentpole acceptance: a single-dialog mutation re-explores well under
+    # 20% of what the full rip visited.
+    assert report.nodes_visited < 0.2 * full_report.nodes_visited
+    assert report.nodes_reused > 0 and report.nodes_patched > 0
+    # Byte-identical to ripping the mutated app from scratch.
+    reference = MutableDemoApp()
+    reference.mutate_dialog_spec("checkbox", "Night mode")
+    assert ung_bytes(ung2) == ung_bytes(rip_application(reference)[0])
+
+
+def test_main_window_mutation_still_byte_identical():
+    app = MutableDemoApp()
+    ung, _, trace = traced_rip(app)
+    app.add_quick_button("Format Painter")
+    ripper = GuiRipper(app)
+    ung2 = ripper.rip_incremental(ung, trace)
+    assert ripper.report.mode == "incremental"
+    reference = MutableDemoApp()
+    reference.add_quick_button("Format Painter")
+    assert ung_bytes(ung2) == ung_bytes(rip_application(reference)[0])
+
+
+def test_rip_application_incremental_helper(mini_app):
+    ung, _, trace = traced_rip(mini_app)
+    ung2, report, trace2 = rip_application_incremental(mini_app, ung, trace)
+    assert report.mode == "incremental"
+    assert trace2.records  # a fresh trace chains the next rip
+
+
+# ----------------------------------------------------------------------
+# fallback semantics
+# ----------------------------------------------------------------------
+def test_fallback_without_a_trace(mini_app):
+    ung, _, _ = traced_rip(mini_app)
+    ripper = GuiRipper(mini_app)
+    ung2 = ripper.rip_incremental(ung, None)
+    assert ripper.report.mode == "full"
+    assert "trace" in ripper.report.fallback_reason
+    assert ung_bytes(ung2) == ung_bytes(ung)
+
+
+def test_fallback_on_change_log_overflow():
+    app = MutableDemoApp()
+    app.ui_changes = UIChangeLog(capacity=2)
+    ung, _, trace = traced_rip(app)
+    for i in range(5):
+        app.mutate_dialog_spec("checkbox", f"Option {i}")
+    ripper = GuiRipper(app)
+    ripper.rip_incremental(ung, trace)
+    assert ripper.report.mode == "full"
+    assert "overflow" in ripper.report.fallback_reason
+
+
+def test_fallback_on_revision_gap(mini_app):
+    ung, _, trace = traced_rip(mini_app)
+    # An intervening full rip drains the change log past the trace's
+    # revision: the outstanding trace can no longer prove it saw every
+    # change, so the next incremental attempt must fall back.
+    rip_application(mini_app)
+    ripper = GuiRipper(mini_app)
+    ripper.rip_incremental(ung, trace)
+    assert ripper.report.mode == "full"
+    assert "gap" in ripper.report.fallback_reason
+
+
+def test_fresh_instance_transfer_replays_without_a_gap():
+    """The model-transfer case: a trace recorded on one instance replays
+    against a *fresh* instance of the same build.  The fresh change log
+    (never written, revision 0) means "unchanged since build" — no gap,
+    empty dirty set — and the replay reproduces the model bit for bit."""
+    recorder = MutableDemoApp()
+    ung, _, trace = traced_rip(recorder)
+    assert trace.ui_revision > 0  # self-traffic stamped the trace
+    fresh = MutableDemoApp()
+    ripper = GuiRipper(fresh)
+    spliced = ripper.rip_incremental(ung, trace)
+    assert ripper.report.mode == "incremental"
+    assert ripper.report.nodes_visited == 0
+    assert ung_bytes(spliced) == ung_bytes(ung)
+
+
+def test_pure_replay_divergence_falls_back_to_a_full_rip():
+    """A zero-dirty replay must reproduce the prior graph exactly; when it
+    cannot (PowerPoint's context setup inserts shapes, so exploration
+    perturbs the very state the trace describes), the ripper detects the
+    divergence and re-rips fully instead of returning a silently wrong
+    splice."""
+    from repro.apps import PowerPointApp
+
+    recorder = PowerPointApp()
+    ung, _, trace = traced_rip(recorder)
+    ripper = GuiRipper(PowerPointApp())
+    ripper.rip_incremental(ung, trace)
+    assert ripper.report.mode == "full"
+    assert "drifted" in ripper.report.fallback_reason
+
+
+def test_fallback_on_app_name_mismatch(mini_app):
+    ung, _, trace = traced_rip(mini_app)
+    other = MutableDemoApp()
+    ripper = GuiRipper(other)
+    ripper.rip_incremental(ung, trace)
+    assert ripper.report.mode == "full"
+    assert "MiniApp" in ripper.report.fallback_reason
+
+
+def test_fallback_on_app_version_mismatch():
+    class Rebuilt(MutableDemoApp):
+        APP_VERSION = "2.0"
+
+    app = MutableDemoApp()
+    ung, _, trace = traced_rip(app)
+    rebuilt = Rebuilt()
+    ripper = GuiRipper(rebuilt)
+    ripper.rip_incremental(ung, trace)
+    assert ripper.report.mode == "full"
+    assert "version" in ripper.report.fallback_reason
+
+
+def test_fallback_on_config_digest_mismatch(mini_app):
+    ung, _, trace = traced_rip(mini_app)
+    ripper = GuiRipper(mini_app, config=RipperConfig(max_depth=5))
+    ripper.rip_incremental(ung, trace)
+    assert ripper.report.mode == "full"
+    assert "config" in ripper.report.fallback_reason
+
+
+def test_fallback_produces_correct_graph_anyway():
+    app = MutableDemoApp()
+    ung, _, trace = traced_rip(app)
+    app.mutate_dialog_spec("edit", "Proxy")
+    rip_application(app)            # drains the log -> gap on next attempt
+    ripper = GuiRipper(app)
+    ung2 = ripper.rip_incremental(ung, trace)
+    assert ripper.report.mode == "full"
+    reference = MutableDemoApp()
+    reference.mutate_dialog_spec("edit", "Proxy")
+    assert ung_bytes(ung2) == ung_bytes(rip_application(reference)[0])
+
+
+# ----------------------------------------------------------------------
+# telemetry
+# ----------------------------------------------------------------------
+def test_full_rip_emits_rip_full_event(mini_app):
+    with use_sink(AggregatingSink()) as sink:
+        _, report, _ = traced_rip(mini_app)
+    assert sink.count("rip_full") == 1
+    assert sink.count("rip_incremental") == 0
+
+
+def test_incremental_rip_emits_rip_incremental_event():
+    app = MutableDemoApp()
+    ung, _, trace = traced_rip(app)
+    app.mutate_dialog_spec("checkbox", "Night mode")
+    with use_sink(AggregatingSink()) as sink:
+        ripper = GuiRipper(app)
+        ripper.rip_incremental(ung, trace)
+    assert sink.count("rip_incremental") == 1
+    report = ripper.report
+    expected = report.nodes_reused / (report.nodes_reused +
+                                      report.nodes_visited)
+    assert 0.8 < expected <= 1.0  # a dialog tweak reuses the vast majority
+
+
+def test_fallback_emits_rip_full_with_reason(mini_app):
+    ung, _, trace = traced_rip(mini_app)
+    rip_application(mini_app)  # invalidate via drain -> gap
+    events = []
+
+    class Capture:
+        def emit(self, event):
+            events.append(event)
+
+        def __bool__(self):
+            return True
+
+    ripper = GuiRipper(mini_app, sink=Capture())
+    ripper.rip_incremental(ung, trace)
+    names = [type(event).__name__ for event in events]
+    assert "RipIncremental" not in names
+    rip_events = [e for e in events if type(e).__name__ == "RipFull"]
+    assert rip_events and "gap" in rip_events[-1].reason
+
+
+# ----------------------------------------------------------------------
+# artifact refresh (forest re-derivation fast path)
+# ----------------------------------------------------------------------
+def test_refresh_reuses_forest_when_ung_unchanged(mini_app):
+    artifacts = build_offline_artifacts(mini_app)
+    _, _, trace = traced_rip(mini_app)
+    refreshed, trace2 = refresh_offline_artifacts(mini_app, artifacts, trace)
+    assert ung_digest(refreshed.ung) == ung_digest(artifacts.ung)
+    assert refreshed.forest is artifacts.forest  # no re-derivation
+    assert trace2.records
+
+
+def test_refresh_rebuilds_forest_when_ung_changed():
+    app = MutableDemoApp()
+    artifacts = build_offline_artifacts(app)
+    _, _, trace = traced_rip(app)
+    app.mutate_dialog_spec("checkbox", "Night mode")
+    refreshed, _ = refresh_offline_artifacts(app, artifacts, trace)
+    assert refreshed.forest is not artifacts.forest
+    # The refreshed artefacts match a from-scratch build of the mutated app.
+    reference = MutableDemoApp()
+    reference.mutate_dialog_spec("checkbox", "Night mode")
+    scratch = build_offline_artifacts(reference)
+    assert ung_bytes(refreshed.ung) == ung_bytes(scratch.ung)
+    assert serialize_forest(refreshed.forest) == serialize_forest(scratch.forest)
+
+
+# ----------------------------------------------------------------------
+# property-based equivalence: random mutation sequences
+# ----------------------------------------------------------------------
+MUTATIONS = (
+    lambda app, i: app.add_quick_button(f"Action {i}"),
+    lambda app, i: app.set_status_line(f"status {i}"),
+    lambda app, i: app.toggle_tab(),
+    lambda app, i: app.mutate_dialog_spec("checkbox", f"Option {i}"),
+    lambda app, i: app.mutate_dialog_spec("edit", f"Field {i}"),
+    lambda app, i: (app.add_quick_button(f"Temp {i}"),
+                    app.remove_quick_button(f"Temp {i}")),
+)
+
+
+def test_random_mutation_sequences_stay_byte_identical(rng):
+    """Satellite acceptance: any random mutation sequence leaves the
+    incremental rip byte-identical (serialized UNG *and* forest) to a full
+    re-rip of the same mutated application."""
+    for round_index in range(6):
+        seed = rng.randrange(10 ** 6)
+        script = [(rng.randrange(len(MUTATIONS)), seed * 10 + step)
+                  for step in range(rng.randint(1, 4))]
+
+        app = MutableDemoApp()
+        ung, _, trace = traced_rip(app)
+        for mutation_index, step_id in script:
+            MUTATIONS[mutation_index](app, step_id)
+        ripper = GuiRipper(app)
+        ung2 = ripper.rip_incremental(ung, trace)
+        assert ripper.report.mode == "incremental", \
+            f"round {round_index}: fell back: {ripper.report.fallback_reason}"
+
+        reference = MutableDemoApp()
+        for mutation_index, step_id in script:
+            MUTATIONS[mutation_index](reference, step_id)
+        reference_ung = rip_application(reference)[0]
+        assert ung_bytes(ung2) == ung_bytes(reference_ung), \
+            f"round {round_index}: script {script} diverged"
+
+
+def test_random_mutation_sequences_chain_traces(rng):
+    """Repeated mutate -> incremental-rip cycles keep chaining: each rip's
+    trace replays the next, and every step stays byte-identical to a full
+    rip of an identically mutated twin.  (Rips are non-destructive and
+    deterministic, so ripping the live twin gives the from-scratch
+    reference without replaying the mutation history on a fresh app.)"""
+    app = MutableDemoApp()
+    twin = MutableDemoApp()
+    ung, _, trace = traced_rip(app)
+    for step in range(5):
+        mutation_index = rng.randrange(len(MUTATIONS))
+        MUTATIONS[mutation_index](app, step)
+        MUTATIONS[mutation_index](twin, step)
+        ripper = GuiRipper(app)
+        ung = ripper.rip_incremental(ung, trace)
+        trace = ripper.trace
+        assert ripper.report.mode == "incremental"
+        assert ung_bytes(ung) == ung_bytes(rip_application(twin)[0])

@@ -8,7 +8,6 @@ LRU-eviction instrumentation (the bounded-cache satellite).
 """
 
 import json
-import os
 import threading
 
 import pytest
@@ -256,13 +255,12 @@ def test_cache_emits_hits_and_misses(tmp_path):
 def test_cache_max_entries_evicts_least_recently_loaded(tmp_path):
     """Satellite acceptance: --cache-max-entries keeps the N most recently
     *loaded* entries; insertion evicts the stalest, and a hit refreshes
-    recency."""
+    recency.  Recency is the sidecar index's ns-resolution last-load stamp,
+    so sequential loads are strictly ordered even on filesystems with
+    coarse mtimes — no utime pinning needed."""
     cache = ArtifactCache(tmp_path / "cache", max_entries=2)
+    cache.load_or_build("word")        # stalest entry after the next load
     cache.load_or_build("powerpoint")
-    cache.load_or_build("word")
-    # Pin explicit last-load times: word is the stalest entry.
-    os.utime(cache.path_for("powerpoint"), (1000, 1000))
-    os.utime(cache.path_for("word"), (500, 500))
     with use_sink(AggregatingSink()) as sink:
         cache.load_or_build("excel")  # third entry: one eviction due
     assert not cache.path_for("word").exists()
@@ -274,8 +272,6 @@ def test_cache_max_entries_evicts_least_recently_loaded(tmp_path):
 
     # A hit refreshes recency (LRU is by last *load*, not last build):
     # after loading powerpoint, the stalest entry is excel.
-    os.utime(cache.path_for("powerpoint"), (1000, 1000))
-    os.utime(cache.path_for("excel"), (2000, 2000))
     cache.load_or_build("powerpoint")  # hit -> touch -> newest
     cache.load_or_build("word")        # rebuild word: evicts excel
     assert cache.path_for("powerpoint").exists()
@@ -283,7 +279,7 @@ def test_cache_max_entries_evicts_least_recently_loaded(tmp_path):
     assert cache.evictions == 2
     # The evicted entry is rebuilt transparently on next use.
     assert cache.load_or_build("excel") is not None
-    assert cache.misses == 5  # ppt, word, excel, word again, excel again
+    assert cache.misses == 5  # word, ppt, excel, word again, excel again
     assert cache.hits == 1
 
 
