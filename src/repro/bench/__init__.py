@@ -11,6 +11,7 @@ from repro.bench.telemetry import (
     AggregatingSink,
     EventSink,
     JsonlSink,
+    MetricsSnapshotSink,
     NullSink,
     TeeSink,
     TelemetryError,
@@ -66,14 +67,17 @@ from repro.bench.store import (
 )
 from repro.bench.transport import (
     DEFAULT_LEASE_TTL,
+    DEFAULT_PLAN,
     BrokerStatus,
     InMemoryBroker,
     LeaseHeartbeat,
     LocalDirBroker,
     ObjectStoreBroker,
+    PlanStatus,
     ShardBroker,
     ShardLease,
     ShardWorker,
+    validate_plan_name,
 )
 from repro.bench.metrics import (
     MetricSummary,
@@ -91,6 +95,7 @@ __all__ = [
     "BenchmarkRunner",
     "BrokerStatus",
     "DEFAULT_LEASE_TTL",
+    "DEFAULT_PLAN",
     "DEFAULT_SEED",
     "EvaluationSetting",
     "EventSink",
@@ -105,10 +110,12 @@ __all__ = [
     "MANIFEST_FORMAT_VERSION",
     "ManifestExecutor",
     "MetricSummary",
+    "MetricsSnapshotSink",
     "NullSink",
     "ObjectStore",
     "ObjectStoreBroker",
     "ParallelExecutor",
+    "PlanStatus",
     "ProgressEvent",
     "RegistryError",
     "RunOutcome",
@@ -147,4 +154,5 @@ __all__ = [
     "tasks_for_app",
     "trial_seed",
     "use_sink",
+    "validate_plan_name",
 ]

@@ -47,6 +47,18 @@ class RegistryError(ValueError):
     """A run record is missing, unreadable, or structurally invalid."""
 
 
+def _executor_base(executor: str) -> str:
+    """The path component of an executor label.
+
+    Broker runs against a *named* plan label themselves
+    ``dir-broker:planA`` / ``store-broker:planA`` so ``runs list``/``diff``
+    can tell concurrent tenants apart; the part before the first ``:`` must
+    still be one of :data:`EXECUTOR_PATHS`.  Default-namespace runs keep
+    the bare label, so pre-PR-7 records and tooling are unaffected.
+    """
+    return executor.split(":", 1)[0]
+
+
 def _require(payload: Mapping[str, object], key: str, source: str) -> object:
     if key not in payload:
         raise RegistryError(f"{source}: missing required field {key!r}")
@@ -179,10 +191,11 @@ class RunRecord:
                 f"{source}: field 'format_version' is {version!r}; this "
                 f"build reads format version {RUN_RECORD_FORMAT_VERSION}")
         executor = _require_str(payload, "executor", source)
-        if executor not in EXECUTOR_PATHS:
+        if _executor_base(executor) not in EXECUTOR_PATHS:
             raise RegistryError(
                 f"{source}: field 'executor' is {executor!r}; expected one "
-                f"of {', '.join(map(repr, EXECUTOR_PATHS))}")
+                f"of {', '.join(map(repr, EXECUTOR_PATHS))} (optionally "
+                "suffixed ':<plan>' for a named broker plan)")
         counters = _require_dict(payload, "counters", source)
         for name, value in counters.items():
             if isinstance(value, bool) or not isinstance(value, int):
@@ -230,9 +243,11 @@ def build_run_record(run_id: str, *, executor: str, seed: int, trials: int,
     """
     from repro.bench.metrics import aggregate
 
-    if executor not in EXECUTOR_PATHS:
+    if _executor_base(executor) not in EXECUTOR_PATHS:
         raise RegistryError(f"executor must be one of "
-                            f"{', '.join(EXECUTOR_PATHS)}, got {executor!r}")
+                            f"{', '.join(EXECUTOR_PATHS)} (optionally "
+                            f"suffixed ':<plan>' for a named broker plan), "
+                            f"got {executor!r}")
     snapshot = sink.snapshot() if sink is not None else \
         {"counters": {}, "timers": {}}
     context = dict(context or {})

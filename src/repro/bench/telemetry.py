@@ -40,11 +40,14 @@ from __future__ import annotations
 
 import json
 import math
+import os
 import threading
+import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field, fields
 from pathlib import Path
 from typing import (
+    Callable,
     ClassVar,
     Dict,
     Iterator,
@@ -285,6 +288,36 @@ class WorkerIdle(TelemetryEvent):
         return {"idle_sleep_s": self.slept_s}
 
 
+@dataclass(frozen=True)
+class PlanSubmitted(TelemetryEvent):
+    """A named plan was enqueued on a broker (one per ``submit``)."""
+
+    name: ClassVar[str] = "plan_submitted"
+    plan: str
+    shards: int
+    priority: int
+
+
+@dataclass(frozen=True)
+class PlanDrained(TelemetryEvent):
+    """The post that completed a plan: every shard of ``plan`` is done."""
+
+    name: ClassVar[str] = "plan_drained"
+    plan: str
+    shards: int
+
+
+@dataclass(frozen=True)
+class QueueDepth(TelemetryEvent):
+    """One plan's queue gauge snapshot (emitted by workers per status poll)."""
+
+    name: ClassVar[str] = "queue_depth"
+    plan: str
+    queued: int
+    leased: int
+    done: int
+
+
 #: Every shipped event type's name.  Consumers that want "no events of this
 #: kind" to read as an explicit zero (e.g. the runs-diff metric namespace,
 #: where a --fail-if gate on ``cache_miss`` must not report the counter
@@ -294,7 +327,8 @@ EVENT_NAMES: tuple = tuple(sorted(event.name for event in (
     TrialStarted, TrialFinished, CacheHit, CacheMiss, CacheEvicted, CacheGc,
     RipFull, RipIncremental,
     LeaseAcquired, LeaseRenewed, LeaseLost, ManifestAbandoned, ShardPosted,
-    ShardCollected, CasRetry, WorkerIdle)))
+    ShardCollected, CasRetry, WorkerIdle,
+    PlanSubmitted, PlanDrained, QueueDepth)))
 
 
 def phases_from_result(result, rip_s: Optional[float] = None,
@@ -478,6 +512,105 @@ class TeeSink(EventSink):
 
     def __bool__(self) -> bool:
         return bool(self.sinks)
+
+
+class MetricsSnapshotSink(EventSink):
+    """Live fleet gauges: per-plan queue depth plus worker-idle rate.
+
+    Unlike :class:`AggregatingSink` (monotonic counters, read post-hoc),
+    this sink keeps *current-value* gauges a fleet operator or autoscaler
+    can poll while workers run: the latest queued/leased/done per plan
+    (from ``queue_depth`` events, seeded by ``plan_submitted``), which
+    plans have drained, and how much time workers spend idle-polling.
+
+    With ``path`` set, the snapshot is atomically rewritten (temp file +
+    rename, so readers never see a torn JSON) at most every ``interval_s``
+    seconds of event traffic, and once more on :meth:`close` — park the
+    file next to the broker (or anywhere a dashboard can reach) and it
+    becomes the live fleet-status object ``repro fleet status --metrics``
+    reads.
+    """
+
+    def __init__(self, path: Optional[Union[str, Path]] = None,
+                 interval_s: float = 5.0,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if not math.isfinite(interval_s) or interval_s < 0:
+            raise TelemetryError("metrics snapshot interval_s must be a "
+                                 f"finite number >= 0, got {interval_s}")
+        self.path = Path(path) if path is not None else None
+        self.interval_s = interval_s
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._plans: Dict[str, Dict[str, int]] = {}
+        self._drained: set = set()
+        self._idle_count = 0
+        self._idle_slept_s = 0.0
+        self._events = 0
+        self._last_write: Optional[float] = None
+
+    def emit(self, event: TelemetryEvent) -> None:
+        name = event.name
+        with self._lock:
+            self._events += 1
+            if name == "queue_depth":
+                self._plans[event.plan] = {
+                    "queued": event.queued, "leased": event.leased,
+                    "done": event.done}
+            elif name == "plan_submitted":
+                self._plans.setdefault(event.plan, {
+                    "queued": event.shards, "leased": 0, "done": 0})
+                self._drained.discard(event.plan)
+            elif name == "plan_drained":
+                self._drained.add(event.plan)
+                gauges = self._plans.setdefault(event.plan, {
+                    "queued": 0, "leased": 0, "done": event.shards})
+                gauges["queued"] = 0
+                gauges["done"] = max(gauges["done"], event.shards)
+            elif name == "worker_idle":
+                self._idle_count += 1
+                self._idle_slept_s += event.slept_s
+            payload = self._snapshot_locked()
+            due = (self.path is not None
+                   and (self._last_write is None
+                        or self._clock() - self._last_write
+                        >= self.interval_s))
+            if due:
+                self._last_write = self._clock()
+        if due:
+            self._write(payload)
+
+    def _snapshot_locked(self) -> Dict[str, object]:
+        return {
+            "plans": {plan: dict(gauges, drained=plan in self._drained)
+                      for plan, gauges in sorted(self._plans.items())},
+            "worker_idle": {"count": self._idle_count,
+                            "slept_s": self._idle_slept_s},
+            "events": self._events,
+        }
+
+    def snapshot(self) -> Dict[str, object]:
+        """The current gauge values (a deep-enough copy; safe to mutate)."""
+        with self._lock:
+            return self._snapshot_locked()
+
+    def _write(self, payload: Dict[str, object]) -> None:
+        assert self.path is not None
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = self.path.with_name(f".{self.path.name}.{os.getpid()}.tmp")
+        tmp.write_text(json.dumps(payload, indent=1, ensure_ascii=False)
+                       + "\n", encoding="utf-8")
+        tmp.replace(self.path)
+
+    def close(self) -> None:
+        """Write one final snapshot so the file reflects the end state."""
+        if self.path is not None:
+            self._write(self.snapshot())
+
+    def __enter__(self) -> "MetricsSnapshotSink":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
 
 def read_jsonl_events(path: Union[str, Path]) -> List[Dict[str, object]]:

@@ -1,4 +1,4 @@
-"""Remote shard transport: a broker/worker queue over shard manifests.
+"""Remote shard transport: a multi-tenant broker/worker queue over manifests.
 
 PR 2's shard pipeline (:mod:`repro.bench.shard`) is file-bound: an operator
 hand-carries manifest JSONs to machines and collects results back.  This
@@ -6,27 +6,45 @@ module turns it into a deploy-anywhere work queue with three roles:
 
 coordinator
     :meth:`ShardBroker.submit` enqueues every manifest of a
-    :class:`~repro.bench.shard.ShardPlan` on a broker;
-    :meth:`ShardBroker.status` reports queued/leased/done counts
-    (:class:`BrokerStatus`) while workers run; :meth:`ShardBroker.collect`
-    gathers the posted :class:`~repro.bench.shard.ShardResults`, which feed
-    straight into :func:`~repro.bench.shard.merge_shard_results` so all of
-    PR 2's plan-identity validation applies unchanged.
+    :class:`~repro.bench.shard.ShardPlan` under a *plan name* (namespace);
+    one broker holds any number of named plans concurrently.
+    :meth:`ShardBroker.status` reports per-plan and aggregate
+    queued/leased/done counts (:class:`BrokerStatus` over
+    :class:`PlanStatus` rows) while workers run;
+    :meth:`ShardBroker.collect` gathers one named plan's posted
+    :class:`~repro.bench.shard.ShardResults`, which feed straight into
+    :func:`~repro.bench.shard.merge_shard_results` so all of PR 2's
+    plan-identity validation applies unchanged.  Single-plan callers that
+    never pass a name land in the reserved ``"default"`` namespace.
 worker
-    :class:`ShardWorker` is a pull loop: lease a manifest, run it through a
+    :class:`ShardWorker` is a pull loop: lease a manifest (from whichever
+    plan fair-share picks), run it through a
     :class:`~repro.bench.shard.ManifestExecutor` (inheriting ``jobs`` and
-    the :class:`~repro.dmi.cache.ArtifactCache`), post the results, repeat;
-    it exits when the queue drains.
+    the :class:`~repro.dmi.cache.ArtifactCache`), post the results, repeat.
+    It exits when every plan drains — unless running as a persistent
+    *daemon* (``daemon=True`` / ``repro shard work --daemon``), in which
+    case it survives drain, keeps idle-polling with backoff, and picks up
+    newly submitted plans without a restart; ``stop()``/SIGTERM or
+    ``max_idle_s`` shut it down cleanly.
 broker
     :class:`LocalDirBroker` implements the queue on a shared (NFS-style)
-    directory using only atomic renames, so any number of workers on any
-    number of machines can race for leases without locks; leases expire
-    after ``lease_ttl`` seconds and are reclaimed, so a crashed worker's
-    manifest is re-run by a peer.  :class:`ObjectStoreBroker` implements the
-    same contract over any :class:`~repro.bench.store.ObjectStore` (S3-style
-    conditional writes; leases are small compare-and-swap'd objects instead
-    of renamed files), making the queue deployable against cloud storage.
+    directory using only atomic renames (one subtree per plan under
+    ``plans/<name>/``), so any number of workers on any number of machines
+    can race for leases without locks; leases expire after ``lease_ttl``
+    seconds and are reclaimed, so a crashed worker's manifest is re-run by
+    a peer.  :class:`ObjectStoreBroker` implements the same contract over
+    any :class:`~repro.bench.store.ObjectStore` (S3-style conditional
+    writes; the plan name is folded into the ``manifest/``, ``lease/`` and
+    ``result/`` key layout, with one index object per plan under
+    ``plans/``), making the queue deployable against cloud storage.
     :class:`InMemoryBroker` implements the contract in-process for tests.
+
+Leasing is *fair-share with priority* across live plans: each broker
+handle round-robins over the plans that currently have leasable work
+(least-served first, then higher ``priority``, then deeper queue, then
+name), so one huge grid cannot starve a small one — the conformance suite
+(``tests/broker_contract.py``) asserts interleaving and namespace
+isolation over every backend.
 
 Leases are kept alive by *heartbeats*: :meth:`ShardBroker.renew` extends a
 lease the caller still holds (and reports loss if it was reclaimed), and
@@ -43,7 +61,8 @@ manifest (or double-posting one) reproduces the same
 :class:`~repro.agent.session.SessionResult` payloads, which is what makes
 first-write-wins result posting and lease reclaim safe: the merged output
 stays bit-identical to a serial run no matter how work was dealt out (the
-equivalence harness in ``tests/equivalence.py`` asserts exactly this).
+equivalence harness in ``tests/equivalence.py`` asserts exactly this, per
+plan, including two plans sharing one broker).
 """
 
 from __future__ import annotations
@@ -57,9 +76,9 @@ import socket
 import threading
 import time
 from abc import ABC, abstractmethod
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Tuple, Union
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.bench.shard import (
     MANIFEST_FORMAT_VERSION,
@@ -88,6 +107,9 @@ from repro.bench.telemetry import (
     LeaseLost,
     LeaseRenewed,
     ManifestAbandoned,
+    PlanDrained,
+    PlanSubmitted,
+    QueueDepth,
     ShardCollected,
     ShardPosted,
     WorkerIdle,
@@ -111,7 +133,12 @@ IDLE_BACKOFF_BASE = 0.05
 #: is set — crashed-peer reclaim latency stays bounded.
 IDLE_BACKOFF_CAP = 30.0
 
+#: The namespace single-plan callers land in when they never pass a name.
+DEFAULT_PLAN = "default"
+
 _PLAN_KIND = "repro-broker-plan"
+
+_PLAN_NAME_RE = re.compile(r"[A-Za-z0-9_.-]+")
 
 #: Typed loaders for the plan-header fields, keyed by identity label; any
 #: label without an entry falls back to the untyped ``_require``, so a new
@@ -128,11 +155,38 @@ _IDENTITY_PARSERS: Dict[str, Callable] = {
 Clock = Callable[[], float]
 
 
-def _plan_header_payload(plan: ShardPlan) -> Dict[str, object]:
+def validate_plan_name(name: str) -> str:
+    """A plan name safe to embed in directory paths and object keys.
+
+    Same character policy as worker-id sanitizing (letters, digits,
+    ``_``, ``.``, ``-``) but *rejecting* instead of rewriting — a plan
+    name is an identity the coordinator and collectors must agree on, so
+    silently normalizing it would route results to a surprise namespace.
+    """
+    if (not isinstance(name, str) or not name or name == "."
+            or ".." in name or _PLAN_NAME_RE.fullmatch(name) is None):
+        raise ShardError(
+            f"invalid plan name {name!r}: plan names must be non-empty, "
+            "use only letters, digits, '_', '.' and '-' (no '/'), and "
+            "never contain '..'")
+    return name
+
+
+def _check_priority(priority: int) -> int:
+    if isinstance(priority, bool) or not isinstance(priority, int):
+        raise ShardError(f"plan priority must be an integer, "
+                         f"got {priority!r}")
+    return priority
+
+
+def _plan_header_payload(plan: ShardPlan, name: str,
+                         priority: int) -> Dict[str, object]:
     """The submitted plan's identity header, shared by all broker backends."""
     header: Dict[str, object] = {
         "kind": _PLAN_KIND,
         "format_version": MANIFEST_FORMAT_VERSION,
+        "plan": name,
+        "priority": priority,
     }
     # Derived from the identity tuple itself so the header can never drift
     # from plan_identity()'s field set.
@@ -149,6 +203,13 @@ def _parse_plan_header(payload: Dict[str, object],
     return tuple(_IDENTITY_PARSERS.get(label, _require)(payload, label,
                                                         source)
                  for label in PLAN_IDENTITY_LABELS)
+
+
+def _plan_priority(payload: Dict[str, object], source: str) -> int:
+    """The header's priority field (headers from PR 3/4 predate it)."""
+    if "priority" not in payload:
+        return 0
+    return _require_int(payload, "priority", source)
 
 
 def _check_posted_results(reference: Tuple[object, ...],
@@ -171,9 +232,11 @@ def _emit_collected(sink: EventSink, collected: List[ShardResults]) -> None:
 
 
 @dataclass(frozen=True)
-class BrokerStatus:
-    """Coordinator-side queue counters (one snapshot, not a live view)."""
+class PlanStatus:
+    """One named plan's queue counters (one snapshot, not a live view)."""
 
+    name: str
+    priority: int
     queued: int
     leased: int
     done: int
@@ -188,16 +251,97 @@ class BrokerStatus:
         """No work left to lease *or* in flight (done or abandoned)."""
         return self.queued == 0 and self.leased == 0
 
-    def render(self) -> str:
+    def render_line(self) -> str:
         return (f"{self.done}/{self.shard_count} done "
                 f"({self.queued} queued, {self.leased} leased)")
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"priority": self.priority, "queued": self.queued,
+                "leased": self.leased, "done": self.done,
+                "shard_count": self.shard_count, "complete": self.complete}
+
+
+@dataclass(frozen=True)
+class BrokerStatus:
+    """Coordinator-side queue counters: per-plan rows plus aggregates.
+
+    The aggregate properties (``queued``/``leased``/``done``/
+    ``shard_count``) sum over every plan the broker holds, so drain checks
+    ("is there anything left to do *anywhere*?") read the same as they did
+    when a broker held exactly one plan.
+    """
+
+    plans: Tuple[PlanStatus, ...] = ()
+
+    @property
+    def queued(self) -> int:
+        return sum(plan.queued for plan in self.plans)
+
+    @property
+    def leased(self) -> int:
+        return sum(plan.leased for plan in self.plans)
+
+    @property
+    def done(self) -> int:
+        return sum(plan.done for plan in self.plans)
+
+    @property
+    def shard_count(self) -> int:
+        return sum(plan.shard_count for plan in self.plans)
+
+    @property
+    def complete(self) -> bool:
+        return self.done >= self.shard_count
+
+    @property
+    def drained(self) -> bool:
+        """No work left to lease *or* in flight (done or abandoned)."""
+        return self.queued == 0 and self.leased == 0
+
+    def plan(self, name: str) -> Optional[PlanStatus]:
+        for plan in self.plans:
+            if plan.name == name:
+                return plan
+        return None
+
+    def render_line(self) -> str:
+        """The one-line aggregate (worker/collect progress messages)."""
+        return (f"{self.done}/{self.shard_count} done "
+                f"({self.queued} queued, {self.leased} leased)")
+
+    def render(self) -> str:
+        """The per-plan table ``repro shard status`` / ``fleet status`` print."""
+        if not self.plans:
+            return "no plans submitted"
+        width = max(24, max(len(plan.name) for plan in self.plans))
+        header = (f"{'plan':<{width}s} {'pri':>4s} {'queued':>7s} "
+                  f"{'leased':>7s} {'done':>6s} {'shards':>7s}")
+        lines = [header, "-" * len(header)]
+        for plan in self.plans:
+            lines.append(f"{plan.name:<{width}s} {plan.priority:>4d} "
+                         f"{plan.queued:>7d} {plan.leased:>7d} "
+                         f"{plan.done:>6d} {plan.shard_count:>7d}")
+        if len(self.plans) > 1:
+            lines.append(f"{'(all plans)':<{width}s} {'-':>4s} "
+                         f"{self.queued:>7d} {self.leased:>7d} "
+                         f"{self.done:>6d} {self.shard_count:>7d}")
+        return "\n".join(lines)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "plans": {plan.name: plan.as_dict() for plan in self.plans},
+            "aggregate": {"queued": self.queued, "leased": self.leased,
+                          "done": self.done, "shard_count": self.shard_count,
+                          "complete": self.complete},
+        }
 
 
 @dataclass(frozen=True)
 class ShardLease:
     """One leased manifest: the work order plus the lease bookkeeping.
 
-    ``token`` is backend-specific (the lease filename for
+    ``plan`` names the namespace the manifest came from (posts route back
+    to it); ``token`` is backend-specific (the lease filename for
     :class:`LocalDirBroker`); ``deadline`` is in the broker clock's units —
     after it passes any worker may reclaim the manifest.
     """
@@ -206,10 +350,17 @@ class ShardLease:
     worker_id: str
     deadline: float
     token: str
+    plan: str = DEFAULT_PLAN
 
 
 class ShardBroker(ABC):
-    """The queue contract: submit a plan, lease manifests, post results.
+    """The queue contract: submit named plans, lease manifests, post results.
+
+    One broker holds any number of *named* plans (namespaces); submitting
+    without a name uses the reserved ``"default"`` namespace, so
+    single-plan callers read exactly as they did when a broker held one
+    plan.  Results never cross namespaces: :meth:`collect` takes a name
+    and returns only that plan's shards.
 
     All brokers share first-write-wins semantics on results: posting a
     shard that is already done is an idempotent no-op (results are
@@ -218,15 +369,26 @@ class ShardBroker(ABC):
     """
 
     @abstractmethod
-    def submit(self, plan: ShardPlan) -> None:
-        """Enqueue every manifest of ``plan``.  One plan per broker."""
+    def submit(self, plan: ShardPlan, name: str = DEFAULT_PLAN,
+               priority: int = 0) -> None:
+        """Enqueue every manifest of ``plan`` under ``name``.
+
+        One plan per name: resubmitting an occupied name raises.  Higher
+        ``priority`` plans win lease-order ties against equally-served
+        peers.
+        """
 
     @abstractmethod
     def lease(self, worker_id: str) -> Optional[ShardLease]:
         """Atomically take one queued manifest, or ``None`` if none is free.
 
-        Expired leases are reclaimed first, so a crashed worker's manifest
-        becomes leasable again after ``lease_ttl`` seconds.
+        Plans are tried in fair-share order (round-robin per handle,
+        ``priority`` then queue depth as tiebreaks) and the returned lease
+        is tagged with its plan name.  Expired leases are reclaimed first,
+        so a crashed worker's manifest becomes leasable again after
+        ``lease_ttl`` seconds.  A broker holding no plans at all is simply
+        empty (``None``), so daemon workers may start before the first
+        submit.
         """
 
     @abstractmethod
@@ -245,16 +407,76 @@ class ShardBroker(ABC):
         """Post one shard's results; returns ``False`` on a duplicate post."""
 
     @abstractmethod
-    def collect(self) -> List[ShardResults]:
-        """All posted results, in shard-index order.
+    def collect(self, name: str = DEFAULT_PLAN) -> List[ShardResults]:
+        """One plan's posted results, in shard-index order.
 
         Feed the list to :func:`~repro.bench.shard.merge_shard_results`,
-        which (re)validates completeness and plan identity.
+        which (re)validates completeness and plan identity.  Collecting a
+        name that was never submitted raises.
         """
 
     @abstractmethod
     def status(self) -> BrokerStatus:
-        """Queue counters for the ``--progress`` display and drain checks."""
+        """Per-plan + aggregate counters for progress and drain checks."""
+
+    # ------------------------------------------------------------------
+    # fair-share rotation (shared by every backend)
+    # ------------------------------------------------------------------
+    def _fair_share_order(
+            self, candidates: Sequence[Tuple[str, int, int]]) -> List[str]:
+        """Order plans for the next lease attempt.
+
+        ``candidates`` is ``(name, priority, queued_depth)`` for every
+        plan with leasable work.  Least-served (by this handle) goes
+        first — plain round-robin, so a 1000-shard plan and a 3-shard plan
+        alternate leases instead of the small one waiting out the big one —
+        with higher ``priority``, deeper queue, then name breaking ties.
+        Served counts are per broker handle, not shared state: every
+        worker process rotates fairly on its own, which yields fleet-level
+        fairness without cross-worker coordination.
+        """
+        served = getattr(self, "_fair_share_served", None)
+        if served is None:
+            served = {}
+            self._fair_share_served = served
+        ordered = sorted(
+            candidates,
+            key=lambda c: (served.get(c[0], 0), -c[1], -c[2], c[0]))
+        return [name for name, _priority, _depth in ordered]
+
+    def _fair_share_mark(self, name: str) -> None:
+        self._fair_share_served[name] = \
+            self._fair_share_served.get(name, 0) + 1
+
+    # ------------------------------------------------------------------
+    # shared telemetry (all backends have a ``sink`` attribute)
+    # ------------------------------------------------------------------
+    def _emit_plan_submitted(self, name: str, plan: ShardPlan,
+                             priority: int) -> None:
+        sink = telemetry.resolve(self.sink)
+        if sink:
+            sink.emit(PlanSubmitted(plan=name, shards=plan.shard_count,
+                                    priority=priority))
+
+    def _emit_plan_drained(self, name: str, shards: int) -> None:
+        sink = telemetry.resolve(self.sink)
+        if sink:
+            sink.emit(PlanDrained(plan=name, shards=shards))
+
+
+class _MemoryPlanState:
+    """One named plan's queue state inside :class:`InMemoryBroker`."""
+
+    def __init__(self, name: str, priority: int, plan: ShardPlan) -> None:
+        self.name = name
+        self.priority = priority
+        self.identity = plan.manifests[0].plan_identity()
+        self.shard_count = plan.shard_count
+        self.grants = 0
+        self.queued: Dict[int, ShardManifest] = {
+            manifest.shard_index: manifest for manifest in plan.manifests}
+        self.leases: Dict[int, ShardLease] = {}
+        self.done: Dict[int, ShardResults] = {}
 
 
 class InMemoryBroker(ShardBroker):
@@ -273,92 +495,109 @@ class InMemoryBroker(ShardBroker):
         self.sink = sink
         self._clock = clock
         self._lock = threading.Lock()
-        self._identity: Optional[Tuple[object, ...]] = None
-        self._shard_count = 0
-        self._grants = 0
-        self._queued: Dict[int, ShardManifest] = {}
-        self._leases: Dict[int, ShardLease] = {}
-        self._done: Dict[int, ShardResults] = {}
+        self._plans: Dict[str, _MemoryPlanState] = {}
 
-    def _require_plan(self) -> None:
-        if self._identity is None:
-            raise ShardError("no plan has been submitted to this broker")
+    def _require_plan(self, name: str) -> _MemoryPlanState:
+        state = self._plans.get(name)
+        if state is None:
+            known = ", ".join(sorted(self._plans)) or "none"
+            raise ShardError(f"no plan has been submitted to this broker "
+                             f"under the name {name!r} (known plans: "
+                             f"{known})")
+        return state
 
-    def _reclaim_expired(self) -> None:
+    def _reclaim_expired(self, state: _MemoryPlanState) -> None:
         now = self._clock()
-        for index, lease in list(self._leases.items()):
+        for index, lease in list(state.leases.items()):
             if now >= lease.deadline:
-                del self._leases[index]
-                self._queued[index] = lease.manifest
+                del state.leases[index]
+                state.queued[index] = lease.manifest
 
-    def submit(self, plan: ShardPlan) -> None:
+    def submit(self, plan: ShardPlan, name: str = DEFAULT_PLAN,
+               priority: int = 0) -> None:
+        name = validate_plan_name(name)
+        _check_priority(priority)
         with self._lock:
-            if self._identity is not None:
-                raise ShardError("broker already holds a plan; use one "
-                                 "broker per plan")
-            self._identity = plan.manifests[0].plan_identity()
-            self._shard_count = plan.shard_count
-            self._queued = {m.shard_index: m for m in plan.manifests}
+            if name in self._plans:
+                raise ShardError(f"broker already holds a plan named "
+                                 f"{name!r}; collect it or pick another "
+                                 "plan name")
+            self._plans[name] = _MemoryPlanState(name, priority, plan)
+        self._emit_plan_submitted(name, plan, priority)
 
     def lease(self, worker_id: str) -> Optional[ShardLease]:
         with self._lock:
-            self._require_plan()
-            self._reclaim_expired()
-            if not self._queued:
-                return None
-            index = min(self._queued)
-            manifest = self._queued.pop(index)
-            # The grant number makes every lease token unique, so a renew
-            # by the original holder after reclaim + re-lease cannot pass
-            # for the new holder's renewal.
-            self._grants += 1
-            lease = ShardLease(manifest=manifest, worker_id=worker_id,
-                               deadline=self._clock() + self.lease_ttl,
-                               token=f"{index}:{self._grants}")
-            self._leases[index] = lease
-            return lease
+            for state in self._plans.values():
+                self._reclaim_expired(state)
+            candidates = [(state.name, state.priority, len(state.queued))
+                          for state in self._plans.values() if state.queued]
+            for name in self._fair_share_order(candidates):
+                state = self._plans[name]
+                index = min(state.queued)
+                manifest = state.queued.pop(index)
+                # The grant number makes every lease token unique, so a
+                # renew by the original holder after reclaim + re-lease
+                # cannot pass for the new holder's renewal.
+                state.grants += 1
+                lease = ShardLease(manifest=manifest, worker_id=worker_id,
+                                   deadline=self._clock() + self.lease_ttl,
+                                   token=f"{index}:{state.grants}",
+                                   plan=name)
+                state.leases[index] = lease
+                self._fair_share_mark(name)
+                return lease
+            return None
 
     def renew(self, lease: ShardLease) -> Optional[ShardLease]:
         with self._lock:
-            self._require_plan()
+            state = self._plans.get(lease.plan)
+            if state is None:
+                return None
             index = lease.manifest.shard_index
-            current = self._leases.get(index)
+            current = state.leases.get(index)
             if current is None or current.token != lease.token:
                 return None  # expired + reclaimed, or already posted
             refreshed = replace(current,
                                 deadline=self._clock() + self.lease_ttl)
-            self._leases[index] = refreshed
+            state.leases[index] = refreshed
             return refreshed
 
     def post(self, lease: ShardLease, results: ShardResults) -> bool:
         with self._lock:
-            self._require_plan()
-            assert self._identity is not None
+            state = self._require_plan(lease.plan)
             index = results.manifest.shard_index
-            _check_posted_results(self._identity, results,
+            _check_posted_results(state.identity, results,
                                   source="posted results")
-            self._leases.pop(index, None)
-            self._queued.pop(index, None)
-            if index in self._done:
+            state.leases.pop(index, None)
+            state.queued.pop(index, None)
+            if index in state.done:
                 return False
-            self._done[index] = results
-            return True
+            state.done[index] = results
+            drained = len(state.done) >= state.shard_count
+        if drained:
+            self._emit_plan_drained(lease.plan, state.shard_count)
+        return True
 
-    def collect(self) -> List[ShardResults]:
+    def collect(self, name: str = DEFAULT_PLAN) -> List[ShardResults]:
+        validate_plan_name(name)
         with self._lock:
-            self._require_plan()
-            collected = [self._done[index] for index in sorted(self._done)]
+            state = self._require_plan(name)
+            collected = [state.done[index] for index in sorted(state.done)]
         _emit_collected(telemetry.resolve(self.sink), collected)
         return collected
 
     def status(self) -> BrokerStatus:
         with self._lock:
-            self._require_plan()
-            self._reclaim_expired()
-            return BrokerStatus(queued=len(self._queued),
-                                leased=len(self._leases),
-                                done=len(self._done),
-                                shard_count=self._shard_count)
+            rows = []
+            for name in sorted(self._plans):
+                state = self._plans[name]
+                self._reclaim_expired(state)
+                rows.append(PlanStatus(name=name, priority=state.priority,
+                                       queued=len(state.queued),
+                                       leased=len(state.leases),
+                                       done=len(state.done),
+                                       shard_count=state.shard_count))
+            return BrokerStatus(plans=tuple(rows))
 
 
 def _sanitize_worker_id(worker_id: str) -> str:
@@ -368,14 +607,16 @@ def _sanitize_worker_id(worker_id: str) -> str:
 class LocalDirBroker(ShardBroker):
     """The queue contract over a shared directory, using only atomic renames.
 
-    Layout under ``root``::
+    Layout under ``root`` (one subtree per named plan)::
 
-        plan.json    the plan's identity header (written once by submit)
-        queued/      manifests waiting for a worker
-        leased/      manifests being worked on; the lease deadline and
-                     worker id are encoded in the filename
-                     (``NAME.lease.<deadline_ms>.<worker>``)
-        done/        posted ShardResults files, one per shard
+        plans/<name>/plan.json   the plan's identity header + name/priority
+                                 (written once by submit)
+        plans/<name>/queued/     manifests waiting for a worker
+        plans/<name>/leased/     manifests being worked on; the lease
+                                 deadline and worker id are encoded in the
+                                 filename
+                                 (``NAME.lease.<deadline_ms>.<worker>``)
+        plans/<name>/done/       posted ShardResults files, one per shard
 
     Every state transition is a single ``rename`` (atomic on POSIX, also
     over NFS), so concurrent workers race safely: exactly one wins each
@@ -393,6 +634,7 @@ class LocalDirBroker(ShardBroker):
     """
 
     PLAN_FILE = "plan.json"
+    PLANS_DIR = "plans"
 
     def __init__(self, root: Union[str, Path],
                  lease_ttl: float = DEFAULT_LEASE_TTL,
@@ -408,63 +650,79 @@ class LocalDirBroker(ShardBroker):
     # ------------------------------------------------------------------
     # directory plumbing
     # ------------------------------------------------------------------
-    @property
-    def _plan_path(self) -> Path:
-        return self.root / self.PLAN_FILE
+    def _plan_root(self, name: str) -> Path:
+        return self.root / self.PLANS_DIR / name
 
-    @property
-    def _queued_dir(self) -> Path:
-        return self.root / "queued"
+    def _plan_path(self, name: str) -> Path:
+        return self._plan_root(name) / self.PLAN_FILE
 
-    @property
-    def _leased_dir(self) -> Path:
-        return self.root / "leased"
+    def _queued_dir(self, name: str) -> Path:
+        return self._plan_root(name) / "queued"
 
-    @property
-    def _done_dir(self) -> Path:
-        return self.root / "done"
+    def _leased_dir(self, name: str) -> Path:
+        return self._plan_root(name) / "leased"
+
+    def _done_dir(self, name: str) -> Path:
+        return self._plan_root(name) / "done"
+
+    def plan_names(self) -> Tuple[str, ...]:
+        base = self.root / self.PLANS_DIR
+        if not base.is_dir():
+            return ()
+        return tuple(sorted(entry.name for entry in base.iterdir()
+                            if (entry / self.PLAN_FILE).exists()))
 
     def _atomic_write_json(self, path: Path, text: str) -> None:
         tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
         tmp.write_text(text, encoding="utf-8")
         tmp.replace(path)
 
-    def _identity(self) -> Tuple[object, ...]:
-        """Load and validate the plan header; the broker's reference identity."""
-        if not self._plan_path.exists():
+    def _header(self, name: str) -> Dict[str, object]:
+        path = self._plan_path(name)
+        if not path.exists():
+            known = ", ".join(self.plan_names()) or "none"
             raise ShardError(
                 f"{self.root}: no plan has been submitted to this broker "
-                "directory (run 'repro shard submit' first)")
-        payload = _load_json(self._plan_path, "broker plan")
-        return _parse_plan_header(payload, str(self._plan_path))
+                f"directory under the name {name!r} (run 'repro shard "
+                f"submit' first; known plans: {known})")
+        return _load_json(path, "broker plan")
+
+    def _identity(self, name: str) -> Tuple[object, ...]:
+        """Load and validate one plan's header; its reference identity."""
+        return _parse_plan_header(self._header(name),
+                                  str(self._plan_path(name)))
 
     # ------------------------------------------------------------------
     # the queue contract
     # ------------------------------------------------------------------
-    def submit(self, plan: ShardPlan) -> None:
-        if self._plan_path.exists():
+    def submit(self, plan: ShardPlan, name: str = DEFAULT_PLAN,
+               priority: int = 0) -> None:
+        name = validate_plan_name(name)
+        _check_priority(priority)
+        if self._plan_path(name).exists():
             raise ShardError(
-                f"{self._plan_path}: broker directory already holds a plan "
-                "(one broker directory per plan; collect it or submit to a "
-                "fresh directory)")
-        for directory in (self.root, self._queued_dir, self._leased_dir,
-                          self._done_dir):
+                f"{self._plan_path(name)}: broker directory already holds "
+                f"a plan named {name!r} (collect it or pick another plan "
+                "name)")
+        for directory in (self._plan_root(name), self._queued_dir(name),
+                          self._leased_dir(name), self._done_dir(name)):
             directory.mkdir(parents=True, exist_ok=True)
-        # Header first: a directory with a header but no manifests reads as
+        # Header first: a subtree with a header but no manifests reads as
         # a plan being enqueued; manifests without a header would read as
         # corruption.
-        self._atomic_write_json(self._plan_path,
-                                json.dumps(_plan_header_payload(plan),
-                                           indent=1))
+        self._atomic_write_json(
+            self._plan_path(name),
+            json.dumps(_plan_header_payload(plan, name, priority), indent=1))
         for manifest in plan.manifests:
-            name = plan.manifest_name(manifest.shard_index)
-            self._atomic_write_json(self._queued_dir / name,
+            file_name = plan.manifest_name(manifest.shard_index)
+            self._atomic_write_json(self._queued_dir(name) / file_name,
                                     json.dumps(manifest.as_dict(), indent=1))
+        self._emit_plan_submitted(name, plan, priority)
 
-    def _reclaim_expired(self) -> None:
+    def _reclaim_expired(self, name: str) -> None:
         now_ms = int(self._clock() * 1000)
-        for path in self._leased_dir.glob("*.lease.*"):
-            name, _, rest = path.name.partition(".lease.")
+        for path in self._leased_dir(name).glob("*.lease.*"):
+            file_name, _, rest = path.name.partition(".lease.")
             deadline_text, _, _worker = rest.partition(".")
             try:
                 deadline_ms = int(deadline_text)
@@ -473,22 +731,38 @@ class LocalDirBroker(ShardBroker):
                                  "NAME.lease.<deadline_ms>.<worker>)")
             if now_ms >= deadline_ms:
                 try:
-                    path.rename(self._queued_dir / name)
+                    path.rename(self._queued_dir(name) / file_name)
                 except FileNotFoundError:
                     pass  # another worker reclaimed it first
 
     def lease(self, worker_id: str) -> Optional[ShardLease]:
-        self._identity()
-        self._reclaim_expired()
+        candidates = []
+        for name in self.plan_names():
+            self._reclaim_expired(name)
+            depth = sum(1 for _ in self._queued_dir(name).glob("shard-*.json"))
+            if depth == 0:
+                continue
+            priority = _plan_priority(self._header(name),
+                                      str(self._plan_path(name)))
+            candidates.append((name, priority, depth))
+        for name in self._fair_share_order(candidates):
+            lease = self._lease_from_plan(name, worker_id)
+            if lease is not None:
+                self._fair_share_mark(name)
+                return lease
+        return None
+
+    def _lease_from_plan(self, name: str,
+                         worker_id: str) -> Optional[ShardLease]:
         worker = _sanitize_worker_id(worker_id)
-        for path in sorted(self._queued_dir.glob("shard-*.json")):
-            if (self._done_dir / path.name).exists():
+        for path in sorted(self._queued_dir(name).glob("shard-*.json")):
+            if (self._done_dir(name) / path.name).exists():
                 # A straggler already posted this shard (its stale queued
                 # copy survived a reclaim); don't pointlessly re-run it.
                 path.unlink(missing_ok=True)
                 continue
             deadline = self._clock() + self.lease_ttl
-            target = self._leased_dir / (
+            target = self._leased_dir(name) / (
                 f"{path.name}.lease.{int(deadline * 1000)}.{worker}")
             try:
                 path.rename(target)
@@ -496,18 +770,19 @@ class LocalDirBroker(ShardBroker):
                 continue  # another worker won this manifest
             manifest = ShardManifest.load(target)
             return ShardLease(manifest=manifest, worker_id=worker_id,
-                              deadline=deadline, token=target.name)
+                              deadline=deadline, token=target.name,
+                              plan=name)
         return None
 
     def renew(self, lease: ShardLease) -> Optional[ShardLease]:
         # No _identity() re-read here: a ShardLease proves the plan was
         # already validated, and renew is the heartbeat hot path.
-        held = self._leased_dir / lease.token
-        name, _, rest = lease.token.partition(".lease.")
+        held = self._leased_dir(lease.plan) / lease.token
+        file_name, _, rest = lease.token.partition(".lease.")
         _deadline_text, _, worker = rest.partition(".")
         deadline = self._clock() + self.lease_ttl
-        target = self._leased_dir / (
-            f"{name}.lease.{int(deadline * 1000)}.{worker}")
+        target = self._leased_dir(lease.plan) / (
+            f"{file_name}.lease.{int(deadline * 1000)}.{worker}")
         try:
             held.rename(target)
         except FileNotFoundError:
@@ -518,12 +793,14 @@ class LocalDirBroker(ShardBroker):
         return replace(lease, deadline=deadline, token=target.name)
 
     def post(self, lease: ShardLease, results: ShardResults) -> bool:
-        reference = self._identity()
+        plan = lease.plan
+        reference = self._identity(plan)
         manifest = results.manifest
         _check_posted_results(reference, results,
                               source=f"{self.root}: posted results")
-        name = shard_file_name(manifest.shard_index, manifest.shard_count)
-        done_path = self._done_dir / name
+        file_name = shard_file_name(manifest.shard_index,
+                                    manifest.shard_count)
+        done_path = self._done_dir(plan) / file_name
         # First-write-wins must be atomic under concurrent posters (e.g. a
         # straggler racing the worker that reclaimed its lease): link() the
         # finished temp file into place — exactly one poster succeeds, the
@@ -541,44 +818,62 @@ class LocalDirBroker(ShardBroker):
         # Clear this shard out of the queue: our lease file, plus any queued
         # copy left behind if our lease expired and was reclaimed before we
         # finished (without this the shard would be pointlessly re-run).
-        (self._leased_dir / lease.token).unlink(missing_ok=True)
-        (self._queued_dir / name).unlink(missing_ok=True)
+        (self._leased_dir(plan) / lease.token).unlink(missing_ok=True)
+        (self._queued_dir(plan) / file_name).unlink(missing_ok=True)
+        if first_post:
+            done = sum(1 for _ in self._done_dir(plan).glob("shard-*.json"))
+            if done >= manifest.shard_count:
+                self._emit_plan_drained(plan, manifest.shard_count)
         return first_post
 
-    def collect(self) -> List[ShardResults]:
-        self._identity()
-        collected = [ShardResults.load(path)
-                     for path in sorted(self._done_dir.glob("shard-*.json"))]
+    def collect(self, name: str = DEFAULT_PLAN) -> List[ShardResults]:
+        validate_plan_name(name)
+        self._identity(name)
+        collected = [
+            ShardResults.load(path)
+            for path in sorted(self._done_dir(name).glob("shard-*.json"))]
         _emit_collected(telemetry.resolve(self.sink), collected)
         return collected
 
     def status(self) -> BrokerStatus:
-        identity = self._identity()
-        self._reclaim_expired()
-        done_names = {path.name
-                      for path in self._done_dir.glob("shard-*.json")}
-        # A shard can transiently be both done and queued/leased (a
-        # straggler posting after reclaim); done wins so counts add up.
-        queued = sum(1 for path in self._queued_dir.glob("shard-*.json")
-                     if path.name not in done_names)
-        leased = sum(1 for path in self._leased_dir.glob("*.lease.*")
-                     if path.name.partition(".lease.")[0] not in done_names)
-        return BrokerStatus(queued=queued, leased=leased,
-                            done=len(done_names), shard_count=int(identity[0]))
+        rows = []
+        for name in self.plan_names():
+            header = self._header(name)
+            source = str(self._plan_path(name))
+            identity = _parse_plan_header(header, source)
+            self._reclaim_expired(name)
+            done_names = {path.name
+                          for path in self._done_dir(name).glob(
+                              "shard-*.json")}
+            # A shard can transiently be both done and queued/leased (a
+            # straggler posting after reclaim); done wins so counts add up.
+            queued = sum(
+                1 for path in self._queued_dir(name).glob("shard-*.json")
+                if path.name not in done_names)
+            leased = sum(
+                1 for path in self._leased_dir(name).glob("*.lease.*")
+                if path.name.partition(".lease.")[0] not in done_names)
+            rows.append(PlanStatus(name=name,
+                                   priority=_plan_priority(header, source),
+                                   queued=queued, leased=leased,
+                                   done=len(done_names),
+                                   shard_count=int(identity[0])))
+        return BrokerStatus(plans=tuple(rows))
 
 
 class ObjectStoreBroker(ShardBroker):
     """The queue contract over an :class:`~repro.bench.store.ObjectStore`.
 
-    Keys under the store::
+    Keys under the store (the plan name is folded into every prefix)::
 
-        plan.json                   the plan's identity header
-                                    (``put_if_absent`` once by submit)
-        manifest/<shard-name>       one immutable manifest JSON per shard
-        lease/<shard-name>          one small mutable lease object per
+        plans/<name>                the plan's identity header + priority
+                                    (``put_if_absent`` once by submit);
+                                    listing ``plans/`` is the plan index
+        manifest/<name>/<shard>     one immutable manifest JSON per shard
+        lease/<name>/<shard>        one small mutable lease object per
                                     shard; every state transition is a
                                     compare-and-swap
-        result/<shard-name>         posted ShardResults
+        result/<name>/<shard>       posted ShardResults
                                     (``put_if_absent``: first write wins)
 
     A lease object is ``{"state": "queued"}``, ``{"state": "leased",
@@ -589,14 +884,14 @@ class ObjectStoreBroker(ShardBroker):
     increments on every (re)lease and is embedded in the lease token, so a
     stale holder's :meth:`renew` can never pass for the current holder's.
 
-    The set of ``result/`` keys is authoritative for doneness (the
+    The set of ``result/<name>/`` keys is authoritative for doneness (the
     post-time CAS that flips the lease object to ``done`` is best-effort);
     like :class:`LocalDirBroker`, lease deadlines are wall-clock timestamps
     compared across machines, so keep worker clocks NTP-synced or size
     ``lease_ttl`` above the worst expected skew.
     """
 
-    PLAN_KEY = "plan.json"
+    PLANS_PREFIX = "plans/"
     MANIFEST_PREFIX = "manifest/"
     LEASE_PREFIX = "lease/"
     RESULT_PREFIX = "result/"
@@ -630,13 +925,36 @@ class ObjectStoreBroker(ShardBroker):
     def _dump(payload: Dict[str, object]) -> bytes:
         return json.dumps(payload, indent=1).encode("utf-8")
 
-    def _identity(self) -> Tuple[object, ...]:
-        found = self._get_json(self.PLAN_KEY)
+    def _plan_key(self, name: str) -> str:
+        return self.PLANS_PREFIX + name
+
+    def _manifest_prefix(self, name: str) -> str:
+        return f"{self.MANIFEST_PREFIX}{name}/"
+
+    def _lease_prefix(self, name: str) -> str:
+        return f"{self.LEASE_PREFIX}{name}/"
+
+    def _result_prefix(self, name: str) -> str:
+        return f"{self.RESULT_PREFIX}{name}/"
+
+    def plan_names(self) -> Tuple[str, ...]:
+        return tuple(sorted(
+            key[len(self.PLANS_PREFIX):]
+            for key in self.store.list_prefix(self.PLANS_PREFIX)))
+
+    def _header(self, name: str) -> Dict[str, object]:
+        found = self._get_json(self._plan_key(name))
         if found is None:
+            known = ", ".join(self.plan_names()) or "none"
             raise ShardError(
                 f"{self.store.describe()}: no plan has been submitted to "
-                "this object store (run 'repro shard submit' first)")
-        return _parse_plan_header(found[0], self._source(self.PLAN_KEY))
+                f"this object store under the name {name!r} (run 'repro "
+                f"shard submit' first; known plans: {known})")
+        return found[0]
+
+    def _identity(self, name: str) -> Tuple[object, ...]:
+        return _parse_plan_header(self._header(name),
+                                  self._source(self._plan_key(name)))
 
     def _parse_lease_object(self, key: str,
                             payload: Dict[str, object]) -> str:
@@ -647,45 +965,70 @@ class ObjectStoreBroker(ShardBroker):
                              f"{', '.join(map(repr, self._LEASE_STATES))}")
         return state
 
-    def _load_manifest(self, name: str) -> ShardManifest:
-        key = self.MANIFEST_PREFIX + name
+    def _load_manifest(self, name: str, file_name: str) -> ShardManifest:
+        key = self._manifest_prefix(name) + file_name
         found = self._get_json(key)
         if found is None:
             raise ShardError(f"{self._source(key)}: missing manifest object "
                              "for an enqueued shard")
         return ShardManifest.from_dict(found[0], source=self._source(key))
 
+    def _done_names(self, name: str) -> set:
+        prefix = self._result_prefix(name)
+        return {key[len(prefix):] for key in self.store.list_prefix(prefix)}
+
     # ------------------------------------------------------------------
     # the queue contract
     # ------------------------------------------------------------------
-    def submit(self, plan: ShardPlan) -> None:
-        header = self._dump(_plan_header_payload(plan))
+    def submit(self, plan: ShardPlan, name: str = DEFAULT_PLAN,
+               priority: int = 0) -> None:
+        name = validate_plan_name(name)
+        _check_priority(priority)
+        header = self._dump(_plan_header_payload(plan, name, priority))
         # Header first (exactly one submitter can create it), mirroring
         # LocalDirBroker: a plan object with manifests still appearing
         # reads as a plan being enqueued.
-        if not self.store.put_if_absent(self.PLAN_KEY, header):
+        if not self.store.put_if_absent(self._plan_key(name), header):
             raise ShardError(
                 f"{self.store.describe()}: object store already holds a "
-                "plan (one store per plan; collect it or submit to a fresh "
-                "store)")
+                f"plan named {name!r} (collect it or pick another plan "
+                "name)")
         for manifest in plan.manifests:
-            name = plan.manifest_name(manifest.shard_index)
-            self.store.put_if_absent(self.MANIFEST_PREFIX + name,
+            file_name = plan.manifest_name(manifest.shard_index)
+            self.store.put_if_absent(self._manifest_prefix(name) + file_name,
                                      self._dump(manifest.as_dict()))
-            self.store.put_if_absent(self.LEASE_PREFIX + name,
+            self.store.put_if_absent(self._lease_prefix(name) + file_name,
                                      self._dump({"state": "queued"}))
-
-    def _done_names(self) -> set:
-        return {key[len(self.RESULT_PREFIX):]
-                for key in self.store.list_prefix(self.RESULT_PREFIX)}
+        self._emit_plan_submitted(name, plan, priority)
 
     def lease(self, worker_id: str) -> Optional[ShardLease]:
-        self._identity()
-        done = self._done_names()
+        candidates = []
+        for name in self.plan_names():
+            # Depth = lease objects whose shard has no result yet: queued
+            # work plus in-flight/expired leases.  One list per prefix —
+            # cheaper than a per-shard GET sweep, and only a tiebreak.
+            depth = (len(self.store.list_prefix(self._lease_prefix(name)))
+                     - len(self.store.list_prefix(self._result_prefix(name))))
+            if depth <= 0:
+                continue
+            priority = _plan_priority(self._header(name),
+                                      self._source(self._plan_key(name)))
+            candidates.append((name, priority, depth))
+        for name in self._fair_share_order(candidates):
+            lease = self._lease_from_plan(name, worker_id)
+            if lease is not None:
+                self._fair_share_mark(name)
+                return lease
+        return None
+
+    def _lease_from_plan(self, name: str,
+                         worker_id: str) -> Optional[ShardLease]:
+        done = self._done_names(name)
         now_ms = int(self._clock() * 1000)
-        for key in self.store.list_prefix(self.LEASE_PREFIX):
-            name = key[len(self.LEASE_PREFIX):]
-            if name in done:
+        prefix = self._lease_prefix(name)
+        for key in self.store.list_prefix(prefix):
+            file_name = key[len(prefix):]
+            if file_name in done:
                 continue
             found = self._get_json(key)
             if found is None:
@@ -707,17 +1050,17 @@ class ObjectStoreBroker(ShardBroker):
                      "deadline_ms": int(deadline * 1000), "grant": grant}
             if not self.store.put_if_match(key, self._dump(claim), etag):
                 continue  # another worker swapped first; next shard
-            return ShardLease(manifest=self._load_manifest(name),
+            return ShardLease(manifest=self._load_manifest(name, file_name),
                               worker_id=worker_id, deadline=deadline,
-                              token=f"{name}:{grant}")
+                              token=f"{file_name}:{grant}", plan=name)
         return None
 
     def renew(self, lease: ShardLease) -> Optional[ShardLease]:
         # No _identity() re-read here: a ShardLease proves the plan was
         # already validated, and renew is the heartbeat hot path — one CAS
         # per tick, not an extra plan GET per tick.
-        name, _, grant_text = lease.token.rpartition(":")
-        key = self.LEASE_PREFIX + name
+        file_name, _, grant_text = lease.token.rpartition(":")
+        key = self._lease_prefix(lease.plan) + file_name
         found = self._get_json(key)
         if found is None:
             return None
@@ -732,18 +1075,21 @@ class ObjectStoreBroker(ShardBroker):
         return replace(lease, deadline=deadline)
 
     def post(self, lease: ShardLease, results: ShardResults) -> bool:
-        reference = self._identity()
+        name = lease.plan
+        reference = self._identity(name)
         manifest = results.manifest
         _check_posted_results(
             reference, results,
             source=f"{self.store.describe()}: posted results")
-        name = shard_file_name(manifest.shard_index, manifest.shard_count)
+        file_name = shard_file_name(manifest.shard_index,
+                                    manifest.shard_count)
         first_post = self.store.put_if_absent(
-            self.RESULT_PREFIX + name, self._dump(results.as_dict()))
+            self._result_prefix(name) + file_name,
+            self._dump(results.as_dict()))
         # Flip the lease object to done so nobody re-leases the shard.
         # Best-effort: result/ presence is what status/collect trust, so a
         # lost CAS race here costs at most one wasted re-run.
-        key = self.LEASE_PREFIX + name
+        key = self._lease_prefix(name) + file_name
         for _ in range(8):
             found = self._get_json(key)
             if found is None:
@@ -755,12 +1101,16 @@ class ObjectStoreBroker(ShardBroker):
                     "grant": payload.get("grant", 0)}
             if self.store.put_if_match(key, self._dump(done), etag):
                 break
+        if first_post \
+                and len(self._done_names(name)) >= manifest.shard_count:
+            self._emit_plan_drained(name, manifest.shard_count)
         return first_post
 
-    def collect(self) -> List[ShardResults]:
-        self._identity()
+    def collect(self, name: str = DEFAULT_PLAN) -> List[ShardResults]:
+        validate_plan_name(name)
+        self._identity(name)
         collected = []
-        for key in self.store.list_prefix(self.RESULT_PREFIX):
+        for key in self.store.list_prefix(self._result_prefix(name)):
             found = self._get_json(key)
             if found is None:
                 continue  # deleted mid-listing
@@ -770,29 +1120,38 @@ class ObjectStoreBroker(ShardBroker):
         return collected
 
     def status(self) -> BrokerStatus:
-        identity = self._identity()
-        done = self._done_names()
+        rows = []
         now_ms = int(self._clock() * 1000)
-        queued = leased = 0
-        for key in self.store.list_prefix(self.LEASE_PREFIX):
-            if key[len(self.LEASE_PREFIX):] in done:
-                continue
-            found = self._get_json(key)
-            if found is None:
-                continue
-            payload, _etag = found
-            state = self._parse_lease_object(key, payload)
-            if state == "queued":
-                queued += 1
-            elif state == "leased":
-                deadline_ms = _require_int(payload, "deadline_ms",
-                                           self._source(key))
-                if now_ms >= deadline_ms:
-                    queued += 1  # expired: reclaimable, i.e. leasable
-                else:
-                    leased += 1
-        return BrokerStatus(queued=queued, leased=leased, done=len(done),
-                            shard_count=int(identity[0]))
+        for name in self.plan_names():
+            header = self._header(name)
+            source = self._source(self._plan_key(name))
+            identity = _parse_plan_header(header, source)
+            done = self._done_names(name)
+            queued = leased = 0
+            prefix = self._lease_prefix(name)
+            for key in self.store.list_prefix(prefix):
+                if key[len(prefix):] in done:
+                    continue
+                found = self._get_json(key)
+                if found is None:
+                    continue
+                payload, _etag = found
+                state = self._parse_lease_object(key, payload)
+                if state == "queued":
+                    queued += 1
+                elif state == "leased":
+                    deadline_ms = _require_int(payload, "deadline_ms",
+                                               self._source(key))
+                    if now_ms >= deadline_ms:
+                        queued += 1  # expired: reclaimable, i.e. leasable
+                    else:
+                        leased += 1
+            rows.append(PlanStatus(name=name,
+                                   priority=_plan_priority(header, source),
+                                   queued=queued, leased=leased,
+                                   done=len(done),
+                                   shard_count=int(identity[0])))
+        return BrokerStatus(plans=tuple(rows))
 
 
 # ----------------------------------------------------------------------
@@ -892,6 +1251,11 @@ class LeaseHeartbeat:
             pass
 
 
+#: The cache counters a worker tracks per plan (subset of
+#: ``ArtifactCache.stats()`` that is numeric and monotonic).
+_CACHE_COUNTERS = ("hits", "misses", "evictions")
+
+
 class ShardWorker:
     """Pull loop: lease → heartbeat + execute → post, until the queue drains.
 
@@ -904,6 +1268,15 @@ class ShardWorker:
     nothing is leasable.  ``max_manifests`` caps how many manifests this
     worker will execute.
 
+    ``daemon=True`` makes the worker *persistent*: instead of exiting when
+    every plan drains, it keeps idle-polling (same backoff) and picks up
+    newly submitted plans without a restart — the always-on fleet shape.
+    A daemon exits when :meth:`stop` is called (the CLI wires SIGTERM and
+    SIGINT to it, so shutdown is clean: the in-flight manifest finishes
+    and posts first) or when it has been continuously idle for
+    ``max_idle_s`` seconds.  Because drain is no longer an exit
+    condition, a daemon requires ``poll > 0``.
+
     ``heartbeat`` is the seconds between background lease renewals while a
     manifest runs: ``None`` (the default) derives ``lease_ttl / 3`` from
     the broker, ``0`` disables heartbeats (the PR-3 behaviour: the lease
@@ -912,6 +1285,11 @@ class ShardWorker:
     are discarded unposted, since the reclaiming peer reproduces the same
     bytes — and move on to the next lease.  ``on_renew`` observes every
     renewal (note it fires on the heartbeat thread).
+
+    After (or during) a run, :attr:`results_by_plan` groups this worker's
+    posted results by plan name, and :attr:`cache_stats_by_plan` holds the
+    worker-lifetime :class:`~repro.dmi.cache.ArtifactCache` deltas
+    (hits/misses/evictions) attributed to each plan's manifests.
     """
 
     def __init__(self, broker: ShardBroker,
@@ -920,10 +1298,22 @@ class ShardWorker:
                  max_manifests: Optional[int] = None,
                  heartbeat: Optional[float] = None,
                  on_renew: Optional[RenewCallback] = None,
-                 sleep: Callable[[float], None] = time.sleep,
-                 sink: Optional[EventSink] = None) -> None:
+                 sleep: Optional[Callable[[float], None]] = None,
+                 sink: Optional[EventSink] = None,
+                 daemon: bool = False,
+                 max_idle_s: Optional[float] = None,
+                 clock: Clock = time.monotonic) -> None:
         if not math.isfinite(poll) or poll < 0:
             raise ShardError(f"poll must be a finite number >= 0, got {poll}")
+        if daemon and poll <= 0:
+            raise ShardError(
+                "a daemon worker requires poll > 0: poll=0 means 'exit as "
+                "soon as nothing is leasable', which contradicts daemon "
+                "mode's survive-drain contract")
+        if max_idle_s is not None and (not math.isfinite(max_idle_s)
+                                       or max_idle_s <= 0):
+            raise ShardError(f"max_idle_s must be a finite number > 0, "
+                             f"got {max_idle_s}")
         if max_manifests is not None and max_manifests < 1:
             raise ShardError(f"max_manifests must be >= 1, got {max_manifests}")
         lease_ttl = getattr(broker, "lease_ttl", None)
@@ -946,17 +1336,38 @@ class ShardWorker:
         self.heartbeat = heartbeat
         self.on_renew = on_renew
         self.sink = sink
+        self.daemon = daemon
+        self.max_idle_s = max_idle_s
         #: Manifests whose lease was lost mid-run and were dropped unposted.
         self.abandoned = 0
+        #: Posted results grouped by the plan each manifest came from.
+        self.results_by_plan: Dict[str, List[ShardResults]] = {}
+        #: Worker-lifetime ArtifactCache deltas attributed per plan.
+        self.cache_stats_by_plan: Dict[str, Dict[str, int]] = {}
+        self._clock = clock
+        self._stop = threading.Event()
+        # None → sleep on the stop event, so stop()/SIGTERM interrupts an
+        # idle daemon immediately instead of after a full backoff sleep.
         self._sleep = sleep
         #: Jitter source for idle backoff, seeded from the worker id so a
         #: test fleet's sleep schedule is reproducible while real fleets
         #: (unique hostname-pid ids) still decorrelate.
         self._backoff_rng = random.Random(f"idle-backoff:{self.worker_id}")
 
+    def stop(self) -> None:
+        """Ask the worker to exit cleanly: the current manifest finishes
+        and posts, then :meth:`run` returns (idle sleeps are interrupted).
+        Safe to call from any thread or a signal handler."""
+        self._stop.set()
+
+    @property
+    def stopping(self) -> bool:
+        return self._stop.is_set()
+
     def run(self, progress: Optional[ProgressCallback] = None,
             on_manifest: Optional[ManifestCallback] = None) -> List[ShardResults]:
-        """Drain the queue; returns the results this worker posted.
+        """Drain the queue (or serve forever in daemon mode); returns the
+        results this worker posted.
 
         ``max_manifests`` counts *executions* (posted or abandoned), so the
         cap bounds this worker's compute even under lease churn.
@@ -964,19 +1375,30 @@ class ShardWorker:
         completed: List[ShardResults] = []
         executed = 0
         idle_streak = 0
-        while self.max_manifests is None or executed < self.max_manifests:
+        idle_since: Optional[float] = None
+        while not self._stop.is_set() and (self.max_manifests is None
+                                           or executed < self.max_manifests):
             sink = telemetry.resolve(self.sink)
             lease = self.broker.lease(self.worker_id)
             if lease is None:
                 snapshot = self.broker.status()
+                self._emit_queue_depth(sink, snapshot)
                 if snapshot.queued > 0:
                     continue  # lost a lease race; try again immediately
-                if snapshot.leased == 0 or self.poll <= 0:
+                if not self.daemon and (snapshot.leased == 0
+                                        or self.poll <= 0):
                     break  # drained (or not polling for reclaims)
+                now = self._clock()
+                if idle_since is None:
+                    idle_since = now
+                if self.max_idle_s is not None \
+                        and now - idle_since >= self.max_idle_s:
+                    break  # daemon idle timeout
                 self._idle_sleep(idle_streak, sink)
                 idle_streak += 1
                 continue
             idle_streak = 0
+            idle_since = None
             if sink:
                 sink.emit(LeaseAcquired(
                     shard_index=lease.manifest.shard_index,
@@ -986,12 +1408,14 @@ class ShardWorker:
                 beat = LeaseHeartbeat(self.broker, lease, self.heartbeat,
                                       on_renew=self.on_renew,
                                       sink=self.sink).start()
+            stats_before = self.executor.cache_stats()
             try:
                 results = self.executor.run(lease.manifest, progress=progress)
             finally:
                 if beat is not None:
                     beat.stop()
             executed += 1
+            self._account_cache(lease.plan, stats_before)
             if beat is not None:
                 if beat.lost:
                     # Reclaimed out from under us: a peer owns the shard
@@ -1005,14 +1429,38 @@ class ShardWorker:
                 lease = beat.lease  # renewals may have re-tokened it
             first_post = self.broker.post(lease, results)
             completed.append(results)
+            self.results_by_plan.setdefault(lease.plan, []).append(results)
             if sink:
                 sink.emit(ShardPosted(
                     shard_index=lease.manifest.shard_index,
                     worker_id=self.worker_id, results=len(results.results),
                     first_post=first_post))
-            if on_manifest is not None:
-                on_manifest(lease, results, self.broker.status())
+            if on_manifest is not None or sink:
+                snapshot = self.broker.status()
+                self._emit_queue_depth(sink, snapshot)
+                if on_manifest is not None:
+                    on_manifest(lease, results, snapshot)
         return completed
+
+    def _account_cache(self, plan: str,
+                       before: Optional[Dict[str, object]]) -> None:
+        """Attribute the executor cache's counter movement to ``plan``."""
+        after = self.executor.cache_stats()
+        if after is None:
+            return
+        bucket = self.cache_stats_by_plan.setdefault(
+            plan, {key: 0 for key in _CACHE_COUNTERS})
+        for key in _CACHE_COUNTERS:
+            start = before.get(key, 0) if before else 0
+            bucket[key] += int(after.get(key, 0)) - int(start)
+
+    def _emit_queue_depth(self, sink: EventSink,
+                          snapshot: BrokerStatus) -> None:
+        if not sink:
+            return
+        for plan in snapshot.plans:
+            sink.emit(QueueDepth(plan=plan.name, queued=plan.queued,
+                                 leased=plan.leased, done=plan.done))
 
     def _idle_sleep(self, streak: int, sink: EventSink) -> None:
         """One backoff sleep: ``base * 2^streak`` jittered, capped by
@@ -1025,4 +1473,7 @@ class ShardWorker:
         if sink:
             sink.emit(WorkerIdle(worker_id=self.worker_id, slept_s=delay,
                                  streak=streak))
-        self._sleep(delay)
+        if self._sleep is not None:
+            self._sleep(delay)
+        else:
+            self._stop.wait(delay)

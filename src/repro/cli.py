@@ -25,14 +25,20 @@ Five subcommands cover the common workflows without writing any code:
 
     Instead of hand-carrying manifest and results files, the same grid can
     flow through a broker work queue: ``shard submit … --shards N`` plans
-    the grid and enqueues the manifests; ``shard work …`` (run on any
-    number of machines) leases manifests, executes them with the ordinary
-    engine stack and posts results until the queue drains (``--poll SECS``
-    waits on in-flight peers whose lease might expire; ``--max-manifests
-    N`` caps one worker's share); ``shard collect …`` merges the posted
-    results with the same plan-identity validation as ``shard merge`` —
-    the collected output is bit-identical to a single-machine serial run
-    for the same seed.
+    the grid and enqueues the manifests (``--plan NAME`` picks the
+    namespace — one broker holds any number of named plans, leased
+    fair-share so a huge grid cannot starve a small one, with
+    ``--priority`` as tiebreak); ``shard work …`` (run on any number of
+    machines) leases manifests from every live plan, executes them with
+    the ordinary engine stack and posts results until the queue drains
+    (``--poll SECS`` waits on in-flight peers whose lease might expire;
+    ``--max-manifests N`` caps one worker's share; ``--daemon`` makes the
+    worker persistent: it survives drain and picks up newly submitted
+    plans until SIGTERM or ``--max-idle-s``); ``shard collect … --plan
+    NAME`` merges one plan's posted results with the same plan-identity
+    validation as ``shard merge`` — the collected output is bit-identical
+    to a single-machine serial run for the same seed.  ``shard status``
+    prints the per-plan queue table without collecting.
 
     Two broker backends, chosen per command: ``--broker DIR`` is a
     shared/NFS directory with atomic-rename leases; ``--store DIR`` is an
@@ -43,6 +49,11 @@ Five subcommands cover the common workflows without writing any code:
     reclaimed; live workers renew their lease in the background every
     ``--heartbeat SECS`` (default ``lease_ttl/3``; ``0`` disables), so
     manifests may run arbitrarily long without an oversized TTL.
+``fleet``
+    Observe an always-on worker fleet: ``fleet status --broker DIR``
+    prints the live per-plan queue gauges (add ``--metrics FILE`` to fold
+    in a daemon worker's ``--metrics`` JSON snapshot — idle poll rate,
+    drained plans — and ``--json`` for machine consumption).
 ``runs``
     Inspect the persistent run registry.  ``run``, ``shard run`` and
     ``shard work``/``collect`` all append a :class:`RunRecord` (grid
@@ -115,6 +126,13 @@ Examples::
         --heartbeat 30 --jobs 4         # object-store broker + heartbeats
     python -m repro shard collect --store /mnt/objstore --poll 5 \\
         --export merged.json
+    python -m repro shard submit --broker /mnt/queue --shards 8 \\
+        --plan nightly --priority 1     # a named tenant on a shared broker
+    python -m repro shard work --broker /mnt/queue --daemon \\
+        --max-idle-s 600 --metrics fleet.json   # persistent fleet worker
+    python -m repro shard status --broker /mnt/queue
+    python -m repro fleet status --broker /mnt/queue --metrics fleet.json
+    python -m repro shard collect --broker /mnt/queue --plan nightly
     python -m repro run --registry runs/ --events run.jsonl --trials 1
     python -m repro runs list --registry runs/
     python -m repro runs diff 20260726-1 20260726-2 --registry runs/ \\
@@ -131,6 +149,7 @@ import argparse
 import json
 import math
 import os
+import signal
 import sys
 import time
 from pathlib import Path
@@ -149,6 +168,7 @@ from repro.bench.telemetry import (
     AggregatingSink,
     EventSink,
     JsonlSink,
+    MetricsSnapshotSink,
     TeeSink,
     set_default_sink,
 )
@@ -169,12 +189,14 @@ from repro.bench.shard import (
 from repro.bench.store import FileSystemObjectStore
 from repro.bench.transport import (
     DEFAULT_LEASE_TTL,
+    DEFAULT_PLAN,
     BrokerStatus,
     LocalDirBroker,
     ObjectStoreBroker,
     ShardBroker,
     ShardLease,
     ShardWorker,
+    validate_plan_name,
 )
 from repro.bench.runner import (
     BenchmarkConfig,
@@ -318,6 +340,12 @@ def build_parser() -> argparse.ArgumentParser:
     shard_merge.add_argument("--export", metavar="FILE", default=None,
                              help="write merged results and summaries to a JSON file")
 
+    def plan_name(text: str) -> str:
+        try:
+            return validate_plan_name(text)
+        except ShardError as error:
+            raise argparse.ArgumentTypeError(str(error))
+
     def add_queue_flags(sub: argparse.ArgumentParser) -> None:
         """The broker-selection flags shared by submit/work/collect."""
         backend = sub.add_mutually_exclusive_group(required=True)
@@ -338,6 +366,15 @@ def build_parser() -> argparse.ArgumentParser:
     add_queue_flags(shard_submit)
     shard_submit.add_argument("--shards", type=positive_int, required=True,
                               help="number of manifests to enqueue")
+    shard_submit.add_argument("--plan", type=plan_name, default=DEFAULT_PLAN,
+                              metavar="NAME",
+                              help="plan namespace to enqueue under; one "
+                                   "broker holds any number of named plans "
+                                   "(default: %(default)r)")
+    shard_submit.add_argument("--priority", type=int, default=0,
+                              help="fair-share tiebreak: higher-priority "
+                                   "plans win lease-order ties "
+                                   "(default: %(default)s)")
     shard_submit.add_argument("--settings", nargs="+",
                               default=list(CORE_SETTING_KEYS),
                               choices=[s.key for s in TABLE3_SETTINGS],
@@ -352,10 +389,23 @@ def build_parser() -> argparse.ArgumentParser:
                             help="seconds between background lease renewals "
                                  "while a manifest runs (default: "
                                  "lease_ttl/3; 0 disables heartbeats)")
-    shard_work.add_argument("--poll", type=nonnegative_float, default=1.0,
+    shard_work.add_argument("--poll", type=positive_float, default=1.0,
                             help="seconds between queue checks while peers "
-                                 "hold leases (0 = exit when nothing is "
-                                 "leasable)")
+                                 "hold leases or (with --daemon) the queue "
+                                 "is empty")
+    shard_work.add_argument("--daemon", action="store_true",
+                            help="persistent worker: survive queue drain, "
+                                 "keep polling for newly submitted plans "
+                                 "until SIGTERM/--max-idle-s")
+    shard_work.add_argument("--max-idle-s", type=positive_float, default=None,
+                            metavar="SECS",
+                            help="with --daemon: exit cleanly after being "
+                                 "continuously idle this long")
+    shard_work.add_argument("--metrics", metavar="FILE", default=None,
+                            help="periodically rewrite a live JSON gauge "
+                                 "snapshot (queued/leased/done per plan, "
+                                 "idle rate) to FILE; read it with "
+                                 "'repro fleet status --metrics FILE'")
     shard_work.add_argument("--max-manifests", type=positive_int, default=None,
                             help="stop after executing this many manifests")
     shard_work.add_argument("--worker-id", metavar="NAME", default=None,
@@ -372,8 +422,12 @@ def build_parser() -> argparse.ArgumentParser:
     shard_collect = shard_sub.add_parser(
         "collect", help="merge a broker's posted results into one report")
     add_queue_flags(shard_collect)
+    shard_collect.add_argument("--plan", type=plan_name, default=DEFAULT_PLAN,
+                               metavar="NAME",
+                               help="named plan to collect "
+                                    "(default: %(default)r)")
     shard_collect.add_argument("--poll", type=nonnegative_float, default=0.0,
-                               help="wait for the queue to complete, checking "
+                               help="wait for the plan to complete, checking "
                                     "every SECS seconds (0 = fail if "
                                     "incomplete)")
     shard_collect.add_argument("--report", action="store_true",
@@ -383,6 +437,26 @@ def build_parser() -> argparse.ArgumentParser:
                                     "JSON file")
     add_telemetry_flags(shard_collect)
     add_progress_flag(shard_collect)
+
+    shard_status = shard_sub.add_parser(
+        "status", help="print the broker's per-plan queue counters")
+    add_queue_flags(shard_status)
+    shard_status.add_argument("--json", action="store_true",
+                              help="emit the counters as JSON instead of "
+                                   "the table")
+
+    fleet = subparsers.add_parser(
+        "fleet", help="observe an always-on worker fleet")
+    fleet_sub = fleet.add_subparsers(dest="fleet_command", required=True)
+    fleet_status = fleet_sub.add_parser(
+        "status", help="live per-plan queue gauges (and worker metrics)")
+    add_queue_flags(fleet_status)
+    fleet_status.add_argument("--metrics", metavar="FILE", default=None,
+                              help="also read a worker's --metrics snapshot "
+                                   "file (idle rate, drained plans)")
+    fleet_status.add_argument("--json", action="store_true",
+                              help="emit everything as JSON instead of "
+                                   "the table")
 
     runs = subparsers.add_parser(
         "runs", help="inspect and compare runs recorded with --registry")
@@ -501,12 +575,15 @@ class _RunTelemetry:
     def __init__(self, args) -> None:
         self.registry = RunRegistry.from_env(getattr(args, "registry", None))
         events = getattr(args, "events", None)
+        metrics = getattr(args, "metrics", None)
         self.aggregating: Optional[AggregatingSink] = None
         self._jsonl: Optional[JsonlSink] = None
+        self._metrics: Optional[MetricsSnapshotSink] = None
         self._sink: Optional[EventSink] = None
         self._installed = False
         self._previous: Optional[EventSink] = None
-        if self.registry is not None or events is not None:
+        if self.registry is not None or events is not None \
+                or metrics is not None:
             self.aggregating = AggregatingSink()
             sinks: List[EventSink] = [self.aggregating]
             if events is not None:
@@ -516,6 +593,9 @@ class _RunTelemetry:
                     raise SystemExit(f"repro: cannot open events file "
                                      f"{events!r}: {error}")
                 sinks.append(self._jsonl)
+            if metrics is not None:
+                self._metrics = MetricsSnapshotSink(metrics)
+                sinks.append(self._metrics)
             self._sink = TeeSink(sinks)
         self._started = time.perf_counter()
 
@@ -530,6 +610,12 @@ class _RunTelemetry:
             set_default_sink(self._previous)
         if self._jsonl is not None:
             self._jsonl.close()
+        if self._metrics is not None:
+            try:
+                self._metrics.close()  # final gauge snapshot
+            except OSError as error:
+                print(f"repro: cannot write metrics snapshot: {error}",
+                      file=sys.stderr)
 
     def record(self, *, executor: str, seed: int, trials: int, jobs: int,
                setting_keys: Sequence[str], task_ids: Sequence[str],
@@ -844,7 +930,7 @@ def command_shard_submit(args) -> int:
         plan = runner.shard_plan([setting_by_key(key) for key in args.settings],
                                  args.shards)
         broker = _cli_broker(args)
-        broker.submit(plan)
+        broker.submit(plan, name=args.plan, priority=args.priority)
     except ShardError as error:
         raise SystemExit(f"repro: {error}")
     except OSError as error:
@@ -854,22 +940,28 @@ def command_shard_submit(args) -> int:
     backend = "--broker" if args.broker is not None else "--store"
     print(f"submitted {plan.shard_count} shard manifest(s), {total} trial "
           f"specs total (seed {args.seed}, {args.trials} trial(s)/task) "
-          f"to broker {_queue_location(args)}")
+          f"as plan {args.plan!r} to broker {_queue_location(args)}")
     print(f"Run 'repro shard work {backend} DIR' on any number of machines, "
-          f"then 'repro shard collect {backend} DIR'.")
+          f"then 'repro shard collect {backend} DIR --plan {args.plan}'.")
     return 0
 
 
 def command_shard_work(args) -> int:
     _check_cache_dir(args.cache_dir)
     _check_heartbeat(args)
+    if args.max_idle_s is not None and not args.daemon:
+        raise SystemExit("repro: --max-idle-s only applies to --daemon "
+                         "workers (a non-daemon worker already exits when "
+                         "the queue drains)")
 
     def on_manifest(lease: ShardLease, shard: ShardResults,
                     status: BrokerStatus) -> None:
         manifest = lease.manifest
         print(f"{worker.worker_id}: posted shard "
               f"{manifest.shard_index + 1}/{manifest.shard_count} "
-              f"({len(shard.results)} results; {status.render()})")
+              f"of plan {lease.plan!r} "
+              f"({len(shard.results)} results; {status.render_line()})",
+              flush=True)
 
     def on_renew(lease: ShardLease, renewed: bool) -> None:
         # Runs on the heartbeat thread; stderr like the trial progress.
@@ -890,15 +982,32 @@ def command_shard_work(args) -> int:
                                         cache_max_entries=args.cache_max_entries)
             worker = ShardWorker(broker, executor, worker_id=args.worker_id,
                                  poll=args.poll, max_manifests=args.max_manifests,
-                                 heartbeat=args.heartbeat, on_renew=on_renew)
-            completed = worker.run(progress=_progress(args),
-                                   on_manifest=on_manifest)
+                                 heartbeat=args.heartbeat, on_renew=on_renew,
+                                 daemon=args.daemon, max_idle_s=args.max_idle_s)
+            # SIGTERM/SIGINT ask the loop to stop: the in-flight manifest
+            # finishes and posts, then run() returns — a clean drain-out
+            # instead of a mid-manifest kill.
+            previous_handlers = {}
+            for signum in (signal.SIGTERM, signal.SIGINT):
+                try:
+                    previous_handlers[signum] = signal.signal(
+                        signum, lambda *_: worker.stop())
+                except ValueError:
+                    pass  # not the main thread (in-process tests)
+            try:
+                completed = worker.run(progress=_progress(args),
+                                       on_manifest=on_manifest)
+            finally:
+                for signum, handler in previous_handlers.items():
+                    signal.signal(signum, handler)
         except ShardError as error:
             raise SystemExit(f"repro: {error}")
         except OSError as error:
             raise SystemExit(f"repro: broker {_queue_location(args)!r} I/O "
                              f"failed: {error}")
         summary = f"{worker.worker_id}: {len(completed)} manifest(s) executed"
+        if worker.stopping:
+            summary += " (stopped)"
         if worker.abandoned:
             summary += f", {worker.abandoned} abandoned (lease lost)"
         stats = executor.cache_stats()
@@ -908,50 +1017,86 @@ def command_shard_work(args) -> int:
             if stats["evictions"]:
                 summary += f", {stats['evictions']} evicted"
         print(summary)
+        if len(worker.results_by_plan) > 1:
+            for plan_label in sorted(worker.results_by_plan):
+                line = (f"  plan {plan_label!r}: "
+                        f"{len(worker.results_by_plan[plan_label])} "
+                        "manifest(s)")
+                delta = worker.cache_stats_by_plan.get(plan_label)
+                if delta is not None:
+                    line += (f"; cache {delta['hits']} hit(s), "
+                             f"{delta['misses']} miss(es)")
+                print(line)
         if completed:
-            reference = completed[0].manifest
-            indices = sorted(shard.manifest.shard_index
-                             for shard in completed)
-            subset = None
-            if len(indices) < reference.shard_count:
-                # This worker executed a (race-dependent) slice of the
-                # plan; mark which shards so the record only compares
-                # against the identical slice, never a full run.
-                subset = _shard_subset(indices, reference.shard_count)
-            tele.record(
-                executor="store-broker" if args.store is not None
-                else "dir-broker",
-                seed=reference.seed, trials=reference.trials, jobs=args.jobs,
-                setting_keys=reference.setting_keys,
-                task_ids=reference.task_ids,
-                results_by_setting=_results_by_setting(completed),
-                fingerprint=reference.fingerprint,
-                subset=subset,
-                context={"broker": str(_queue_location(args)),
-                         "worker_id": worker.worker_id,
-                         "manifests": len(completed),
-                         "abandoned": worker.abandoned})
+            base = ("store-broker" if args.store is not None
+                    else "dir-broker")
+            # One record per plan this worker touched: concurrent tenants
+            # stay distinguishable in `runs list`/`diff`, and each record's
+            # grid identity is that plan's (plans may differ in every
+            # identity field).
+            for plan_label in sorted(worker.results_by_plan):
+                plan_shards = worker.results_by_plan[plan_label]
+                reference = plan_shards[0].manifest
+                indices = sorted(shard.manifest.shard_index
+                                 for shard in plan_shards)
+                subset = None
+                if len(indices) < reference.shard_count:
+                    # This worker executed a (race-dependent) slice of the
+                    # plan; mark which shards so the record only compares
+                    # against the identical slice, never a full run.
+                    subset = _shard_subset(indices, reference.shard_count)
+                context: Dict[str, object] = {
+                    "broker": str(_queue_location(args)),
+                    "worker_id": worker.worker_id,
+                    "plan": plan_label,
+                    "manifests": len(plan_shards),
+                    "abandoned": worker.abandoned}
+                delta = worker.cache_stats_by_plan.get(plan_label)
+                if delta is not None:
+                    context["cache"] = dict(delta)
+                tele.record(
+                    executor=(base if plan_label == DEFAULT_PLAN
+                              else f"{base}:{plan_label}"),
+                    seed=reference.seed, trials=reference.trials,
+                    jobs=args.jobs,
+                    setting_keys=reference.setting_keys,
+                    task_ids=reference.task_ids,
+                    results_by_setting=_results_by_setting(plan_shards),
+                    fingerprint=reference.fingerprint,
+                    subset=subset,
+                    context=context)
         elif tele.registry is not None:
             print("no manifests executed; nothing recorded in the registry")
     return 0
 
 
 def command_shard_collect(args) -> int:
+    name = args.plan
     with _RunTelemetry(args) as tele:
         try:
             broker = _cli_broker(args)
-            status = broker.status()
-            while not status.complete and args.poll > 0:
+            plan_stat = broker.status().plan(name)
+            while args.poll > 0 and (plan_stat is None
+                                     or not plan_stat.complete):
                 if args.progress:
-                    print(f"[{status.done}/{status.shard_count}] waiting: "
-                          f"{status.render()}", file=sys.stderr, flush=True)
+                    waiting = (plan_stat.render_line() if plan_stat is not None
+                               else "not yet submitted")
+                    done = plan_stat.done if plan_stat is not None else 0
+                    total = (plan_stat.shard_count
+                             if plan_stat is not None else 0)
+                    print(f"[{done}/{total}] waiting for plan {name!r}: "
+                          f"{waiting}", file=sys.stderr, flush=True)
                 time.sleep(args.poll)
-                status = broker.status()
-            if not status.complete:
-                raise SystemExit(f"repro: broker {_queue_location(args)!r} is "
-                                 f"not complete: {status.render()}; run more "
-                                 "workers or wait with --poll")
-            shards = broker.collect()
+                plan_stat = broker.status().plan(name)
+            if plan_stat is not None and not plan_stat.complete:
+                raise SystemExit(f"repro: plan {name!r} on broker "
+                                 f"{_queue_location(args)!r} is "
+                                 f"not complete: {plan_stat.render_line()}; "
+                                 "run more workers or wait with --poll")
+            # plan_stat is None (never submitted): fall through to
+            # collect(), whose ShardError names the broker and the known
+            # plan names.
+            shards = broker.collect(name)
             outcomes = merge_shard_results(shards)
         except ShardError as error:
             raise SystemExit(f"repro: {error}")
@@ -959,11 +1104,12 @@ def command_shard_collect(args) -> int:
             raise SystemExit(f"repro: broker {_queue_location(args)!r} I/O "
                              f"failed: {error}")
         _emit_merged(shards, outcomes, report=args.report, export=args.export,
-                     extra_config={"broker": str(_queue_location(args))})
+                     extra_config={"broker": str(_queue_location(args)),
+                                   "plan": name})
         reference = shards[0].manifest
+        base = "store-broker" if args.store is not None else "dir-broker"
         tele.record(
-            executor="store-broker" if args.store is not None
-            else "dir-broker",
+            executor=base if name == DEFAULT_PLAN else f"{base}:{name}",
             seed=reference.seed, trials=reference.trials, jobs=1,
             setting_keys=reference.setting_keys, task_ids=reference.task_ids,
             results_by_setting={key: outcome.results
@@ -975,8 +1121,78 @@ def command_shard_collect(args) -> int:
             # as "same work" against records that actually ran trials.
             subset="collect",
             context={"broker": str(_queue_location(args)), "role": "collect",
-                     "shards": reference.shard_count})
+                     "plan": name, "shards": reference.shard_count})
     return 0
+
+
+def command_shard_status(args) -> int:
+    try:
+        status = _cli_broker(args).status()
+    except ShardError as error:
+        raise SystemExit(f"repro: {error}")
+    except OSError as error:
+        raise SystemExit(f"repro: broker {_queue_location(args)!r} I/O "
+                         f"failed: {error}")
+    if args.json:
+        print(json.dumps(status.as_dict(), indent=2, sort_keys=True))
+    else:
+        print(status.render())
+    return 0
+
+
+# ----------------------------------------------------------------------
+# fleet status (live queue gauges for an always-on worker pool)
+# ----------------------------------------------------------------------
+def _load_metrics_snapshot(path: str) -> Dict[str, object]:
+    try:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    except OSError as error:
+        raise SystemExit(f"repro: cannot read metrics snapshot {path!r}: "
+                         f"{error}")
+    except json.JSONDecodeError as error:
+        raise SystemExit(f"repro: metrics snapshot {path!r} is not valid "
+                         f"JSON: {error}")
+    if not isinstance(payload, dict):
+        raise SystemExit(f"repro: metrics snapshot {path!r} must be a JSON "
+                         "object")
+    return payload
+
+
+def command_fleet_status(args) -> int:
+    try:
+        status = _cli_broker(args).status()
+    except ShardError as error:
+        raise SystemExit(f"repro: {error}")
+    except OSError as error:
+        raise SystemExit(f"repro: broker {_queue_location(args)!r} I/O "
+                         f"failed: {error}")
+    snapshot = (_load_metrics_snapshot(args.metrics)
+                if args.metrics is not None else None)
+    if args.json:
+        payload: Dict[str, object] = status.as_dict()
+        if snapshot is not None:
+            payload["worker_metrics"] = snapshot
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    print(status.render())
+    if snapshot is not None:
+        idle = snapshot.get("worker_idle", {})
+        if isinstance(idle, dict):
+            print(f"worker idle: {idle.get('count', 0)} poll(s), "
+                  f"{idle.get('slept_s', 0.0):.1f}s slept")
+        drained = sorted(
+            plan for plan, gauges in snapshot.get("plans", {}).items()
+            if isinstance(gauges, dict) and gauges.get("drained"))
+        if drained:
+            print(f"drained plans: {', '.join(drained)}")
+    return 0
+
+
+def command_fleet(args) -> int:
+    handlers = {
+        "status": command_fleet_status,
+    }
+    return handlers[args.fleet_command](args)
 
 
 def command_shard(args) -> int:
@@ -987,6 +1203,7 @@ def command_shard(args) -> int:
         "submit": command_shard_submit,
         "work": command_shard_work,
         "collect": command_shard_collect,
+        "status": command_shard_status,
     }
     return handlers[args.shard_command](args)
 
@@ -1020,6 +1237,10 @@ def _load_registry_tolerant(registry: RunRegistry):
 def command_runs_list(args) -> int:
     registry = _open_registry(args)
     records = _load_registry_tolerant(registry)
+    # Newest first: run ids sort chronologically (timestamp-prefixed), so
+    # the latest run is always the first line — deterministic even for
+    # same-second runs thanks to the id's microsecond+nonce tail.
+    records = sorted(records, key=lambda record: record.run_id, reverse=True)
     if args.ids:
         for record in records:
             print(record.run_id)
@@ -1178,6 +1399,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "run": command_run,
         "report": command_report,
         "shard": command_shard,
+        "fleet": command_fleet,
         "runs": command_runs,
         "cache": command_cache,
         "tasks": command_tasks,

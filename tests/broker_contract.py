@@ -47,11 +47,14 @@ from repro.bench.shard import (
 )
 from repro.bench.tasks import task_by_id
 from repro.bench.store import FileSystemObjectStore, InMemoryObjectStore
+from repro.bench.telemetry import AggregatingSink
 from repro.bench.transport import (
+    DEFAULT_PLAN,
     BrokerStatus,
     InMemoryBroker,
     LocalDirBroker,
     ObjectStoreBroker,
+    PlanStatus,
     ShardBroker,
 )
 
@@ -80,6 +83,23 @@ class FakeClock:
 def small_plan(shards=2, seed=DEFAULT_SEED, trials=1):
     return plan_shards(shards, seed=seed, trials=trials,
                        setting_keys=SETTINGS, task_ids=TASKS)
+
+
+def default_status(**counts) -> BrokerStatus:
+    """The expected status of a broker holding one default-namespace plan."""
+    return BrokerStatus(plans=(
+        PlanStatus(name=DEFAULT_PLAN, priority=0, **counts),))
+
+
+def drain(broker: ShardBroker, worker_id: str = "worker-a") -> list:
+    """Lease+post until nothing is leasable; the posted leases, in order."""
+    posted = []
+    while True:
+        lease = broker.lease(worker_id)
+        if lease is None:
+            return posted
+        broker.post(lease, run_manifest(lease.manifest))
+        posted.append(lease)
 
 
 def make_broker(kind: str, tmp_path, **kwargs) -> ShardBroker:
@@ -142,8 +162,8 @@ class BrokerContractSuite:
     def test_submit_lease_post_collect_round_trip(self, fresh_broker):
         broker = fresh_broker()
         broker.submit(small_plan(shards=2))
-        assert broker.status() == BrokerStatus(queued=2, leased=0, done=0,
-                                               shard_count=2)
+        assert broker.status() == default_status(queued=2, leased=0, done=0,
+                                                 shard_count=2)
         seen = []
         while True:
             lease = broker.lease("worker-a")
@@ -154,8 +174,8 @@ class BrokerContractSuite:
             assert broker.post(lease, run_manifest(lease.manifest)) is True
         assert sorted(seen) == [0, 1]
         status = broker.status()
-        assert status == BrokerStatus(queued=0, leased=0, done=2,
-                                      shard_count=2)
+        assert status == default_status(queued=0, leased=0, done=2,
+                                        shard_count=2)
         assert status.complete and status.drained
         merged = merge_shard_results(broker.collect())
         reference = serial_reference()
@@ -177,8 +197,9 @@ class BrokerContractSuite:
         broker.submit(small_plan(shards=2))
         lease = broker.lease("worker-a")
         assert lease is not None
-        assert broker.status() == BrokerStatus(queued=1, leased=1, done=0,
-                                               shard_count=2)
+        assert lease.plan == DEFAULT_PLAN
+        assert broker.status() == default_status(queued=1, leased=1, done=0,
+                                                 shard_count=2)
         # The leased manifest is not offered to a second worker.
         other = broker.lease("worker-b")
         assert other is not None and other.manifest.shard_index \
@@ -187,15 +208,109 @@ class BrokerContractSuite:
 
     def test_refuses_second_plan_and_unsubmitted_use(self, fresh_broker):
         broker = fresh_broker()
-        with pytest.raises(ShardError, match="no plan has been submitted"):
-            broker.lease("worker-a")
-        with pytest.raises(ShardError, match="no plan has been submitted"):
-            broker.status()
+        # An empty broker is benign for workers (daemons start before the
+        # first submit): nothing to lease, an empty status.
+        assert broker.lease("worker-a") is None
+        assert broker.status() == BrokerStatus(plans=())
+        # But collecting a name nobody submitted is a caller error.
         with pytest.raises(ShardError, match="no plan has been submitted"):
             broker.collect()
         broker.submit(small_plan(shards=2))
+        with pytest.raises(ShardError, match="no plan has been submitted"):
+            broker.collect("never-submitted")
         with pytest.raises(ShardError, match="already holds a plan"):
             broker.submit(small_plan(shards=2))
+        broker.submit(small_plan(shards=2), name="other")  # new name is fine
+        with pytest.raises(ShardError, match="already holds a plan"):
+            broker.submit(small_plan(shards=2), name="other")
+
+    def test_rejects_invalid_plan_names(self, fresh_broker):
+        broker = fresh_broker()
+        for bad in ("", ".", "..", "a/b", "a..b", "plan name", "a\\b"):
+            with pytest.raises(ShardError, match="invalid plan name"):
+                broker.submit(small_plan(shards=1), name=bad)
+        with pytest.raises(ShardError, match="invalid plan name"):
+            broker.collect("a/b")
+        assert broker.status() == BrokerStatus(plans=())  # nothing landed
+
+    # ------------------------------------------------------------------
+    # multi-plan namespaces
+    # ------------------------------------------------------------------
+    def test_namespace_isolation_and_per_plan_collect(self, fresh_broker):
+        """Results never cross namespaces, and each plan's collect merges
+        byte-identical to its own serial run."""
+        broker = fresh_broker()
+        broker.submit(small_plan(shards=2), name="alpha")
+        broker.submit(small_plan(shards=3, trials=2), name="beta")
+        posted = drain(broker)
+        assert len(posted) == 5
+        alpha = broker.collect("alpha")
+        beta = broker.collect("beta")
+        assert [s.manifest.shard_count for s in alpha] == [2, 2]
+        assert [s.manifest.shard_count for s in beta] == [3, 3, 3]
+        for shards, trials in ((alpha, 1), (beta, 2)):
+            merged = merge_shard_results(shards)
+            reference = serial_reference(trials=trials)
+            for key in reference:
+                assert [r.as_dict() for r in reference[key].results] \
+                    == [r.as_dict() for r in merged[key].results]
+
+    def test_fair_share_interleaves_two_plans(self, fresh_broker):
+        """Round-robin across live plans: equal-priority plans alternate
+        leases, so neither waits out the other."""
+        broker = fresh_broker()
+        broker.submit(small_plan(shards=3), name="plan-a")
+        broker.submit(small_plan(shards=3, trials=2), name="plan-b")
+        sequence = []
+        while True:
+            lease = broker.lease("worker-a")
+            if lease is None:
+                break
+            sequence.append(lease.plan)
+        assert len(sequence) == 6
+        assert sorted(sequence) == ["plan-a"] * 3 + ["plan-b"] * 3
+        assert all(sequence[i] != sequence[i + 1]
+                   for i in range(len(sequence) - 1))
+
+    def test_priority_breaks_lease_order_ties(self, fresh_broker):
+        broker = fresh_broker()
+        broker.submit(small_plan(shards=2), name="low", priority=0)
+        broker.submit(small_plan(shards=2), name="high", priority=5)
+        first = broker.lease("worker-a")
+        assert first is not None and first.plan == "high"
+
+    def test_drain_of_one_plan_leaves_the_other_leasable(self, fresh_broker):
+        broker = fresh_broker()
+        broker.submit(small_plan(shards=1), name="small")
+        broker.submit(small_plan(shards=2, trials=2), name="big")
+        # Drain "small" completely, posting nothing to "big" yet ("big"
+        # leases picked up along the way are held in flight).
+        held_big = []
+        while not broker.status().plan("small").complete:
+            lease = broker.lease("worker-a")
+            assert lease is not None
+            if lease.plan == "small":
+                broker.post(lease, run_manifest(lease.manifest))
+            else:
+                held_big.append(lease)
+        small_status = broker.status().plan("small")
+        assert small_status.complete and small_status.drained
+        # "big" is still fully workable after its neighbour drained.
+        for lease in held_big:
+            broker.post(lease, run_manifest(lease.manifest))
+        drain(broker)
+        assert broker.status().plan("big").complete
+        assert len(broker.collect("big")) == 2
+        assert len(broker.collect("small")) == 1
+
+    def test_plan_lifecycle_events_are_emitted(self, fresh_broker):
+        sink = AggregatingSink()
+        broker = fresh_broker(sink=sink)
+        broker.submit(small_plan(shards=1), name="watched")
+        broker.submit(small_plan(shards=2, trials=2), name="other")
+        assert sink.snapshot()["counters"]["plan_submitted"] == 2
+        assert len(drain(broker)) == 3
+        assert sink.snapshot()["counters"]["plan_drained"] == 2
 
     def test_post_rejects_results_from_a_foreign_plan(self, fresh_broker):
         broker = fresh_broker()
@@ -258,8 +373,8 @@ class BrokerContractSuite:
         assert broker.post(slow, slow_results) is True  # straggler lands 1st
         assert broker.post(fast, run_manifest(fast.manifest)) is False
         status = broker.status()
-        assert status == BrokerStatus(queued=0, leased=0, done=1,
-                                      shard_count=1)
+        assert status == default_status(queued=0, leased=0, done=1,
+                                        shard_count=1)
         assert list(merge_shard_results(broker.collect()))
 
     def test_duplicate_result_post_is_idempotent(self, fresh_broker):

@@ -158,6 +158,36 @@ def run_store_broker(seed: int, trials: int, setting_keys: Sequence[str],
     return outcomes_bytes(merged)
 
 
+def run_multi_plan_broker(seeds: Sequence[int], trials: int,
+                          setting_keys: Sequence[str],
+                          task_ids: Sequence[str], shard_count: int,
+                          work_dir: Path) -> Dict[str, bytes]:
+    """PR 7's multi-tenant path: one broker, one worker, several plans.
+
+    Every seed becomes its own named plan (``seed-<n>``) on a single
+    :class:`~repro.bench.transport.LocalDirBroker`; one non-daemon worker
+    drains the whole broker across plan namespaces in fair-share order,
+    then each plan is collected by name.  Returns ``{plan_name: bytes}``
+    so tests can compare each export against the serial run of the same
+    seed — proving plans sharing a broker (and a worker, and a cache)
+    stay bit-identical to plans run alone.
+    """
+    work_dir = Path(work_dir)
+    broker = LocalDirBroker(work_dir / "broker")
+    for seed in seeds:
+        broker.submit(plan_shards(shard_count, seed=seed, trials=trials,
+                                  setting_keys=setting_keys,
+                                  task_ids=task_ids),
+                      name=f"seed-{seed}")
+    worker = ShardWorker(broker, ManifestExecutor(
+        cache_dir=work_dir / "multi-cache"),
+        worker_id="equivalence-multi", poll=0)
+    worker.run()
+    assert set(worker.results_by_plan) == {f"seed-{seed}" for seed in seeds}
+    return {name: outcomes_bytes(merge_shard_results(broker.collect(name)))
+            for name in (f"seed-{seed}" for seed in seeds)}
+
+
 def prime_cache_with_incremental_models(cache_dir,
                                         task_ids=DEFAULT_TASKS) -> dict:
     """Pre-populate an :class:`ArtifactCache` through the incremental

@@ -313,7 +313,7 @@ def test_shard_collect_on_unsubmitted_broker_errors_cleanly(tmp_path):
 
 
 def test_shard_work_rejects_bad_flags(tmp_path):
-    for poll in ("-1", "nan", "inf"):
+    for poll in ("0", "-1", "nan", "inf"):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["shard", "work", "--broker", "q",
                                        "--poll", poll])
@@ -414,3 +414,111 @@ def test_shard_work_progress_prints_heartbeat_renewals(tmp_path, capsys):
     captured = capsys.readouterr()
     assert "hb: renewed lease on shard 1/1" in captured.err
     assert "posted shard 1/1" in captured.out
+
+
+# ----------------------------------------------------------------------
+# named plans, per-plan status, and the fleet view
+# ----------------------------------------------------------------------
+def test_shard_named_plans_submit_work_status_collect(tmp_path, capsys):
+    """Two named plans on one broker: one worker drains both, `shard
+    status` shows a per-plan table, and each collect exports exactly the
+    single-machine run."""
+    broker = tmp_path / "queue"
+    assert main(["shard", "submit", "--broker", str(broker), "--shards", "1",
+                 "--plan", "nightly", "--priority", "1"] + SHARD_GRID) == 0
+    submitted = capsys.readouterr().out
+    assert "as plan 'nightly'" in submitted
+    assert "--plan nightly" in submitted  # the collect hint names the plan
+    assert main(["shard", "submit", "--broker", str(broker), "--shards", "2",
+                 "--plan", "smoke"] + SHARD_GRID) == 0
+    capsys.readouterr()
+    assert main(["shard", "work", "--broker", str(broker),
+                 "--worker-id", "w1"]) == 0
+    worked = capsys.readouterr().out
+    assert "w1: 3 manifest(s) executed" in worked
+    # Multi-plan drains get a per-plan breakdown under the summary line.
+    assert "plan 'nightly': 1 manifest(s)" in worked
+    assert "plan 'smoke': 2 manifest(s)" in worked
+    assert main(["shard", "status", "--broker", str(broker)]) == 0
+    table = capsys.readouterr().out
+    assert "nightly" in table and "smoke" in table
+    assert "(all plans)" in table  # the aggregate row
+    exports = {}
+    for name in ("nightly", "smoke"):
+        target = tmp_path / f"{name}.json"
+        assert main(["shard", "collect", "--broker", str(broker),
+                     "--plan", name, "--export", str(target)]) == 0
+        capsys.readouterr()
+        exports[name] = json.loads(target.read_text())
+        assert exports[name]["config"]["plan"] == name
+    single = tmp_path / "single.json"
+    assert main(["run", *SHARD_GRID, "--export", str(single)]) == 0
+    capsys.readouterr()
+    reference = json.loads(single.read_text())["settings"]
+    assert exports["nightly"]["settings"] == reference
+    assert exports["smoke"]["settings"] == reference
+
+
+def test_shard_collect_names_the_incomplete_plan(tmp_path, capsys):
+    broker = tmp_path / "queue"
+    main(["shard", "submit", "--broker", str(broker), "--shards", "2",
+          "--plan", "nightly"] + SHARD_GRID)
+    capsys.readouterr()
+    with pytest.raises(SystemExit, match="plan 'nightly'.*not complete"):
+        main(["shard", "collect", "--broker", str(broker),
+              "--plan", "nightly"])
+    # An unknown plan name still gets the canonical unsubmitted error.
+    with pytest.raises(SystemExit, match="no plan has been submitted"):
+        main(["shard", "collect", "--broker", str(broker),
+              "--plan", "never-was"])
+
+
+def test_shard_rejects_invalid_plan_names():
+    for bad in ("", ".", "..", "a/b", "a..b", "plan name"):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["shard", "submit", "--broker", "q",
+                                       "--shards", "1", "--plan", bad])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["shard", "collect", "--broker", "q",
+                                       "--plan", bad])
+
+
+def test_shard_work_daemon_flag_validation(tmp_path):
+    with pytest.raises(SystemExit, match="only applies to --daemon"):
+        main(["shard", "work", "--broker", str(tmp_path / "q"),
+              "--max-idle-s", "5"])
+    for value in ("0", "-1", "inf"):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["shard", "work", "--broker", "q",
+                                       "--daemon", "--max-idle-s", value])
+
+
+def test_fleet_status_reads_live_metrics_snapshot(tmp_path, capsys):
+    """A worker run with --metrics leaves a snapshot the fleet view folds
+    into its report: zeroed queue gauges, the drained marker, and idle
+    accounting."""
+    broker = tmp_path / "queue"
+    metrics = tmp_path / "fleet.json"
+    main(["shard", "submit", "--broker", str(broker), "--shards", "1",
+          "--plan", "nightly"] + SHARD_GRID)
+    assert main(["shard", "work", "--broker", str(broker),
+                 "--metrics", str(metrics)]) == 0
+    capsys.readouterr()
+    assert main(["fleet", "status", "--broker", str(broker),
+                 "--metrics", str(metrics), "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert set(payload["plans"]) == {"nightly"}
+    assert payload["plans"]["nightly"]["queued"] == 0
+    assert payload["aggregate"]["complete"] is True
+    gauges = payload["worker_metrics"]["plans"]["nightly"]
+    assert gauges["queued"] == 0 and gauges["drained"] is True
+    assert gauges["done"] == 1
+    assert main(["fleet", "status", "--broker", str(broker),
+                 "--metrics", str(metrics)]) == 0
+    rendered = capsys.readouterr().out
+    assert "drained plans: nightly" in rendered
+    assert "worker idle:" in rendered
+    with pytest.raises(SystemExit, match="not valid JSON"):
+        metrics.write_text("{torn", encoding="utf-8")
+        main(["fleet", "status", "--broker", str(broker),
+              "--metrics", str(metrics)])

@@ -18,6 +18,8 @@ from equivalence import (
     outcomes_bytes,
     prime_cache_with_incremental_models,
     run_all_paths,
+    run_multi_plan_broker,
+    run_serial,
 )
 from repro.bench.runner import DEFAULT_SEED
 
@@ -58,6 +60,22 @@ def test_incremental_models_keep_every_path_bit_identical(tmp_path):
                    (tmp_path / "parallel" / "parallel-cache").glob("*.json")
                    if not p.name.startswith(".")]
     assert len(cache_files) == 2
+
+
+def test_two_plans_sharing_a_broker_stay_bit_identical_to_serial(tmp_path):
+    """PR 7 tentpole: two named plans (different seeds) on one broker,
+    drained by one worker through one shared cache, each collect
+    bit-identical to running that seed's grid serially and alone."""
+    seeds = (DEFAULT_SEED, 1097)
+    multi = run_multi_plan_broker(
+        seeds=seeds, trials=1, setting_keys=DEFAULT_SETTINGS,
+        task_ids=DEFAULT_TASKS, shard_count=2, work_dir=tmp_path)
+    for seed in seeds:
+        reference = run_serial(seed, 1, DEFAULT_SETTINGS, DEFAULT_TASKS)
+        assert multi[f"seed-{seed}"] == reference, (
+            f"plan 'seed-{seed}' diverged from the serial run of the same "
+            f"seed while sharing a broker with another plan")
+    assert multi[f"seed-{seeds[0]}"] != multi[f"seed-{seeds[1]}"]
 
 
 def test_different_seeds_actually_change_the_export(tmp_path):

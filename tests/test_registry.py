@@ -334,7 +334,7 @@ def test_runs_list_and_show(tmp_path, capsys):
     assert main(["runs", "list", "--registry", str(registry.root),
                  "--ids"]) == 0
     assert capsys.readouterr().out.splitlines() == [
-        "20260101-000000-aaaaaa", "20260102-000000-bbbbbb"]
+        "20260102-000000-bbbbbb", "20260101-000000-aaaaaa"]  # newest first
     assert main(["runs", "show", "20260101", "--registry",
                  str(registry.root)]) == 0
     shown = json.loads(capsys.readouterr().out)
@@ -481,7 +481,7 @@ def test_cli_broker_run_records_lease_and_cache_counters(tmp_path, capsys):
                  "--tasks", "ppt-01-blue-background", "word-02-landscape",
                  "--trials", "1"]) == 0
     assert main(["shard", "work", "--broker", queue, "--worker-id", "w1",
-                 "--poll", "0", "--cache-dir", str(tmp_path / "cache"),
+                 "--cache-dir", str(tmp_path / "cache"),
                  "--registry", str(registry_dir)]) == 0
     capsys.readouterr()
     registry = RunRegistry(registry_dir)

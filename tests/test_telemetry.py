@@ -20,9 +20,13 @@ from repro.bench.telemetry import (
     CacheHit,
     CacheMiss,
     JsonlSink,
+    MetricsSnapshotSink,
     NullSink,
     TeeSink,
     TelemetryError,
+    PlanDrained,
+    PlanSubmitted,
+    QueueDepth,
     TimerStats,
     TrialFinished,
     TrialStarted,
@@ -288,3 +292,54 @@ def test_cache_max_entries_validation(tmp_path):
         ArtifactCache(tmp_path, max_entries=0)
     with pytest.raises(ValueError, match="max_entries"):
         ArtifactCache(tmp_path, max_entries=-2)
+
+
+# ----------------------------------------------------------------------
+# the live fleet-metrics snapshot sink
+# ----------------------------------------------------------------------
+def test_metrics_snapshot_tracks_gauges_and_drain(tmp_path):
+    sink = MetricsSnapshotSink()
+    sink.emit(PlanSubmitted(plan="nightly", shards=3, priority=1))
+    snap = sink.snapshot()
+    assert snap["plans"]["nightly"] == {"queued": 3, "leased": 0,
+                                        "done": 0, "drained": False}
+    # queue_depth is authoritative: it overwrites the seeded gauge.
+    sink.emit(QueueDepth(plan="nightly", queued=1, leased=1, done=1))
+    sink.emit(QueueDepth(plan="nightly", queued=0, leased=0, done=3))
+    sink.emit(PlanDrained(plan="nightly", shards=3))
+    sink.emit(WorkerIdle(worker_id="w", slept_s=0.25, streak=1))
+    sink.emit(WorkerIdle(worker_id="w", slept_s=0.75, streak=2))
+    snap = sink.snapshot()
+    assert snap["plans"]["nightly"] == {"queued": 0, "leased": 0,
+                                        "done": 3, "drained": True}
+    assert snap["worker_idle"]["count"] == 2
+    assert snap["worker_idle"]["slept_s"] == pytest.approx(1.0)
+    assert snap["events"] == 6
+    # Resubmitting a plan name clears its drained marker (a new tenant).
+    sink.emit(PlanSubmitted(plan="nightly", shards=2, priority=0))
+    assert sink.snapshot()["plans"]["nightly"]["drained"] is False
+
+
+def test_metrics_snapshot_writes_atomically_at_interval(tmp_path):
+    clock_now = [0.0]
+    path = tmp_path / "fleet.json"
+    with MetricsSnapshotSink(path, interval_s=10.0,
+                             clock=lambda: clock_now[0]) as sink:
+        sink.emit(PlanSubmitted(plan="a", shards=1, priority=0))
+        first = json.loads(path.read_text())  # first event writes eagerly
+        assert first["plans"]["a"]["queued"] == 1
+        sink.emit(QueueDepth(plan="a", queued=0, leased=1, done=0))
+        # Within the interval: the file still holds the first snapshot.
+        assert json.loads(path.read_text()) == first
+        clock_now[0] = 11.0
+        sink.emit(QueueDepth(plan="a", queued=0, leased=0, done=1))
+        assert json.loads(path.read_text())["plans"]["a"]["done"] == 1
+        clock_now[0] = 12.0
+        sink.emit(PlanDrained(plan="a", shards=1))
+    # close() flushed the drain marker even though the interval hadn't
+    # elapsed, and left no temp files behind.
+    final = json.loads(path.read_text())
+    assert final["plans"]["a"]["drained"] is True
+    assert [p.name for p in tmp_path.iterdir()] == ["fleet.json"]
+    with pytest.raises(TelemetryError, match="interval_s"):
+        MetricsSnapshotSink(path, interval_s=float("nan"))

@@ -11,12 +11,14 @@ accounting of the worker loop.
 """
 
 import json
+import threading
 import time
 from urllib.parse import quote
 
 import pytest
 
 from broker_contract import (
+    DEFAULT_SEED,
     FakeClock,
     SETTINGS,
     TASKS,
@@ -28,6 +30,7 @@ from repro.bench.shard import (
     ManifestExecutor,
     ShardError,
     merge_shard_results,
+    plan_shards,
     shard_file_name,
 )
 from repro.bench.store import FileSystemObjectStore
@@ -201,7 +204,7 @@ def test_two_workers_racing_a_stale_cas_lease_exactly_one_wins(tmp_path):
     broker.submit(small_plan(shards=1))
     assert broker.lease("crasher") is not None
     clock.advance(61.0)  # the crasher's lease object is now stale
-    key = "lease/" + shard_file_name(0, 1)
+    key = "lease/default/" + shard_file_name(0, 1)
     data, etag = store.get(key)
     stale = json.loads(data)
     assert stale["state"] == "leased" and stale["worker"] == "crasher"
@@ -266,16 +269,16 @@ def corrupt_object(store: FileSystemObjectStore, key: str, text: str) -> None:
 def test_corrupt_plan_object_raises_clean_shard_error(tmp_path):
     store, broker = store_broker(tmp_path)
     broker.submit(small_plan(shards=1))
-    corrupt_object(store, "plan.json", "{truncated")
+    corrupt_object(store, "plans/default", "{truncated")
     with pytest.raises(ShardError, match="not valid JSON") as excinfo:
         broker.status()
-    assert "'plan.json'" in str(excinfo.value)  # names the offending key
+    assert "'plans/default'" in str(excinfo.value)  # names the offending key
 
 
 def test_corrupt_manifest_object_raises_clean_shard_error(tmp_path):
     store, broker = store_broker(tmp_path)
     broker.submit(small_plan(shards=1))
-    key = "manifest/" + shard_file_name(0, 1)
+    key = "manifest/default/" + shard_file_name(0, 1)
     corrupt_object(store, key, json.dumps({"kind": "wrong-kind"}))
     with pytest.raises(ShardError, match="field 'kind'") as excinfo:
         broker.lease("worker-a")
@@ -287,7 +290,7 @@ def test_truncated_result_object_raises_clean_shard_error(tmp_path):
     broker.submit(small_plan(shards=1))
     lease = broker.lease("worker-a")
     broker.post(lease, run_manifest(lease.manifest))
-    key = "result/" + shard_file_name(0, 1)
+    key = "result/default/" + shard_file_name(0, 1)
     payload = json.loads(store.get(key)[0])
     payload["results"] = payload["results"][:-1]  # drop one trial's result
     corrupt_object(store, key, json.dumps(payload))
@@ -299,7 +302,7 @@ def test_truncated_result_object_raises_clean_shard_error(tmp_path):
 def test_lease_object_missing_state_field_raises_clean_shard_error(tmp_path):
     store, broker = store_broker(tmp_path)
     broker.submit(small_plan(shards=1))
-    key = "lease/" + shard_file_name(0, 1)
+    key = "lease/default/" + shard_file_name(0, 1)
     corrupt_object(store, key, "{}")
     with pytest.raises(ShardError,
                        match="missing required field 'state'") as excinfo:
@@ -316,7 +319,7 @@ def test_lease_object_missing_state_field_raises_clean_shard_error(tmp_path):
 def test_corrupt_queued_manifest_raises_clean_shard_error(tmp_path):
     broker = LocalDirBroker(tmp_path / "broker")
     broker.submit(small_plan(shards=1))
-    manifest_path = next((tmp_path / "broker" / "queued").glob("shard-*.json"))
+    manifest_path = next((tmp_path / "broker" / "plans" / "default" / "queued").glob("shard-*.json"))
     manifest_path.write_text("{truncated", encoding="utf-8")
     with pytest.raises(ShardError, match="not valid JSON") as excinfo:
         broker.lease("worker-a")
@@ -328,7 +331,7 @@ def test_truncated_done_results_raise_clean_shard_error(tmp_path):
     broker.submit(small_plan(shards=1))
     lease = broker.lease("worker-a")
     broker.post(lease, run_manifest(lease.manifest))
-    done_path = next((tmp_path / "broker" / "done").glob("shard-*.json"))
+    done_path = next((tmp_path / "broker" / "plans" / "default" / "done").glob("shard-*.json"))
     payload = json.loads(done_path.read_text())
     payload["results"] = payload["results"][:-1]
     done_path.write_text(json.dumps(payload))
@@ -340,7 +343,7 @@ def test_truncated_done_results_raise_clean_shard_error(tmp_path):
 def test_corrupt_plan_header_raises_clean_shard_error(tmp_path):
     broker = LocalDirBroker(tmp_path / "broker")
     broker.submit(small_plan(shards=1))
-    plan_path = tmp_path / "broker" / "plan.json"
+    plan_path = tmp_path / "broker" / "plans" / "default" / "plan.json"
     plan_path.write_text("not json at all")
     with pytest.raises(ShardError, match="not valid JSON"):
         broker.status()
@@ -355,7 +358,7 @@ def test_corrupt_plan_header_raises_clean_shard_error(tmp_path):
 def test_malformed_lease_filename_raises_clean_shard_error(tmp_path):
     broker = LocalDirBroker(tmp_path / "broker")
     broker.submit(small_plan(shards=1))
-    bogus = tmp_path / "broker" / "leased" / "shard-000-of-001.json.lease.soon.w"
+    bogus = tmp_path / "broker" / "plans" / "default" / "leased" / "shard-000-of-001.json.lease.soon.w"
     bogus.write_text("{}")
     with pytest.raises(ShardError, match="malformed lease filename"):
         broker.status()
@@ -374,7 +377,7 @@ def test_dir_renew_moves_the_deadline_into_the_lease_filename(tmp_path):
     assert renewed is not None and renewed.token != lease.token
     assert renewed.deadline == clock() + 60.0
     leased_files = [path.name
-                    for path in (tmp_path / "broker" / "leased").iterdir()]
+                    for path in (tmp_path / "broker" / "plans" / "default" / "leased").iterdir()]
     assert leased_files == [renewed.token]  # old filename gone, exactly one
     assert str(int(renewed.deadline * 1000)) in renewed.token
 
@@ -388,7 +391,7 @@ def test_dir_lease_skips_done_manifest_with_stale_queued_copy(tmp_path):
     lease = broker.lease("worker-a")
     broker.post(lease, run_manifest(lease.manifest))
     name = shard_file_name(0, 1)
-    stale_copy = tmp_path / "broker" / "queued" / name
+    stale_copy = tmp_path / "broker" / "plans" / "default" / "queued" / name
     lease.manifest.save(stale_copy)  # simulate the reclaim/straggler race
     assert broker.lease("worker-b") is None
     assert not stale_copy.exists()  # cleaned up in passing
@@ -594,7 +597,7 @@ def test_worker_ids_are_sanitized_in_lease_filenames(tmp_path):
     lease = broker.lease("host/with spaces:and#stuff")
     assert lease is not None
     assert "/" not in lease.token and " " not in lease.token
-    leased_files = list((tmp_path / "broker" / "leased").glob("*.lease.*"))
+    leased_files = list((tmp_path / "broker" / "plans" / "default" / "leased").glob("*.lease.*"))
     assert [path.name for path in leased_files] == [lease.token]
 
 
@@ -707,3 +710,103 @@ def test_abandoned_manifests_count_toward_max_manifests(tmp_path):
     # from taking the second shard even though it posted nothing.
     assert completed == [] and worker.abandoned == 1
     assert broker.status().done == 0
+
+
+# ----------------------------------------------------------------------
+# persistent daemon workers and fair-share leasing
+# ----------------------------------------------------------------------
+def test_daemon_worker_survives_drain_and_serves_two_plans(tmp_path):
+    """Acceptance: one --daemon worker, started before any plan exists,
+    drains two sequentially submitted named plans without a restart; each
+    per-plan collect is bit-identical to the serial run."""
+    broker = LocalDirBroker(tmp_path / "broker")
+    worker = ShardWorker(broker, ManifestExecutor(), worker_id="resident",
+                         poll=0.01, heartbeat=0, daemon=True)
+    thread = threading.Thread(target=worker.run, daemon=True)
+    thread.start()  # idles against an empty broker, no plan yet
+
+    def plan_done(name):
+        plan_stat = broker.status().plan(name)
+        return plan_stat is not None and plan_stat.complete
+
+    broker.submit(small_plan(shards=2, trials=1), name="alpha")
+    wait_until(lambda: plan_done("alpha"), timeout=30.0)
+    assert not worker.stopping  # drained alpha, still serving
+    broker.submit(small_plan(shards=3, trials=2), name="beta")
+    wait_until(lambda: plan_done("beta"), timeout=30.0)
+    worker.stop()
+    thread.join(timeout=10.0)
+    assert not thread.is_alive() and worker.stopping
+    assert set(worker.results_by_plan) == {"alpha", "beta"}
+    assert len(worker.results_by_plan["alpha"]) == 2
+    assert len(worker.results_by_plan["beta"]) == 3
+    for name, trials in (("alpha", 1), ("beta", 2)):
+        merged = merge_shard_results(broker.collect(name))
+        reference = serial_reference(trials=trials)
+        assert set(merged) == set(reference)
+        for key in reference:
+            assert [r.as_dict() for r in reference[key].results] \
+                == [r.as_dict() for r in merged[key].results]
+
+
+def test_daemon_worker_exits_after_max_idle_s():
+    """A daemon with --max-idle-s shuts itself down after that much
+    continuous idle time — and a drain resets the idle clock."""
+    clock = FakeClock()
+    broker = InMemoryBroker(clock=clock)
+    sleeps = []
+
+    def fake_sleep(seconds):
+        sleeps.append(seconds)
+        clock.advance(seconds)
+        if len(sleeps) == 3:  # work arrives mid-idle: the clock resets
+            broker.submit(small_plan(shards=1), name="late")
+        if len(sleeps) > 200:
+            raise AssertionError("daemon never honoured max_idle_s")
+
+    worker = ShardWorker(broker, StubExecutor(), worker_id="transient",
+                         poll=0.5, heartbeat=0, daemon=True,
+                         max_idle_s=30.0, clock=clock, sleep=fake_sleep)
+    completed = worker.run()  # returns on its own: idle timeout, not stop()
+    assert len(completed) == 1  # the late plan was picked up and drained
+    assert broker.status().plan("late").complete
+    assert not worker.stopping  # self-exit, nobody called stop()
+    # It idled well past max_idle_s in total, but only left once the
+    # *continuous* idle span after the drain exceeded 30s.
+    assert sum(sleeps[3:]) >= 30.0
+
+
+def test_daemon_requires_positive_poll(tmp_path):
+    broker = LocalDirBroker(tmp_path / "broker")
+    with pytest.raises(ShardError, match="daemon worker requires poll > 0"):
+        ShardWorker(broker, daemon=True, poll=0)
+    with pytest.raises(ShardError, match="max_idle_s"):
+        ShardWorker(broker, daemon=True, poll=1.0, max_idle_s=0)
+    with pytest.raises(ShardError, match="max_idle_s"):
+        ShardWorker(broker, daemon=True, poll=1.0,
+                    max_idle_s=float("inf"))
+
+
+def test_fair_share_prevents_starvation_by_a_huge_plan():
+    """Satellite acceptance: a 1000-shard plan next to a 3-shard plan on
+    one broker — fair-share interleaving leases the small plan's last
+    shard within the first ``2 × plans`` lease rounds instead of queueing
+    it behind a thousand big-plan shards."""
+    broker = InMemoryBroker()
+    broker.submit(plan_shards(1000, seed=DEFAULT_SEED, trials=250,
+                              setting_keys=SETTINGS, task_ids=TASKS),
+                  name="big")
+    broker.submit(small_plan(shards=3, trials=1), name="small")
+    calls_until_small_fully_leased = None
+    for call in range(1, 13):  # 2 plans x 3 small shards x safety margin
+        lease = broker.lease(f"w{call % 4}")
+        assert lease is not None
+        if broker.status().plan("small").leased == 3:
+            calls_until_small_fully_leased = call
+            break
+    assert calls_until_small_fully_leased is not None
+    # Strict alternation means the small plan is fully leased by call 6;
+    # the assertion leaves headroom but still forbids big-plan starvation.
+    assert calls_until_small_fully_leased <= 12
+    big_stat = broker.status().plan("big")
+    assert big_stat.leased >= 3  # the big plan kept making progress too
