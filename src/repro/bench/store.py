@@ -36,20 +36,110 @@ empty object would be indistinguishable from both.
 
 from __future__ import annotations
 
+import math
 import os
+import random
 import re
 import threading
+import time
 from abc import ABC, abstractmethod
 from pathlib import Path
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Callable, Dict, List, Optional, Tuple, TypeVar, Union
 from urllib.parse import quote, unquote
 
 from repro.bench import telemetry
 from repro.bench.shard import ShardError
-from repro.bench.telemetry import CasRetry, EventSink
+from repro.bench.telemetry import CasRetry, EventSink, StoreRetry
 
 #: (value, etag) as returned by :meth:`ObjectStore.get`.
 StoredObject = Tuple[bytes, str]
+
+_T = TypeVar("_T")
+
+
+class TransientStoreError(ShardError):
+    """A storage operation failed in a way worth retrying.
+
+    Raised for failures that say nothing about the *state* of the store —
+    an injected chaos fault (:mod:`repro.bench.faults`), a cloud 5xx or
+    throttle, a :class:`FileSystemObjectStore` read that kept losing to
+    concurrent writers.  Consumers (``ObjectStoreBroker``, ``ShardWorker``)
+    absorb these with :func:`call_with_retries`; everything else in the
+    :class:`ShardError` family is a semantic error retrying cannot fix.
+    """
+
+
+class RetryBudgetExceeded(ShardError):
+    """A retried operation kept failing past its :class:`RetryPolicy` budget.
+
+    The message names the op, the key and the attempt count, so a give-up
+    in a worker log or a CI failure is attributable without a debugger.
+    """
+
+
+class RetryPolicy:
+    """Bounded exponential backoff with jitter for transient store faults.
+
+    ``attempts`` is the total call budget (first try included).  Sleep
+    before retry *n* (1-based) is ``min(cap, base * 2^(n-1))`` jittered
+    into ``[0.5, 1.0)`` of nominal so a fleet of workers retrying the same
+    blip doesn't re-hit the store in lock-step.  ``sleep`` is injectable —
+    workers pass their stop-event wait so shutdown interrupts a backoff,
+    tests pass a no-op — and the jitter RNG is seeded, so a given policy
+    instance produces a reproducible sleep schedule.
+    """
+
+    def __init__(self, attempts: int = 8, backoff_base_s: float = 0.02,
+                 backoff_cap_s: float = 2.0,
+                 sleep: Callable[[float], None] = time.sleep,
+                 seed: object = 0) -> None:
+        if not isinstance(attempts, int) or isinstance(attempts, bool) \
+                or attempts < 1:
+            raise ShardError(f"retry attempts must be an integer >= 1, "
+                             f"got {attempts!r}")
+        for label, value in (("backoff_base_s", backoff_base_s),
+                             ("backoff_cap_s", backoff_cap_s)):
+            if not math.isfinite(value) or value < 0:
+                raise ShardError(f"retry {label} must be a finite number "
+                                 f">= 0, got {value!r}")
+        self.attempts = attempts
+        self.backoff_base_s = backoff_base_s
+        self.backoff_cap_s = backoff_cap_s
+        self.sleep = sleep
+        self._rng = random.Random(f"retry-jitter:{seed}")
+
+    def backoff_s(self, attempt: int) -> float:
+        """The jittered sleep after failed attempt ``attempt`` (1-based)."""
+        nominal = min(self.backoff_cap_s,
+                      self.backoff_base_s * (2.0 ** min(attempt - 1, 32)))
+        return nominal * (0.5 + 0.5 * self._rng.random())
+
+
+def call_with_retries(fn: Callable[[], _T], *, op: str, key: str,
+                      policy: RetryPolicy,
+                      sink: Optional[EventSink] = None) -> _T:
+    """Run ``fn`` absorbing :class:`TransientStoreError` under ``policy``.
+
+    Each absorbed failure emits a :class:`~repro.bench.telemetry.StoreRetry`
+    (op/key/attempt) so chaos runs and real cloud blips are countable; when
+    the budget is exhausted the last transient error is re-raised wrapped
+    in a labeled :class:`RetryBudgetExceeded`.
+    """
+    last: Optional[TransientStoreError] = None
+    for attempt in range(1, policy.attempts + 1):
+        try:
+            return fn()
+        except TransientStoreError as error:
+            last = error
+            resolved = telemetry.resolve(sink)
+            if resolved:
+                resolved.emit(StoreRetry(op=op, key=key, attempt=attempt))
+            if attempt >= policy.attempts:
+                break
+            policy.sleep(policy.backoff_s(attempt))
+    raise RetryBudgetExceeded(
+        f"{op} on {key!r} still failing after {policy.attempts} "
+        f"attempt(s); giving up: {last}") from last
 
 
 class ObjectStore(ABC):
@@ -217,7 +307,10 @@ class FileSystemObjectStore(ObjectStore):
     """
 
     #: A read retries this many times against concurrent writers before
-    #: giving up; in practice one retry is already rare.
+    #: giving up; in practice one retry is already rare.  Exhaustion (a
+    #: key under genuine CAS-storm churn) raises
+    #: :class:`TransientStoreError` — the caller's retry-with-backoff
+    #: layer, not the read loop, decides when to give up for real.
     READ_ATTEMPTS = 8
 
     def __init__(self, root: Union[str, Path],
@@ -401,8 +494,9 @@ class FileSystemObjectStore(ObjectStore):
                 return (data, current.name) if data else None
             # A newer generation landed while we read (our bytes may be a
             # torn truncation) — retry against the fresh listing.
-        raise ShardError(f"{self.describe()}: object {key!r} kept changing "
-                         f"across {self.READ_ATTEMPTS} read attempts")
+        raise TransientStoreError(
+            f"{self.describe()}: object {key!r} kept changing across "
+            f"{self.READ_ATTEMPTS} read attempts")
 
     def _key_exists(self, key: str, key_dir: Path) -> bool:
         """Whether the key's highest generation holds a value, with the
@@ -419,8 +513,9 @@ class FileSystemObjectStore(ObjectStore):
             if after and after[-1].name == current.name:
                 return bool(live)
             # A newer generation landed while we statted; re-examine.
-        raise ShardError(f"{self.describe()}: object {key!r} kept changing "
-                         f"across {self.READ_ATTEMPTS} read attempts")
+        raise TransientStoreError(
+            f"{self.describe()}: object {key!r} kept changing across "
+            f"{self.READ_ATTEMPTS} read attempts")
 
     def list_prefix(self, prefix: str) -> List[str]:
         keys = []
@@ -432,7 +527,17 @@ class FileSystemObjectStore(ObjectStore):
             if not child.is_dir():
                 continue
             key = unquote(child.name)
-            if key.startswith(prefix) and self._key_exists(key, child):
+            if not key.startswith(prefix):
+                continue
+            try:
+                exists = self._key_exists(key, child)
+            except FileNotFoundError:
+                # The whole key directory vanished between the root scan
+                # and the per-entry stat (a concurrent pruner or external
+                # cleanup): the key is gone, not the listing — skip the
+                # entry instead of aborting every other key's result.
+                continue
+            if exists:
                 keys.append(key)
         return sorted(keys)
 
@@ -459,8 +564,9 @@ class FileSystemObjectStore(ObjectStore):
                     pass
                 return True
             # A writer beat us to the next generation; re-examine.
-        raise ShardError(f"{self.describe()}: object {key!r} kept changing "
-                         f"across {self.READ_ATTEMPTS} delete attempts")
+        raise TransientStoreError(
+            f"{self.describe()}: object {key!r} kept changing across "
+            f"{self.READ_ATTEMPTS} delete attempts")
 
     def describe(self) -> str:
         return str(self.root)

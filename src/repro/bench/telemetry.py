@@ -276,6 +276,24 @@ class CasRetry(TelemetryEvent):
 
 
 @dataclass(frozen=True)
+class StoreRetry(TelemetryEvent):
+    """A transient storage/broker failure was absorbed by bounded retry.
+
+    Distinct from :class:`CasRetry` (a conditional write honestly *lost* a
+    race): a ``store_retry`` means the operation errored in a way worth
+    repeating — an injected chaos fault, a cloud 5xx/throttle, a filesystem
+    read that kept losing to concurrent writers — and the caller backed
+    off and tried again.  ``attempt`` is 1-based, so the counter's rate
+    per op is visible and a give-up (attempt == budget) is identifiable.
+    """
+
+    name: ClassVar[str] = "store_retry"
+    op: str
+    key: str
+    attempt: int
+
+
+@dataclass(frozen=True)
 class WorkerIdle(TelemetryEvent):
     """An idle worker backed off before re-polling the queue."""
 
@@ -327,7 +345,7 @@ EVENT_NAMES: tuple = tuple(sorted(event.name for event in (
     TrialStarted, TrialFinished, CacheHit, CacheMiss, CacheEvicted, CacheGc,
     RipFull, RipIncremental,
     LeaseAcquired, LeaseRenewed, LeaseLost, ManifestAbandoned, ShardPosted,
-    ShardCollected, CasRetry, WorkerIdle,
+    ShardCollected, CasRetry, StoreRetry, WorkerIdle,
     PlanSubmitted, PlanDrained, QueueDepth)))
 
 

@@ -99,7 +99,7 @@ from repro.bench.shard import (
     shard_file_name,
 )
 from repro.bench.engine import ProgressCallback
-from repro.bench.store import ObjectStore
+from repro.bench.store import ObjectStore, RetryPolicy, call_with_retries
 from repro.bench import telemetry
 from repro.bench.telemetry import (
     EventSink,
@@ -631,6 +631,14 @@ class LocalDirBroker(ShardBroker):
     posts are idempotent), a slow one delays crashed-worker recovery.
     Keep worker clocks NTP-synced, or size ``lease_ttl`` well above the
     worst expected skew.
+
+    ``skew_allowance`` is that sizing made explicit: reclaim treats a
+    lease as expired only ``skew_allowance`` seconds *after* its persisted
+    wall-clock deadline, so a reclaimer whose clock runs ahead by up to
+    the allowance never steals a live peer's lease.  The allowance is a
+    per-handle grace on top of ``lease_ttl`` (it delays crash recovery by
+    the same amount) — deadlines in lease filenames stay plain wall-clock
+    milliseconds, readable by any handle with any allowance.
     """
 
     PLAN_FILE = "plan.json"
@@ -639,13 +647,19 @@ class LocalDirBroker(ShardBroker):
     def __init__(self, root: Union[str, Path],
                  lease_ttl: float = DEFAULT_LEASE_TTL,
                  clock: Clock = time.time,
-                 sink: Optional[EventSink] = None) -> None:
+                 sink: Optional[EventSink] = None,
+                 skew_allowance: float = 0.0) -> None:
         if lease_ttl <= 0:
             raise ShardError(f"lease_ttl must be > 0, got {lease_ttl}")
+        if not math.isfinite(skew_allowance) or skew_allowance < 0:
+            raise ShardError(f"skew_allowance must be a finite number >= 0, "
+                             f"got {skew_allowance}")
         self.root = Path(root)
         self.lease_ttl = lease_ttl
+        self.skew_allowance = skew_allowance
         self.sink = sink
         self._clock = clock
+        self._skew_ms = int(skew_allowance * 1000)
 
     # ------------------------------------------------------------------
     # directory plumbing
@@ -729,7 +743,7 @@ class LocalDirBroker(ShardBroker):
             except ValueError:
                 raise ShardError(f"{path}: malformed lease filename (expected "
                                  "NAME.lease.<deadline_ms>.<worker>)")
-            if now_ms >= deadline_ms:
+            if now_ms >= deadline_ms + self._skew_ms:
                 try:
                     path.rename(self._queued_dir(name) / file_name)
                 except FileNotFoundError:
@@ -888,7 +902,20 @@ class ObjectStoreBroker(ShardBroker):
     post-time CAS that flips the lease object to ``done`` is best-effort);
     like :class:`LocalDirBroker`, lease deadlines are wall-clock timestamps
     compared across machines, so keep worker clocks NTP-synced or size
-    ``lease_ttl`` above the worst expected skew.
+    ``lease_ttl`` above the worst expected skew — or state the worst skew
+    as ``skew_allowance`` and expiry checks grant that much extra life to
+    every persisted deadline (never stealing a live peer's lease at the
+    cost of equally delayed crash recovery).
+
+    Every store call is wrapped in bounded retry-with-backoff (``retry``, a
+    :class:`~repro.bench.store.RetryPolicy`): a
+    :class:`~repro.bench.store.TransientStoreError` — a cloud 5xx, a
+    throttle, an injected chaos fault — is absorbed up to the budget
+    (each absorbed attempt emits a ``store_retry`` telemetry event) and
+    only then surfaces as a labeled
+    :class:`~repro.bench.store.RetryBudgetExceeded`.  Semantic failures
+    (lost CAS races, missing objects) are *results*, not errors, and are
+    never retried here.
     """
 
     PLANS_PREFIX = "plans/"
@@ -900,13 +927,21 @@ class ObjectStoreBroker(ShardBroker):
     def __init__(self, store: ObjectStore,
                  lease_ttl: float = DEFAULT_LEASE_TTL,
                  clock: Clock = time.time,
-                 sink: Optional[EventSink] = None) -> None:
+                 sink: Optional[EventSink] = None,
+                 retry: Optional[RetryPolicy] = None,
+                 skew_allowance: float = 0.0) -> None:
         if lease_ttl <= 0:
             raise ShardError(f"lease_ttl must be > 0, got {lease_ttl}")
+        if not math.isfinite(skew_allowance) or skew_allowance < 0:
+            raise ShardError(f"skew_allowance must be a finite number >= 0, "
+                             f"got {skew_allowance}")
         self.store = store
         self.lease_ttl = lease_ttl
+        self.skew_allowance = skew_allowance
         self.sink = sink
+        self.retry = retry if retry is not None else RetryPolicy()
         self._clock = clock
+        self._skew_ms = int(skew_allowance * 1000)
 
     # ------------------------------------------------------------------
     # store plumbing
@@ -914,8 +949,12 @@ class ObjectStoreBroker(ShardBroker):
     def _source(self, key: str) -> str:
         return f"{self.store.describe()}: object {key!r}"
 
+    def _store_call(self, op: str, key: str, fn):
+        return call_with_retries(fn, op=op, key=key, policy=self.retry,
+                                 sink=self.sink)
+
     def _get_json(self, key: str) -> Optional[Tuple[Dict[str, object], str]]:
-        stored = self.store.get(key)
+        stored = self._store_call("get", key, lambda: self.store.get(key))
         if stored is None:
             return None
         data, etag = stored
@@ -940,7 +979,25 @@ class ObjectStoreBroker(ShardBroker):
     def plan_names(self) -> Tuple[str, ...]:
         return tuple(sorted(
             key[len(self.PLANS_PREFIX):]
-            for key in self.store.list_prefix(self.PLANS_PREFIX)))
+            for key in self._list(self.PLANS_PREFIX)))
+
+    def _list(self, prefix: str) -> List[str]:
+        return self._store_call("list_prefix", prefix,
+                                lambda: self.store.list_prefix(prefix))
+
+    def _put_if_absent(self, key: str, data: bytes) -> bool:
+        # Retrying a conditional put is safe-by-design here: both writes
+        # are content-deterministic, so if an earlier attempt actually
+        # landed before its error surfaced, the retry's False reads the
+        # same as losing to a peer who wrote identical bytes.
+        return self._store_call(
+            "put_if_absent", key,
+            lambda: self.store.put_if_absent(key, data))
+
+    def _put_if_match(self, key: str, data: bytes, etag: str) -> bool:
+        return self._store_call(
+            "put_if_match", key,
+            lambda: self.store.put_if_match(key, data, etag))
 
     def _header(self, name: str) -> Dict[str, object]:
         found = self._get_json(self._plan_key(name))
@@ -975,7 +1032,7 @@ class ObjectStoreBroker(ShardBroker):
 
     def _done_names(self, name: str) -> set:
         prefix = self._result_prefix(name)
-        return {key[len(prefix):] for key in self.store.list_prefix(prefix)}
+        return {key[len(prefix):] for key in self._list(prefix)}
 
     # ------------------------------------------------------------------
     # the queue contract
@@ -988,17 +1045,17 @@ class ObjectStoreBroker(ShardBroker):
         # Header first (exactly one submitter can create it), mirroring
         # LocalDirBroker: a plan object with manifests still appearing
         # reads as a plan being enqueued.
-        if not self.store.put_if_absent(self._plan_key(name), header):
+        if not self._put_if_absent(self._plan_key(name), header):
             raise ShardError(
                 f"{self.store.describe()}: object store already holds a "
                 f"plan named {name!r} (collect it or pick another plan "
                 "name)")
         for manifest in plan.manifests:
             file_name = plan.manifest_name(manifest.shard_index)
-            self.store.put_if_absent(self._manifest_prefix(name) + file_name,
-                                     self._dump(manifest.as_dict()))
-            self.store.put_if_absent(self._lease_prefix(name) + file_name,
-                                     self._dump({"state": "queued"}))
+            self._put_if_absent(self._manifest_prefix(name) + file_name,
+                                self._dump(manifest.as_dict()))
+            self._put_if_absent(self._lease_prefix(name) + file_name,
+                                self._dump({"state": "queued"}))
         self._emit_plan_submitted(name, plan, priority)
 
     def lease(self, worker_id: str) -> Optional[ShardLease]:
@@ -1007,8 +1064,8 @@ class ObjectStoreBroker(ShardBroker):
             # Depth = lease objects whose shard has no result yet: queued
             # work plus in-flight/expired leases.  One list per prefix —
             # cheaper than a per-shard GET sweep, and only a tiebreak.
-            depth = (len(self.store.list_prefix(self._lease_prefix(name)))
-                     - len(self.store.list_prefix(self._result_prefix(name))))
+            depth = (len(self._list(self._lease_prefix(name)))
+                     - len(self._list(self._result_prefix(name))))
             if depth <= 0:
                 continue
             priority = _plan_priority(self._header(name),
@@ -1026,7 +1083,7 @@ class ObjectStoreBroker(ShardBroker):
         done = self._done_names(name)
         now_ms = int(self._clock() * 1000)
         prefix = self._lease_prefix(name)
-        for key in self.store.list_prefix(prefix):
+        for key in self._list(prefix):
             file_name = key[len(prefix):]
             if file_name in done:
                 continue
@@ -1040,15 +1097,15 @@ class ObjectStoreBroker(ShardBroker):
             if state == "leased":
                 deadline_ms = _require_int(payload, "deadline_ms",
                                            self._source(key))
-                if now_ms < deadline_ms:
-                    continue  # a live peer holds it
+                if now_ms < deadline_ms + self._skew_ms:
+                    continue  # a live peer holds it (within skew grace)
                 # else: expired — reclaim by CAS'ing it straight to ours.
             grant = (_require_int(payload, "grant", self._source(key)) + 1
                      if "grant" in payload else 1)
             deadline = self._clock() + self.lease_ttl
             claim = {"state": "leased", "worker": worker_id,
                      "deadline_ms": int(deadline * 1000), "grant": grant}
-            if not self.store.put_if_match(key, self._dump(claim), etag):
+            if not self._put_if_match(key, self._dump(claim), etag):
                 continue  # another worker swapped first; next shard
             return ShardLease(manifest=self._load_manifest(name, file_name),
                               worker_id=worker_id, deadline=deadline,
@@ -1070,7 +1127,7 @@ class ObjectStoreBroker(ShardBroker):
             return None  # reclaimed (new grant) or already done
         deadline = self._clock() + self.lease_ttl
         renewed = dict(payload, deadline_ms=int(deadline * 1000))
-        if not self.store.put_if_match(key, self._dump(renewed), etag):
+        if not self._put_if_match(key, self._dump(renewed), etag):
             return None  # lost a race with a reclaimer: the lease is gone
         return replace(lease, deadline=deadline)
 
@@ -1083,7 +1140,7 @@ class ObjectStoreBroker(ShardBroker):
             source=f"{self.store.describe()}: posted results")
         file_name = shard_file_name(manifest.shard_index,
                                     manifest.shard_count)
-        first_post = self.store.put_if_absent(
+        first_post = self._put_if_absent(
             self._result_prefix(name) + file_name,
             self._dump(results.as_dict()))
         # Flip the lease object to done so nobody re-leases the shard.
@@ -1099,7 +1156,7 @@ class ObjectStoreBroker(ShardBroker):
                 break
             done = {"state": "done", "worker": lease.worker_id,
                     "grant": payload.get("grant", 0)}
-            if self.store.put_if_match(key, self._dump(done), etag):
+            if self._put_if_match(key, self._dump(done), etag):
                 break
         if first_post \
                 and len(self._done_names(name)) >= manifest.shard_count:
@@ -1110,7 +1167,7 @@ class ObjectStoreBroker(ShardBroker):
         validate_plan_name(name)
         self._identity(name)
         collected = []
-        for key in self.store.list_prefix(self._result_prefix(name)):
+        for key in self._list(self._result_prefix(name)):
             found = self._get_json(key)
             if found is None:
                 continue  # deleted mid-listing
@@ -1129,7 +1186,7 @@ class ObjectStoreBroker(ShardBroker):
             done = self._done_names(name)
             queued = leased = 0
             prefix = self._lease_prefix(name)
-            for key in self.store.list_prefix(prefix):
+            for key in self._list(prefix):
                 if key[len(prefix):] in done:
                     continue
                 found = self._get_json(key)
@@ -1142,7 +1199,7 @@ class ObjectStoreBroker(ShardBroker):
                 elif state == "leased":
                     deadline_ms = _require_int(payload, "deadline_ms",
                                                self._source(key))
-                    if now_ms >= deadline_ms:
+                    if now_ms >= deadline_ms + self._skew_ms:
                         queued += 1  # expired: reclaimable, i.e. leasable
                     else:
                         leased += 1
@@ -1286,6 +1343,14 @@ class ShardWorker:
     bytes — and move on to the next lease.  ``on_renew`` observes every
     renewal (note it fires on the heartbeat thread).
 
+    In-process deadlines (idle backoff, ``max_idle_s``) are measured on
+    ``time.monotonic`` — a wall-clock step can't cut an idle daemon's
+    patience short or stretch it forever; only the *persisted* lease
+    deadlines brokers compare across processes are wall-clock.  The loop's
+    own broker verbs (lease/status/post) run under bounded retry
+    (``retry``), so a transient broker blip mid-loop is absorbed instead
+    of killing the worker.
+
     After (or during) a run, :attr:`results_by_plan` groups this worker's
     posted results by plan name, and :attr:`cache_stats_by_plan` holds the
     worker-lifetime :class:`~repro.dmi.cache.ArtifactCache` deltas
@@ -1302,7 +1367,8 @@ class ShardWorker:
                  sink: Optional[EventSink] = None,
                  daemon: bool = False,
                  max_idle_s: Optional[float] = None,
-                 clock: Clock = time.monotonic) -> None:
+                 clock: Clock = time.monotonic,
+                 retry: Optional[RetryPolicy] = None) -> None:
         if not math.isfinite(poll) or poll < 0:
             raise ShardError(f"poll must be a finite number >= 0, got {poll}")
         if daemon and poll <= 0:
@@ -1353,6 +1419,12 @@ class ShardWorker:
         #: test fleet's sleep schedule is reproducible while real fleets
         #: (unique hostname-pid ids) still decorrelate.
         self._backoff_rng = random.Random(f"idle-backoff:{self.worker_id}")
+        #: Bounded retry for the loop's own broker verbs (lease/status/
+        #: post): a transient broker failure mid-loop is backed off and
+        #: repeated instead of killing the worker.  Backoff sleeps on the
+        #: stop event so stop()/SIGTERM interrupts a waiting retry too.
+        self.retry = retry if retry is not None else RetryPolicy(
+            sleep=self._stop.wait, seed=f"worker:{self.worker_id}")
 
     def stop(self) -> None:
         """Ask the worker to exit cleanly: the current manifest finishes
@@ -1363,6 +1435,10 @@ class ShardWorker:
     @property
     def stopping(self) -> bool:
         return self._stop.is_set()
+
+    def _broker_call(self, op: str, key: str, fn):
+        return call_with_retries(fn, op=op, key=key, policy=self.retry,
+                                 sink=self.sink)
 
     def run(self, progress: Optional[ProgressCallback] = None,
             on_manifest: Optional[ManifestCallback] = None) -> List[ShardResults]:
@@ -1379,9 +1455,11 @@ class ShardWorker:
         while not self._stop.is_set() and (self.max_manifests is None
                                            or executed < self.max_manifests):
             sink = telemetry.resolve(self.sink)
-            lease = self.broker.lease(self.worker_id)
+            lease = self._broker_call("lease", self.worker_id,
+                                      lambda: self.broker.lease(self.worker_id))
             if lease is None:
-                snapshot = self.broker.status()
+                snapshot = self._broker_call("status", self.worker_id,
+                                             self.broker.status)
                 self._emit_queue_depth(sink, snapshot)
                 if snapshot.queued > 0:
                     continue  # lost a lease race; try again immediately
@@ -1427,7 +1505,10 @@ class ShardWorker:
                             worker_id=self.worker_id))
                     continue
                 lease = beat.lease  # renewals may have re-tokened it
-            first_post = self.broker.post(lease, results)
+            posted = lease
+            first_post = self._broker_call(
+                "post", posted.token,
+                lambda: self.broker.post(posted, results))
             completed.append(results)
             self.results_by_plan.setdefault(lease.plan, []).append(results)
             if sink:
@@ -1436,7 +1517,8 @@ class ShardWorker:
                     worker_id=self.worker_id, results=len(results.results),
                     first_post=first_post))
             if on_manifest is not None or sink:
-                snapshot = self.broker.status()
+                snapshot = self._broker_call("status", self.worker_id,
+                                             self.broker.status)
                 self._emit_queue_depth(sink, snapshot)
                 if on_manifest is not None:
                     on_manifest(lease, results, snapshot)

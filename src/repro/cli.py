@@ -186,6 +186,12 @@ from repro.bench.shard import (
     ShardResults,
     merge_shard_results,
 )
+from repro.bench.faults import (
+    FaultSchedule,
+    FaultyBroker,
+    FaultyObjectStore,
+    RetryingBroker,
+)
 from repro.bench.store import FileSystemObjectStore
 from repro.bench.transport import (
     DEFAULT_LEASE_TTL,
@@ -360,6 +366,12 @@ def build_parser() -> argparse.ArgumentParser:
                          default=DEFAULT_LEASE_TTL, metavar="SECS",
                          help="seconds before an unrenewed lease may be "
                               "reclaimed (default: %(default)s)")
+        sub.add_argument("--fault-schedule", metavar="FILE", default=None,
+                         help="chaos-conformance test rig: inject the "
+                              "deterministic fault schedule (seeded JSON, "
+                              "see repro.bench.faults) into every broker/"
+                              "store operation; bounded retries must "
+                              "absorb the weather")
 
     shard_submit = shard_sub.add_parser(
         "submit", help="plan the grid and enqueue its manifests on a broker")
@@ -905,11 +917,28 @@ def _queue_location(args) -> str:
 
 def _cli_broker(args) -> ShardBroker:
     """The broker selected by --broker (directory) or --store (object
-    store); argparse guarantees exactly one was given."""
+    store); argparse guarantees exactly one was given.
+
+    With ``--fault-schedule FILE`` (the chaos-conformance test rig) the
+    chosen backend is wrapped in the seeded fault injector from
+    :mod:`repro.bench.faults`: store-backed queues take the weather at the
+    storage layer (the broker's own bounded retries must absorb it),
+    directory queues take it on the queue verbs behind a
+    :class:`RetryingBroker`.  Either way a drained queue under chaos is
+    the proof the flag exists to produce."""
+    schedule = None
+    if getattr(args, "fault_schedule", None) is not None:
+        schedule = FaultSchedule.load(args.fault_schedule)
     if args.store is not None:
-        return ObjectStoreBroker(FileSystemObjectStore(args.store),
-                                 lease_ttl=args.lease_ttl)
-    return LocalDirBroker(args.broker, lease_ttl=args.lease_ttl)
+        store = FileSystemObjectStore(args.store)
+        if schedule is not None:
+            store = FaultyObjectStore(store, schedule)
+        return ObjectStoreBroker(store, lease_ttl=args.lease_ttl)
+    broker: ShardBroker = LocalDirBroker(args.broker,
+                                         lease_ttl=args.lease_ttl)
+    if schedule is not None:
+        broker = RetryingBroker(FaultyBroker(broker, schedule))
+    return broker
 
 
 def _check_heartbeat(args) -> None:

@@ -27,9 +27,20 @@ backend in every existing conformance run.
 from __future__ import annotations
 
 import dataclasses
+import threading
 from typing import Dict, Tuple
 
 import pytest
+
+from repro.bench.faults import (
+    BROKER_OPS,
+    STORE_OPS,
+    FaultSchedule,
+    FaultSpec,
+    FaultyBroker,
+    FaultyObjectStore,
+    RetryingBroker,
+)
 
 from repro.bench.runner import (
     BenchmarkConfig,
@@ -46,7 +57,11 @@ from repro.bench.shard import (
     plan_shards,
 )
 from repro.bench.tasks import task_by_id
-from repro.bench.store import FileSystemObjectStore, InMemoryObjectStore
+from repro.bench.store import (
+    FileSystemObjectStore,
+    InMemoryObjectStore,
+    RetryPolicy,
+)
 from repro.bench.telemetry import AggregatingSink
 from repro.bench.transport import (
     DEFAULT_PLAN,
@@ -65,6 +80,62 @@ SETTINGS = ("gui-gpt5-medium", "dmi-gpt5-medium")
 #: Every shipped broker configuration; the conformance suite runs against
 #: each of these.
 ALL_BROKER_KINDS = ("memory", "dir", "store-memory", "store-fs")
+
+#: The same four configurations under a seeded hostile
+#: :class:`~repro.bench.faults.FaultSchedule`: every clause of the suite
+#: must hold verbatim while transient faults rain on every operation,
+#: because bounded retry (the store broker's built-in policy, or
+#: :class:`~repro.bench.faults.RetryingBroker` for the backends with no
+#: store underneath) is supposed to make injected weather invisible.
+CHAOS_BROKER_KINDS = tuple(f"chaos-{kind}" for kind in ALL_BROKER_KINDS)
+
+#: The storm definition the chaos kinds run under: transient errors (in
+#: bursts of two, so single-retry consumers would still fail) on every
+#: store and broker op.  Latency and CAS-loss/truncation injection are
+#: exercised by dedicated clauses/tests — they change *visible* timing or
+#: return values, which the exact clause assertions intentionally pin.
+HOSTILE_ERROR_SPEC = FaultSpec(error_rate=0.15, error_burst=2)
+
+#: Deterministic adversary: same seed, same weather, every run.
+CHAOS_SEED = 8
+
+
+def hostile_schedule(seed: int = CHAOS_SEED) -> FaultSchedule:
+    return FaultSchedule(seed=seed, ops={
+        op: HOSTILE_ERROR_SPEC for op in (*STORE_OPS, *BROKER_OPS)})
+
+
+def chaos_retry_policy() -> RetryPolicy:
+    """The armour the chaos kinds wear: a deep budget (bursts of two eat
+    attempts fast) with no real sleeping, so the suite stays quick."""
+    return RetryPolicy(attempts=32, backoff_base_s=0.0,
+                       sleep=lambda _delay: None)
+
+
+def make_chaos_broker(kind: str, tmp_path,
+                      schedule: FaultSchedule = None,
+                      **kwargs) -> ShardBroker:
+    """A *base*-kind broker with fault injection + retry armour layered on.
+
+    Store-backed kinds inject at the store layer (the broker's own bounded
+    retries must absorb the weather); memory/dir kinds inject on the queue
+    verbs and wear :class:`RetryingBroker` as the consumer-side armour.
+    """
+    if schedule is None:
+        schedule = hostile_schedule()
+    no_sleep = lambda _delay: None  # noqa: E731 — injected latency is 0
+    if kind == "store-memory":
+        return ObjectStoreBroker(
+            FaultyObjectStore(InMemoryObjectStore(), schedule, sleep=no_sleep),
+            retry=chaos_retry_policy(), **kwargs)
+    if kind == "store-fs":
+        return ObjectStoreBroker(
+            FaultyObjectStore(FileSystemObjectStore(tmp_path / "store"),
+                              schedule, sleep=no_sleep),
+            retry=chaos_retry_policy(), **kwargs)
+    inner = make_broker(kind, tmp_path, **kwargs)
+    return RetryingBroker(FaultyBroker(inner, schedule, sleep=no_sleep),
+                          policy=chaos_retry_policy())
 
 
 class FakeClock:
@@ -103,7 +174,15 @@ def drain(broker: ShardBroker, worker_id: str = "worker-a") -> list:
 
 
 def make_broker(kind: str, tmp_path, **kwargs) -> ShardBroker:
-    """One broker of the given kind, backed by fresh state under tmp_path."""
+    """One broker of the given kind, backed by fresh state under tmp_path.
+
+    ``chaos-*`` kinds are the same backends wrapped in a seeded hostile
+    :class:`FaultSchedule` plus the matching retry armour (see
+    :func:`make_chaos_broker`); ``kwargs`` always reach the *inner*
+    broker, so clauses can keep steering ``lease_ttl``/``clock``/``sink``.
+    """
+    if kind.startswith("chaos-"):
+        return make_chaos_broker(kind[len("chaos-"):], tmp_path, **kwargs)
     if kind == "memory":
         return InMemoryBroker(**kwargs)
     if kind == "dir":
@@ -467,3 +546,76 @@ class BrokerContractSuite:
         for ttl in (0, -5):
             with pytest.raises(ShardError, match="lease_ttl"):
                 fresh_broker(lease_ttl=ttl)
+
+    # ------------------------------------------------------------------
+    # chaos clauses: the contract under adversarial weather
+    # ------------------------------------------------------------------
+    def test_cas_storm_exactly_one_lease_wins(self, fresh_broker):
+        """≥100 workers race one queued shard from a start barrier: the
+        lease CAS hands it to exactly one of them, the rest read an honest
+        ``None`` — no duplicate grant, no error, no lost shard."""
+        broker = fresh_broker()
+        broker.submit(small_plan(shards=1))
+        racers = 120
+        barrier = threading.Barrier(racers)
+        wins, errors = [], []
+        lock = threading.Lock()
+
+        def race(index: int) -> None:
+            barrier.wait()
+            try:
+                lease = broker.lease(f"storm-{index:03d}")
+            except Exception as error:  # noqa: BLE001 — recorded, asserted
+                with lock:
+                    errors.append(error)
+                return
+            if lease is not None:
+                with lock:
+                    wins.append(lease)
+
+        threads = [threading.Thread(target=race, args=(index,))
+                   for index in range(racers)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        assert len(wins) == 1, f"{len(wins)} workers won the same shard"
+        broker.post(wins[0], run_manifest(wins[0].manifest))
+        assert broker.status().complete
+        assert list(merge_shard_results(broker.collect()))
+
+    def test_partial_list_reads_never_drop_a_queued_shard(self, broker_kind,
+                                                          tmp_path):
+        """Truncated ``list_prefix`` pages (or error storms, for backends
+        with no store to truncate) may delay progress but never lose work:
+        the queue still drains to a complete, mergeable plan."""
+        base = broker_kind.removeprefix("chaos-")
+        if base.startswith("store"):
+            # Half of every listing call returns only a prefix of the
+            # truth — the eventually-consistent page a cloud store serves.
+            schedule = FaultSchedule(seed=88, ops={
+                "list_prefix": FaultSpec(truncate_rate=0.5)})
+        else:
+            schedule = hostile_schedule(seed=88)
+        broker = make_chaos_broker(base, tmp_path, schedule=schedule)
+        broker.submit(small_plan(shards=4))
+        for _ in range(600):
+            row = broker.status().plan(DEFAULT_PLAN)
+            # done counts only shrink under truncation (results are listed,
+            # never fabricated), so a complete row is trustworthy; a
+            # missing/short row just means this poll caught a short page.
+            if row is not None and row.complete:
+                break
+            lease = broker.lease("worker-a")
+            if lease is not None:
+                broker.post(lease, run_manifest(lease.manifest))
+        else:
+            pytest.fail("queue did not drain under truncated listings")
+        for _ in range(200):
+            collected = broker.collect()
+            if len(collected) == 4:
+                break
+        merged = merge_shard_results(collected)  # re-validates completeness
+        assert all(len(outcome.results) == len(TASKS)
+                   for outcome in merged.values())

@@ -57,8 +57,9 @@ from repro.bench.shard import (
     merge_shard_results,
     plan_shards,
 )
+from repro.bench.faults import FaultSchedule, FaultSpec, FaultyObjectStore
 from repro.bench.tasks import task_by_id
-from repro.bench.store import FileSystemObjectStore
+from repro.bench.store import FileSystemObjectStore, RetryPolicy
 from repro.bench.telemetry import AggregatingSink, use_sink
 from repro.bench.transport import LocalDirBroker, ObjectStoreBroker, ShardWorker
 from repro.cli import export_settings_payload
@@ -154,6 +155,47 @@ def run_store_broker(seed: int, trials: int, setting_keys: Sequence[str],
                 worker_id="equivalence-s0", poll=0, max_manifests=1).run()
     ShardWorker(broker, ManifestExecutor(cache_dir=cache_dir),
                 worker_id="equivalence-s1", poll=0).run()
+    merged = merge_shard_results(broker.collect())
+    return outcomes_bytes(merged)
+
+
+def hostile_fault_schedule(seed: int = 8) -> FaultSchedule:
+    """The canonical chaos-smoke adversary: transient error bursts on every
+    store operation.  Latency/CAS-loss/truncation injection are covered by
+    dedicated conformance clauses; this schedule is the one the equivalence
+    guarantee is proven under (and the one CI pins to JSON)."""
+    spec = FaultSpec(error_rate=0.15, error_burst=2)
+    return FaultSchedule(seed=seed, ops={
+        op: spec for op in ("put_if_absent", "put_if_match", "get",
+                            "list_prefix", "delete")})
+
+
+def run_chaos_store_broker(seed: int, trials: int,
+                           setting_keys: Sequence[str],
+                           task_ids: Sequence[str], shard_count: int,
+                           work_dir: Path,
+                           schedule: FaultSchedule = None) -> bytes:
+    """The ``store-broker`` path with a hostile :class:`FaultSchedule`
+    raining on the object store: the broker's bounded retries must absorb
+    every injected transient, so the merged export stays byte-identical to
+    serial — the chaos-conformance form of the equivalence guarantee."""
+    if schedule is None:
+        schedule = hostile_fault_schedule()
+    plan = plan_shards(shard_count, seed=seed, trials=trials,
+                       setting_keys=setting_keys, task_ids=task_ids)
+    store = FaultyObjectStore(FileSystemObjectStore(work_dir / "store"),
+                              schedule, sleep=lambda _delay: None)
+    broker = ObjectStoreBroker(store, retry=RetryPolicy(
+        attempts=32, backoff_base_s=0.0, sleep=lambda _delay: None))
+    broker.submit(plan)
+    cache_dir = work_dir / "chaos-cache"
+    ShardWorker(broker, ManifestExecutor(cache_dir=cache_dir),
+                worker_id="equivalence-c0", poll=0, max_manifests=1).run()
+    ShardWorker(broker, ManifestExecutor(cache_dir=cache_dir),
+                worker_id="equivalence-c1", poll=0).run()
+    assert store.injected.snapshot()["errors"] > 0, (
+        "the hostile schedule injected nothing — the chaos run proved "
+        "nothing beyond the plain store-broker path")
     merged = merge_shard_results(broker.collect())
     return outcomes_bytes(merged)
 

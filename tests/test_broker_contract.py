@@ -7,17 +7,34 @@ broker configurations — :class:`~repro.bench.transport.InMemoryBroker`,
 filesystem object store — so every contract clause is asserted identically
 across backends.  Backend-specific behaviour (lease filenames, CAS races,
 on-disk corruption) lives in ``tests/test_transport.py`` instead.
+
+:class:`TestBrokerContractChaos` enrolls the same four backends *again*
+under a seeded hostile :class:`~repro.bench.faults.FaultSchedule` (transient
+error bursts on every operation): bounded retry is supposed to make that
+weather invisible, so every clause must hold verbatim — same assertions,
+zero accommodations.
 """
 
 import pytest
 
-from broker_contract import ALL_BROKER_KINDS, BrokerContractSuite
-
-
-@pytest.fixture(params=ALL_BROKER_KINDS)
-def broker_kind(request) -> str:
-    return request.param
+from broker_contract import (
+    ALL_BROKER_KINDS,
+    CHAOS_BROKER_KINDS,
+    BrokerContractSuite,
+)
 
 
 class TestBrokerContract(BrokerContractSuite):
     """All contract clauses × all shipped broker backends."""
+
+    @pytest.fixture(params=ALL_BROKER_KINDS)
+    def broker_kind(self, request) -> str:
+        return request.param
+
+
+class TestBrokerContractChaos(BrokerContractSuite):
+    """All contract clauses × all backends × a hostile fault schedule."""
+
+    @pytest.fixture(params=CHAOS_BROKER_KINDS)
+    def broker_kind(self, request) -> str:
+        return request.param

@@ -522,3 +522,103 @@ def test_fleet_status_reads_live_metrics_snapshot(tmp_path, capsys):
         metrics.write_text("{torn", encoding="utf-8")
         main(["fleet", "status", "--broker", str(broker),
               "--metrics", str(metrics)])
+
+
+# ----------------------------------------------------------------------
+# chaos conformance: --fault-schedule on the queue commands
+# ----------------------------------------------------------------------
+def _hostile_schedule_file(tmp_path, ops):
+    """A seeded storm for CLI runs: transient errors only (semantics-
+    preserving), burst 1 so the default 8-attempt retry budget puts the
+    give-up probability per call around 1e-8."""
+    from repro.bench.faults import FaultSchedule, FaultSpec
+
+    spec = FaultSpec(error_rate=0.1)
+    schedule_path = tmp_path / "storm.json"
+    FaultSchedule(seed=8, ops={op: spec for op in ops}).save(schedule_path)
+    return schedule_path
+
+
+def test_shard_chaos_store_round_trip_matches_single_run(tmp_path, capsys):
+    """PR 8 satellite: the full submit/work/collect round trip over the
+    object store with a seeded hostile fault schedule exports exactly the
+    single-machine run, and the worker's registry record proves the storm
+    reached the retry layer (``store_retry`` counter via ``runs show``)."""
+    from repro.bench.faults import STORE_OPS
+    from repro.bench.registry import RunRegistry
+
+    store = tmp_path / "objstore"
+    registry_dir = tmp_path / "registry"
+    storm = _hostile_schedule_file(tmp_path, STORE_OPS)
+    chaos = ["--fault-schedule", str(storm)]
+    assert main(["shard", "submit", "--store", str(store), "--shards", "2"]
+                + BROKER_GRID + chaos) == 0
+    capsys.readouterr()
+    assert main(["shard", "work", "--store", str(store), "--worker-id", "w1",
+                 "--heartbeat", "0", "--max-manifests", "1",
+                 "--cache-dir", str(tmp_path / "cache"),
+                 "--registry", str(registry_dir)] + chaos) == 0
+    assert "w1: 1 manifest(s) executed" in capsys.readouterr().out
+    assert main(["shard", "work", "--store", str(store), "--worker-id", "w2",
+                 "--heartbeat", "0", "--cache-dir", str(tmp_path / "cache"),
+                 "--registry", str(registry_dir)] + chaos) == 0
+    assert "w2: 1 manifest(s) executed" in capsys.readouterr().out
+    merged = tmp_path / "merged.json"
+    assert main(["shard", "collect", "--store", str(store),
+                 "--export", str(merged)] + chaos) == 0
+    single = tmp_path / "single.json"
+    assert main(["run", *BROKER_GRID, "--export", str(single)]) == 0
+    capsys.readouterr()
+    merged_payload = json.loads(merged.read_text())
+    assert merged_payload["settings"] == json.loads(single.read_text())["settings"]
+    # The storm was real and the retries are on the record: `runs show`
+    # surfaces a positive store_retry counter for the first worker.
+    run_id = RunRegistry(registry_dir).latest().run_id
+    assert main(["runs", "show", run_id, "--registry",
+                 str(registry_dir)]) == 0
+    shown = json.loads(capsys.readouterr().out)
+    assert shown["counters"]["store_retry"] > 0
+    assert shown["counters"]["shard_posted"] == 1
+
+
+def test_shard_chaos_dir_broker_round_trip_matches_single_run(
+        tmp_path, capsys):
+    """The same storm hits the directory broker's queue verbs (through the
+    retrying shim) and the merged export still matches the plain run."""
+    from repro.bench.faults import BROKER_OPS
+
+    broker = tmp_path / "queue"
+    storm = _hostile_schedule_file(tmp_path, BROKER_OPS)
+    chaos = ["--fault-schedule", str(storm)]
+    assert main(["shard", "submit", "--broker", str(broker), "--shards", "2"]
+                + BROKER_GRID + chaos) == 0
+    capsys.readouterr()
+    assert main(["shard", "work", "--broker", str(broker), "--worker-id", "w1",
+                 "--heartbeat", "0",
+                 "--cache-dir", str(tmp_path / "cache")] + chaos) == 0
+    assert "w1: 2 manifest(s) executed" in capsys.readouterr().out
+    merged = tmp_path / "merged.json"
+    assert main(["shard", "collect", "--broker", str(broker),
+                 "--export", str(merged)] + chaos) == 0
+    single = tmp_path / "single.json"
+    assert main(["run", *BROKER_GRID, "--export", str(single)]) == 0
+    capsys.readouterr()
+    merged_payload = json.loads(merged.read_text())
+    assert merged_payload["settings"] == json.loads(single.read_text())["settings"]
+
+
+def test_shard_fault_schedule_rejects_unreadable_files(tmp_path):
+    missing = tmp_path / "nope.json"
+    with pytest.raises(SystemExit, match="cannot read"):
+        main(["shard", "submit", "--store", str(tmp_path / "s"),
+              "--shards", "1", "--fault-schedule", str(missing)] + BROKER_GRID)
+    torn = tmp_path / "torn.json"
+    torn.write_text("{not json", encoding="utf-8")
+    with pytest.raises(SystemExit, match="not valid JSON"):
+        main(["shard", "work", "--store", str(tmp_path / "s"),
+              "--fault-schedule", str(torn)])
+    wrong = tmp_path / "wrong.json"
+    wrong.write_text(json.dumps({"kind": "something-else"}), encoding="utf-8")
+    with pytest.raises(SystemExit, match="field 'kind'"):
+        main(["shard", "collect", "--store", str(tmp_path / "s"),
+              "--fault-schedule", str(wrong)])

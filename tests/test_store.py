@@ -265,3 +265,30 @@ def test_fs_list_prefix_retries_when_a_cas_lands_mid_check(tmp_path,
     monkeypatch.setattr(store, "_generations", stale_once)
     assert store.list_prefix("") == ["k"]
     assert calls["n"] > 2  # the stale verdict was re-examined, not trusted
+
+
+def test_fs_list_prefix_survives_a_key_deleted_mid_listing(tmp_path,
+                                                           monkeypatch):
+    """Regression: a key directory deleted (concurrent pruner, external
+    cleanup) between the root scan and the per-key check must drop only
+    that key from the listing — not abort every other key's result with a
+    ``FileNotFoundError``."""
+    store = FileSystemObjectStore(tmp_path / "store")
+    store.put_if_absent("doomed", b"v")
+    store.put_if_absent("survivor", b"v")
+    real = store._key_exists
+
+    def interleaved_delete(key, key_dir):
+        if key == "doomed":
+            # The race, made deterministic: the whole directory vanishes
+            # right after the root scan saw it.
+            for path in sorted(key_dir.iterdir(), reverse=True):
+                path.unlink()
+            key_dir.rmdir()
+            raise FileNotFoundError(str(key_dir))  # the stat that lost
+        return real(key, key_dir)
+
+    monkeypatch.setattr(store, "_key_exists", interleaved_delete)
+    assert store.list_prefix("") == ["survivor"]
+    monkeypatch.setattr(store, "_key_exists", real)
+    assert store.list_prefix("") == ["survivor"]  # the key stayed gone
