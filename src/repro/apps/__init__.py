@@ -42,9 +42,33 @@ __all__ = [
 ]
 
 #: Factory registry used by the benchmark runner to instantiate fresh
-#: applications per trial.
+#: applications per trial.  Hand-written apps only; generated apps resolve
+#: through :func:`app_factory`.
 APP_FACTORIES = {
     "word": WordApp,
     "excel": ExcelApp,
     "powerpoint": PowerPointApp,
 }
+
+
+def app_factory(name: str):
+    """Resolve an application name to a zero-arg factory.
+
+    Hand-written apps come from :data:`APP_FACTORIES`; ``synthetic:<token>``
+    names resolve to a generated-app factory (the token *is* the build
+    recipe, so any process can reconstruct the same app from the name
+    alone).  Raises :class:`KeyError` for unknown names.
+    """
+    factory = APP_FACTORIES.get(name)
+    if factory is not None:
+        return factory
+    if name.startswith("synthetic:"):
+        # Imported lazily: synthetic pulls in the GUI/ribbon stack, which
+        # not every APP_FACTORIES consumer needs.
+        from repro.apps.synthetic import synthetic_app_factory
+
+        try:
+            return synthetic_app_factory(name)
+        except ValueError as error:
+            raise KeyError(f"unknown application {name!r}: {error}") from error
+    raise KeyError(f"unknown application {name!r}")

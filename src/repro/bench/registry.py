@@ -22,6 +22,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import threading
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -296,13 +297,27 @@ class RunRegistry:
         location = explicit or os.environ.get(REGISTRY_ENV_VAR) or None
         return cls(location) if location else None
 
+    # Process-wide floor for id timestamps: ``new_run_id`` never reuses or
+    # goes below the last stamped microsecond, even when the wall clock
+    # stalls (coarse clocks, VMs) or steps backwards (NTP), so ids created
+    # by one process always sort in creation order.  The random suffix
+    # remains purely a cross-process tie-break.
+    _id_lock = threading.Lock()
+    _last_micros = 0
+
     def new_run_id(self) -> str:
-        """Timestamp to the microsecond + random suffix, so concurrent
-        same-second runs still sort chronologically (the suffix only
-        tie-breaks genuinely simultaneous recordings)."""
-        now = time.time()
-        stamp = time.strftime("%Y%m%d-%H%M%S", time.gmtime(now))
-        return f"{stamp}.{int(now % 1 * 1e6):06d}-{os.urandom(3).hex()}"
+        """Timestamp to the microsecond (monotonically bumped) + random
+        suffix.  Sorting the ids of one process reproduces creation order
+        exactly; across processes the suffix keeps simultaneous ids
+        distinct (ordering between them is arbitrary but stable)."""
+        with RunRegistry._id_lock:
+            micros = int(time.time() * 1_000_000)
+            if micros <= RunRegistry._last_micros:
+                micros = RunRegistry._last_micros + 1
+            RunRegistry._last_micros = micros
+        seconds, fraction = divmod(micros, 1_000_000)
+        stamp = time.strftime("%Y%m%d-%H%M%S", time.gmtime(seconds))
+        return f"{stamp}.{fraction:06d}-{os.urandom(3).hex()}"
 
     def path_for(self, run_id: str) -> Path:
         return self.root / f"{run_id}.json"

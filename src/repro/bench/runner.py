@@ -25,7 +25,7 @@ from typing import Dict, List, Optional, Sequence, Union
 
 from repro.agent.host_agent import HostAgent
 from repro.agent.session import InterfaceSetting, SessionResult
-from repro.apps import APP_FACTORIES
+from repro.apps import APP_FACTORIES, app_factory
 from repro.bench.engine import (
     Executor,
     ParallelExecutor,
@@ -149,11 +149,12 @@ class BenchmarkRunner:
             if self.cache is not None:
                 self._artifacts[app_name] = self.cache.load_or_build(app_name)
             else:
-                scratch = APP_FACTORIES[app_name]()
+                scratch = app_factory(app_name)()
                 self._artifacts[app_name] = build_offline_artifacts(scratch, self.config.dmi)
         return self._artifacts[app_name]
 
     def all_offline_artifacts(self) -> Dict[str, OfflineArtifacts]:
+        """Models for the hand-written apps (generated apps build on demand)."""
         return {name: self.offline_artifacts(name) for name in APP_FACTORIES}
 
     # ------------------------------------------------------------------
@@ -201,7 +202,7 @@ class BenchmarkRunner:
         task = self._resolve_task(spec.task_id)
         setting = self._resolve_setting(spec.setting_key)
         rng = random.Random(spec.seed)
-        app = APP_FACTORIES[task.app]()
+        app = app_factory(task.app)()
         rip_started = time.perf_counter() if measuring else 0.0
         artifacts = self.offline_artifacts(task.app)
         build_started = time.perf_counter() if measuring else 0.0

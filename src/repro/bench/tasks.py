@@ -601,6 +601,17 @@ def tasks_for_app(app: str) -> List[TaskSpec]:
 
 
 def task_by_id(task_id: str) -> TaskSpec:
+    """Look up a task anywhere in this build's registry.
+
+    ``syn:<token>:NNNN`` ids belong to generated suites: the token encodes
+    the full generator spec, so the task is regenerated (memoized, O(1) on
+    repeat) rather than searched — which is what lets shard/broker workers
+    resolve synthetic grids from ids alone.
+    """
+    if task_id.startswith("syn:"):
+        from repro.apps.synthetic import synthetic_task
+
+        return synthetic_task(task_id)
     for task in all_tasks():
         if task.task_id == task_id:
             return task

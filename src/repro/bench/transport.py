@@ -179,6 +179,29 @@ def _check_priority(priority: int) -> int:
     return priority
 
 
+def _check_submittable(plan: ShardPlan) -> ShardPlan:
+    """Reject degenerate plans at the queue boundary (all backends).
+
+    ``plan_shards`` never emits empty shards, but manifests are plain data
+    and can be rebuilt by hand (or by over-sharding a ramping generated
+    grid); an empty-spec manifest would enqueue a work unit that executes
+    nothing yet still participates in plan identity and merge accounting.
+    Rejecting here keeps the submit → lease → post → collect pipeline free
+    of no-op shards on every backend at once.
+    """
+    if not getattr(plan, "manifests", ()):
+        raise ShardError("cannot submit an empty plan (no manifests); "
+                         "plan a non-empty grid first")
+    for manifest in plan.manifests:
+        if not manifest.specs:
+            raise ShardError(
+                f"cannot submit shard {manifest.shard_index} of "
+                f"{manifest.shard_count}: it carries no trial specs "
+                "(every submitted shard must hold at least one spec; "
+                "re-plan with fewer shards)")
+    return plan
+
+
 def _plan_header_payload(plan: ShardPlan, name: str,
                          priority: int) -> Dict[str, object]:
     """The submitted plan's identity header, shared by all broker backends."""
@@ -517,6 +540,7 @@ class InMemoryBroker(ShardBroker):
                priority: int = 0) -> None:
         name = validate_plan_name(name)
         _check_priority(priority)
+        _check_submittable(plan)
         with self._lock:
             if name in self._plans:
                 raise ShardError(f"broker already holds a plan named "
@@ -713,6 +737,7 @@ class LocalDirBroker(ShardBroker):
                priority: int = 0) -> None:
         name = validate_plan_name(name)
         _check_priority(priority)
+        _check_submittable(plan)
         if self._plan_path(name).exists():
             raise ShardError(
                 f"{self._plan_path(name)}: broker directory already holds "
@@ -1041,6 +1066,7 @@ class ObjectStoreBroker(ShardBroker):
                priority: int = 0) -> None:
         name = validate_plan_name(name)
         _check_priority(priority)
+        _check_submittable(plan)
         header = self._dump(_plan_header_payload(plan, name, priority))
         # Header first (exactly one submitter can create it), mirroring
         # LocalDirBroker: a plan object with manifests still appearing

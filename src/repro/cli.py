@@ -293,6 +293,9 @@ def build_parser() -> argparse.ArgumentParser:
     def add_grid_flags(sub: argparse.ArgumentParser) -> None:
         sub.add_argument("--tasks", nargs="*", default=None,
                          help="task ids to run (default: the full 27-task suite)")
+        sub.add_argument("--synthetic", metavar="SPEC", default=None,
+                         help="add a generated task suite (spec token or "
+                              "key=value pairs; see 'repro generate')")
         sub.add_argument("--trials", type=positive_int, default=3,
                          help="trials per task (paper: 3)")
         sub.add_argument("--seed", type=int, default=DEFAULT_SEED,
@@ -540,22 +543,64 @@ def build_parser() -> argparse.ArgumentParser:
 
     tasks = subparsers.add_parser("tasks", help="list the benchmark tasks")
     tasks.add_argument("--app", choices=sorted(APP_FACTORIES), default=None)
+
+    generate = subparsers.add_parser(
+        "generate",
+        help="describe a synthetic scenario spec (see --synthetic)")
+    generate.add_argument(
+        "spec",
+        help="spec token (s7-t3-g2-c3-y6-m3-d2-cy1-x1-n30) or key=value "
+             "pairs (seed=7,tasks=100); fields: seed, tabs, groups, "
+             "controls, gallery, menu, dialogs, cycle, contexts, tasks")
+    generate.add_argument("--ids", action="store_true",
+                          help="print the generated task ids, one per line")
+    generate.add_argument("--json", action="store_true", dest="as_json",
+                          help="print the summary as JSON")
     return parser
 
 
-def _resolve_tasks(task_ids: Optional[Sequence[str]]):
-    if task_ids is None:
+def _resolve_tasks(task_ids: Optional[Sequence[str]],
+                   synthetic: Optional[str] = None):
+    if task_ids is None and synthetic is None:
         return None
-    if not task_ids:
-        # nargs="*" lets `--tasks` appear with zero arguments; running the
-        # full 27-task suite in that case would silently ignore the flag.
-        raise SystemExit("repro: --tasks requires at least one task id "
-                         "(omit the flag to run the full 27-task suite)")
-    try:
-        return [task_by_id(task_id) for task_id in task_ids]
-    except KeyError as error:
-        raise SystemExit(f"repro: {error.args[0]}; see 'repro tasks' for "
-                         "the suite")
+    tasks = []
+    if task_ids is not None:
+        if not task_ids:
+            # nargs="*" lets `--tasks` appear with zero arguments; running
+            # the full 27-task suite in that case would silently ignore the
+            # flag.
+            raise SystemExit("repro: --tasks requires at least one task id "
+                             "(omit the flag to run the full 27-task suite)")
+        seen = set()
+        for task_id in task_ids:
+            if task_id in seen:
+                # A repeated id would double-expand the settings × tasks ×
+                # trials grid (and trip the shard planner's duplicate
+                # check); repetition belongs to --trials.
+                raise SystemExit(
+                    f"repro: duplicate task id {task_id!r} in --tasks (each "
+                    "task may appear once; use --trials for repetition)")
+            seen.add(task_id)
+        try:
+            tasks.extend(task_by_id(task_id) for task_id in task_ids)
+        except KeyError as error:
+            raise SystemExit(f"repro: {error.args[0]}; see 'repro tasks' for "
+                             "the suite")
+    if synthetic is not None:
+        from repro.apps.synthetic import SyntheticSpec, synthetic_suite
+
+        try:
+            generated = synthetic_suite(SyntheticSpec.parse(synthetic))
+        except ValueError as error:
+            raise SystemExit(f"repro: {error}")
+        explicit = {task.task_id for task in tasks}
+        duplicated = sorted(explicit.intersection(
+            task.task_id for task in generated))
+        if duplicated:
+            raise SystemExit(f"repro: task id {duplicated[0]!r} appears in "
+                             "both --tasks and the --synthetic suite")
+        tasks.extend(generated)
+    return tasks
 
 
 def _check_cache_dir(cache_dir: Optional[str]) -> None:
@@ -568,7 +613,7 @@ def _check_cache_dir(cache_dir: Optional[str]) -> None:
 def _runner(args) -> BenchmarkRunner:
     _check_cache_dir(args.cache_dir)
     return BenchmarkRunner(BenchmarkConfig(
-        trials=args.trials, seed=args.seed, tasks=_resolve_tasks(args.tasks),
+        trials=args.trials, seed=args.seed, tasks=_resolve_tasks(args.tasks, getattr(args, 'synthetic', None)),
         jobs=args.jobs, cache_dir=args.cache_dir,
         cache_max_entries=getattr(args, "cache_max_entries", None)))
 
@@ -808,7 +853,7 @@ def command_report(args) -> int:
 # ----------------------------------------------------------------------
 def command_shard_plan(args) -> int:
     runner = BenchmarkRunner(BenchmarkConfig(trials=args.trials, seed=args.seed,
-                                             tasks=_resolve_tasks(args.tasks)))
+                                             tasks=_resolve_tasks(args.tasks, getattr(args, 'synthetic', None))))
     try:
         plan = runner.shard_plan([setting_by_key(key) for key in args.settings],
                                  args.shards)
@@ -954,7 +999,7 @@ def _check_heartbeat(args) -> None:
 
 def command_shard_submit(args) -> int:
     runner = BenchmarkRunner(BenchmarkConfig(trials=args.trials, seed=args.seed,
-                                             tasks=_resolve_tasks(args.tasks)))
+                                             tasks=_resolve_tasks(args.tasks, getattr(args, 'synthetic', None))))
     try:
         plan = runner.shard_plan([setting_by_key(key) for key in args.settings],
                                  args.shards)
@@ -1421,6 +1466,45 @@ def command_tasks(args) -> int:
     return 0
 
 
+def command_generate(args) -> int:
+    """Resolve a synthetic spec and print its identity (no execution).
+
+    The canonical token + digest are the seeding contract: any process
+    given the token regenerates the same app and suite, so this output is
+    what pipelines pass to ``--synthetic`` on ``run``/``shard submit``.
+    """
+    from repro.apps.synthetic import (SyntheticSpec, synthetic_suite,
+                                      topology_digest)
+
+    try:
+        spec = SyntheticSpec.parse(args.spec)
+    except ValueError as error:
+        raise SystemExit(f"repro: {error}")
+    suite = synthetic_suite(spec)
+    if args.ids:
+        for task in suite:
+            print(task.task_id)
+        return 0
+    summary = {
+        "token": spec.token(),
+        "app": spec.app_name,
+        "topology_digest": topology_digest(spec),
+        "tasks": len(suite),
+        "knobs": {"seed": spec.seed, "tabs": spec.tabs, "groups": spec.groups,
+                  "controls": spec.controls, "gallery": spec.gallery,
+                  "menu": spec.menu, "dialogs": spec.dialogs,
+                  "cycle": spec.cycle, "contexts": spec.contexts},
+    }
+    if args.as_json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    else:
+        print(f"token:           {summary['token']}")
+        print(f"app:             {summary['app']}")
+        print(f"topology digest: {summary['topology_digest']}")
+        print(f"tasks:           {summary['tasks']}")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -1432,6 +1516,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "runs": command_runs,
         "cache": command_cache,
         "tasks": command_tasks,
+        "generate": command_generate,
     }
     try:
         return handlers[args.command](args)

@@ -48,7 +48,7 @@ import time
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Tuple, Union
 
-from repro.apps import APP_FACTORIES
+from repro.apps import app_factory
 from repro.apps.base import Application
 from repro.dmi.interface import (
     DMIConfig,
@@ -104,7 +104,12 @@ def app_version_for(app_name: str,
     instantiating the application.  Unknown app names (ad-hoc factories in
     tests, foreign tools) resolve to "" — a versionless legacy key.
     """
-    source = factory if factory is not None else APP_FACTORIES.get(app_name)
+    source = factory
+    if source is None:
+        try:
+            source = app_factory(app_name)
+        except KeyError:
+            source = None
     return str(getattr(source, "APP_VERSION", "") or "")
 
 
@@ -201,7 +206,7 @@ class ArtifactCache:
         sink = _events().resolve(self.sink)
         if sink:
             sink.emit(_events().CacheMiss(app=app_name))
-        factory = factory or APP_FACTORIES[app_name]
+        factory = factory or app_factory(app_name)
         artifacts = build_offline_artifacts(factory(), self.config)
         self.store(app_name, artifacts, app_version=version)
         return artifacts

@@ -142,7 +142,10 @@ class TaskSpec:
     tags: Tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
-        if self.app not in {"word", "excel", "powerpoint"}:
+        # "synthetic:<token>" names a generated app (repro.apps.synthetic);
+        # the prefix is matched literally to keep this module dependency-free.
+        if self.app not in {"word", "excel", "powerpoint"} \
+                and not self.app.startswith("synthetic:"):
             raise ValueError(f"unknown app {self.app!r} for task {self.task_id}")
         if not self.intents:
             raise ValueError(f"task {self.task_id} has no intents")

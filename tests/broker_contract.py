@@ -74,7 +74,11 @@ from repro.bench.transport import (
 )
 
 #: A small two-app grid that still exercises both interface stacks.
-TASKS = ("ppt-01-blue-background", "word-02-landscape")
+#: Two hand-written tasks plus one generated one: every contract clause
+#: exercises a grid whose worker-side resolution goes through both the
+#: static registry and the ``syn:`` token-regeneration path.
+TASKS = ("ppt-01-blue-background", "word-02-landscape",
+         "syn:s3-t2-g1-c2-y3-m2-d2-cy1-x1-n4:0002")
 SETTINGS = ("gui-gpt5-medium", "dmi-gpt5-medium")
 
 #: Every shipped broker configuration; the conformance suite runs against
@@ -311,6 +315,31 @@ class BrokerContractSuite:
         with pytest.raises(ShardError, match="invalid plan name"):
             broker.collect("a/b")
         assert broker.status() == BrokerStatus(plans=())  # nothing landed
+
+    def test_rejects_empty_manifests_at_submit(self, fresh_broker):
+        """Empty plans/shards never enter the queue on any backend.
+
+        ``plan_shards`` already refuses ``shards > len(specs)``, but
+        manifests are plain data — an over-sharded hand-built plan must be
+        stopped at the submit boundary, not discovered at merge time as a
+        shard that executed nothing.
+        """
+        broker = fresh_broker()
+        plan = small_plan(shards=2)
+        hollow = dataclasses.replace(plan.manifests[1], specs=())
+        crafted = dataclasses.replace(
+            plan, manifests=(plan.manifests[0], hollow))
+        with pytest.raises(ShardError, match="no trial specs"):
+            broker.submit(crafted)
+        with pytest.raises(ShardError, match="empty plan"):
+            broker.submit(dataclasses.replace(plan, manifests=()))
+        assert broker.status() == BrokerStatus(plans=())  # nothing landed
+        # A rejected submit must not burn the namespace: the intact plan
+        # still submits and round-trips.
+        broker.submit(plan)
+        drain(broker)
+        merged = merge_shard_results(broker.collect())
+        assert all(outcome.results for outcome in merged.values())
 
     # ------------------------------------------------------------------
     # multi-plan namespaces

@@ -43,7 +43,7 @@ import math
 from pathlib import Path
 from typing import Callable, Dict, Sequence, Tuple
 
-from repro.apps import APP_FACTORIES
+from repro.apps import app_factory
 from repro.bench.runner import (
     BenchmarkConfig,
     BenchmarkRunner,
@@ -70,6 +70,20 @@ from repro.ripping.ripper import GuiRipper
 #: A small two-app grid that still exercises both interface stacks.
 DEFAULT_TASKS = ("ppt-01-blue-background", "word-02-landscape")
 DEFAULT_SETTINGS = ("gui-gpt5-medium", "dmi-gpt5-medium")
+
+#: A small generated scenario (2 visible tabs, dialog chain with a UI
+#: cycle, one contextual tab, 4 tasks) used to prove the five-path
+#: guarantee holds for synthetic apps too.  The token alone is the
+#: fixture: every worker process regenerates the app and tasks from the
+#: ``syn:`` ids.
+SYNTHETIC_SPEC = "s3-t2-g1-c2-y3-m2-d2-cy1-x1-n4"
+
+
+def synthetic_task_ids(spec: str = SYNTHETIC_SPEC) -> Tuple[str, ...]:
+    from repro.apps.synthetic import SyntheticSpec, synthetic_suite
+
+    return tuple(task.task_id
+                 for task in synthetic_suite(SyntheticSpec.parse(spec)))
 
 
 def outcomes_bytes(outcomes: Dict[str, RunOutcome]) -> bytes:
@@ -257,9 +271,9 @@ def prime_cache_with_incremental_models(cache_dir,
     cache = ArtifactCache(cache_dir, config)
     primed = {}
     for app_name in dict.fromkeys(task_by_id(t).app for t in task_ids):
-        recorder = GuiRipper(APP_FACTORIES[app_name](), config=config.ripper)
+        recorder = GuiRipper(app_factory(app_name)(), config=config.ripper)
         scratch = recorder.rip()
-        replayer = GuiRipper(APP_FACTORIES[app_name](), config=config.ripper)
+        replayer = GuiRipper(app_factory(app_name)(), config=config.ripper)
         spliced = replayer.rip_incremental(scratch, recorder.trace)
         if replayer.report.mode == "incremental":
             cache.store(app_name, rebuild_offline_artifacts(

@@ -53,6 +53,61 @@ def test_report_command_on_small_subset(capsys):
     assert "single core LLM call" in output
 
 
+def test_run_rejects_duplicate_task_ids(capsys):
+    """PR 9 satellite: a repeated id would double-expand the grid (and trip
+    the shard planner); the CLI names the offender instead."""
+    with pytest.raises(SystemExit) as excinfo:
+        main(["run", "--settings", "dmi-gpt5-medium", "--trials", "1",
+              "--tasks", "word-02-landscape", "ppt-01-blue-background",
+              "word-02-landscape"])
+    assert "duplicate task id 'word-02-landscape'" in str(excinfo.value)
+
+
+def test_generate_prints_the_spec_identity(capsys):
+    assert main(["generate", "seed=3,tasks=5"]) == 0
+    output = capsys.readouterr().out
+    assert "token:           s3-" in output
+    assert "topology digest: " in output
+    assert "tasks:           5" in output
+
+
+def test_generate_ids_lists_one_task_id_per_line(capsys):
+    token = "s3-t2-g1-c2-y3-m2-d2-cy1-x1-n4"
+    assert main(["generate", token, "--ids"]) == 0
+    lines = capsys.readouterr().out.splitlines()
+    assert lines == [f"syn:{token}:{i:04d}" for i in range(4)]
+
+
+def test_generate_json_round_trips(capsys):
+    assert main(["generate", "seed=3,tasks=5", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["tasks"] == 5
+    assert payload["app"].startswith("synthetic:s3-")
+    assert len(payload["topology_digest"]) == 64
+
+
+def test_generate_rejects_malformed_specs():
+    with pytest.raises(SystemExit) as excinfo:
+        main(["generate", "bogus=1"])
+    assert "synthetic spec" in str(excinfo.value)
+
+
+def test_run_accepts_a_synthetic_grid(capsys):
+    token = "s3-t2-g1-c2-y3-m2-d2-cy1-x1-n4"
+    code = main(["run", "--settings", "dmi-gpt5-medium", "--trials", "1",
+                 "--synthetic", token])
+    assert code == 0
+    assert "GUI+DMI" in capsys.readouterr().out
+
+
+def test_synthetic_flag_rejects_overlap_with_explicit_tasks():
+    token = "s3-t2-g1-c2-y3-m2-d2-cy1-x1-n4"
+    with pytest.raises(SystemExit) as excinfo:
+        main(["run", "--settings", "dmi-gpt5-medium", "--trials", "1",
+              "--tasks", f"syn:{token}:0001", "--synthetic", token])
+    assert "both --tasks and the --synthetic suite" in str(excinfo.value)
+
+
 def test_run_and_report_share_the_canonical_seed():
     parser = build_parser()
     assert parser.parse_args(["run"]).seed == DEFAULT_SEED

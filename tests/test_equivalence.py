@@ -14,6 +14,7 @@ import pytest
 from equivalence import (
     DEFAULT_SETTINGS,
     DEFAULT_TASKS,
+    SYNTHETIC_SPEC,
     assert_paths_bit_identical,
     outcomes_bytes,
     prime_cache_with_incremental_models,
@@ -21,6 +22,7 @@ from equivalence import (
     run_chaos_store_broker,
     run_multi_plan_broker,
     run_serial,
+    synthetic_task_ids,
 )
 from repro.bench.runner import DEFAULT_SEED
 from repro.bench.telemetry import AggregatingSink, use_sink
@@ -109,6 +111,33 @@ def test_chaos_store_broker_stays_bit_identical_to_serial(tmp_path):
     assert set(exports[DEFAULT_SEED]) == {"serial", "parallel",
                                           "file-shards", "broker",
                                           "store-broker"}
+
+
+def test_generated_grid_is_bit_identical_across_all_paths(tmp_path):
+    """PR 9 tentpole: a grid mixing a generated app's task suite with a
+    hand-written task runs byte-identically through all five execution
+    paths.  Workers in the shard/broker paths hold only the ``syn:`` ids —
+    the token regenerates the app and tasks in each fresh process."""
+    task_ids = synthetic_task_ids(SYNTHETIC_SPEC) + ("word-02-landscape",)
+    reference = assert_paths_bit_identical(
+        seed=DEFAULT_SEED, trials=1, setting_keys=DEFAULT_SETTINGS,
+        task_ids=task_ids, shard_count=2, work_dir=tmp_path)
+    payload = json.loads(reference.decode("utf-8"))
+    for key in DEFAULT_SETTINGS:
+        assert len(payload[key]["results"]) == len(task_ids)
+
+
+def test_generated_grid_survives_chaos_store_broker(tmp_path):
+    """The PR 8 chaos guarantee extends to generated grids: a hostile
+    fault schedule on the object store leaves the synthetic suite's
+    merged export byte-identical to its serial run."""
+    task_ids = synthetic_task_ids(SYNTHETIC_SPEC)
+    reference = run_serial(DEFAULT_SEED, 1, DEFAULT_SETTINGS, task_ids)
+    chaotic = run_chaos_store_broker(
+        seed=DEFAULT_SEED, trials=1, setting_keys=DEFAULT_SETTINGS,
+        task_ids=task_ids, shard_count=2, work_dir=tmp_path)
+    assert chaotic == reference, (
+        "the generated grid diverged from serial under injected faults")
 
 
 def test_outcomes_bytes_is_deterministic_for_equal_outcomes():

@@ -195,6 +195,29 @@ def test_new_run_ids_are_unique_and_sortable(tmp_path):
     assert len(ids) == 32
 
 
+def test_same_second_run_ids_stay_unique_and_in_creation_order(tmp_path,
+                                                               monkeypatch):
+    """PR 9 satellite: a stalled clock (same second — or same microsecond)
+    must not collide ids or scramble ``runs list`` newest-first ordering.
+    The monotonic bump guarantees creation order == lexicographic order
+    within a process even when ``time.time`` is frozen."""
+    import repro.bench.registry as registry_module
+
+    registry = RunRegistry(tmp_path)
+    frozen = 1754650000.123456
+    monkeypatch.setattr(registry_module.time, "time", lambda: frozen)
+    ids = [registry.new_run_id() for _ in range(50)]
+    assert len(set(ids)) == 50
+    assert ids == sorted(ids), "same-second ids lost creation order"
+    assert all(len(run_id) == 29 for run_id in ids)  # `runs list` width
+
+    # A clock stepping *backwards* (NTP) can't reorder either: the floor
+    # only moves forward.
+    monkeypatch.setattr(registry_module.time, "time", lambda: frozen - 120.0)
+    later = registry.new_run_id()
+    assert later > ids[-1], "backwards clock produced an earlier-sorting id"
+
+
 # ----------------------------------------------------------------------
 # diff + fail-if
 # ----------------------------------------------------------------------

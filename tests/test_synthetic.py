@@ -1,0 +1,252 @@
+"""Tests for the seeded synthetic app/task generator (PR 9 tentpole).
+
+The contract under test: *the spec token is the whole identity*.  Same
+seed/knobs ⇒ byte-identical topology digest, task suite and trial results
+across processes; different seeds ⇒ different topologies.  Everything the
+grid machinery needs — app factory, task lookup, checkers — must be
+regenerable from the ``synthetic:<token>`` / ``syn:<token>:NNNN`` names
+alone.
+"""
+
+import dataclasses
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.apps import app_factory
+from repro.apps.synthetic import (
+    SyntheticApp,
+    SyntheticCheck,
+    SyntheticSpec,
+    _generate_tasks,
+    synthetic_suite,
+    synthetic_task,
+    topology_digest,
+    topology_for,
+)
+from repro.bench.runner import (
+    BenchmarkConfig,
+    BenchmarkRunner,
+    TABLE3_SETTINGS,
+    expand_trial_specs,
+)
+from repro.bench.shard import plan_shards
+from repro.bench.tasks import all_tasks, task_by_id
+from repro.ripping.contexts import context_plan_for
+from repro.ripping.ripper import GuiRipper
+
+#: Small enough to rip in milliseconds, rich enough to hit every family.
+SMALL = "s3-t2-g1-c2-y3-m2-d2-cy1-x1-n8"
+
+_SRC = str(Path(repro.__file__).resolve().parents[1])
+
+
+def _in_subprocess(code: str) -> str:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = _SRC + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run([sys.executable, "-c", code], env=env, check=True,
+                          capture_output=True, text=True).stdout
+
+
+# ----------------------------------------------------------------------
+# spec parsing
+# ----------------------------------------------------------------------
+def test_token_round_trips_and_key_value_form_agrees():
+    spec = SyntheticSpec.parse(SMALL)
+    assert spec.token() == SMALL
+    assert SyntheticSpec.parse(spec.token()) == spec
+    friendly = SyntheticSpec.parse(
+        "seed=3,tabs=2,groups=1,controls=2,gallery=3,menu=2,dialogs=2,"
+        "cycle=1,contexts=1,tasks=8")
+    assert friendly == spec
+    # The app-name prefix is accepted, so app names parse directly.
+    assert SyntheticSpec.parse(spec.app_name) == spec
+    # Unspecified key=value fields fall back to defaults.
+    assert SyntheticSpec.parse("seed=9").tabs == SyntheticSpec().tabs
+
+
+@pytest.mark.parametrize("bad", [
+    "s1-t2", "nonsense", "seed=x", "bogus=3", "seed=1,seed=2",
+    "seed=-1", "tabs=0,seed=1", "tasks=0,seed=1",
+])
+def test_malformed_specs_are_rejected(bad):
+    with pytest.raises(ValueError, match="synthetic spec|cannot parse"):
+        SyntheticSpec.parse(bad)
+
+
+# ----------------------------------------------------------------------
+# determinism: the seeding contract
+# ----------------------------------------------------------------------
+def test_same_seed_same_digest_across_two_separate_processes():
+    probe = (
+        "import json\n"
+        "from repro.apps.synthetic import SyntheticSpec, synthetic_suite, "
+        "topology_digest\n"
+        f"spec = SyntheticSpec.parse({SMALL!r})\n"
+        "suite = synthetic_suite(spec)\n"
+        "print(json.dumps({'digest': topology_digest(spec),"
+        " 'tasks': [(t.task_id, t.instruction, t.checker.kind,"
+        " t.checker.key, t.checker.expected) for t in suite]}))\n")
+    first = json.loads(_in_subprocess(probe))
+    second = json.loads(_in_subprocess(probe))
+    assert first == second
+    # ... and both match this process's generation.
+    assert first["digest"] == topology_digest(SMALL)
+    assert [tuple(entry) for entry in first["tasks"]] \
+        == [(t.task_id, t.instruction, t.checker.kind, t.checker.key,
+             t.checker.expected) for t in synthetic_suite(SMALL)]
+
+
+def test_task_check_outcomes_are_identical_across_two_processes():
+    probe = (
+        "import json\n"
+        "from repro.bench.runner import BenchmarkConfig, BenchmarkRunner, "
+        "setting_by_key\n"
+        "from repro.bench.tasks import task_by_id\n"
+        f"tasks = [task_by_id('syn:{SMALL}:%04d' % i) for i in range(4)]\n"
+        "runner = BenchmarkRunner(BenchmarkConfig(trials=1, tasks=tasks))\n"
+        "specs = runner.trial_specs([setting_by_key('dmi-gpt5-medium')])\n"
+        "print(json.dumps([runner.run_spec(s).as_dict() for s in specs]))\n")
+    assert json.loads(_in_subprocess(probe)) == json.loads(_in_subprocess(probe))
+
+
+def test_different_seeds_yield_different_digests():
+    digests = {topology_digest(f"seed={seed}") for seed in range(6)}
+    assert len(digests) == 6
+
+
+def test_regeneration_yields_equal_tasks_in_process():
+    spec = SyntheticSpec.parse(SMALL)
+    # _generate_tasks bypasses the memo: equality here is regeneration
+    # equality, exactly what ParallelExecutor's registry check relies on.
+    assert _generate_tasks(spec) == _generate_tasks(spec) \
+        == synthetic_suite(spec)
+
+
+def test_checkers_are_value_equal_and_callable():
+    assert SyntheticCheck("toggle", "A") == SyntheticCheck("toggle", "A")
+    assert SyntheticCheck("toggle", "A") != SyntheticCheck("toggle", "B")
+    app = SyntheticApp(SMALL)
+    check = SyntheticCheck("toggle", next(iter(app.state.toggles)))
+    assert check(app) is False
+    app._turn_on(check.key)
+    assert check(app) is True
+
+
+# ----------------------------------------------------------------------
+# registry integration (task_by_id / app_factory)
+# ----------------------------------------------------------------------
+def test_task_by_id_resolves_syn_ids_to_the_generated_suite():
+    suite = synthetic_suite(SMALL)
+    assert task_by_id(suite[0].task_id) == suite[0]
+    assert synthetic_task(suite[-1].task_id) == suite[-1]
+    # Hand-written ids are untouched by the fallback.
+    assert task_by_id("word-02-landscape").app == "word"
+
+
+@pytest.mark.parametrize("bad", [
+    "syn:", "syn:garbage", "syn:garbage:0001", f"syn:{SMALL}:9999",
+    f"syn:{SMALL}:abc",
+])
+def test_malformed_or_out_of_range_syn_ids_raise_key_error(bad):
+    with pytest.raises(KeyError):
+        task_by_id(bad)
+
+
+def test_app_factory_resolves_synthetic_names():
+    factory = app_factory(f"synthetic:{SMALL}")
+    assert factory.APP_VERSION == SyntheticApp.APP_VERSION
+    app = factory()
+    assert isinstance(app, SyntheticApp)
+    assert app.spec.token() == SMALL
+    with pytest.raises(KeyError):
+        app_factory("synthetic:not-a-token")
+    with pytest.raises(KeyError):
+        app_factory("no-such-app")
+
+
+# ----------------------------------------------------------------------
+# generated topology properties
+# ----------------------------------------------------------------------
+def test_cycle_knob_controls_ung_cycles_and_rips_terminate():
+    cyclic = GuiRipper(SyntheticApp(SMALL)).rip()
+    assert cyclic.has_cycle()
+    acyclic_token = SMALL.replace("-cy1-", "-cy0-")
+    acyclic = GuiRipper(SyntheticApp(acyclic_token)).rip()
+    assert not acyclic.has_cycle()
+    assert len(cyclic.nodes) > len(acyclic.nodes)
+
+
+def test_contextual_tabs_are_hidden_and_registered_as_contexts():
+    app = SyntheticApp(SMALL)
+    contextual = [tab for tab in app.topology["tabs"] if tab["contextual"]]
+    assert len(contextual) == 1
+    tab = app.ribbon.tabs[contextual[0]["title"]]
+    assert not tab.visible
+    plan = context_plan_for(app)
+    assert any(contextual[0]["title"] in context.name for context in plan)
+    # The context setup only flips visibility — the self-perturbation trap
+    # (PowerPoint's shape-inserting setup) is deliberately avoided.
+    app.exploration_contexts()[f"{contextual[0]['title']} active"]()
+    assert tab.visible
+
+
+def test_dialog_chain_opens_nested_modal_dialogs():
+    app = SyntheticApp(SMALL)
+    dialogs = app.topology["dialogs"]
+    app._open_chain_dialog(0)
+    app._open_chain_dialog(1)
+    titles = [window.name for window in app.desktop.windows]
+    assert dialogs[0]["title"] in titles and dialogs[1]["title"] in titles
+
+
+def test_every_generated_task_is_solvable_by_an_oracle_profile():
+    base = [s for s in TABLE3_SETTINGS if s.key == "dmi-gpt5-medium"][0]
+    profile = dataclasses.replace(
+        base.profile, grounding_error_rate=0.0, nav_plan_error_rate=0.0,
+        composite_error_rate=0.0, visual_parse_error_rate=0.0,
+        semantic_error_rate=0.0, instruction_following_error=0.0)
+    oracle = dataclasses.replace(base, key="dmi-oracle", profile=profile)
+    suite = synthetic_suite(SMALL)
+    runner = BenchmarkRunner(BenchmarkConfig(trials=1))
+    for spec in runner.trial_specs([oracle], tasks=suite):
+        result = runner.run_spec(spec)
+        assert result.success, (
+            f"{result.task_id} unsolvable even with zero simulated error "
+            f"rates: {result.failure.detail if result.failure else '?'}")
+
+
+# ----------------------------------------------------------------------
+# scale-out
+# ----------------------------------------------------------------------
+def test_generated_grids_reach_100x_the_hand_written_suite():
+    hand_written = len(all_tasks())
+    spec = SyntheticSpec.parse("seed=11,tasks=450")
+    suite = synthetic_suite(spec)
+    ids = [task.task_id for task in suite]
+    assert len(set(ids)) == len(ids) == 450
+    # 450 tasks × 2 settings × 3 trials = 2700 trial specs — ≥100× the
+    # 27-task hand-written grid — and the shard planner partitions it.
+    specs = expand_trial_specs(11, 3, ["gui-gpt5-medium", "dmi-gpt5-medium"],
+                               ids)
+    assert len(specs) >= 100 * hand_written
+    plan = plan_shards(8, seed=11, trials=3,
+                       setting_keys=["gui-gpt5-medium", "dmi-gpt5-medium"],
+                       task_ids=ids)
+    assert sum(len(m.specs) for m in plan.manifests) == len(specs)
+
+
+def test_topology_scales_with_the_knobs():
+    small = topology_for("seed=1,tabs=2,groups=1,controls=2")
+    wide = topology_for("seed=1,tabs=6,groups=3,controls=5")
+
+    def control_count(topology):
+        return sum(len(group["toggles"])
+                   for tab in topology["tabs"] for group in tab["groups"])
+
+    assert control_count(wide) > 4 * control_count(small)

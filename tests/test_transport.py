@@ -635,14 +635,15 @@ def test_second_worker_sharing_a_cache_dir_reports_zero_misses(tmp_path):
 
 def test_cache_counters_aggregate_across_manifests_of_one_worker(tmp_path):
     broker = LocalDirBroker(tmp_path / "queue")
-    # trials=2 makes the round-robin deal give every shard both apps.
+    # trials=2 makes the round-robin deal give every shard all three apps
+    # (two hand-written plus the generated one).
     broker.submit(small_plan(shards=2, trials=2))
     executor = ManifestExecutor(cache_dir=tmp_path / "cache")
     ShardWorker(broker, executor, worker_id="w", poll=0).run()
     stats = executor.cache_stats()
-    # 2 shards × 2 apps = 4 artefact loads: 2 cold builds + 2 warm loads.
-    assert stats["misses"] == 2
-    assert stats["hits"] == 2
+    # 2 shards × 3 apps = 6 artefact loads: 3 cold builds + 3 warm loads.
+    assert stats["misses"] == 3
+    assert stats["hits"] == 3
 
 
 def test_executor_without_cache_dir_reports_no_stats():
