@@ -28,14 +28,16 @@ from spec order).
 from __future__ import annotations
 
 import tempfile
+import time
 from abc import ABC, abstractmethod
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, TYPE_CHECKING
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
 import zlib
 
 from repro.agent.session import SessionResult
 from repro.bench import telemetry
+from repro.bench.observe import trace as tracectx
 from repro.bench.telemetry import TrialFinished, TrialStarted, phases_from_result
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (runner imports us)
@@ -70,6 +72,17 @@ class TrialSpec:
     def from_dict(cls, payload: Dict[str, object]) -> "TrialSpec":
         return cls(task_id=payload["task_id"], setting_key=payload["setting_key"],
                    trial=int(payload["trial"]), seed=int(payload["seed"]))
+
+    @property
+    def trace_id(self) -> str:
+        """Deterministic trace id for this trial's telemetry.
+
+        Derived (never stored) from the same identity fields as ``seed``
+        itself, so the id is byte-identical across the serial, process-
+        pool, shard-file and both broker execution paths — and the spec's
+        wire format is unchanged.
+        """
+        return tracectx.trial_trace_id(self)
 
 
 def expand_trial_specs(base_seed: int, trials: int, setting_keys: Sequence[str],
@@ -239,6 +252,11 @@ class ParallelExecutor(Executor):
             # simulated wall clock and plan/act phases come from the result
             # and match what a serial run would have emitted.
             sink = telemetry.resolve(runner.sink)
+            # Trace contexts are parent-side too: each trial gets its
+            # deterministic trace (parented to the ambient span, e.g. a
+            # shard lease, when one is active) and the finished event
+            # carries submit-to-completion elapsed as the span duration.
+            spans: Dict[int, Tuple[tracectx.SpanContext, float]] = {}
             with ProcessPoolExecutor(
                     max_workers=self.jobs, initializer=_worker_init,
                     initargs=(runner.config.trials, runner.config.seed,
@@ -247,9 +265,12 @@ class ParallelExecutor(Executor):
                 futures = {}
                 for index, spec in enumerate(specs):
                     if sink:
-                        sink.emit(TrialStarted(task_id=spec.task_id,
-                                               setting_key=spec.setting_key,
-                                               trial=spec.trial))
+                        ctx = tracectx.trial_context(spec, tracectx.current())
+                        spans[index] = (ctx, time.perf_counter())
+                        sink.emit(ctx.attach(TrialStarted(
+                            task_id=spec.task_id,
+                            setting_key=spec.setting_key,
+                            trial=spec.trial)))
                     futures[pool.submit(_worker_run, spec.as_dict())] = index
                 completed = 0
                 for future in as_completed(futures):
@@ -259,11 +280,13 @@ class ParallelExecutor(Executor):
                     completed += 1
                     if sink:
                         spec = specs[index]
-                        sink.emit(TrialFinished(
+                        ctx, submitted = spans[index]
+                        sink.emit(ctx.attach(TrialFinished(
                             task_id=spec.task_id, setting_key=spec.setting_key,
                             trial=spec.trial, success=result.success,
                             seconds=None, wall_s=result.wall_time_s,
-                            phases=phases_from_result(result)))
+                            phases=phases_from_result(result)),
+                            duration_s=time.perf_counter() - submitted))
                     if progress is not None:
                         progress(ProgressEvent(completed=completed, total=len(specs),
                                                spec=specs[index], result=result))

@@ -1,0 +1,96 @@
+"""Recommend-only autoscaling advice from aggregated fleet gauges.
+
+The broker already exposes everything a scaler needs — per-plan backlog,
+lease counts, worker liveness, drain rate — but until now nothing
+consumed it.  :class:`AdvisorPolicy` turns one :class:`FleetGauges` view
+into a typed :class:`~repro.bench.telemetry.ScaleAdvice`: scale up when
+the queued backlog exceeds what the live workers can be expected to
+chew through, scale down when the queue is drained and workers idle,
+hold otherwise.  Actuation is deliberately out of scope — the advice is
+an event (loggable, aggregatable, diffable) and a ``repro fleet advise``
+exit, and whatever supervises the fleet decides what to do with it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.bench.observe.fleet import FleetGauges
+from repro.bench.observe.trace import ObserveError
+from repro.bench.telemetry import ScaleAdvice
+
+
+@dataclass(frozen=True)
+class AdvisorPolicy:
+    """Threshold policy mapping fleet gauges to scaling advice.
+
+    ``target_backlog`` is the queued-shards-per-live-worker level the
+    policy is happy with; beyond it, it recommends enough workers to
+    bring the ratio back to target (clamped to ``max_workers``).  With
+    zero live workers and a non-empty queue the advice is always to
+    scale up — a fleet of stale snapshots drains nothing.
+    """
+
+    target_backlog: int = 4
+    min_workers: int = 1
+    max_workers: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.target_backlog < 1:
+            raise ObserveError(
+                f"target_backlog must be >= 1, got {self.target_backlog}")
+        if self.min_workers < 0:
+            raise ObserveError(
+                f"min_workers must be >= 0, got {self.min_workers}")
+        if self.max_workers is not None \
+                and self.max_workers < self.min_workers:
+            raise ObserveError(
+                f"max_workers ({self.max_workers}) must be >= "
+                f"min_workers ({self.min_workers})")
+
+    def _clamp(self, workers: int) -> int:
+        workers = max(workers, self.min_workers)
+        if self.max_workers is not None:
+            workers = min(workers, self.max_workers)
+        return workers
+
+    def advise(self, gauges: FleetGauges) -> ScaleAdvice:
+        live = gauges.live_workers
+        queued = gauges.queued
+        leased = gauges.leased
+        backlog = queued + leased
+        drain = sum(gauges.drain_rate.values())
+        eta = f"; drain eta {backlog / drain:.0f}s at current rate" \
+            if drain > 0 and backlog else ""
+
+        if queued and live == 0:
+            recommended = self._clamp(
+                max(1, -(-queued // self.target_backlog)))
+            return ScaleAdvice(
+                action="scale_up", workers=live, recommended=recommended,
+                queued=queued, leased=leased,
+                reason=f"{queued} shard(s) queued with no live worker "
+                       f"snapshots{eta}")
+        if live and queued > self.target_backlog * live:
+            # ceil(queued / target_backlog) workers brings the per-worker
+            # backlog back under target.
+            recommended = self._clamp(-(-queued // self.target_backlog))
+            if recommended > live:
+                return ScaleAdvice(
+                    action="scale_up", workers=live,
+                    recommended=recommended, queued=queued, leased=leased,
+                    reason=f"backlog {queued} queued over {live} live "
+                           f"worker(s) exceeds target of "
+                           f"{self.target_backlog}/worker{eta}")
+        if queued == 0 and leased == 0 and live > self.min_workers:
+            return ScaleAdvice(
+                action="scale_down", workers=live,
+                recommended=self.min_workers, queued=queued, leased=leased,
+                reason=f"all plans drained; {live} live worker(s) idle "
+                       f"above the floor of {self.min_workers}")
+        return ScaleAdvice(
+            action="hold", workers=live, recommended=live,
+            queued=queued, leased=leased,
+            reason=f"{queued} queued / {leased} leased within target for "
+                   f"{live} live worker(s){eta}")

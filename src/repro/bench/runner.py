@@ -36,6 +36,7 @@ from repro.bench.engine import (
     trial_seed,
 )
 from repro.bench import telemetry
+from repro.bench.observe import trace as tracectx
 from repro.bench.tasks import all_tasks, task_by_id
 from repro.bench.telemetry import TrialFinished, TrialStarted, phases_from_result
 from repro.dmi.cache import ArtifactCache
@@ -194,35 +195,48 @@ class BenchmarkRunner:
         """
         sink = telemetry.resolve(self.sink)
         measuring = bool(sink)
+        ctx = None
         if measuring:
-            sink.emit(TrialStarted(task_id=spec.task_id,
-                                   setting_key=spec.setting_key,
-                                   trial=spec.trial))
+            # The trial's root span: deterministic trace id, parented to
+            # the ambient span (a worker's lease span in broker runs, or
+            # nothing in plain serial runs).  The context stays pushed for
+            # the duration of the trial so nested cache/store events
+            # attach as its children.
+            ctx = tracectx.trial_context(spec, tracectx.current())
+            tracectx.push(ctx)
+            sink.emit(ctx.attach(TrialStarted(task_id=spec.task_id,
+                                              setting_key=spec.setting_key,
+                                              trial=spec.trial)))
             started = time.perf_counter()
-        task = self._resolve_task(spec.task_id)
-        setting = self._resolve_setting(spec.setting_key)
-        rng = random.Random(spec.seed)
-        app = app_factory(task.app)()
-        rip_started = time.perf_counter() if measuring else 0.0
-        artifacts = self.offline_artifacts(task.app)
-        build_started = time.perf_counter() if measuring else 0.0
-        profile = setting.profile
-        if setting.knowledge == "Nav.forest" and not setting.interface.uses_dmi:
-            # The ablation provides the forest as prose knowledge only.
-            profile = profile.with_knowledge(True)
-        host = HostAgent(profile, setting.interface, rng=rng)
-        dmi = DMI(app, artifacts, self.config.dmi) if setting.interface.uses_dmi else None
-        act_started = time.perf_counter() if measuring else 0.0
-        result = host.run_task(task, app, artifacts.forest, core=artifacts.core, dmi=dmi)
-        if measuring:
-            finished = time.perf_counter()
-            sink.emit(TrialFinished(
-                task_id=spec.task_id, setting_key=spec.setting_key,
-                trial=spec.trial, success=result.success,
-                seconds=finished - started, wall_s=result.wall_time_s,
-                phases=phases_from_result(
-                    result, rip_s=build_started - rip_started,
-                    build_s=act_started - build_started)))
+        try:
+            task = self._resolve_task(spec.task_id)
+            setting = self._resolve_setting(spec.setting_key)
+            rng = random.Random(spec.seed)
+            app = app_factory(task.app)()
+            rip_started = time.perf_counter() if measuring else 0.0
+            artifacts = self.offline_artifacts(task.app)
+            build_started = time.perf_counter() if measuring else 0.0
+            profile = setting.profile
+            if setting.knowledge == "Nav.forest" and not setting.interface.uses_dmi:
+                # The ablation provides the forest as prose knowledge only.
+                profile = profile.with_knowledge(True)
+            host = HostAgent(profile, setting.interface, rng=rng)
+            dmi = DMI(app, artifacts, self.config.dmi) if setting.interface.uses_dmi else None
+            act_started = time.perf_counter() if measuring else 0.0
+            result = host.run_task(task, app, artifacts.forest, core=artifacts.core, dmi=dmi)
+            if measuring:
+                finished = time.perf_counter()
+                sink.emit(ctx.attach(TrialFinished(
+                    task_id=spec.task_id, setting_key=spec.setting_key,
+                    trial=spec.trial, success=result.success,
+                    seconds=finished - started, wall_s=result.wall_time_s,
+                    phases=phases_from_result(
+                        result, rip_s=build_started - rip_started,
+                        build_s=act_started - build_started)),
+                    duration_s=finished - started))
+        finally:
+            if ctx is not None:
+                tracectx.pop(ctx)
         return result
 
     def run_trial(self, task: TaskSpec, setting: EvaluationSetting, trial: int) -> SessionResult:

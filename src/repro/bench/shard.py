@@ -203,6 +203,18 @@ class ShardManifest:
         return (self.shard_count, self.seed, self.trials, self.fingerprint,
                 self.setting_keys, self.task_ids)
 
+    @property
+    def trace_id(self) -> str:
+        """Deterministic trace id for this shard's telemetry.
+
+        Derived from the plan-identity fields plus ``shard_index`` (never
+        stored — the manifest wire format is unchanged), so the
+        submitter, any worker holding the lease, and the collector all
+        compute the same id independently.
+        """
+        from repro.bench.observe.trace import manifest_trace_id
+        return manifest_trace_id(self)
+
 
 #: Labels for :meth:`ShardManifest.plan_identity`, in tuple order.
 PLAN_IDENTITY_LABELS = ("shard_count", "seed", "trials", "fingerprint",

@@ -124,16 +124,27 @@ def call_with_retries(fn: Callable[[], _T], *, op: str, key: str,
     (op/key/attempt) so chaos runs and real cloud blips are countable; when
     the budget is exhausted the last transient error is re-raised wrapped
     in a labeled :class:`RetryBudgetExceeded`.
+
+    With a live sink each retry event is stamped as a leaf span under the
+    ambient trace context (the post/collect span that issued the store
+    op), carrying the failed attempt's duration — so a reconstructed
+    trial timeline shows *where* the chaos bit, not just that it did.
+    With the NullSink none of that runs: no clock read, no hash.
     """
     last: Optional[TransientStoreError] = None
+    resolved = telemetry.resolve(sink)
     for attempt in range(1, policy.attempts + 1):
+        started = time.perf_counter() if resolved else 0.0
         try:
             return fn()
         except TransientStoreError as error:
             last = error
-            resolved = telemetry.resolve(sink)
             if resolved:
-                resolved.emit(StoreRetry(op=op, key=key, attempt=attempt))
+                from repro.bench.observe import trace as _trace
+                resolved.emit(_trace.leaf(
+                    StoreRetry(op=op, key=key, attempt=attempt),
+                    qualifier=f"{op}|{key}|{attempt}",
+                    duration_s=time.perf_counter() - started))
             if attempt >= policy.attempts:
                 break
             policy.sleep(policy.backoff_s(attempt))
@@ -201,7 +212,9 @@ def _emit_cas_lost(sink: Optional[EventSink], key: str) -> None:
     how lease contention becomes visible in a run's telemetry."""
     resolved = telemetry.resolve(sink)
     if resolved:
-        resolved.emit(CasRetry(key=key, op="put_if_match"))
+        from repro.bench.observe import trace as _trace
+        resolved.emit(_trace.leaf(CasRetry(key=key, op="put_if_match"),
+                                  qualifier=key))
 
 
 class InMemoryObjectStore(ObjectStore):

@@ -41,6 +41,7 @@ from __future__ import annotations
 import json
 import math
 import os
+import socket
 import threading
 import time
 from contextlib import contextmanager
@@ -74,9 +75,51 @@ class TelemetryEvent:
     :class:`AggregatingSink` counters and tags :class:`JsonlSink` lines, so
     renaming one is a format change.  :meth:`timings` lists the event's
     duration observations for the timer/histogram side of aggregation.
+
+    Every event can additionally carry a *trace context* — ``trace_id`` /
+    ``span_id`` / ``parent_span_id``, a monotonic-clock ``duration_s`` and
+    a wall-clock ``ts`` — attached by :meth:`with_trace` (normally via
+    :mod:`repro.bench.observe.trace` at the instrumented seam).  The trace
+    fields are deliberately *not* dataclass fields: they default to class
+    attributes (zero per-instance cost, no constructor churn across twenty
+    event types) and only become instance state when a trace is attached,
+    so the NullSink zero-overhead contract is untouched.  They appear in
+    :meth:`as_dict` (and therefore JSONL lines) only when set.
     """
 
     name: ClassVar[str] = "event"
+
+    # Trace-context defaults (deliberately *unannotated* class attributes —
+    # an annotation would turn them into inherited dataclass fields and
+    # break every subclass with required fields).  ``with_trace`` shadows
+    # them per instance.
+    trace_id = ""
+    span_id = ""
+    parent_span_id = ""
+    duration_s = None
+    ts = None
+
+    def with_trace(self, trace_id: str = "", span_id: str = "",
+                   parent_span_id: str = "",
+                   duration_s: Optional[float] = None,
+                   ts: Optional[float] = None) -> "TelemetryEvent":
+        """Attach trace context to this (frozen) event; returns ``self``.
+
+        Uses ``object.__setattr__`` because events are frozen dataclasses:
+        the trace context is part of event *construction* at the emit site,
+        never a later mutation, and dataclass equality/repr (fields only)
+        are unaffected.
+        """
+        if trace_id:
+            object.__setattr__(self, "trace_id", trace_id)
+            object.__setattr__(self, "span_id", span_id)
+            if parent_span_id:
+                object.__setattr__(self, "parent_span_id", parent_span_id)
+        if duration_s is not None:
+            object.__setattr__(self, "duration_s", duration_s)
+        if ts is not None:
+            object.__setattr__(self, "ts", ts)
+        return self
 
     def timings(self) -> Dict[str, float]:
         """``{timer_name: seconds}`` observations carried by this event."""
@@ -87,6 +130,15 @@ class TelemetryEvent:
         for spec in fields(self):
             value = getattr(self, spec.name)
             payload[spec.name] = dict(value) if isinstance(value, Mapping) else value
+        if self.ts is not None:
+            payload["ts"] = self.ts
+        if self.trace_id:
+            payload["trace_id"] = self.trace_id
+            payload["span_id"] = self.span_id
+            if self.parent_span_id:
+                payload["parent_span_id"] = self.parent_span_id
+        if self.duration_s is not None:
+            payload["duration_s"] = self.duration_s
         return payload
 
 
@@ -336,6 +388,26 @@ class QueueDepth(TelemetryEvent):
     done: int
 
 
+@dataclass(frozen=True)
+class ScaleAdvice(TelemetryEvent):
+    """An autoscaling recommendation from the fleet advisor.
+
+    Recommend-only: nothing in this package actuates workers.  ``action``
+    is ``scale_up`` / ``scale_down`` / ``hold``, ``workers`` is the live
+    (non-stale) worker count the advice was computed from, ``recommended``
+    the suggested fleet size, and ``reason`` a human-readable sentence
+    naming the signals (backlog, idle fraction, drain-rate ETA).
+    """
+
+    name: ClassVar[str] = "scale_advice"
+    action: str
+    workers: int
+    recommended: int
+    queued: int
+    leased: int
+    reason: str
+
+
 #: Every shipped event type's name.  Consumers that want "no events of this
 #: kind" to read as an explicit zero (e.g. the runs-diff metric namespace,
 #: where a --fail-if gate on ``cache_miss`` must not report the counter
@@ -346,7 +418,7 @@ EVENT_NAMES: tuple = tuple(sorted(event.name for event in (
     RipFull, RipIncremental,
     LeaseAcquired, LeaseRenewed, LeaseLost, ManifestAbandoned, ShardPosted,
     ShardCollected, CasRetry, StoreRetry, WorkerIdle,
-    PlanSubmitted, PlanDrained, QueueDepth)))
+    PlanSubmitted, PlanDrained, QueueDepth, ScaleAdvice)))
 
 
 def phases_from_result(result, rip_s: Optional[float] = None,
@@ -532,6 +604,15 @@ class TeeSink(EventSink):
         return bool(self.sinks)
 
 
+#: Schema version written into every :class:`MetricsSnapshotSink` file.
+#: Version 1 (PR 7) had no ``schema_version``/``written_at``/``worker_id``/
+#: ``counters`` keys; readers accept both and reject anything else.
+METRICS_SCHEMA_VERSION = 2
+
+#: Snapshot schema versions this build can read.
+KNOWN_METRICS_SCHEMA_VERSIONS = (1, METRICS_SCHEMA_VERSION)
+
+
 class MetricsSnapshotSink(EventSink):
     """Live fleet gauges: per-plan queue depth plus worker-idle rate.
 
@@ -539,7 +620,15 @@ class MetricsSnapshotSink(EventSink):
     this sink keeps *current-value* gauges a fleet operator or autoscaler
     can poll while workers run: the latest queued/leased/done per plan
     (from ``queue_depth`` events, seeded by ``plan_submitted``), which
-    plans have drained, and how much time workers spend idle-polling.
+    plans have drained, how much time workers spend idle-polling, and a
+    per-event-type counter map (lease churn, retries, cache hits) the
+    cross-fleet aggregator folds into rates.
+
+    Snapshots carry ``schema_version`` (:data:`METRICS_SCHEMA_VERSION`),
+    a wall-clock ``written_at`` stamp (staleness detection: a live worker
+    rewrites the file, a dead one leaves ``written_at`` behind) and the
+    emitting ``worker_id``.  Read files back with
+    :func:`load_metrics_snapshot`, which rejects unknown versions.
 
     With ``path`` set, the snapshot is atomically rewritten (temp file +
     rename, so readers never see a torn JSON) at most every ``interval_s``
@@ -551,25 +640,33 @@ class MetricsSnapshotSink(EventSink):
 
     def __init__(self, path: Optional[Union[str, Path]] = None,
                  interval_s: float = 5.0,
-                 clock: Callable[[], float] = time.monotonic) -> None:
+                 clock: Callable[[], float] = time.monotonic,
+                 worker_id: Optional[str] = None,
+                 wall_clock: Callable[[], float] = time.time) -> None:
         if not math.isfinite(interval_s) or interval_s < 0:
             raise TelemetryError("metrics snapshot interval_s must be a "
                                  f"finite number >= 0, got {interval_s}")
         self.path = Path(path) if path is not None else None
         self.interval_s = interval_s
+        self.worker_id = worker_id or f"{socket.gethostname()}-{os.getpid()}"
         self._clock = clock
+        self._wall_clock = wall_clock
         self._lock = threading.Lock()
         self._plans: Dict[str, Dict[str, int]] = {}
         self._drained: set = set()
         self._idle_count = 0
         self._idle_slept_s = 0.0
         self._events = 0
+        self._counters: Dict[str, int] = {}
         self._last_write: Optional[float] = None
+        self._write_lock = threading.Lock()
+        self._written_events = -1
 
     def emit(self, event: TelemetryEvent) -> None:
         name = event.name
         with self._lock:
             self._events += 1
+            self._counters[name] = self._counters.get(name, 0) + 1
             if name == "queue_depth":
                 self._plans[event.plan] = {
                     "queued": event.queued, "leased": event.leased,
@@ -599,10 +696,14 @@ class MetricsSnapshotSink(EventSink):
 
     def _snapshot_locked(self) -> Dict[str, object]:
         return {
+            "schema_version": METRICS_SCHEMA_VERSION,
+            "written_at": self._wall_clock(),
+            "worker_id": self.worker_id,
             "plans": {plan: dict(gauges, drained=plan in self._drained)
                       for plan, gauges in sorted(self._plans.items())},
             "worker_idle": {"count": self._idle_count,
                             "slept_s": self._idle_slept_s},
+            "counters": dict(sorted(self._counters.items())),
             "events": self._events,
         }
 
@@ -613,11 +714,19 @@ class MetricsSnapshotSink(EventSink):
 
     def _write(self, payload: Dict[str, object]) -> None:
         assert self.path is not None
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = self.path.with_name(f".{self.path.name}.{os.getpid()}.tmp")
-        tmp.write_text(json.dumps(payload, indent=1, ensure_ascii=False)
-                       + "\n", encoding="utf-8")
-        tmp.replace(self.path)
+        # Serialised separately from the emit lock so slow disks never
+        # stall emitters; the event-count guard keeps a thread holding an
+        # older payload from clobbering a newer snapshot already on disk.
+        with self._write_lock:
+            if payload["events"] < self._written_events:
+                return
+            self._written_events = payload["events"]
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            tmp = self.path.with_name(
+                f".{self.path.name}.{os.getpid()}.tmp")
+            tmp.write_text(json.dumps(payload, indent=1, ensure_ascii=False)
+                           + "\n", encoding="utf-8")
+            tmp.replace(self.path)
 
     def close(self) -> None:
         """Write one final snapshot so the file reflects the end state."""
@@ -662,6 +771,38 @@ def read_jsonl_events(path: Union[str, Path]) -> List[Dict[str, object]]:
                                  "object")
         events.append(payload)
     return events
+
+
+def load_metrics_snapshot(path: Union[str, Path]) -> Dict[str, object]:
+    """Read and validate one :class:`MetricsSnapshotSink` file.
+
+    Accepts every version in :data:`KNOWN_METRICS_SCHEMA_VERSIONS` (a file
+    with no ``schema_version`` key is a version-1 snapshot from an older
+    worker) and rejects anything else with a :class:`TelemetryError` that
+    names the file — a fleet mixing worker builds must fail loudly, not
+    render gauges whose meaning silently changed.
+    """
+    target = Path(path)
+    try:
+        payload = json.loads(target.read_text(encoding="utf-8"))
+    except OSError as error:
+        raise TelemetryError(
+            f"cannot read metrics snapshot {target!s}: {error}") from error
+    except json.JSONDecodeError as error:
+        raise TelemetryError(
+            f"metrics snapshot {target!s} is not valid JSON: {error}"
+        ) from error
+    if not isinstance(payload, dict):
+        raise TelemetryError(
+            f"metrics snapshot {target!s} must be a JSON object")
+    version = payload.get("schema_version", 1)
+    if version not in KNOWN_METRICS_SCHEMA_VERSIONS:
+        known = ", ".join(str(v) for v in KNOWN_METRICS_SCHEMA_VERSIONS)
+        raise TelemetryError(
+            f"metrics snapshot {target!s} has schema_version {version!r}; "
+            f"this build reads version(s) {known} — refusing to render "
+            "gauges whose schema is unknown")
+    return payload
 
 
 # ----------------------------------------------------------------------

@@ -99,6 +99,7 @@ from repro.bench.shard import (
     shard_file_name,
 )
 from repro.bench.engine import ProgressCallback
+from repro.bench.observe import trace as tracectx
 from repro.bench.store import ObjectStore, RetryPolicy, call_with_retries
 from repro.bench import telemetry
 from repro.bench.telemetry import (
@@ -247,11 +248,16 @@ def _check_posted_results(reference: Tuple[object, ...],
                          f"{manifest.shard_count}-shard plan")
 
 
-def _emit_collected(sink: EventSink, collected: List[ShardResults]) -> None:
-    """One :class:`~repro.bench.telemetry.ShardCollected` per gathered shard."""
+def _emit_collected(sink: EventSink, collected: List[ShardResults],
+                    plan: str) -> None:
+    """One :class:`~repro.bench.telemetry.ShardCollected` per gathered shard,
+    each stamped as a ``collect`` span in the shard's trace (parented to
+    the plan's submit span, so a trial timeline ends with its collect)."""
     if sink:
         for shard in collected:
-            sink.emit(ShardCollected(shard_index=shard.manifest.shard_index))
+            ctx = tracectx.shard_context(plan, shard.manifest, "collect")
+            sink.emit(ctx.attach(
+                ShardCollected(shard_index=shard.manifest.shard_index)))
 
 
 @dataclass(frozen=True)
@@ -478,13 +484,16 @@ class ShardBroker(ABC):
                              priority: int) -> None:
         sink = telemetry.resolve(self.sink)
         if sink:
-            sink.emit(PlanSubmitted(plan=name, shards=plan.shard_count,
-                                    priority=priority))
+            ctx = tracectx.plan_context(name, plan.manifests[0])
+            sink.emit(ctx.attach(PlanSubmitted(
+                plan=name, shards=plan.shard_count, priority=priority)))
 
-    def _emit_plan_drained(self, name: str, shards: int) -> None:
+    def _emit_plan_drained(self, name: str, manifest: ShardManifest,
+                           shards: int) -> None:
         sink = telemetry.resolve(self.sink)
         if sink:
-            sink.emit(PlanDrained(plan=name, shards=shards))
+            ctx = tracectx.plan_context(name, manifest).child("drained")
+            sink.emit(ctx.attach(PlanDrained(plan=name, shards=shards)))
 
 
 class _MemoryPlanState:
@@ -599,7 +608,8 @@ class InMemoryBroker(ShardBroker):
             state.done[index] = results
             drained = len(state.done) >= state.shard_count
         if drained:
-            self._emit_plan_drained(lease.plan, state.shard_count)
+            self._emit_plan_drained(lease.plan, lease.manifest,
+                                    state.shard_count)
         return True
 
     def collect(self, name: str = DEFAULT_PLAN) -> List[ShardResults]:
@@ -607,7 +617,7 @@ class InMemoryBroker(ShardBroker):
         with self._lock:
             state = self._require_plan(name)
             collected = [state.done[index] for index in sorted(state.done)]
-        _emit_collected(telemetry.resolve(self.sink), collected)
+        _emit_collected(telemetry.resolve(self.sink), collected, name)
         return collected
 
     def status(self) -> BrokerStatus:
@@ -862,7 +872,7 @@ class LocalDirBroker(ShardBroker):
         if first_post:
             done = sum(1 for _ in self._done_dir(plan).glob("shard-*.json"))
             if done >= manifest.shard_count:
-                self._emit_plan_drained(plan, manifest.shard_count)
+                self._emit_plan_drained(plan, manifest, manifest.shard_count)
         return first_post
 
     def collect(self, name: str = DEFAULT_PLAN) -> List[ShardResults]:
@@ -871,7 +881,7 @@ class LocalDirBroker(ShardBroker):
         collected = [
             ShardResults.load(path)
             for path in sorted(self._done_dir(name).glob("shard-*.json"))]
-        _emit_collected(telemetry.resolve(self.sink), collected)
+        _emit_collected(telemetry.resolve(self.sink), collected, name)
         return collected
 
     def status(self) -> BrokerStatus:
@@ -1186,7 +1196,7 @@ class ObjectStoreBroker(ShardBroker):
                 break
         if first_post \
                 and len(self._done_names(name)) >= manifest.shard_count:
-            self._emit_plan_drained(name, manifest.shard_count)
+            self._emit_plan_drained(name, manifest, manifest.shard_count)
         return first_post
 
     def collect(self, name: str = DEFAULT_PLAN) -> List[ShardResults]:
@@ -1199,7 +1209,7 @@ class ObjectStoreBroker(ShardBroker):
                 continue  # deleted mid-listing
             collected.append(ShardResults.from_dict(
                 found[0], source=self._source(key)))
-        _emit_collected(telemetry.resolve(self.sink), collected)
+        _emit_collected(telemetry.resolve(self.sink), collected, name)
         return collected
 
     def status(self) -> BrokerStatus:
@@ -1264,7 +1274,8 @@ class LeaseHeartbeat:
     def __init__(self, broker: ShardBroker, lease: ShardLease,
                  interval: float,
                  on_renew: Optional[RenewCallback] = None,
-                 sink: Optional[EventSink] = None) -> None:
+                 sink: Optional[EventSink] = None,
+                 context: Optional[tracectx.SpanContext] = None) -> None:
         if not math.isfinite(interval) or interval <= 0:
             raise ShardError(f"heartbeat interval must be a finite number "
                              f"> 0, got {interval}")
@@ -1272,6 +1283,11 @@ class LeaseHeartbeat:
         self.interval = interval
         self.on_renew = on_renew
         self.sink = sink
+        #: The worker's lease span, passed explicitly because the renewal
+        #: thread cannot see the worker thread's ambient (thread-local)
+        #: context.  Renewal/lost events become its child spans.
+        self.context = context
+        self._renewals = 0
         self._lease = lease
         self._lock = threading.Lock()
         self._stop = threading.Event()
@@ -1312,15 +1328,24 @@ class LeaseHeartbeat:
                 self._lost.set()
                 if sink:
                     lease = self.lease
-                    sink.emit(LeaseLost(shard_index=lease.manifest.shard_index,
-                                        worker_id=lease.worker_id))
+                    event = LeaseLost(shard_index=lease.manifest.shard_index,
+                                      worker_id=lease.worker_id)
+                    if self.context is not None:
+                        event = self.context.child(
+                            "lease_lost", lease.token).attach(event)
+                    sink.emit(event)
                 self._notify(self.lease, False)
                 return
             with self._lock:
                 self._lease = renewed
             if sink:
-                sink.emit(LeaseRenewed(shard_index=renewed.manifest.shard_index,
-                                       worker_id=renewed.worker_id))
+                self._renewals += 1
+                event = LeaseRenewed(shard_index=renewed.manifest.shard_index,
+                                     worker_id=renewed.worker_id)
+                if self.context is not None:
+                    event = self.context.child(
+                        "lease_renewed", self._renewals).attach(event)
+                sink.emit(event)
             self._notify(renewed, True)
 
     def _notify(self, lease: ShardLease, renewed: bool) -> None:
@@ -1481,6 +1506,7 @@ class ShardWorker:
         while not self._stop.is_set() and (self.max_manifests is None
                                            or executed < self.max_manifests):
             sink = telemetry.resolve(self.sink)
+            lease_started = time.perf_counter() if sink else 0.0
             lease = self._broker_call("lease", self.worker_id,
                                       lambda: self.broker.lease(self.worker_id))
             if lease is None:
@@ -1503,19 +1529,31 @@ class ShardWorker:
                 continue
             idle_streak = 0
             idle_since = None
+            # The shard's lease span: the worker-side root everything this
+            # manifest does hangs off (trial spans, renewals, the post).
+            # Qualified by the lease token so re-leases after churn are
+            # distinct spans, and parented to the plan's submit span.
+            ctx = None
             if sink:
-                sink.emit(LeaseAcquired(
-                    shard_index=lease.manifest.shard_index,
-                    worker_id=self.worker_id))
+                ctx = tracectx.shard_context(lease.plan, lease.manifest,
+                                             "lease", qualifier=lease.token)
+                sink.emit(ctx.attach(
+                    LeaseAcquired(shard_index=lease.manifest.shard_index,
+                                  worker_id=self.worker_id),
+                    duration_s=time.perf_counter() - lease_started))
             beat = None
             if self.heartbeat > 0:
                 beat = LeaseHeartbeat(self.broker, lease, self.heartbeat,
                                       on_renew=self.on_renew,
-                                      sink=self.sink).start()
+                                      sink=self.sink, context=ctx).start()
             stats_before = self.executor.cache_stats()
             try:
+                if ctx is not None:
+                    tracectx.push(ctx)
                 results = self.executor.run(lease.manifest, progress=progress)
             finally:
+                if ctx is not None:
+                    tracectx.pop(ctx)
                 if beat is not None:
                     beat.stop()
             executed += 1
@@ -1526,22 +1564,38 @@ class ShardWorker:
                     # and will post identical bytes.  Drop ours unposted.
                     self.abandoned += 1
                     if sink:
-                        sink.emit(ManifestAbandoned(
-                            shard_index=lease.manifest.shard_index,
-                            worker_id=self.worker_id))
+                        sink.emit(ctx.child("abandon", lease.token).attach(
+                            ManifestAbandoned(
+                                shard_index=lease.manifest.shard_index,
+                                worker_id=self.worker_id)))
                     continue
                 lease = beat.lease  # renewals may have re-tokened it
             posted = lease
-            first_post = self._broker_call(
-                "post", posted.token,
-                lambda: self.broker.post(posted, results))
+            post_ctx = None
+            post_started = 0.0
+            if ctx is not None:
+                # A dedicated post span is pushed around the broker call so
+                # store retries inside the post attach to it — a chaos
+                # schedule's bite is then visible in the trial's timeline.
+                post_ctx = ctx.child("post", posted.token)
+                tracectx.push(post_ctx)
+                post_started = time.perf_counter()
+            try:
+                first_post = self._broker_call(
+                    "post", posted.token,
+                    lambda: self.broker.post(posted, results))
+            finally:
+                if post_ctx is not None:
+                    tracectx.pop(post_ctx)
             completed.append(results)
             self.results_by_plan.setdefault(lease.plan, []).append(results)
             if sink:
-                sink.emit(ShardPosted(
-                    shard_index=lease.manifest.shard_index,
-                    worker_id=self.worker_id, results=len(results.results),
-                    first_post=first_post))
+                sink.emit(post_ctx.attach(
+                    ShardPosted(shard_index=lease.manifest.shard_index,
+                                worker_id=self.worker_id,
+                                results=len(results.results),
+                                first_post=first_post),
+                    duration_s=time.perf_counter() - post_started))
             if on_manifest is not None or sink:
                 snapshot = self._broker_call("status", self.worker_id,
                                              self.broker.status)
@@ -1567,8 +1621,11 @@ class ShardWorker:
         if not sink:
             return
         for plan in snapshot.plans:
-            sink.emit(QueueDepth(plan=plan.name, queued=plan.queued,
-                                 leased=plan.leased, done=plan.done))
+            # A wall-clock ts (no trace — queue depth is fleet state, not
+            # part of any one trial) so aggregators can window drain rates.
+            sink.emit(tracectx.leaf(QueueDepth(
+                plan=plan.name, queued=plan.queued,
+                leased=plan.leased, done=plan.done)))
 
     def _idle_sleep(self, streak: int, sink: EventSink) -> None:
         """One backoff sleep: ``base * 2^streak`` jittered, capped by
@@ -1579,8 +1636,8 @@ class ShardWorker:
         # that went idle together doesn't re-poll in lock-step.
         delay *= 0.5 + 0.5 * self._backoff_rng.random()
         if sink:
-            sink.emit(WorkerIdle(worker_id=self.worker_id, slept_s=delay,
-                                 streak=streak))
+            sink.emit(tracectx.leaf(WorkerIdle(
+                worker_id=self.worker_id, slept_s=delay, streak=streak)))
         if self._sleep is not None:
             self._sleep(delay)
         else:

@@ -164,12 +164,23 @@ from repro.bench.registry import (
     RunRegistry,
     build_run_record,
 )
+from repro.bench.observe import (
+    AdvisorPolicy,
+    FleetAggregator,
+    ObserveError,
+    build_trace,
+    render_trace,
+    write_promfile,
+)
 from repro.bench.telemetry import (
     AggregatingSink,
     EventSink,
     JsonlSink,
     MetricsSnapshotSink,
     TeeSink,
+    TelemetryError,
+    load_metrics_snapshot,
+    read_jsonl_events,
     set_default_sink,
 )
 from repro.bench.trajectory import (
@@ -395,6 +406,7 @@ def build_parser() -> argparse.ArgumentParser:
                               choices=[s.key for s in TABLE3_SETTINGS],
                               help="Table 3 configuration keys to shard")
     add_grid_flags(shard_submit)
+    add_telemetry_flags(shard_submit)
 
     shard_work = shard_sub.add_parser(
         "work", help="lease and execute broker manifests until the queue drains")
@@ -463,15 +475,98 @@ def build_parser() -> argparse.ArgumentParser:
     fleet = subparsers.add_parser(
         "fleet", help="observe an always-on worker fleet")
     fleet_sub = fleet.add_subparsers(dest="fleet_command", required=True)
+
+    def add_fleet_input_flags(sub: argparse.ArgumentParser) -> None:
+        """The aggregation inputs shared by fleet status/advise."""
+        sub.add_argument("--metrics", metavar="FILE", action="append",
+                         default=None,
+                         help="fold in a worker's --metrics snapshot file; "
+                              "repeatable — one flag per worker merges the "
+                              "whole fleet into one gauges view")
+        sub.add_argument("--events", metavar="FILE", action="append",
+                         default=None,
+                         help="fold in a worker's --events JSONL tail for "
+                              "drain-rate windows (repeatable)")
+        sub.add_argument("--max-age-s", type=positive_float, default=None,
+                         metavar="SECS",
+                         help="flag snapshots whose written_at stamp is "
+                              "older than SECS as STALE")
+
     fleet_status = fleet_sub.add_parser(
         "status", help="live per-plan queue gauges (and worker metrics)")
     add_queue_flags(fleet_status)
-    fleet_status.add_argument("--metrics", metavar="FILE", default=None,
-                              help="also read a worker's --metrics snapshot "
-                                   "file (idle rate, drained plans)")
+    add_fleet_input_flags(fleet_status)
+    fleet_status.add_argument("--strict", action="store_true",
+                              help="exit non-zero when any snapshot is "
+                                   "older than --max-age-s")
+    fleet_status.add_argument("--prom-dir", metavar="DIR", default=None,
+                              help="also write the gauges as an OpenMetrics "
+                                   "textfile (repro_fleet.prom, atomic "
+                                   "rename) into DIR for a Prometheus "
+                                   "node-exporter textfile collector")
     fleet_status.add_argument("--json", action="store_true",
                               help="emit everything as JSON instead of "
                                    "the table")
+
+    fleet_advise = fleet_sub.add_parser(
+        "advise", help="recommend-only autoscaling advice from the "
+                       "aggregated gauges")
+    add_queue_flags(fleet_advise)
+    add_fleet_input_flags(fleet_advise)
+    fleet_advise.add_argument("--target-backlog", type=positive_int,
+                              default=4, metavar="N",
+                              help="queued shards per live worker the fleet "
+                                   "should sit at (default: %(default)s)")
+    fleet_advise.add_argument("--min-workers", type=positive_int, default=1,
+                              metavar="N",
+                              help="never recommend fewer than N workers "
+                                   "(default: %(default)s)")
+    fleet_advise.add_argument("--max-workers", type=positive_int,
+                              default=None, metavar="N",
+                              help="never recommend more than N workers")
+    fleet_advise.add_argument("--emit", metavar="FILE", default=None,
+                              help="append the ScaleAdvice event to FILE as "
+                                   "a JSON line")
+    fleet_advise.add_argument("--json", action="store_true",
+                              help="print the advice as JSON instead of "
+                                   "prose")
+
+    trace = subparsers.add_parser(
+        "trace", help="reconstruct one trace's timeline from JSONL events")
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+
+    def add_trace_event_flags(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("trace_id", help="trace id (from 'repro trace id' "
+                                          "or any event's trace_id field)")
+        sub.add_argument("--events", metavar="FILE", action="append",
+                         required=True,
+                         help="JSONL event file to search; repeatable — "
+                              "pass every worker's and the submitter's "
+                              "files to merge one fleet-wide timeline")
+
+    trace_show = trace_sub.add_parser(
+        "show", help="print a human-readable span timeline")
+    add_trace_event_flags(trace_show)
+
+    trace_export = trace_sub.add_parser(
+        "export", help="emit the reconstructed trace as JSON")
+    add_trace_event_flags(trace_export)
+    trace_export.add_argument("--out", metavar="FILE", default=None,
+                              help="write the JSON to FILE instead of "
+                                   "stdout")
+
+    trace_id_cmd = trace_sub.add_parser(
+        "id", help="compute a trial's deterministic trace id")
+    trace_id_cmd.add_argument("--task", required=True, metavar="TASK_ID",
+                              help="task id of the trial")
+    trace_id_cmd.add_argument("--setting", required=True, metavar="KEY",
+                              help="evaluation setting key of the trial")
+    trace_id_cmd.add_argument("--trial", type=int, default=0,
+                              metavar="N", help="trial index "
+                                                "(default: %(default)s)")
+    trace_id_cmd.add_argument("--seed", type=int, default=DEFAULT_SEED,
+                              help="benchmark base seed "
+                                   "(default: %(default)s)")
 
     runs = subparsers.add_parser(
         "runs", help="inspect and compare runs recorded with --registry")
@@ -651,7 +746,8 @@ class _RunTelemetry:
                                      f"{events!r}: {error}")
                 sinks.append(self._jsonl)
             if metrics is not None:
-                self._metrics = MetricsSnapshotSink(metrics)
+                self._metrics = MetricsSnapshotSink(
+                    metrics, worker_id=getattr(args, "worker_id", None))
                 sinks.append(self._metrics)
             self._sink = TeeSink(sinks)
         self._started = time.perf_counter()
@@ -1000,16 +1096,21 @@ def _check_heartbeat(args) -> None:
 def command_shard_submit(args) -> int:
     runner = BenchmarkRunner(BenchmarkConfig(trials=args.trials, seed=args.seed,
                                              tasks=_resolve_tasks(args.tasks, getattr(args, 'synthetic', None))))
-    try:
-        plan = runner.shard_plan([setting_by_key(key) for key in args.settings],
-                                 args.shards)
-        broker = _cli_broker(args)
-        broker.submit(plan, name=args.plan, priority=args.priority)
-    except ShardError as error:
-        raise SystemExit(f"repro: {error}")
-    except OSError as error:
-        raise SystemExit(f"repro: cannot write to broker "
-                         f"{_queue_location(args)!r}: {error}")
+    # The telemetry context installs the --events/--registry sinks as the
+    # process default, so the broker's PlanSubmitted (the plan trace's
+    # root span — the anchor every reconstructed trial timeline links up
+    # to) lands in the submitter's JSONL.
+    with _RunTelemetry(args):
+        try:
+            plan = runner.shard_plan(
+                [setting_by_key(key) for key in args.settings], args.shards)
+            broker = _cli_broker(args)
+            broker.submit(plan, name=args.plan, priority=args.priority)
+        except ShardError as error:
+            raise SystemExit(f"repro: {error}")
+        except OSError as error:
+            raise SystemExit(f"repro: cannot write to broker "
+                             f"{_queue_location(args)!r}: {error}")
     total = sum(len(manifest.specs) for manifest in plan.manifests)
     backend = "--broker" if args.broker is not None else "--store"
     print(f"submitted {plan.shard_count} shard manifest(s), {total} trial "
@@ -1215,24 +1316,13 @@ def command_shard_status(args) -> int:
 
 
 # ----------------------------------------------------------------------
-# fleet status (live queue gauges for an always-on worker pool)
+# fleet status / advise (aggregated gauges for an always-on worker pool)
 # ----------------------------------------------------------------------
-def _load_metrics_snapshot(path: str) -> Dict[str, object]:
-    try:
-        payload = json.loads(Path(path).read_text(encoding="utf-8"))
-    except OSError as error:
-        raise SystemExit(f"repro: cannot read metrics snapshot {path!r}: "
-                         f"{error}")
-    except json.JSONDecodeError as error:
-        raise SystemExit(f"repro: metrics snapshot {path!r} is not valid "
-                         f"JSON: {error}")
-    if not isinstance(payload, dict):
-        raise SystemExit(f"repro: metrics snapshot {path!r} must be a JSON "
-                         "object")
-    return payload
-
-
-def command_fleet_status(args) -> int:
+def _fleet_aggregate(args):
+    """The shared status/advise input path: live broker counters as the
+    authoritative plan gauges, any number of --metrics snapshots for
+    worker liveness/counters, any number of --events tails for drain
+    rates.  Returns (broker status, aggregated FleetGauges)."""
     try:
         status = _cli_broker(args).status()
     except ShardError as error:
@@ -1240,33 +1330,148 @@ def command_fleet_status(args) -> int:
     except OSError as error:
         raise SystemExit(f"repro: broker {_queue_location(args)!r} I/O "
                          f"failed: {error}")
-    snapshot = (_load_metrics_snapshot(args.metrics)
-                if args.metrics is not None else None)
+    aggregator = FleetAggregator(max_age_s=args.max_age_s)
+    aggregator.add_broker_status(status)
+    for path in args.metrics or ():
+        try:
+            aggregator.add_snapshot(path)
+        except TelemetryError as error:
+            raise SystemExit(f"repro: {error}")
+    for path in args.events or ():
+        try:
+            aggregator.add_events(path)
+        except (TelemetryError, OSError) as error:
+            raise SystemExit(f"repro: cannot read events file {path!r}: "
+                             f"{error}")
+    return status, aggregator.aggregate()
+
+
+def command_fleet_status(args) -> int:
+    status, gauges = _fleet_aggregate(args)
+    if args.prom_dir is not None:
+        try:
+            promfile = write_promfile(gauges, args.prom_dir)
+        except OSError as error:
+            raise SystemExit(f"repro: cannot write promfile into "
+                             f"{args.prom_dir!r}: {error}")
+    stale = gauges.stale_workers
     if args.json:
         payload: Dict[str, object] = status.as_dict()
-        if snapshot is not None:
-            payload["worker_metrics"] = snapshot
+        payload["fleet"] = gauges.as_dict()
+        if args.metrics and len(args.metrics) == 1:
+            # Single-worker compatibility shape (PR 7): the raw snapshot
+            # under its original key, alongside the aggregated view.
+            try:
+                payload["worker_metrics"] = load_metrics_snapshot(
+                    args.metrics[0])
+            except TelemetryError as error:
+                raise SystemExit(f"repro: {error}")
         print(json.dumps(payload, indent=2, sort_keys=True))
-        return 0
-    print(status.render())
-    if snapshot is not None:
-        idle = snapshot.get("worker_idle", {})
-        if isinstance(idle, dict):
-            print(f"worker idle: {idle.get('count', 0)} poll(s), "
-                  f"{idle.get('slept_s', 0.0):.1f}s slept")
-        drained = sorted(
-            plan for plan, gauges in snapshot.get("plans", {}).items()
-            if isinstance(gauges, dict) and gauges.get("drained"))
-        if drained:
-            print(f"drained plans: {', '.join(drained)}")
+    else:
+        print(status.render())
+        if gauges.workers or gauges.drain_rate:
+            print(gauges.render())
+        if args.prom_dir is not None:
+            print(f"wrote {promfile}")
+    for worker in stale:
+        print(f"repro: warning: snapshot {worker.path} ({worker.worker_id}) "
+              f"is {worker.age_s:.1f}s old (--max-age-s {args.max_age_s}); "
+              "its worker may be dead", file=sys.stderr)
+    if stale and args.strict:
+        return 2
+    return 0
+
+
+def command_fleet_advise(args) -> int:
+    _, gauges = _fleet_aggregate(args)
+    try:
+        policy = AdvisorPolicy(target_backlog=args.target_backlog,
+                               min_workers=args.min_workers,
+                               max_workers=args.max_workers)
+    except ObserveError as error:
+        raise SystemExit(f"repro: {error}")
+    advice = policy.advise(gauges)
+    if args.emit is not None:
+        try:
+            emit_sink = JsonlSink(args.emit)
+            try:
+                emit_sink.emit(advice)
+            finally:
+                emit_sink.close()
+        except OSError as error:
+            raise SystemExit(f"repro: cannot append advice to "
+                             f"{args.emit!r}: {error}")
+    if args.json:
+        print(json.dumps(advice.as_dict(), indent=2, sort_keys=True))
+    else:
+        print(f"{advice.action}: {advice.workers} live worker(s) -> "
+              f"{advice.recommended} recommended ({advice.reason})")
     return 0
 
 
 def command_fleet(args) -> int:
     handlers = {
         "status": command_fleet_status,
+        "advise": command_fleet_advise,
     }
     return handlers[args.fleet_command](args)
+
+
+# ----------------------------------------------------------------------
+# trace show / export / id (timeline reconstruction from merged JSONL)
+# ----------------------------------------------------------------------
+def _trace_from_files(trace_id: str, paths: Sequence[str]):
+    events: List[Dict[str, object]] = []
+    for path in paths:
+        try:
+            events.extend(read_jsonl_events(path))
+        except TelemetryError as error:
+            raise SystemExit(f"repro: {error}")
+        except OSError as error:
+            raise SystemExit(f"repro: cannot read events file {path!r}: "
+                             f"{error}")
+    return build_trace(events, trace_id)
+
+
+def command_trace_show(args) -> int:
+    trace = _trace_from_files(args.trace_id, args.events)
+    print(render_trace(trace))
+    return 0 if trace.events else 1
+
+
+def command_trace_export(args) -> int:
+    trace = _trace_from_files(args.trace_id, args.events)
+    payload = json.dumps(trace.as_dict(), indent=2, sort_keys=True)
+    if args.out is not None:
+        try:
+            Path(args.out).write_text(payload + "\n", encoding="utf-8")
+        except OSError as error:
+            raise SystemExit(f"repro: cannot write {args.out!r}: {error}")
+        print(f"wrote trace {trace.trace_id} ({len(trace.events)} events) "
+              f"to {args.out}")
+    else:
+        print(payload)
+    return 0 if trace.events else 1
+
+
+def command_trace_id(args) -> int:
+    from repro.bench.engine import TrialSpec, trial_seed
+
+    spec = TrialSpec(task_id=args.task, setting_key=args.setting,
+                     trial=args.trial,
+                     seed=trial_seed(args.seed, args.task, args.setting,
+                                     args.trial))
+    print(spec.trace_id)
+    return 0
+
+
+def command_trace(args) -> int:
+    handlers = {
+        "show": command_trace_show,
+        "export": command_trace_export,
+        "id": command_trace_id,
+    }
+    return handlers[args.trace_command](args)
 
 
 def command_shard(args) -> int:
@@ -1513,6 +1718,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "report": command_report,
         "shard": command_shard,
         "fleet": command_fleet,
+        "trace": command_trace,
         "runs": command_runs,
         "cache": command_cache,
         "tasks": command_tasks,

@@ -77,6 +77,20 @@ def _events():
     return _telemetry
 
 
+#: Lazily bound trace-context module, same cycle-avoidance story as
+#: :func:`_events` — only ever resolved behind an ``if sink:`` guard, so
+#: the NullSink path never imports it.
+_tracing = None
+
+
+def _trace():
+    global _tracing
+    if _tracing is None:
+        from repro.bench.observe import trace
+        _tracing = trace
+    return _tracing
+
+
 def config_fingerprint(config: DMIConfig, app_version: str = "") -> str:
     """Hex digest identifying the rip-relevant part of a DMI configuration.
 
@@ -193,19 +207,22 @@ class ArtifactCache:
                       factory: Optional[Callable[[], Application]] = None
                       ) -> OfflineArtifacts:
         """Return artefacts for ``app_name``, ripping only on a cold cache."""
+        sink = _events().resolve(self.sink)
+        loading = time.perf_counter() if sink else 0.0
         version = app_version_for(app_name, factory)
         cached = self.get(app_name, app_version=version)
         if cached is not None:
             self.hits += 1
             self._touch(self.path_for(app_name, app_version=version))
-            sink = _events().resolve(self.sink)
             if sink:
-                sink.emit(_events().CacheHit(app=app_name))
+                sink.emit(_trace().leaf(
+                    _events().CacheHit(app=app_name), qualifier=app_name,
+                    duration_s=time.perf_counter() - loading))
             return cached
         self.misses += 1
-        sink = _events().resolve(self.sink)
         if sink:
-            sink.emit(_events().CacheMiss(app=app_name))
+            sink.emit(_trace().leaf(
+                _events().CacheMiss(app=app_name), qualifier=app_name))
         factory = factory or app_factory(app_name)
         artifacts = build_offline_artifacts(factory(), self.config)
         self.store(app_name, artifacts, app_version=version)
@@ -285,7 +302,8 @@ class ArtifactCache:
         self.evictions += 1
         sink = _events().resolve(self.sink)
         if sink:
-            sink.emit(_events().CacheEvicted(entry=path.name))
+            sink.emit(_trace().leaf(_events().CacheEvicted(entry=path.name),
+                                    qualifier=path.name))
         return size
 
     def _evict_over_limit(self, keep: Path) -> None:
@@ -314,7 +332,9 @@ class ArtifactCache:
             self._forget(index, victim.name)
             sink = _events().resolve(self.sink)
             if sink:
-                sink.emit(_events().CacheEvicted(entry=victim.name))
+                sink.emit(_trace().leaf(
+                    _events().CacheEvicted(entry=victim.name),
+                    qualifier=victim.name))
         self._save_index(index)
 
     # ------------------------------------------------------------------
@@ -382,11 +402,11 @@ class ArtifactCache:
         seconds = time.perf_counter() - started
         sink = _events().resolve(self.sink)
         if sink:
-            sink.emit(_events().CacheGc(
+            sink.emit(_trace().leaf(_events().CacheGc(
                 evicted=evicted, reclaimed_bytes=reclaimed,
                 remaining_entries=len(remaining),
                 remaining_bytes=int(stats["remaining_bytes"]),
-                seconds=seconds))
+                seconds=seconds), duration_s=seconds))
         return stats
 
     # ------------------------------------------------------------------

@@ -343,3 +343,77 @@ def test_metrics_snapshot_writes_atomically_at_interval(tmp_path):
     assert [p.name for p in tmp_path.iterdir()] == ["fleet.json"]
     with pytest.raises(TelemetryError, match="interval_s"):
         MetricsSnapshotSink(path, interval_s=float("nan"))
+
+
+def test_tee_sink_concurrent_emit_keeps_counters_exact(tmp_path):
+    """Satellite acceptance: ≥8 threads hammering one TeeSink lose no
+    events — both fan-out members and the snapshot file agree on the
+    exact total."""
+    aggregating = AggregatingSink()
+    metrics = MetricsSnapshotSink(tmp_path / "fleet.json", interval_s=0.0)
+    tee = TeeSink([aggregating, metrics])
+    per_thread, thread_count = 250, 8
+
+    def hammer(worker: int) -> None:
+        for index in range(per_thread):
+            tee.emit(WorkerIdle(worker_id=f"w{worker}", slept_s=0.001,
+                                streak=index))
+
+    threads = [threading.Thread(target=hammer, args=(worker,))
+               for worker in range(thread_count)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    metrics.close()
+    total = per_thread * thread_count
+    assert aggregating.count("worker_idle") == total
+    assert aggregating.timer("idle_sleep_s").count == total
+    snap = json.loads((tmp_path / "fleet.json").read_text())
+    assert snap["events"] == total
+    assert snap["counters"]["worker_idle"] == total
+    assert snap["worker_idle"]["count"] == total
+
+
+def test_metrics_snapshot_carries_schema_version_and_written_at(tmp_path):
+    """Satellite acceptance: every snapshot states its schema version, a
+    wall-clock write stamp, and the emitting worker's identity."""
+    wall = [1000.0]
+    path = tmp_path / "fleet.json"
+    with MetricsSnapshotSink(path, interval_s=0.0, worker_id="w7",
+                             wall_clock=lambda: wall[0]) as sink:
+        sink.emit(PlanSubmitted(plan="a", shards=1, priority=0))
+        first = json.loads(path.read_text())
+        assert first["schema_version"] == telemetry.METRICS_SCHEMA_VERSION
+        assert first["written_at"] == 1000.0
+        assert first["worker_id"] == "w7"
+        assert first["counters"] == {"plan_submitted": 1}
+        wall[0] = 1042.0
+        sink.emit(QueueDepth(plan="a", queued=0, leased=0, done=1))
+    final = json.loads(path.read_text())
+    assert final["written_at"] == 1042.0
+    # The loader accepts both known versions...
+    loaded = telemetry.load_metrics_snapshot(path)
+    assert loaded["schema_version"] == telemetry.METRICS_SCHEMA_VERSION
+    versionless = dict(final)
+    del versionless["schema_version"]
+    legacy = tmp_path / "v1.json"
+    legacy.write_text(json.dumps(versionless), encoding="utf-8")
+    assert telemetry.load_metrics_snapshot(legacy)["plans"]["a"]["done"] == 1
+
+
+def test_metrics_snapshot_reader_rejects_unknown_versions(tmp_path):
+    """Satellite acceptance: an unknown schema_version fails loudly with
+    an error naming the offending file, never silently rendering gauges
+    whose meaning changed."""
+    path = tmp_path / "future.json"
+    path.write_text(json.dumps({"schema_version": 99, "plans": {}}),
+                    encoding="utf-8")
+    with pytest.raises(TelemetryError, match=r"future\.json.*schema_version 99"):
+        telemetry.load_metrics_snapshot(path)
+    with pytest.raises(TelemetryError, match="cannot read"):
+        telemetry.load_metrics_snapshot(tmp_path / "missing.json")
+    bad = tmp_path / "torn.json"
+    bad.write_text("{torn", encoding="utf-8")
+    with pytest.raises(TelemetryError, match=r"torn\.json is not valid JSON"):
+        telemetry.load_metrics_snapshot(bad)
